@@ -1,0 +1,62 @@
+//===- bench/table3_ref_stats.cpp - Table III reproduction ----------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates paper Table III: basic statistics of the ref-input
+/// benchmarks used for long-running-workload validation — dynamic
+/// instruction counts, slice counts, number of selected regions, and the
+/// weight covered by the top regions. The paper's ref runs span
+/// 1.3-452 B instructions; scaled 1/1000 here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace elfie;
+using namespace elfie::bench;
+
+int main() {
+  printHeader("Table III: ref benchmark statistics (int + fp suites)");
+  printPaperNote("dynamic instruction counts 1.3-452 B (here /1000), "
+                 "slice size 200 M (here 200 K), maxK 50");
+
+  std::string Dir = workDir("table3");
+  simpoint::PinPointsOptions Opts;
+  Opts.SliceSize = 200000;
+  Opts.WarmupLength = 800000;
+  Opts.MaxK = 10; // paper: 50 for thousands of slices; scaled to our ~30-300
+
+  std::printf("%-18s %6s %14s %8s %8s %10s\n", "benchmark", "suite",
+              "instructions", "slices", "regions", "top-weight");
+
+  auto RunSuite = [&](workloads::Suite S, const char *Label) {
+    for (const auto &W : workloads::suite(S)) {
+      if (W.MultiThreaded)
+        continue; // Table III covers the rate (single-threaded) runs
+      std::string Prog =
+          buildWorkload(Dir, W.Name, workloads::InputSet::Ref);
+      auto Sel = simpoint::profileAndSelect(Prog, {}, vm::VMConfig(), Opts);
+      if (!Sel) {
+        std::printf("%-18s %6s  selection failed: %s\n", W.Name.c_str(),
+                    Label, Sel.message().c_str());
+        continue;
+      }
+      double TopWeight = 0;
+      for (const auto &R : Sel->Regions)
+        TopWeight = std::max(TopWeight, R.Weight);
+      std::printf("%-18s %6s %14llu %8llu %8zu %9.1f%%\n", W.Name.c_str(),
+                  Label,
+                  static_cast<unsigned long long>(Sel->TotalSlices *
+                                                  Opts.SliceSize),
+                  static_cast<unsigned long long>(Sel->TotalSlices),
+                  Sel->Regions.size(), 100.0 * TopWeight);
+    }
+  };
+  RunSuite(workloads::Suite::IntRate, "int");
+  RunSuite(workloads::Suite::FpRate, "fp");
+  removeTree(Dir);
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- easm/Assembler.h - Two-pass EG64 assembler ---------------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass assembler for EG64 assembly, producing statically linked
+/// guest ELF executables (ET_EXEC, EM_EG64). The workload suite is written
+/// in this language; the guest-target ELFie startup code is assembled
+/// through the same code path.
+///
+/// Syntax summary:
+///   label:  mnemonic operands        # comment
+///   .text / .data / .bss             section switch
+///   .global NAME                     export NAME in the symbol table
+///   .align N / .byte / .half / .word / .quad / .ascii / .asciz / .space
+///   .equ NAME, value                 assembler constant
+///   .org ADDR                        set the current section's base address
+///
+/// Operands: registers (r0..r15, sp, lr, zero, f0..f15), integers (dec/hex),
+/// labels (optionally label+N / label-N), and memory operands imm(reg).
+///
+/// Pseudo-instructions (fixed-size expansions so pass 1 can lay out code):
+///   li rd, imm64      -> ldi + ldih            (2 instructions)
+///   la rd, label      -> ldi + ldih            (2 instructions)
+///   call label        -> jal lr, label
+///   ret               -> jalr r0, lr, 0
+///   b/j label         -> jmp label
+///   beqz/bnez rs, lbl -> beq/bne rs, r0, lbl
+///   mv rd, rs         -> mov
+///   push rd           -> addi sp, sp, -8 ; st8 rd, 0(sp)
+///   pop rd            -> ld8 rd, 0(sp)   ; addi sp, sp, 8
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_EASM_ASSEMBLER_H
+#define ELFIE_EASM_ASSEMBLER_H
+
+#include "isa/ISA.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace easm {
+
+/// One assembled output section.
+struct AssembledSection {
+  std::string Name;    ///< ".text", ".data", or ".bss"
+  uint64_t BaseAddr;   ///< virtual address of the first byte
+  uint64_t Flags;      ///< SHF_* flags
+  bool IsNoBits;       ///< true for .bss
+  std::vector<uint8_t> Data; ///< empty for .bss
+  uint64_t Size;       ///< == Data.size() except for .bss
+};
+
+/// The result of assembling a program.
+struct AssembledProgram {
+  std::vector<AssembledSection> Sections;
+  /// All labels with resolved absolute addresses.
+  std::map<std::string, uint64_t> Symbols;
+  /// Labels exported via .global.
+  std::vector<std::string> GlobalSymbols;
+  /// Program entry: the `_start` symbol, else the start of .text.
+  uint64_t Entry;
+};
+
+/// Assembles \p Source. \p SourceName appears in diagnostics
+/// ("prog.s:12: unknown mnemonic ...").
+Expected<AssembledProgram> assembleString(const std::string &Source,
+                                          const std::string &SourceName);
+
+/// Assembles and serializes to a guest ELF executable image.
+Expected<std::vector<uint8_t>> assembleToELF(const std::string &Source,
+                                             const std::string &SourceName);
+
+/// Assembles \p Source and writes a guest ELF executable to \p OutPath.
+Error assembleToFile(const std::string &Source, const std::string &SourceName,
+                     const std::string &OutPath);
+
+} // namespace easm
+} // namespace elfie
+
+#endif // ELFIE_EASM_ASSEMBLER_H

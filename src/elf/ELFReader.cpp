@@ -1,0 +1,173 @@
+//===- elf/ELFReader.cpp --------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "elf/ELFReader.h"
+
+#include "support/FileIO.h"
+
+#include <cstring>
+
+using namespace elfie;
+using namespace elfie::elf;
+
+Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
+  ELFReader R;
+  if (Bytes.size() < sizeof(Elf64_Ehdr))
+    return makeError("ELF file is truncated: %zu bytes, need at least %zu",
+                     Bytes.size(), sizeof(Elf64_Ehdr));
+  std::memcpy(&R.Header, Bytes.data(), sizeof(Elf64_Ehdr));
+  const Elf64_Ehdr &H = R.Header;
+  if (H.e_ident[EI_MAG0] != 0x7f || H.e_ident[EI_MAG1] != 'E' ||
+      H.e_ident[EI_MAG2] != 'L' || H.e_ident[EI_MAG3] != 'F')
+    return makeError("not an ELF file: bad magic");
+  if (H.e_ident[EI_CLASS] != ELFCLASS64)
+    return makeError("unsupported ELF class %u, only ELFCLASS64 is handled",
+                     H.e_ident[EI_CLASS]);
+  if (H.e_ident[EI_DATA] != ELFDATA2LSB)
+    return makeError("unsupported ELF data encoding %u, only little-endian "
+                     "is handled",
+                     H.e_ident[EI_DATA]);
+
+  auto InRange = [&](uint64_t Off, uint64_t Size) {
+    return Off <= Bytes.size() && Size <= Bytes.size() - Off;
+  };
+
+  // Program headers.
+  if (H.e_phnum) {
+    if (H.e_phentsize != sizeof(Elf64_Phdr))
+      return makeError("program header entry size is %u, expected %zu",
+                       H.e_phentsize, sizeof(Elf64_Phdr));
+    if (!InRange(H.e_phoff, uint64_t(H.e_phnum) * sizeof(Elf64_Phdr)))
+      return makeError("program header table overruns the file");
+    for (unsigned I = 0; I < H.e_phnum; ++I) {
+      Elf64_Phdr P;
+      std::memcpy(&P, Bytes.data() + H.e_phoff + I * sizeof(Elf64_Phdr),
+                  sizeof(P));
+      SegmentView V;
+      V.Type = P.p_type;
+      V.Flags = P.p_flags;
+      V.VAddr = P.p_vaddr;
+      V.FileSize = P.p_filesz;
+      V.MemSize = P.p_memsz;
+      if (P.p_filesz) {
+        if (!InRange(P.p_offset, P.p_filesz))
+          return makeError("segment %u payload overruns the file", I);
+        V.Data.assign(Bytes.begin() + P.p_offset,
+                      Bytes.begin() + P.p_offset + P.p_filesz);
+      }
+      R.Segments.push_back(std::move(V));
+    }
+  }
+
+  // Section headers.
+  std::vector<Elf64_Shdr> Shdrs;
+  if (H.e_shnum) {
+    if (H.e_shentsize != sizeof(Elf64_Shdr))
+      return makeError("section header entry size is %u, expected %zu",
+                       H.e_shentsize, sizeof(Elf64_Shdr));
+    if (!InRange(H.e_shoff, uint64_t(H.e_shnum) * sizeof(Elf64_Shdr)))
+      return makeError("section header table overruns the file");
+    Shdrs.resize(H.e_shnum);
+    std::memcpy(Shdrs.data(), Bytes.data() + H.e_shoff,
+                H.e_shnum * sizeof(Elf64_Shdr));
+  }
+
+  // Section name string table.
+  std::vector<uint8_t> ShStrTab;
+  if (H.e_shstrndx != SHN_UNDEF && H.e_shstrndx < Shdrs.size()) {
+    const Elf64_Shdr &S = Shdrs[H.e_shstrndx];
+    if (!InRange(S.sh_offset, S.sh_size))
+      return makeError(".shstrtab overruns the file");
+    ShStrTab.assign(Bytes.begin() + S.sh_offset,
+                    Bytes.begin() + S.sh_offset + S.sh_size);
+  }
+  auto NameAt = [&](uint32_t Off) -> std::string {
+    if (Off >= ShStrTab.size())
+      return std::string();
+    const char *P = reinterpret_cast<const char *>(ShStrTab.data()) + Off;
+    size_t MaxLen = ShStrTab.size() - Off;
+    return std::string(P, strnlen(P, MaxLen));
+  };
+
+  int SymTabIdx = -1;
+  for (size_t I = 0; I < Shdrs.size(); ++I) {
+    const Elf64_Shdr &S = Shdrs[I];
+    SectionView V;
+    V.Name = NameAt(S.sh_name);
+    V.Type = S.sh_type;
+    V.Flags = S.sh_flags;
+    V.Addr = S.sh_addr;
+    V.Offset = S.sh_offset;
+    V.Size = S.sh_size;
+    if (S.sh_type != SHT_NOBITS && S.sh_type != SHT_NULL && S.sh_size) {
+      if (!InRange(S.sh_offset, S.sh_size))
+        return makeError("section %zu ('%s') is corrupt: size is %llu at "
+                         "offset %llu which overruns the file",
+                         I, V.Name.c_str(),
+                         static_cast<unsigned long long>(S.sh_size),
+                         static_cast<unsigned long long>(S.sh_offset));
+      V.Data.assign(Bytes.begin() + S.sh_offset,
+                    Bytes.begin() + S.sh_offset + S.sh_size);
+    }
+    if (S.sh_type == SHT_SYMTAB)
+      SymTabIdx = static_cast<int>(I);
+    R.Sections.push_back(std::move(V));
+  }
+
+  // Symbols.
+  if (SymTabIdx >= 0) {
+    const Elf64_Shdr &S = Shdrs[SymTabIdx];
+    uint32_t StrIdx = S.sh_link;
+    std::vector<uint8_t> StrTab;
+    if (StrIdx < R.Sections.size())
+      StrTab = R.Sections[StrIdx].Data;
+    auto SymName = [&](uint32_t Off) -> std::string {
+      if (Off >= StrTab.size())
+        return std::string();
+      const char *P = reinterpret_cast<const char *>(StrTab.data()) + Off;
+      return std::string(P, strnlen(P, StrTab.size() - Off));
+    };
+    const std::vector<uint8_t> &Payload = R.Sections[SymTabIdx].Data;
+    size_t Count = Payload.size() / sizeof(Elf64_Sym);
+    for (size_t I = 1; I < Count; ++I) { // skip the null symbol
+      Elf64_Sym E;
+      std::memcpy(&E, Payload.data() + I * sizeof(Elf64_Sym), sizeof(E));
+      SymbolView V;
+      V.Name = SymName(E.st_name);
+      V.Value = E.st_value;
+      V.Size = E.st_size;
+      V.Info = E.st_info;
+      V.SectionIndex = E.st_shndx;
+      R.Syms.push_back(std::move(V));
+    }
+  }
+
+  return R;
+}
+
+Expected<ELFReader> ELFReader::open(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  return parse(Bytes.takeValue());
+}
+
+const ELFReader::SectionView *
+ELFReader::findSection(const std::string &Name) const {
+  for (const SectionView &S : Sections)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+const ELFReader::SymbolView *
+ELFReader::findSymbol(const std::string &Name) const {
+  for (const SymbolView &S : Syms)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}

@@ -1,0 +1,91 @@
+//===- elf/ELFReader.h - ELF64 parsing --------------------------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses ELF64 little-endian files: headers, sections, segments, symbols.
+/// Used by the EVM loader (guest executables), by tests that inspect
+/// emitted ELFies, and by the simulators' binary-driven front-ends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_ELF_ELFREADER_H
+#define ELFIE_ELF_ELFREADER_H
+
+#include "elf/ELFTypes.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace elf {
+
+/// A parsed view of an ELF64 file. Owns a copy of the file bytes.
+class ELFReader {
+public:
+  struct SectionView {
+    std::string Name;
+    uint32_t Type = 0;
+    uint64_t Flags = 0;
+    uint64_t Addr = 0;
+    uint64_t Offset = 0;
+    uint64_t Size = 0;
+    /// Section payload (empty for NOBITS).
+    std::vector<uint8_t> Data;
+  };
+
+  struct SegmentView {
+    uint32_t Type = 0;
+    uint32_t Flags = 0;
+    uint64_t VAddr = 0;
+    uint64_t FileSize = 0;
+    uint64_t MemSize = 0;
+    /// File payload for the segment (FileSize bytes).
+    std::vector<uint8_t> Data;
+  };
+
+  struct SymbolView {
+    std::string Name;
+    uint64_t Value = 0;
+    uint64_t Size = 0;
+    uint8_t Info = 0;
+    uint16_t SectionIndex = 0;
+  };
+
+  /// Parses \p Bytes; fails with a section-header-style diagnostic on
+  /// malformed input (wrong magic/class, truncated tables, bad offsets).
+  static Expected<ELFReader> parse(std::vector<uint8_t> Bytes);
+
+  /// Convenience: read + parse a file.
+  static Expected<ELFReader> open(const std::string &Path);
+
+  uint16_t fileType() const { return Header.e_type; }
+  uint16_t machine() const { return Header.e_machine; }
+  uint64_t entry() const { return Header.e_entry; }
+
+  const std::vector<SectionView> &sections() const { return Sections; }
+  const std::vector<SegmentView> &segments() const { return Segments; }
+  const std::vector<SymbolView> &symbols() const { return Syms; }
+
+  /// Finds a section by name; null when absent.
+  const SectionView *findSection(const std::string &Name) const;
+
+  /// Finds a symbol by name; null when absent.
+  const SymbolView *findSymbol(const std::string &Name) const;
+
+private:
+  Elf64_Ehdr Header{};
+  std::vector<SectionView> Sections;
+  std::vector<SegmentView> Segments;
+  std::vector<SymbolView> Syms;
+};
+
+} // namespace elf
+} // namespace elfie
+
+#endif // ELFIE_ELF_ELFREADER_H

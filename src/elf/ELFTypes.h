@@ -1,0 +1,173 @@
+//===- elf/ELFTypes.h - ELF64 on-disk structures ---------------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ELF64 structures and constants, defined locally (rather than via
+/// <elf.h>) because emitting ELF is part of what this project reproduces.
+/// Follows the TIS ELF specification v1.2 and the System V gABI, 64-bit
+/// little-endian class only — that is the only class the paper's tool
+/// produces for ELFies (statically linked x86-64 executables) and the only
+/// class our guest binaries use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_ELF_ELFTYPES_H
+#define ELFIE_ELF_ELFTYPES_H
+
+#include <cstdint>
+
+namespace elfie {
+namespace elf {
+
+// e_ident layout.
+enum : unsigned {
+  EI_MAG0 = 0,
+  EI_MAG1 = 1,
+  EI_MAG2 = 2,
+  EI_MAG3 = 3,
+  EI_CLASS = 4,
+  EI_DATA = 5,
+  EI_VERSION = 6,
+  EI_OSABI = 7,
+  EI_NIDENT = 16
+};
+
+enum : uint8_t {
+  ELFCLASS64 = 2,
+  ELFDATA2LSB = 1,
+  EV_CURRENT_BYTE = 1,
+};
+
+// Object file types.
+enum : uint16_t {
+  ET_NONE = 0,
+  ET_REL = 1,
+  ET_EXEC = 2,
+  ET_DYN = 3,
+};
+
+// Machine types. EM_EG64 is our private guest-machine value (in the range
+// reserved for unofficial use); native ELFies use EM_X86_64.
+enum : uint16_t {
+  EM_NONE = 0,
+  EM_X86_64 = 62,
+  EM_EG64 = 0x4547, // "EG"
+};
+
+// Section types.
+enum : uint32_t {
+  SHT_NULL = 0,
+  SHT_PROGBITS = 1,
+  SHT_SYMTAB = 2,
+  SHT_STRTAB = 3,
+  SHT_NOBITS = 8,
+  SHT_NOTE = 7,
+};
+
+// Section flags.
+enum : uint64_t {
+  SHF_WRITE = 0x1,
+  SHF_ALLOC = 0x2,
+  SHF_EXECINSTR = 0x4,
+};
+
+// Segment types.
+enum : uint32_t {
+  PT_NULL = 0,
+  PT_LOAD = 1,
+  PT_NOTE = 4,
+  PT_GNU_STACK = 0x6474e551,
+};
+
+// Segment flags.
+enum : uint32_t {
+  PF_X = 0x1,
+  PF_W = 0x2,
+  PF_R = 0x4,
+};
+
+// Symbol binding / type helpers.
+enum : uint8_t {
+  STB_LOCAL = 0,
+  STB_GLOBAL = 1,
+  STT_NOTYPE = 0,
+  STT_OBJECT = 1,
+  STT_FUNC = 2,
+  STT_SECTION = 3,
+};
+inline uint8_t makeSymbolInfo(uint8_t Bind, uint8_t Type) {
+  return static_cast<uint8_t>((Bind << 4) | (Type & 0xf));
+}
+
+enum : uint16_t { SHN_UNDEF = 0, SHN_ABS = 0xfff1 };
+
+struct Elf64_Ehdr {
+  uint8_t e_ident[EI_NIDENT];
+  uint16_t e_type;
+  uint16_t e_machine;
+  uint32_t e_version;
+  uint64_t e_entry;
+  uint64_t e_phoff;
+  uint64_t e_shoff;
+  uint32_t e_flags;
+  uint16_t e_ehsize;
+  uint16_t e_phentsize;
+  uint16_t e_phnum;
+  uint16_t e_shentsize;
+  uint16_t e_shnum;
+  uint16_t e_shstrndx;
+};
+static_assert(sizeof(Elf64_Ehdr) == 64, "ELF header must be 64 bytes");
+
+struct Elf64_Phdr {
+  uint32_t p_type;
+  uint32_t p_flags;
+  uint64_t p_offset;
+  uint64_t p_vaddr;
+  uint64_t p_paddr;
+  uint64_t p_filesz;
+  uint64_t p_memsz;
+  uint64_t p_align;
+};
+static_assert(sizeof(Elf64_Phdr) == 56, "program header must be 56 bytes");
+
+struct Elf64_Shdr {
+  uint32_t sh_name;
+  uint32_t sh_type;
+  uint64_t sh_flags;
+  uint64_t sh_addr;
+  uint64_t sh_offset;
+  uint64_t sh_size;
+  uint32_t sh_link;
+  uint32_t sh_info;
+  uint64_t sh_addralign;
+  uint64_t sh_entsize;
+};
+static_assert(sizeof(Elf64_Shdr) == 64, "section header must be 64 bytes");
+
+struct Elf64_Sym {
+  uint32_t st_name;
+  uint8_t st_info;
+  uint8_t st_other;
+  uint16_t st_shndx;
+  uint64_t st_value;
+  uint64_t st_size;
+};
+static_assert(sizeof(Elf64_Sym) == 24, "symbol entry must be 24 bytes");
+
+/// Page size used for segment alignment in emitted executables.
+constexpr uint64_t PageSize = 4096;
+
+inline uint64_t alignUp(uint64_t V, uint64_t A) {
+  return (V + A - 1) & ~(A - 1);
+}
+inline uint64_t alignDown(uint64_t V, uint64_t A) { return V & ~(A - 1); }
+
+} // namespace elf
+} // namespace elfie
+
+#endif // ELFIE_ELF_ELFTYPES_H

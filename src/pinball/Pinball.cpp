@@ -1,0 +1,317 @@
+//===- pinball/Pinball.cpp ------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pinball/Pinball.h"
+
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+using namespace elfie;
+using namespace elfie::pinball;
+
+namespace {
+
+constexpr uint32_t FileMagic = 0x50424c45; // "ELBP"
+constexpr uint32_t FormatVersion = 1;
+
+void writeHeader(BinaryWriter &W, uint32_t Kind) {
+  W.writeU32(FileMagic);
+  W.writeU32(FormatVersion);
+  W.writeU32(Kind);
+}
+
+Error checkHeader(BinaryReader &R, uint32_t Kind, const std::string &File) {
+  uint32_t Magic = R.readU32();
+  uint32_t Version = R.readU32();
+  uint32_t GotKind = R.readU32();
+  if (R.hadError() || Magic != FileMagic)
+    return makeError("'%s' is not a pinball file (bad magic)", File.c_str());
+  if (Version != FormatVersion)
+    return makeError("'%s' has unsupported pinball version %u", File.c_str(),
+                     Version);
+  if (GotKind != Kind)
+    return makeError("'%s' has unexpected record kind %u", File.c_str(),
+                     GotKind);
+  return Error::success();
+}
+
+enum FileKind : uint32_t {
+  KindImage = 1,
+  KindInject = 2,
+  KindRegs = 3,
+  KindSyscalls = 4,
+  KindSchedule = 5,
+  KindMeta = 6,
+};
+
+void writePage(BinaryWriter &W, const PageRecord &P) {
+  W.writeU64(P.Addr);
+  W.writeU8(P.Perm);
+  W.writeBlob(P.Bytes.data(), P.Bytes.size());
+}
+
+Error readPage(BinaryReader &R, PageRecord &P, const std::string &File) {
+  P.Addr = R.readU64();
+  P.Perm = R.readU8();
+  P.Bytes = R.readBlob();
+  if (R.hadError())
+    return makeError("'%s' is truncated inside a page record", File.c_str());
+  if (P.Bytes.size() != vm::GuestPageSize)
+    return makeError("'%s': page record at %#llx has %zu bytes, expected %llu",
+                     File.c_str(), static_cast<unsigned long long>(P.Addr),
+                     P.Bytes.size(),
+                     static_cast<unsigned long long>(vm::GuestPageSize));
+  if (P.Addr & vm::GuestPageMask)
+    return makeError("'%s': page record address %#llx is not page aligned",
+                     File.c_str(), static_cast<unsigned long long>(P.Addr));
+  return Error::success();
+}
+
+} // namespace
+
+std::vector<const PageRecord *> Pinball::allPages() const {
+  std::vector<const PageRecord *> Out;
+  Out.reserve(Image.size() + Injects.size());
+  for (const PageRecord &P : Image)
+    Out.push_back(&P);
+  for (const InjectRecord &I : Injects)
+    Out.push_back(&I.Page);
+  return Out;
+}
+
+const ThreadRegs *Pinball::threadRegs(uint32_t Tid) const {
+  for (const ThreadRegs &T : Threads)
+    if (T.Tid == Tid)
+      return &T;
+  return nullptr;
+}
+
+uint64_t Pinball::imageBytes() const {
+  return (Image.size() + Injects.size()) * vm::GuestPageSize;
+}
+
+Error Pinball::save(const std::string &Dir) const {
+  if (Error E = createDirectories(Dir))
+    return E;
+  auto WriteOut = [&](const std::string &Name,
+                      const BinaryWriter &W) -> Error {
+    return writeFile(Dir + "/" + Name, W.bytes().data(), W.size());
+  };
+
+  {
+    BinaryWriter W;
+    writeHeader(W, KindImage);
+    W.writeU32(static_cast<uint32_t>(Image.size()));
+    for (const PageRecord &P : Image)
+      writePage(W, P);
+    if (Error E = WriteOut("image.text", W))
+      return E;
+  }
+  {
+    BinaryWriter W;
+    writeHeader(W, KindInject);
+    W.writeU32(static_cast<uint32_t>(Injects.size()));
+    for (const InjectRecord &I : Injects) {
+      W.writeU64(I.FirstUseIcount);
+      writePage(W, I.Page);
+    }
+    if (Error E = WriteOut("inject.pages", W))
+      return E;
+  }
+  for (const ThreadRegs &T : Threads) {
+    BinaryWriter W;
+    writeHeader(W, KindRegs);
+    W.writeU32(T.Tid);
+    for (uint64_t G : T.GPR)
+      W.writeU64(G);
+    for (double F : T.FPR)
+      W.writeDouble(F);
+    W.writeU64(T.PC);
+    W.writeU64(T.RegionIcount);
+    if (Error E = WriteOut(formatString("t%u.reg", T.Tid), W))
+      return E;
+  }
+  {
+    BinaryWriter W;
+    writeHeader(W, KindSyscalls);
+    W.writeU32(static_cast<uint32_t>(Syscalls.size()));
+    for (const SyscallRecord &S : Syscalls) {
+      W.writeU32(S.Tid);
+      W.writeU64(S.Nr);
+      for (uint64_t A : S.Args)
+        W.writeU64(A);
+      W.writeI64(S.Result);
+      W.writeU32(static_cast<uint32_t>(S.MemWrites.size()));
+      for (const auto &M : S.MemWrites) {
+        W.writeU64(M.Addr);
+        W.writeBlob(M.Bytes.data(), M.Bytes.size());
+      }
+    }
+    if (Error E = WriteOut("sel.log", W))
+      return E;
+  }
+  {
+    BinaryWriter W;
+    writeHeader(W, KindSchedule);
+    W.writeU32(static_cast<uint32_t>(Schedule.size()));
+    for (const ScheduleSlice &S : Schedule) {
+      W.writeU32(S.Tid);
+      W.writeU64(S.NumInsts);
+    }
+    if (Error E = WriteOut("race.log", W))
+      return E;
+  }
+  {
+    BinaryWriter W;
+    writeHeader(W, KindMeta);
+    W.writeString(Meta.ProgramName);
+    W.writeU64(Meta.RegionStart);
+    W.writeU64(Meta.RegionLength);
+    W.writeU8(Meta.WholeImage);
+    W.writeU8(Meta.PagesEarly);
+    W.writeU64(Meta.StackBase);
+    W.writeU64(Meta.StackTop);
+    W.writeU64(Meta.BrkAtStart);
+    W.writeU64(Meta.BrkAtEnd);
+    W.writeU32(static_cast<uint32_t>(Threads.size()));
+    if (Error E = WriteOut("meta", W))
+      return E;
+  }
+  if (Error E = writeFileText(Dir + "/output.log", OutputLog))
+    return E;
+  return Error::success();
+}
+
+Expected<Pinball> Pinball::load(const std::string &Dir) {
+  Pinball PB;
+  auto ReadAll = [&](const std::string &Name)
+      -> Expected<std::vector<uint8_t>> {
+    return readFileBytes(Dir + "/" + Name);
+  };
+
+  // meta (read first: gives the thread count)
+  uint32_t NumThreads = 0;
+  {
+    auto Bytes = ReadAll("meta");
+    if (!Bytes)
+      return Bytes.takeError();
+    BinaryReader R(*Bytes);
+    if (Error E = checkHeader(R, KindMeta, "meta"))
+      return E;
+    PB.Meta.ProgramName = R.readString();
+    PB.Meta.RegionStart = R.readU64();
+    PB.Meta.RegionLength = R.readU64();
+    PB.Meta.WholeImage = R.readU8();
+    PB.Meta.PagesEarly = R.readU8();
+    PB.Meta.StackBase = R.readU64();
+    PB.Meta.StackTop = R.readU64();
+    PB.Meta.BrkAtStart = R.readU64();
+    PB.Meta.BrkAtEnd = R.readU64();
+    NumThreads = R.readU32();
+    if (R.hadError())
+      return makeError("'meta' is truncated");
+  }
+
+  {
+    auto Bytes = ReadAll("image.text");
+    if (!Bytes)
+      return Bytes.takeError();
+    BinaryReader R(*Bytes);
+    if (Error E = checkHeader(R, KindImage, "image.text"))
+      return E;
+    uint32_t N = R.readU32();
+    for (uint32_t I = 0; I < N; ++I) {
+      PageRecord P;
+      if (Error E = readPage(R, P, "image.text"))
+        return E;
+      PB.Image.push_back(std::move(P));
+    }
+  }
+  {
+    auto Bytes = ReadAll("inject.pages");
+    if (!Bytes)
+      return Bytes.takeError();
+    BinaryReader R(*Bytes);
+    if (Error E = checkHeader(R, KindInject, "inject.pages"))
+      return E;
+    uint32_t N = R.readU32();
+    for (uint32_t I = 0; I < N; ++I) {
+      InjectRecord Rec;
+      Rec.FirstUseIcount = R.readU64();
+      if (Error E = readPage(R, Rec.Page, "inject.pages"))
+        return E;
+      PB.Injects.push_back(std::move(Rec));
+    }
+  }
+  for (uint32_t I = 0; I < NumThreads; ++I) {
+    std::string Name = formatString("t%u.reg", I);
+    auto Bytes = ReadAll(Name);
+    if (!Bytes)
+      return Bytes.takeError();
+    BinaryReader R(*Bytes);
+    if (Error E = checkHeader(R, KindRegs, Name))
+      return E;
+    ThreadRegs T;
+    T.Tid = R.readU32();
+    for (uint64_t &G : T.GPR)
+      G = R.readU64();
+    for (double &F : T.FPR)
+      F = R.readDouble();
+    T.PC = R.readU64();
+    T.RegionIcount = R.readU64();
+    if (R.hadError())
+      return makeError("'%s' is truncated", Name.c_str());
+    PB.Threads.push_back(T);
+  }
+  {
+    auto Bytes = ReadAll("sel.log");
+    if (!Bytes)
+      return Bytes.takeError();
+    BinaryReader R(*Bytes);
+    if (Error E = checkHeader(R, KindSyscalls, "sel.log"))
+      return E;
+    uint32_t N = R.readU32();
+    for (uint32_t I = 0; I < N; ++I) {
+      SyscallRecord S;
+      S.Tid = R.readU32();
+      S.Nr = R.readU64();
+      for (uint64_t &A : S.Args)
+        A = R.readU64();
+      S.Result = R.readI64();
+      uint32_t M = R.readU32();
+      for (uint32_t J = 0; J < M; ++J) {
+        SyscallRecord::MemWrite W;
+        W.Addr = R.readU64();
+        W.Bytes = R.readBlob();
+        S.MemWrites.push_back(std::move(W));
+      }
+      if (R.hadError())
+        return makeError("'sel.log' is truncated inside record %u", I);
+      PB.Syscalls.push_back(std::move(S));
+    }
+  }
+  {
+    auto Bytes = ReadAll("race.log");
+    if (!Bytes)
+      return Bytes.takeError();
+    BinaryReader R(*Bytes);
+    if (Error E = checkHeader(R, KindSchedule, "race.log"))
+      return E;
+    uint32_t N = R.readU32();
+    for (uint32_t I = 0; I < N; ++I) {
+      ScheduleSlice S;
+      S.Tid = R.readU32();
+      S.NumInsts = R.readU64();
+      PB.Schedule.push_back(S);
+    }
+    if (R.hadError())
+      return makeError("'race.log' is truncated");
+  }
+  if (auto Text = readFileText(Dir + "/output.log"))
+    PB.OutputLog = Text.takeValue();
+  return PB;
+}

@@ -1,0 +1,144 @@
+//===- pinball/Pinball.h - Region checkpoint format -------------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pinball: a user-level region checkpoint, reproducing the PinPlay
+/// artifact the paper builds on (§I, §II-A). A pinball is a directory of
+/// files:
+///
+///   image.text   initial memory image (page records). For fat pinballs
+///                (-log:fat = -log:whole_image + -log:pages_early) this
+///                holds every page the region needs; regular pinballs keep
+///                lazily-captured pages in inject.pages instead.
+///   inject.pages page-injection records: pages inserted at first-use time
+///                during constrained replay (regular pinballs).
+///   t<N>.reg     per-thread architectural register state at region start,
+///                plus the thread's retired-instruction count inside the
+///                region (the graceful-exit budget, §II-C1).
+///   sel.log      system-call side-effect log: results + guest-memory bytes
+///                written by each syscall, in execution order (§II-A, [15]).
+///   race.log     thread schedule: (tid, instruction-count) slices. Replay
+///                enforces it, which subsumes PinPlay's shared-memory
+///                access-order guarantee (paper footnote 1).
+///   output.log   bytes the region wrote to stdout (used by differential
+///                tests and by ELFie validation).
+///   meta         region bounds, layout info (stack range, brk), flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_PINBALL_PINBALL_H
+#define ELFIE_PINBALL_PINBALL_H
+
+#include "support/Error.h"
+#include "vm/VM.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace pinball {
+
+/// One captured page.
+struct PageRecord {
+  uint64_t Addr = 0; ///< page-aligned guest address
+  uint8_t Perm = 0;  ///< vm::PagePerm bits
+  std::vector<uint8_t> Bytes; ///< exactly GuestPageSize bytes
+};
+
+/// A page inserted lazily at replay time (regular pinballs).
+struct InjectRecord {
+  /// Global retired-instruction count (relative to region start) of the
+  /// instruction that first touches the page.
+  uint64_t FirstUseIcount = 0;
+  PageRecord Page;
+};
+
+/// Per-thread register state at region start.
+struct ThreadRegs {
+  uint32_t Tid = 0;
+  uint64_t GPR[isa::NumGPRs] = {};
+  double FPR[isa::NumFPRs] = {};
+  uint64_t PC = 0;
+  /// Instructions this thread retires inside the region (graceful-exit
+  /// budget for the corresponding ELFie thread).
+  uint64_t RegionIcount = 0;
+};
+
+/// One logged system call with its side effects.
+struct SyscallRecord {
+  uint32_t Tid = 0;
+  uint64_t Nr = 0;
+  uint64_t Args[6] = {};
+  int64_t Result = 0;
+  /// Guest memory written by the syscall (e.g. read() filling a buffer).
+  struct MemWrite {
+    uint64_t Addr;
+    std::vector<uint8_t> Bytes;
+  };
+  std::vector<MemWrite> MemWrites;
+};
+
+/// A contiguous run of instructions executed by one thread.
+struct ScheduleSlice {
+  uint32_t Tid = 0;
+  uint64_t NumInsts = 0;
+};
+
+/// Region and environment metadata.
+struct PinballMeta {
+  std::string ProgramName;
+  /// Global retired count at which the region starts (in the logging run).
+  uint64_t RegionStart = 0;
+  /// Region length in global retired instructions.
+  uint64_t RegionLength = 0;
+  bool WholeImage = false; ///< -log:whole_image was set
+  bool PagesEarly = false; ///< -log:pages_early was set
+  /// Main-thread stack range (pinball2elf treats pages inside it as stack
+  /// pages for the collision workaround, §II-B3).
+  uint64_t StackBase = 0;
+  uint64_t StackTop = 0;
+  /// Program break at region start and end (feeds BRK.log, §II-C2).
+  uint64_t BrkAtStart = 0;
+  uint64_t BrkAtEnd = 0;
+};
+
+/// An in-memory pinball.
+class Pinball {
+public:
+  PinballMeta Meta;
+  std::vector<PageRecord> Image;
+  std::vector<InjectRecord> Injects;
+  std::vector<ThreadRegs> Threads;
+  std::vector<SyscallRecord> Syscalls;
+  std::vector<ScheduleSlice> Schedule;
+  std::string OutputLog;
+
+  /// True when every page needed by the region is in the initial image.
+  bool isFat() const { return Meta.WholeImage && Meta.PagesEarly; }
+
+  /// All pages the region can touch: Image plus Injects.
+  std::vector<const PageRecord *> allPages() const;
+
+  /// Finds the initial registers for \p Tid; null when absent.
+  const ThreadRegs *threadRegs(uint32_t Tid) const;
+
+  /// Total bytes of captured memory (pages only).
+  uint64_t imageBytes() const;
+
+  /// Serializes to directory \p Dir (created if needed).
+  Error save(const std::string &Dir) const;
+
+  /// Loads a pinball from directory \p Dir. Validates record framing and
+  /// reports corrupt/truncated files with the offending file name.
+  static Expected<Pinball> load(const std::string &Dir);
+};
+
+} // namespace pinball
+} // namespace elfie
+
+#endif // ELFIE_PINBALL_PINBALL_H

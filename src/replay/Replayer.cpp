@@ -1,0 +1,197 @@
+//===- replay/Replayer.cpp ------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/Replayer.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace elfie;
+using namespace elfie::replay;
+using pinball::Pinball;
+
+std::unique_ptr<vm::VM> replay::makeReplayVM(const Pinball &PB,
+                                             const vm::VMConfig &Config,
+                                             bool LoadAllPages) {
+  auto M = std::make_unique<vm::VM>(Config);
+  auto LoadPage = [&](const pinball::PageRecord &P) {
+    M->mem().map(P.Addr, vm::GuestPageSize, P.Perm);
+    M->mem().poke(P.Addr, P.Bytes.data(), P.Bytes.size());
+  };
+  for (const pinball::PageRecord &P : PB.Image)
+    LoadPage(P);
+  if (LoadAllPages)
+    for (const pinball::InjectRecord &I : PB.Injects)
+      LoadPage(I.Page);
+
+  // Restore the heap break so brk() growth behaves as in the logging run.
+  if (PB.Meta.BrkAtStart)
+    M->restoreBrk(PB.Meta.BrkAtStart);
+
+  // Threads, in tid order so the VM hands out matching tids.
+  std::vector<pinball::ThreadRegs> Sorted = PB.Threads;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto &A, const auto &B) { return A.Tid < B.Tid; });
+  for (const pinball::ThreadRegs &T : Sorted) {
+    vm::ThreadState S;
+    std::memcpy(S.GPR, T.GPR, sizeof(S.GPR));
+    std::memcpy(S.FPR, T.FPR, sizeof(S.FPR));
+    S.PC = T.PC;
+    uint32_t Got = M->spawnThread(S);
+    (void)Got;
+    assert(Got == T.Tid && "pinball tids must be dense from 0");
+  }
+  return M;
+}
+
+Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
+                                             const ReplayOptions &Opts) {
+  ReplayResult Result;
+  vm::VMConfig Config = Opts.Config;
+  auto Captured = std::make_shared<std::string>();
+  auto UserSink = Config.StdoutSink;
+  Config.StdoutSink = [Captured, UserSink](const char *P, size_t N) {
+    Captured->append(P, N);
+    if (UserSink)
+      UserSink(P, N);
+  };
+
+  uint64_t Budget =
+      Opts.MaxInstructions ? Opts.MaxInstructions : PB.Meta.RegionLength;
+
+  if (!Opts.Injection) {
+    // ELFie-mimicking mode: all pages up front, free scheduler, native
+    // syscalls.
+    auto M = makeReplayVM(PB, Config, /*LoadAllPages=*/true);
+    if (Opts.Obs)
+      M->setObserver(Opts.Obs);
+    vm::RunResult RR = M->run(Budget);
+    Result.Reason = RR.Reason;
+    Result.FaultInfo = RR.FaultInfo;
+    Result.Retired = M->globalRetired();
+    for (uint32_t Tid : M->threadIds()) {
+      Result.RetiredPerThread[Tid] = M->thread(Tid)->Retired;
+      Result.FinalThreads[Tid] = *M->thread(Tid);
+    }
+    Result.Stdout = *Captured;
+    return Result;
+  }
+
+  // Constrained replay.
+  auto M = makeReplayVM(PB, Config, /*LoadAllPages=*/false);
+  if (Opts.Obs)
+    M->setObserver(Opts.Obs);
+
+  // Syscall injection from sel.log, consumed strictly in order.
+  size_t SyscallCursor = 0;
+  std::string Divergence;
+  M->setSyscallInterceptor([&](uint32_t Tid, uint64_t Nr,
+                               const uint64_t *Args,
+                               int64_t &InjectedResult) -> bool {
+    if (SyscallCursor >= PB.Syscalls.size()) {
+      Divergence = formatString(
+          "thread %u executed syscall %llu beyond the end of sel.log", Tid,
+          static_cast<unsigned long long>(Nr));
+      M->requestStop();
+      return true;
+    }
+    const pinball::SyscallRecord &Rec = PB.Syscalls[SyscallCursor];
+    if (Rec.Tid != Tid || Rec.Nr != Nr) {
+      Divergence = formatString(
+          "syscall divergence at record %zu: log has (tid %u, nr %llu), "
+          "replay executed (tid %u, nr %llu)",
+          SyscallCursor, Rec.Tid, static_cast<unsigned long long>(Rec.Nr),
+          Tid, static_cast<unsigned long long>(Nr));
+      M->requestStop();
+      return true;
+    }
+    ++SyscallCursor;
+    // Inject memory side effects, then the register result.
+    for (const auto &W : Rec.MemWrites)
+      M->mem().poke(W.Addr, W.Bytes.data(), W.Bytes.size());
+    InjectedResult = Rec.Result;
+    return true;
+  });
+
+  // Lazy page injection, ordered by first-use icount.
+  std::vector<const pinball::InjectRecord *> Pending;
+  for (const pinball::InjectRecord &I : PB.Injects)
+    Pending.push_back(&I);
+  std::sort(Pending.begin(), Pending.end(),
+            [](const auto *A, const auto *B) {
+              return A->FirstUseIcount < B->FirstUseIcount;
+            });
+  size_t InjectCursor = 0;
+  auto InjectDue = [&](uint64_t Retired) {
+    while (InjectCursor < Pending.size() &&
+           Pending[InjectCursor]->FirstUseIcount <= Retired) {
+      const pinball::PageRecord &P = Pending[InjectCursor]->Page;
+      M->mem().map(P.Addr, vm::GuestPageSize, P.Perm);
+      M->mem().poke(P.Addr, P.Bytes.data(), P.Bytes.size());
+      ++InjectCursor;
+    }
+  };
+
+  // Drive the recorded schedule.
+  uint64_t Executed = 0;
+  Result.Reason = vm::StopReason::BudgetReached;
+  for (const pinball::ScheduleSlice &Slice : PB.Schedule) {
+    if (Executed >= Budget)
+      break;
+    uint64_t Steps = std::min(Slice.NumInsts, Budget - Executed);
+    for (uint64_t I = 0; I < Steps; ++I) {
+      InjectDue(Executed);
+      const vm::ThreadState *T = M->thread(Slice.Tid);
+      if (!T) {
+        Divergence = formatString("schedule names unknown thread %u",
+                                  Slice.Tid);
+        break;
+      }
+      if (T->Exited) {
+        Divergence = formatString(
+            "schedule expects thread %u to run, but it has exited",
+            Slice.Tid);
+        break;
+      }
+      vm::StopReason SR = M->stepThread(Slice.Tid);
+      ++Executed;
+      if (SR == vm::StopReason::Faulted) {
+        Result.Reason = vm::StopReason::Faulted;
+        Result.FaultInfo = M->lastFault();
+        Divergence = "replay faulted: " + Result.FaultInfo.Message;
+        break;
+      }
+      if (SR == vm::StopReason::Halted || SR == vm::StopReason::AllExited) {
+        Result.Reason = SR;
+        break;
+      }
+      if (SR == vm::StopReason::Stopped)
+        break; // interceptor detected divergence
+    }
+    if (!Divergence.empty() || Result.Reason == vm::StopReason::Halted ||
+        Result.Reason == vm::StopReason::AllExited ||
+        Result.Reason == vm::StopReason::Faulted)
+      break;
+  }
+
+  if (Executed >= Budget && Result.Reason == vm::StopReason::BudgetReached) {
+    // Completed the whole region: expected outcome.
+  }
+
+  Result.Retired = M->globalRetired();
+  for (uint32_t Tid : M->threadIds()) {
+    Result.RetiredPerThread[Tid] = M->thread(Tid)->Retired;
+    Result.FinalThreads[Tid] = *M->thread(Tid);
+  }
+  Result.Stdout = *Captured;
+  Result.SyscallLogFullyConsumed =
+      Divergence.empty() && SyscallCursor == PB.Syscalls.size();
+  Result.Divergence = Divergence;
+  return Result;
+}

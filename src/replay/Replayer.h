@@ -1,0 +1,87 @@
+//===- replay/Replayer.h - Constrained pinball replay -----------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replayer re-executes a pinball region (paper §I, §II-A):
+///
+///  * **Constrained replay** (default): thread order follows race.log
+///    exactly; system-call results and memory side effects are injected
+///    from sel.log instead of re-executing; pages arrive from the initial
+///    image plus lazy injection records. The result is bit-exact repetition
+///    of the logged region.
+///
+///  * **-replay:injection 0**: no side-effect injection, no thread-order
+///    enforcement — system calls re-execute natively and the scheduler runs
+///    free. This mimics an ELFie's execution while still running under the
+///    EVM, and is the debugging aid the paper requested from the PinPlay
+///    team (§II-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_REPLAY_REPLAYER_H
+#define ELFIE_REPLAY_REPLAYER_H
+
+#include "pinball/Pinball.h"
+#include "vm/VM.h"
+
+#include <functional>
+#include <memory>
+
+namespace elfie {
+namespace replay {
+
+/// Replay switches.
+struct ReplayOptions {
+  /// -replay:injection. When false, syscalls re-execute natively and the
+  /// recorded schedule is ignored.
+  bool Injection = true;
+  /// VM configuration used for injection=0 replay (scheduler etc.). The
+  /// FsRoot matters there because file syscalls re-execute.
+  vm::VMConfig Config;
+  /// Observer attached during replay (e.g. a timing model front-end).
+  vm::Observer *Obs = nullptr;
+  /// Stop after this many instructions even if the region says more
+  /// (0 = use the region length from the pinball).
+  uint64_t MaxInstructions = 0;
+};
+
+/// What happened during replay.
+struct ReplayResult {
+  vm::StopReason Reason = vm::StopReason::AllExited;
+  vm::Fault FaultInfo;
+  /// Instructions retired during the replayed region.
+  uint64_t Retired = 0;
+  /// Per-thread retired counts, indexed by tid.
+  std::map<uint32_t, uint64_t> RetiredPerThread;
+  /// Final architectural state of every thread (differential testing).
+  std::map<uint32_t, vm::ThreadState> FinalThreads;
+  /// Guest stdout produced during replay (injection=0 re-executes writes;
+  /// constrained replay skips them, so this stays empty there).
+  std::string Stdout;
+  /// True when every sel.log record was consumed in order (constrained
+  /// replay only); false indicates divergence.
+  bool SyscallLogFullyConsumed = true;
+  /// Divergence diagnostics (empty when replay matched the log).
+  std::string Divergence;
+};
+
+/// Builds a VM primed with the pinball's state: pages mapped (image only —
+/// lazy injection is the replayer's job), threads spawned with their
+/// recorded registers, brk restored. Exposed for pinball2elf's sysstate
+/// analysis and for the simulators' pinball front-end.
+std::unique_ptr<vm::VM> makeReplayVM(const pinball::Pinball &PB,
+                                     const vm::VMConfig &Config,
+                                     bool LoadAllPages);
+
+/// Replays \p PB according to \p Opts.
+Expected<ReplayResult> replayPinball(const pinball::Pinball &PB,
+                                     const ReplayOptions &Opts = {});
+
+} // namespace replay
+} // namespace elfie
+
+#endif // ELFIE_REPLAY_REPLAYER_H

@@ -1,0 +1,45 @@
+//===- sim/BranchPredictor.cpp --------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/BranchPredictor.h"
+
+using namespace elfie;
+using namespace elfie::sim;
+
+GSharePredictor::GSharePredictor(unsigned TableBits)
+    : TableBits(TableBits), Counters(1u << TableBits, 2) {}
+
+bool GSharePredictor::predictAndUpdate(uint64_t PC, bool Taken) {
+  uint64_t Mask = (1ull << TableBits) - 1;
+  uint64_t Index = ((PC >> 3) ^ History) & Mask;
+  uint8_t &C = Counters[Index];
+  bool Prediction = C >= 2;
+  ++Lookups;
+  if (Prediction != Taken)
+    ++Mispredicts;
+  if (Taken && C < 3)
+    ++C;
+  else if (!Taken && C > 0)
+    --C;
+  History = ((History << 1) | (Taken ? 1 : 0)) & Mask;
+  return Prediction == Taken;
+}
+
+BTB::BTB(unsigned TableBits) : Entries(1u << TableBits) {}
+
+bool BTB::predictAndUpdate(uint64_t PC, uint64_t Target) {
+  uint64_t Index = (PC >> 3) & (Entries.size() - 1);
+  Entry &E = Entries[Index];
+  ++Lookups;
+  bool Correct = E.Valid && E.PC == PC && E.Target == Target;
+  if (!Correct)
+    ++Mispredicts;
+  E.PC = PC;
+  E.Target = Target;
+  E.Valid = true;
+  return Correct;
+}

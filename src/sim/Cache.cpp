@@ -1,0 +1,90 @@
+//===- sim/Cache.cpp ------------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+using namespace elfie;
+using namespace elfie::sim;
+
+namespace {
+bool isPowerOfTwo(uint64_t V) { return V && (V & (V - 1)) == 0; }
+} // namespace
+
+Cache::Cache(uint64_t SizeBytes, uint32_t Assoc, uint32_t LineSize)
+    : LineSize(LineSize), Assoc(Assoc) {
+  uint64_t Lines = SizeBytes / LineSize;
+  assert(Lines >= Assoc && "cache smaller than one set");
+  NumSets = static_cast<uint32_t>(Lines / Assoc);
+  assert(isPowerOfTwo(NumSets) && "set count must be a power of two");
+  Ways.resize(static_cast<size_t>(NumSets) * Assoc);
+}
+
+bool Cache::access(uint64_t Addr, bool IsWrite, uint64_t *EvictedLine) {
+  uint64_t Line = lineAddr(Addr);
+  uint32_t Set = static_cast<uint32_t>(Line & (NumSets - 1));
+  Way *Base = &Ways[static_cast<size_t>(Set) * Assoc];
+  ++Clock;
+  for (uint32_t W = 0; W < Assoc; ++W) {
+    if (Base[W].Valid && Base[W].Tag == Line) {
+      Base[W].LRUStamp = Clock;
+      ++Hits;
+      return true;
+    }
+  }
+  ++Misses;
+  // Fill: pick an invalid way, else LRU victim.
+  uint32_t Victim = 0;
+  uint64_t Oldest = UINT64_MAX;
+  for (uint32_t W = 0; W < Assoc; ++W) {
+    if (!Base[W].Valid) {
+      Victim = W;
+      Oldest = 0;
+      break;
+    }
+    if (Base[W].LRUStamp < Oldest) {
+      Oldest = Base[W].LRUStamp;
+      Victim = W;
+    }
+  }
+  if (Base[Victim].Valid) {
+    ++Evictions;
+    if (EvictedLine)
+      *EvictedLine = Base[Victim].Tag * LineSize;
+  }
+  Base[Victim].Valid = true;
+  Base[Victim].Tag = Line;
+  Base[Victim].LRUStamp = Clock;
+  return false;
+}
+
+bool Cache::contains(uint64_t Addr) const {
+  uint64_t Line = lineAddr(Addr);
+  uint32_t Set = static_cast<uint32_t>(Line & (NumSets - 1));
+  const Way *Base = &Ways[static_cast<size_t>(Set) * Assoc];
+  for (uint32_t W = 0; W < Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == Line)
+      return true;
+  return false;
+}
+
+void Cache::invalidate(uint64_t Addr) {
+  uint64_t Line = lineAddr(Addr);
+  uint32_t Set = static_cast<uint32_t>(Line & (NumSets - 1));
+  Way *Base = &Ways[static_cast<size_t>(Set) * Assoc];
+  for (uint32_t W = 0; W < Assoc; ++W)
+    if (Base[W].Valid && Base[W].Tag == Line)
+      Base[W].Valid = false;
+}
+
+TLB::TLB(uint32_t Entries, uint32_t Assoc, uint64_t PageSize)
+    : PageSize(PageSize),
+      Impl(static_cast<uint64_t>(Entries) * CacheLineSize, Assoc) {}
+
+bool TLB::access(uint64_t Addr) {
+  // Map page numbers onto the cache's line space.
+  return Impl.access((Addr / PageSize) * CacheLineSize, false);
+}

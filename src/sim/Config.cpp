@@ -1,0 +1,93 @@
+//===- sim/Config.cpp -----------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Config.h"
+
+using namespace elfie;
+using namespace elfie::sim;
+
+MachineConfig sim::makeGainestown8() {
+  MachineConfig M;
+  M.Name = "gainestown8";
+  M.NumCores = 8;
+  M.Core.DispatchWidth = 4;
+  M.Core.ROBSize = 128;
+  M.Core.MispredictPenalty = 17;
+  M.Core.FreqGHz = 2.66;
+  M.L3 = {8 * 1024 * 1024, 16, 35};
+  M.MemLatencyCycles = 200;
+  return M;
+}
+
+MachineConfig sim::makeNehalemLike() {
+  MachineConfig M;
+  M.Name = "nehalem";
+  M.NumCores = 1;
+  M.Core.DispatchWidth = 4;
+  M.Core.ROBSize = 128;
+  M.Core.MispredictPenalty = 17;
+  M.Core.BPBits = 12;
+  M.Core.L2 = {256 * 1024, 8, 12};
+  M.Core.FreqGHz = 2.66;
+  M.L3 = {8 * 1024 * 1024, 16, 38};
+  M.MemLatencyCycles = 200;
+  return M;
+}
+
+MachineConfig sim::makeHaswellLike() {
+  MachineConfig M;
+  M.Name = "haswell";
+  M.NumCores = 1;
+  // The Table V study: larger critical resources (ROB, queues), faster
+  // recovery, better predictors.
+  M.Core.DispatchWidth = 4;
+  M.Core.ROBSize = 192;
+  M.Core.MispredictPenalty = 14;
+  M.Core.BPBits = 14;
+  M.Core.BTBBits = 12;
+  M.Core.L2 = {256 * 1024, 8, 11};
+  M.Core.DTLBEntries = 128;
+  M.Core.FreqGHz = 3.4;
+  M.L3 = {20 * 1024 * 1024, 16, 34};
+  M.MemLatencyCycles = 190;
+  return M;
+}
+
+MachineConfig sim::makeSkylakeLike(bool FullSystem) {
+  MachineConfig M;
+  M.Name = FullSystem ? "skylake-fs" : "skylake";
+  M.NumCores = 1;
+  M.Core.DispatchWidth = 5;
+  M.Core.ROBSize = 224;
+  M.Core.MispredictPenalty = 14;
+  M.Core.BPBits = 15;
+  M.Core.BTBBits = 12;
+  M.Core.L2 = {1024 * 1024, 16, 12};
+  M.Core.DTLBEntries = 128;
+  M.Core.ITLBEntries = 128;
+  M.Core.FreqGHz = 3.0;
+  M.L3 = {16 * 1024 * 1024, 16, 40};
+  M.MemLatencyCycles = 180;
+  M.Kernel.Enabled = FullSystem;
+  return M;
+}
+
+bool sim::configByName(const std::string &Name, MachineConfig &Out) {
+  if (Name == "gainestown8")
+    Out = makeGainestown8();
+  else if (Name == "nehalem")
+    Out = makeNehalemLike();
+  else if (Name == "haswell")
+    Out = makeHaswellLike();
+  else if (Name == "skylake")
+    Out = makeSkylakeLike(false);
+  else if (Name == "skylake-fs")
+    Out = makeSkylakeLike(true);
+  else
+    return false;
+  return true;
+}

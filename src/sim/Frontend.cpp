@@ -1,0 +1,252 @@
+//===- sim/Frontend.cpp ---------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Frontend.h"
+
+#include "elf/ELFReader.h"
+#include "replay/Replayer.h"
+#include "support/FileIO.h"
+
+using namespace elfie;
+using namespace elfie::sim;
+
+namespace {
+
+/// Feeds VM events into the TimingModel with ROI gating.
+class SimObserver : public vm::Observer {
+public:
+  SimObserver(vm::VM &M, TimingModel &Model, const RunControls &Controls,
+              unsigned NumCores)
+      : M(M), Model(Model), Controls(Controls), NumCores(NumCores) {
+    Active = !Controls.WaitForMarker;
+  }
+
+  uint64_t roiRetired() const { return RoiRetired; }
+  bool markerSeen() const { return MarkerSeen; }
+
+  void onInstruction(const vm::ThreadState &T, uint64_t PC,
+                     const isa::Inst &I) override {
+    unsigned Core = T.Tid % NumCores;
+    LastOp[Core] = I.Op;
+    if (!Active)
+      return;
+    Model.instruction(Core, PC, I);
+    ++RoiRetired;
+    if (Controls.StopPC && PC == Controls.StopPC &&
+        ++StopPCHits >= Controls.StopPCCount) {
+      M.requestStop();
+      return;
+    }
+    if (RoiRetired >= Controls.MaxInstructions)
+      M.requestStop();
+  }
+
+  void onMemoryAccess(uint32_t Tid, uint64_t Addr, uint32_t Size,
+                      bool IsWrite) override {
+    if (!Active)
+      return;
+    Model.memoryAccess(Tid % NumCores, Addr, Size, IsWrite);
+  }
+
+  void onControlTransfer(uint32_t Tid, uint64_t FromPC, uint64_t ToPC,
+                         bool Taken) override {
+    if (!Active)
+      return;
+    unsigned Core = Tid % NumCores;
+    isa::Opcode Op = LastOp.count(Core) ? LastOp[Core] : isa::Opcode::Jmp;
+    // Unconditional direct transfers are perfectly predictable; only
+    // conditional branches train the direction predictor and only
+    // register-indirect jumps consult the BTB.
+    if (isa::isBranch(Op))
+      Model.controlTransfer(Core, FromPC, ToPC, Taken, false);
+    else if (Op == isa::Opcode::Jalr)
+      Model.controlTransfer(Core, FromPC, ToPC, Taken, true);
+  }
+
+  void onSyscall(uint32_t Tid, uint64_t Nr, const uint64_t *,
+                 int64_t) override {
+    if (!Active)
+      return;
+    Model.syscall(Tid % NumCores, Nr);
+  }
+
+  void onMarker(uint32_t, isa::MarkerKind, int32_t) override {
+    MarkerSeen = true;
+    if (Controls.WaitForMarker)
+      Active = true;
+  }
+
+private:
+  vm::VM &M;
+  TimingModel &Model;
+  RunControls Controls;
+  unsigned NumCores;
+  bool Active = false;
+  bool MarkerSeen = false;
+  uint64_t RoiRetired = 0;
+  uint64_t StopPCHits = 0;
+  std::map<unsigned, isa::Opcode> LastOp;
+};
+
+} // namespace
+
+Expected<SimResult>
+sim::simulateBinaryImage(const std::vector<uint8_t> &Image,
+                         const MachineConfig &Machine, RunControls Controls,
+                         vm::VMConfig VMConfig,
+                         std::vector<std::string> Args) {
+  auto Reader = elf::ELFReader::parse(Image);
+  if (!Reader)
+    return Reader.takeError();
+
+  // ELFie auto-detection: no argv/stack setup, detailed model starts at
+  // the ROI marker, budget from the embedded region length.
+  bool IsElfie = Reader->findSymbol("elfie_on_start") != nullptr;
+  if (IsElfie) {
+    Controls.WaitForMarker = true;
+    if (Controls.MaxInstructions == UINT64_MAX)
+      if (const auto *Len = Reader->findSymbol("elfie_region_length"))
+        Controls.MaxInstructions = Len->Value;
+  }
+
+  if (!VMConfig.StdoutSink)
+    VMConfig.StdoutSink = [](const char *, size_t) {};
+  vm::VM M(VMConfig);
+  if (Error E = M.loadELF(*Reader))
+    return E;
+  if (IsElfie) {
+    vm::ThreadState T;
+    T.PC = M.entry();
+    M.spawnThread(T);
+  } else if (Error E = M.setupMainThread(Args)) {
+    return E;
+  }
+
+  TimingModel Model(Machine);
+  SimObserver Obs(M, Model, Controls, Machine.NumCores);
+  M.setObserver(&Obs);
+
+  vm::RunResult R;
+  if (Machine.NumCores <= 1) {
+    // The functional budget is unbounded; the observer stops the run when
+    // the ROI budget is consumed.
+    R = M.run(UINT64_MAX);
+  } else {
+    // Timing-driven multicore scheduling (Sniper-style execution-driven
+    // simulation): always advance the thread whose core has the fewest
+    // accumulated cycles, so slow (miss-heavy) threads fall behind and
+    // spin-waiting peers really spin. This is what makes unconstrained
+    // ELFie simulation diverge from constrained pinball replay (Fig. 11).
+    R.Reason = vm::StopReason::AllExited;
+    while (true) {
+      std::vector<uint32_t> Live = M.liveThreadIds();
+      if (Live.empty()) {
+        R.Reason = vm::StopReason::AllExited;
+        R.ExitCode = M.exitCode();
+        break;
+      }
+      uint32_t Pick = Live[0];
+      double Best = Model.stats().Cores[Pick % Machine.NumCores].Cycles;
+      for (uint32_t Tid : Live) {
+        double C = Model.stats().Cores[Tid % Machine.NumCores].Cycles;
+        if (C < Best) {
+          Best = C;
+          Pick = Tid;
+        }
+      }
+      vm::StopReason SR = M.stepThread(Pick);
+      if (SR == vm::StopReason::BudgetReached)
+        continue;
+      R.Reason = SR;
+      if (SR == vm::StopReason::Faulted)
+        R.FaultInfo = M.lastFault();
+      if (SR == vm::StopReason::AllExited)
+        R.ExitCode = M.exitCode();
+      break;
+    }
+  }
+  if (R.Reason == vm::StopReason::Faulted)
+    return makeError("simulated program faulted: %s",
+                     R.FaultInfo.Message.c_str());
+
+  SimResult Out;
+  Out.Stats = Model.stats();
+  Out.Reason = R.Reason;
+  Out.RoiRetired = Obs.roiRetired();
+  Out.MarkerSeen = Obs.markerSeen();
+  Out.WasElfie = IsElfie;
+  return Out;
+}
+
+Expected<SimResult> sim::simulateBinaryFile(const std::string &Path,
+                                            const MachineConfig &Machine,
+                                            RunControls Controls,
+                                            vm::VMConfig VMConfig,
+                                            std::vector<std::string> Args) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  return simulateBinaryImage(*Bytes, Machine, Controls,
+                             std::move(VMConfig), std::move(Args));
+}
+
+Expected<SimResult> sim::simulatePinball(const pinball::Pinball &PB,
+                                         const MachineConfig &Machine,
+                                         bool Constrained,
+                                         RunControls Controls) {
+  // Build the model and wire it through a replay observer. The replayer
+  // owns the VM, so the observer's requestStop routes through a proxy.
+  TimingModel Model(Machine);
+
+  class ReplayObserver : public vm::Observer {
+  public:
+    TimingModel &Model;
+    unsigned NumCores;
+    std::map<unsigned, isa::Opcode> LastOp;
+    explicit ReplayObserver(TimingModel &Model, unsigned NumCores)
+        : Model(Model), NumCores(NumCores) {}
+    void onInstruction(const vm::ThreadState &T, uint64_t PC,
+                       const isa::Inst &I) override {
+      unsigned Core = T.Tid % NumCores;
+      LastOp[Core] = I.Op;
+      Model.instruction(Core, PC, I);
+    }
+    void onMemoryAccess(uint32_t Tid, uint64_t Addr, uint32_t Size,
+                        bool IsWrite) override {
+      Model.memoryAccess(Tid % NumCores, Addr, Size, IsWrite);
+    }
+    void onControlTransfer(uint32_t Tid, uint64_t FromPC, uint64_t ToPC,
+                           bool Taken) override {
+      unsigned Core = Tid % NumCores;
+      isa::Opcode Op =
+          LastOp.count(Core) ? LastOp[Core] : isa::Opcode::Jmp;
+      if (isa::isBranch(Op))
+        Model.controlTransfer(Core, FromPC, ToPC, Taken, false);
+      else if (Op == isa::Opcode::Jalr)
+        Model.controlTransfer(Core, FromPC, ToPC, Taken, true);
+    }
+    void onSyscall(uint32_t Tid, uint64_t Nr, const uint64_t *,
+                   int64_t) override {
+      Model.syscall(Tid % NumCores, Nr);
+    }
+  } Obs(Model, Machine.NumCores);
+
+  replay::ReplayOptions Opts;
+  Opts.Injection = Constrained;
+  Opts.Obs = &Obs;
+  if (Controls.MaxInstructions != UINT64_MAX)
+    Opts.MaxInstructions = Controls.MaxInstructions;
+  auto R = replay::replayPinball(PB, Opts);
+  if (!R)
+    return R.takeError();
+
+  SimResult Out;
+  Out.Stats = Model.stats();
+  Out.Reason = R->Reason;
+  Out.RoiRetired = R->Retired;
+  return Out;
+}

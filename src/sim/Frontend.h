@@ -1,0 +1,87 @@
+//===- sim/Frontend.h - execution-driven & pinball front-ends ---*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// esim front-ends:
+///
+///  * **Binary-driven** (gem5-SE / CoreSim style, §III-C): loads any guest
+///    ELF executable — a regular program or a guest-target ELFie — and
+///    feeds retired instructions to the TimingModel. ELFies are detected
+///    by their `elfie_on_start` symbol: the front-end then starts the
+///    detailed model at the ROI marker and takes the region budget from
+///    the `elfie_region_length` symbol, with **no modification to the
+///    simulator's interface** (the paper's headline ELFie property).
+///
+///  * **Pinball-driven** (Sniper+PinPlay style, §IV-B): constrained replay
+///    of a pinball with the timing model attached; `Constrained = false`
+///    gives the unconstrained (injection-less) comparison run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SIM_FRONTEND_H
+#define ELFIE_SIM_FRONTEND_H
+
+#include "pinball/Pinball.h"
+#include "sim/TimingModel.h"
+#include "support/Error.h"
+#include "vm/VM.h"
+
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace sim {
+
+/// Simulation run controls.
+struct RunControls {
+  /// ROI budget in retired ring-3 instructions (global across cores).
+  uint64_t MaxInstructions = UINT64_MAX;
+  /// Start detailed simulation only after the first ROI marker retires
+  /// (set automatically for ELFie inputs).
+  bool WaitForMarker = false;
+  /// Optional (PC, count) stop condition: end when the instruction at
+  /// StopPC has executed StopPCCount times globally (paper §IV-B).
+  uint64_t StopPC = 0;
+  uint64_t StopPCCount = 0;
+};
+
+/// The outcome of a simulation.
+struct SimResult {
+  SimStats Stats;
+  vm::StopReason Reason = vm::StopReason::AllExited;
+  /// Instructions simulated inside the ROI.
+  uint64_t RoiRetired = 0;
+  bool MarkerSeen = false;
+  /// Set when the input was recognized as an ELFie.
+  bool WasElfie = false;
+};
+
+/// Simulates a guest ELF image (program or guest-target ELFie).
+Expected<SimResult> simulateBinaryImage(const std::vector<uint8_t> &Image,
+                                        const MachineConfig &Machine,
+                                        RunControls Controls = {},
+                                        vm::VMConfig VMConfig = {},
+                                        std::vector<std::string> Args = {});
+
+/// Convenience: read + simulate a file.
+Expected<SimResult> simulateBinaryFile(const std::string &Path,
+                                       const MachineConfig &Machine,
+                                       RunControls Controls = {},
+                                       vm::VMConfig VMConfig = {},
+                                       std::vector<std::string> Args = {});
+
+/// Simulates a pinball region: constrained (schedule + injection enforced)
+/// or unconstrained (ELFie-like free run of the same checkpoint).
+Expected<SimResult> simulatePinball(const pinball::Pinball &PB,
+                                    const MachineConfig &Machine,
+                                    bool Constrained,
+                                    RunControls Controls = {});
+
+} // namespace sim
+} // namespace elfie
+
+#endif // ELFIE_SIM_FRONTEND_H

@@ -1,0 +1,128 @@
+//===- sim/TimingModel.h - interval-style OoO timing model ------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// esim's core timing model in the spirit of Sniper's interval simulation
+/// ([2], [3]): base dispatch cost per instruction plus serial penalties for
+/// branch mispredictions and memory-hierarchy misses, where the
+/// out-of-order window (ROB/width) hides part of each miss latency.
+/// Per-core private L1I/L1D/L2, shared L3 with write-invalidate
+/// coherence, TLBs with page-walk costs, and a next-line L2 prefetcher.
+///
+/// Full-system mode (Table IV) injects a synthetic kernel: every system
+/// call and a periodic timer interrupt run ring-0 handler instructions
+/// that flow through the same caches/TLBs and touch kernel data, so OS
+/// interference on user-level IPC, footprint, and prefetcher behaviour is
+/// modelled rather than ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SIM_TIMINGMODEL_H
+#define ELFIE_SIM_TIMINGMODEL_H
+
+#include "isa/ISA.h"
+#include "sim/BranchPredictor.h"
+#include "sim/Cache.h"
+#include "sim/Config.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace sim {
+
+/// Per-core statistics.
+struct CoreStats {
+  uint64_t Instructions = 0;      ///< ring-3 retired
+  uint64_t Ring0Instructions = 0; ///< synthetic-kernel retired
+  double Cycles = 0;
+  double Ring0Cycles = 0;
+  uint64_t Branches = 0;
+  uint64_t BranchMispredicts = 0;
+  uint64_t L1DAccesses = 0, L1DMisses = 0;
+  uint64_t L2Misses = 0, L3Misses = 0;
+  uint64_t DTLBMisses = 0, ITLBMisses = 0;
+  uint64_t Prefetches = 0;
+  uint64_t CoherenceInvalidations = 0;
+  uint64_t Syscalls = 0;
+
+  double ipc() const {
+    return Cycles > 0 ? static_cast<double>(Instructions + Ring0Instructions) /
+                            Cycles
+                      : 0;
+  }
+  double cpi() const {
+    uint64_t N = Instructions + Ring0Instructions;
+    return N ? Cycles / static_cast<double>(N) : 0;
+  }
+};
+
+/// Whole-machine statistics.
+struct SimStats {
+  std::vector<CoreStats> Cores;
+  /// Distinct 4 KiB data pages touched (demand + prefetch).
+  std::set<uint64_t> UserDataPages;
+  std::set<uint64_t> KernelDataPages;
+  double FreqGHz = 1.0;
+
+  uint64_t totalInstructions() const;
+  uint64_t totalRing0Instructions() const;
+  /// Machine cycles = the maximum over cores (cores run concurrently).
+  double totalCycles() const;
+  double ipc() const;
+  double cpi() const;
+  double runtimeSeconds() const {
+    return totalCycles() / (FreqGHz * 1e9);
+  }
+  uint64_t dataFootprintBytes() const {
+    return (UserDataPages.size() + KernelDataPages.size()) * 4096;
+  }
+  /// Formats a human-readable summary.
+  std::string summary() const;
+};
+
+/// The timing model. Event-driven from a functional front-end: call
+/// instruction()/memoryAccess()/controlTransfer()/syscall() in retirement
+/// order per core.
+class TimingModel {
+public:
+  explicit TimingModel(const MachineConfig &Config);
+  ~TimingModel();
+
+  void instruction(unsigned Core, uint64_t PC, const isa::Inst &I);
+  void memoryAccess(unsigned Core, uint64_t Addr, uint32_t Size,
+                    bool IsWrite);
+  void controlTransfer(unsigned Core, uint64_t FromPC, uint64_t ToPC,
+                       bool Taken, bool IsIndirect);
+  void syscall(unsigned Core, uint64_t Nr);
+
+  const MachineConfig &config() const { return Config; }
+  SimStats &stats() { return Stats; }
+  const SimStats &stats() const { return Stats; }
+
+private:
+  struct CoreState;
+  /// Data-side hierarchy lookup: returns the miss latency beyond L1 and
+  /// updates all levels. \p Kernel routes footprint accounting.
+  unsigned dataAccess(CoreState &C, uint64_t Addr, bool IsWrite,
+                      bool Kernel);
+  unsigned fetchAccess(CoreState &C, uint64_t PC);
+  void runKernelHandler(CoreState &C, unsigned NumInsts, uint64_t Seed);
+  void chargeStall(CoreState &C, unsigned Latency, bool IsStore);
+
+  MachineConfig Config;
+  SimStats Stats;
+  std::vector<std::unique_ptr<CoreState>> Cores;
+  std::unique_ptr<Cache> L3;
+};
+
+} // namespace sim
+} // namespace elfie
+
+#endif // ELFIE_SIM_TIMINGMODEL_H

@@ -1,0 +1,93 @@
+//===- simpoint/BBV.cpp ---------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "simpoint/BBV.h"
+
+
+using namespace elfie;
+using namespace elfie::simpoint;
+
+BBVCollector::BBVCollector(uint64_t SliceSize, unsigned Dims,
+                           uint64_t ProjectionSeed)
+    : SliceSize(SliceSize), Dims(Dims), ProjectionSeed(ProjectionSeed),
+      Acc(Dims, 0.0) {
+  assert(SliceSize > 0 && "slice size must be positive");
+}
+
+void BBVCollector::accountBlock(uint64_t BlockEntry, uint64_t Count) {
+  if (Count == 0)
+    return;
+  // Random projection: hash the block address into `Dims` signed unit
+  // weights; accumulate Count * weight. Deterministic across runs.
+  //
+  // The mixer must avalanche into its low bits: FNV-1a's low bits are a
+  // linear function of the input parity, which collapses 8-aligned block
+  // addresses onto identical weight vectors. Use the splitmix64 finalizer
+  // instead.
+  for (unsigned D = 0; D < Dims; ++D) {
+    uint64_t Z = BlockEntry + 0x9E3779B97F4A7C15ull * (D + 1) +
+                 ProjectionSeed * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    Z ^= Z >> 31;
+    double W = (Z & 1) ? 1.0 : -1.0;
+    // A second bit scales some weights down to decorrelate dimensions.
+    if (Z & 2)
+      W *= 0.5;
+    Acc[D] += static_cast<double>(Count) * W;
+  }
+}
+
+void BBVCollector::closeSlice() {
+  SliceVector V;
+  V.SliceIndex = NextSliceIndex++;
+  V.Projected = Acc;
+  // L1-normalize so slices compare by behaviour, not by length.
+  double Norm = 0;
+  for (double X : V.Projected)
+    Norm += X > 0 ? X : -X;
+  if (Norm > 0)
+    for (double &X : V.Projected)
+      X /= Norm;
+  Slices.push_back(std::move(V));
+  std::fill(Acc.begin(), Acc.end(), 0.0);
+  InstrInSlice = 0;
+}
+
+void BBVCollector::onInstruction(const vm::ThreadState &T, uint64_t PC,
+                                 const isa::Inst &I) {
+  if (CurBlockLen == 0)
+    CurBlockEntry = PC;
+  ++CurBlockLen;
+  ++InstrInSlice;
+  if (isa::isControlFlow(I.Op)) {
+    accountBlock(CurBlockEntry, CurBlockLen);
+    CurBlockLen = 0;
+  }
+  if (InstrInSlice >= SliceSize) {
+    if (CurBlockLen) {
+      accountBlock(CurBlockEntry, CurBlockLen);
+      CurBlockLen = 0;
+    }
+    closeSlice();
+  }
+}
+
+void BBVCollector::onControlTransfer(uint32_t, uint64_t, uint64_t ToPC,
+                                     bool) {
+  // The next instruction starts a new block at ToPC; onInstruction
+  // handles it via CurBlockLen == 0.
+}
+
+void BBVCollector::finish() {
+  if (CurBlockLen) {
+    accountBlock(CurBlockEntry, CurBlockLen);
+    CurBlockLen = 0;
+  }
+  if (InstrInSlice >= SliceSize / 10)
+    closeSlice();
+}

@@ -1,0 +1,81 @@
+//===- simpoint/BBV.h - Basic-block vector collection -----------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic Block Vector (BBV) collection for SimPoint-style phase analysis
+/// (Sherwood et al. [5], used by the paper's PinPoints methodology, §IV-A).
+/// The collector is an EVM observer: execution is divided into fixed-size
+/// slices of retired instructions; for each slice it accumulates, per basic
+/// block, the number of instructions executed in that block. Vectors are
+/// dimension-reduced by random projection before clustering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SIMPOINT_BBV_H
+#define ELFIE_SIMPOINT_BBV_H
+
+#include "vm/VM.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace elfie {
+namespace simpoint {
+
+/// One projected slice vector.
+struct SliceVector {
+  uint64_t SliceIndex = 0;
+  std::vector<double> Projected;
+};
+
+/// Collects per-slice basic block vectors with random projection.
+///
+/// Basic blocks are identified by their entry address: a new block begins
+/// at every control-transfer target and after every control-flow
+/// instruction. Projection: each block address is hashed into
+/// `Dims` pseudo-random unit weights (deterministic), so no global block
+/// table is needed (standard SimPoint practice).
+class BBVCollector : public vm::Observer {
+public:
+  BBVCollector(uint64_t SliceSize, unsigned Dims = 16,
+               uint64_t ProjectionSeed = 42);
+
+  // Observer interface.
+  void onInstruction(const vm::ThreadState &T, uint64_t PC,
+                     const isa::Inst &I) override;
+  void onControlTransfer(uint32_t Tid, uint64_t FromPC, uint64_t ToPC,
+                         bool Taken) override;
+
+  /// Flushes the in-progress slice (call at end of run; partial slices
+  /// shorter than 10% of SliceSize are discarded).
+  void finish();
+
+  const std::vector<SliceVector> &slices() const { return Slices; }
+  uint64_t sliceSize() const { return SliceSize; }
+  unsigned dims() const { return Dims; }
+
+private:
+  void accountBlock(uint64_t BlockEntry, uint64_t Count);
+  void closeSlice();
+
+  uint64_t SliceSize;
+  unsigned Dims;
+  uint64_t ProjectionSeed;
+
+  uint64_t CurBlockEntry = 0;
+  uint64_t CurBlockLen = 0;
+  uint64_t InstrInSlice = 0;
+  std::vector<double> Acc;
+  std::vector<SliceVector> Slices;
+  uint64_t NextSliceIndex = 0;
+};
+
+} // namespace simpoint
+} // namespace elfie
+
+#endif // ELFIE_SIMPOINT_BBV_H

@@ -1,0 +1,175 @@
+//===- simpoint/KMeans.cpp ------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "simpoint/KMeans.h"
+
+#include "support/RNG.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace elfie;
+using namespace elfie::simpoint;
+
+double simpoint::squaredDistance(const std::vector<double> &A,
+                                 const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dimension mismatch");
+  double Sum = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    double D = A[I] - B[I];
+    Sum += D * D;
+  }
+  return Sum;
+}
+
+namespace {
+
+/// BIC under the spherical-Gaussian model (Pelleg & Moore's X-means
+/// formulation, the one SimPoint uses).
+double computeBIC(const std::vector<std::vector<double>> &Points,
+                  const KMeansResult &R) {
+  size_t N = Points.size();
+  size_t D = Points.empty() ? 0 : Points[0].size();
+  unsigned K = R.K;
+  if (N <= K)
+    return -std::numeric_limits<double>::infinity();
+
+  double Variance = R.Distortion / static_cast<double>(N - K);
+  if (Variance < 1e-12)
+    Variance = 1e-12;
+
+  std::vector<size_t> Sizes(K, 0);
+  for (unsigned A : R.Assignment)
+    ++Sizes[A];
+
+  double LL = 0;
+  for (unsigned C = 0; C < K; ++C) {
+    double Rn = static_cast<double>(Sizes[C]);
+    if (Rn == 0)
+      continue;
+    LL += Rn * std::log(Rn / static_cast<double>(N));
+  }
+  LL -= static_cast<double>(N) * static_cast<double>(D) / 2.0 *
+        std::log(2.0 * 3.141592653589793 * Variance);
+  LL -= static_cast<double>(N - K) / 2.0;
+
+  double FreeParams = K * (D + 1);
+  return LL - FreeParams / 2.0 * std::log(static_cast<double>(N));
+}
+
+} // namespace
+
+KMeansResult simpoint::kmeans(const std::vector<std::vector<double>> &Points,
+                              unsigned K, uint64_t Seed,
+                              unsigned MaxIterations) {
+  KMeansResult R;
+  R.K = K;
+  size_t N = Points.size();
+  if (N == 0 || K == 0)
+    return R;
+  if (K > N)
+    K = R.K = static_cast<unsigned>(N);
+  size_t D = Points[0].size();
+  RNG Rand(Seed);
+
+  // k-means++ seeding.
+  R.Centroids.clear();
+  R.Centroids.push_back(Points[Rand.nextBelow(N)]);
+  std::vector<double> Dist(N, std::numeric_limits<double>::max());
+  while (R.Centroids.size() < K) {
+    double Total = 0;
+    for (size_t I = 0; I < N; ++I) {
+      double Dd = squaredDistance(Points[I], R.Centroids.back());
+      if (Dd < Dist[I])
+        Dist[I] = Dd;
+      Total += Dist[I];
+    }
+    if (Total <= 0) {
+      // All points identical to an existing centroid; duplicate one.
+      R.Centroids.push_back(Points[Rand.nextBelow(N)]);
+      continue;
+    }
+    double Pick = Rand.nextDouble() * Total;
+    size_t Chosen = N - 1;
+    double Acc = 0;
+    for (size_t I = 0; I < N; ++I) {
+      Acc += Dist[I];
+      if (Acc >= Pick) {
+        Chosen = I;
+        break;
+      }
+    }
+    R.Centroids.push_back(Points[Chosen]);
+  }
+
+  R.Assignment.assign(N, 0);
+  for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
+    bool Changed = false;
+    // Assign.
+    for (size_t I = 0; I < N; ++I) {
+      unsigned Best = 0;
+      double BestD = std::numeric_limits<double>::max();
+      for (unsigned C = 0; C < K; ++C) {
+        double Dd = squaredDistance(Points[I], R.Centroids[C]);
+        if (Dd < BestD) {
+          BestD = Dd;
+          Best = C;
+        }
+      }
+      if (R.Assignment[I] != Best) {
+        R.Assignment[I] = Best;
+        Changed = true;
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> Sum(K, std::vector<double>(D, 0.0));
+    std::vector<size_t> Count(K, 0);
+    for (size_t I = 0; I < N; ++I) {
+      for (size_t J = 0; J < D; ++J)
+        Sum[R.Assignment[I]][J] += Points[I][J];
+      ++Count[R.Assignment[I]];
+    }
+    for (unsigned C = 0; C < K; ++C)
+      if (Count[C])
+        for (size_t J = 0; J < D; ++J)
+          R.Centroids[C][J] = Sum[C][J] / static_cast<double>(Count[C]);
+    if (!Changed)
+      break;
+  }
+
+  R.Distortion = 0;
+  for (size_t I = 0; I < N; ++I)
+    R.Distortion += squaredDistance(Points[I], R.Centroids[R.Assignment[I]]);
+  R.BIC = computeBIC(Points, R);
+  return R;
+}
+
+KMeansResult
+simpoint::kmeansBest(const std::vector<std::vector<double>> &Points,
+                     unsigned MaxK, uint64_t Seed, double BICFraction) {
+  std::vector<KMeansResult> Results;
+  unsigned Limit = std::min<unsigned>(
+      MaxK, static_cast<unsigned>(Points.size() ? Points.size() : 1));
+  double BestBIC = -std::numeric_limits<double>::infinity();
+  for (unsigned K = 1; K <= Limit; ++K) {
+    Results.push_back(kmeans(Points, K, Seed + K));
+    BestBIC = std::max(BestBIC, Results.back().BIC);
+  }
+  // SimPoint rule: smallest k reaching BICFraction of the best score.
+  // Scores can be negative; normalize against the observed range.
+  double WorstBIC = BestBIC;
+  for (const KMeansResult &R : Results)
+    WorstBIC = std::min(WorstBIC, R.BIC);
+  double Range = BestBIC - WorstBIC;
+  for (const KMeansResult &R : Results) {
+    double Score = Range > 0 ? (R.BIC - WorstBIC) / Range : 1.0;
+    if (Score >= BICFraction)
+      return R;
+  }
+  return Results.back();
+}

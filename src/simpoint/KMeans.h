@@ -1,0 +1,55 @@
+//===- simpoint/KMeans.h - k-means with BIC model selection -----*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-means clustering with k-means++ seeding and BIC-based model selection,
+/// as used by SimPoint [5] to find phases: cluster the per-slice basic
+/// block vectors for k = 1..maxK and pick the smallest k whose BIC score
+/// reaches a fraction of the best score.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SIMPOINT_KMEANS_H
+#define ELFIE_SIMPOINT_KMEANS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace elfie {
+namespace simpoint {
+
+/// Result of one clustering.
+struct KMeansResult {
+  unsigned K = 0;
+  /// Cluster id per input point.
+  std::vector<unsigned> Assignment;
+  std::vector<std::vector<double>> Centroids;
+  /// Sum of squared distances to assigned centroids.
+  double Distortion = 0;
+  /// Bayesian information criterion (higher is better).
+  double BIC = 0;
+};
+
+/// Lloyd's algorithm with k-means++ initialization; fully deterministic
+/// for a given \p Seed.
+KMeansResult kmeans(const std::vector<std::vector<double>> &Points,
+                    unsigned K, uint64_t Seed, unsigned MaxIterations = 100);
+
+/// Runs kmeans for k = 1..MaxK and returns the smallest k whose BIC is at
+/// least \p BICFraction of the maximum observed BIC (SimPoint's rule).
+KMeansResult kmeansBest(const std::vector<std::vector<double>> &Points,
+                        unsigned MaxK, uint64_t Seed,
+                        double BICFraction = 0.9);
+
+/// Squared Euclidean distance (exposed for tests and region selection).
+double squaredDistance(const std::vector<double> &A,
+                       const std::vector<double> &B);
+
+} // namespace simpoint
+} // namespace elfie
+
+#endif // ELFIE_SIMPOINT_KMEANS_H

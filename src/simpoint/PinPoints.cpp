@@ -1,0 +1,115 @@
+//===- simpoint/PinPoints.cpp ---------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "simpoint/PinPoints.h"
+
+#include "elf/ELFReader.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace elfie;
+using namespace elfie::simpoint;
+
+PinPointsResult
+simpoint::selectRegions(const std::vector<SliceVector> &Slices,
+                        const PinPointsOptions &Opts) {
+  PinPointsResult Out;
+  Out.TotalSlices = Slices.size();
+  Out.SliceSize = Opts.SliceSize;
+  if (Slices.empty())
+    return Out;
+
+  std::vector<std::vector<double>> Points;
+  Points.reserve(Slices.size());
+  for (const SliceVector &S : Slices)
+    Points.push_back(S.Projected);
+
+  KMeansResult KM = kmeansBest(Points, Opts.MaxK, Opts.Seed);
+  Out.K = KM.K;
+  Out.Assignment = KM.Assignment;
+
+  for (unsigned C = 0; C < KM.K; ++C) {
+    // Rank this cluster's slices by distance to the centroid.
+    std::vector<std::pair<double, uint64_t>> Ranked;
+    for (size_t I = 0; I < Points.size(); ++I)
+      if (KM.Assignment[I] == C)
+        Ranked.push_back(
+            {squaredDistance(Points[I], KM.Centroids[C]), Slices[I].SliceIndex});
+    if (Ranked.empty())
+      continue;
+    std::sort(Ranked.begin(), Ranked.end());
+
+    Region R;
+    R.Cluster = C;
+    R.SliceIndex = Ranked[0].second;
+    R.StartIcount = R.SliceIndex * Opts.SliceSize;
+    R.Length = Opts.SliceSize;
+    R.WarmupStart = R.StartIcount > Opts.WarmupLength
+                        ? R.StartIcount - Opts.WarmupLength
+                        : 0;
+    R.Weight = static_cast<double>(Ranked.size()) /
+               static_cast<double>(Slices.size());
+    for (unsigned A = 1; A <= Opts.MaxAlternates && A < Ranked.size(); ++A)
+      R.AlternateSlices.push_back(Ranked[A].second);
+    Out.Regions.push_back(std::move(R));
+  }
+
+  std::sort(Out.Regions.begin(), Out.Regions.end(),
+            [](const Region &A, const Region &B) {
+              return A.StartIcount < B.StartIcount;
+            });
+  return Out;
+}
+
+Expected<PinPointsResult>
+simpoint::profileAndSelect(const std::string &ProgramPath,
+                           const std::vector<std::string> &Args,
+                           const vm::VMConfig &Config,
+                           const PinPointsOptions &Opts,
+                           uint64_t MaxInstructions) {
+  vm::VMConfig Quiet = Config;
+  if (!Quiet.StdoutSink)
+    Quiet.StdoutSink = [](const char *, size_t) {}; // discard during profiling
+  vm::VM M(Quiet);
+  if (Error E = M.loadELFFile(ProgramPath))
+    return E;
+  if (Error E = M.setupMainThread(Args))
+    return E;
+  BBVCollector Collector(Opts.SliceSize, Opts.Dims, Opts.Seed);
+  M.setObserver(&Collector);
+  vm::RunResult R = M.run(MaxInstructions);
+  if (R.Reason == vm::StopReason::Faulted)
+    return makeError("profiling run faulted: %s",
+                     R.FaultInfo.Message.c_str());
+  Collector.finish();
+  if (Collector.slices().empty())
+    return makeError("program too short for slice size %llu (ran %llu "
+                     "instructions)",
+                     static_cast<unsigned long long>(Opts.SliceSize),
+                     static_cast<unsigned long long>(M.globalRetired()));
+  return selectRegions(Collector.slices(), Opts);
+}
+
+std::string simpoint::formatRegions(const PinPointsResult &R) {
+  std::string Out = formatString(
+      "# %zu regions from %llu slices (k=%u, slice=%llu)\n"
+      "# cluster slice start weight alternates\n",
+      R.Regions.size(), static_cast<unsigned long long>(R.TotalSlices), R.K,
+      static_cast<unsigned long long>(R.SliceSize));
+  for (const Region &Reg : R.Regions) {
+    Out += formatString("%u %llu %llu %.6f", Reg.Cluster,
+                        static_cast<unsigned long long>(Reg.SliceIndex),
+                        static_cast<unsigned long long>(Reg.StartIcount),
+                        Reg.Weight);
+    for (uint64_t A : Reg.AlternateSlices)
+      Out += formatString(" %llu", static_cast<unsigned long long>(A));
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,154 @@
+//===- support/CommandLine.cpp --------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace elfie;
+
+void CommandLine::addString(const std::string &Name,
+                            const std::string &Default,
+                            const std::string &Help) {
+  Option O;
+  O.Kind = OptKind::String;
+  O.Help = Help;
+  O.StrValue = Default;
+  Options.emplace(Name, std::move(O));
+}
+
+void CommandLine::addInt(const std::string &Name, int64_t Default,
+                         const std::string &Help) {
+  Option O;
+  O.Kind = OptKind::Int;
+  O.Help = Help;
+  O.IntValue = Default;
+  Options.emplace(Name, std::move(O));
+}
+
+void CommandLine::addFlag(const std::string &Name, bool Default,
+                          const std::string &Help) {
+  Option O;
+  O.Kind = OptKind::Flag;
+  O.Help = Help;
+  O.BoolValue = Default;
+  Options.emplace(Name, std::move(O));
+}
+
+Error CommandLine::parse(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-help" || Arg == "--help" || Arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (Arg.size() < 2 || Arg[0] != '-' ||
+        (Arg[1] >= '0' && Arg[1] <= '9')) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Name = Arg.substr(Arg[1] == '-' ? 2 : 1);
+    // Accept -name=value as well as -name value.
+    std::string Inline;
+    bool HasInline = false;
+    if (size_t Eq = Name.find('='); Eq != std::string::npos) {
+      Inline = Name.substr(Eq + 1);
+      Name = Name.substr(0, Eq);
+      HasInline = true;
+    }
+    auto It = Options.find(Name);
+    if (It == Options.end())
+      return makeError("unknown option '-%s' (try -help)", Name.c_str());
+    Option &O = It->second;
+    auto NextValue = [&](std::string &Out) -> bool {
+      if (HasInline) {
+        Out = Inline;
+        return true;
+      }
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    switch (O.Kind) {
+    case OptKind::String: {
+      std::string V;
+      if (!NextValue(V))
+        return makeError("option '-%s' requires a value", Name.c_str());
+      O.StrValue = V;
+      break;
+    }
+    case OptKind::Int: {
+      std::string V;
+      if (!NextValue(V))
+        return makeError("option '-%s' requires a value", Name.c_str());
+      int64_t Parsed;
+      if (!parseInt64(V, Parsed))
+        return makeError("option '-%s': '%s' is not an integer",
+                         Name.c_str(), V.c_str());
+      O.IntValue = Parsed;
+      break;
+    }
+    case OptKind::Flag: {
+      // Optional 0/1 value, PinPlay style (-log:fat 1).
+      if (HasInline) {
+        O.BoolValue = Inline != "0";
+      } else if (I + 1 < Argc &&
+                 (std::string(Argv[I + 1]) == "0" ||
+                  std::string(Argv[I + 1]) == "1")) {
+        O.BoolValue = std::string(Argv[++I]) == "1";
+      } else {
+        O.BoolValue = true;
+      }
+      break;
+    }
+    }
+    O.Set = true;
+  }
+  return Error::success();
+}
+
+const CommandLine::Option *CommandLine::find(const std::string &Name,
+                                             OptKind Kind) const {
+  auto It = Options.find(Name);
+  assert(It != Options.end() && "option was never registered");
+  assert(It->second.Kind == Kind && "option accessed with the wrong type");
+  return &It->second;
+}
+
+const std::string &CommandLine::getString(const std::string &Name) const {
+  return find(Name, OptKind::String)->StrValue;
+}
+
+int64_t CommandLine::getInt(const std::string &Name) const {
+  return find(Name, OptKind::Int)->IntValue;
+}
+
+bool CommandLine::getFlag(const std::string &Name) const {
+  return find(Name, OptKind::Flag)->BoolValue;
+}
+
+bool CommandLine::wasSet(const std::string &Name) const {
+  auto It = Options.find(Name);
+  assert(It != Options.end() && "option was never registered");
+  return It->second.Set;
+}
+
+std::string CommandLine::usage() const {
+  std::string Out = formatString("%s - %s\n\nOPTIONS:\n", ToolName.c_str(),
+                                 Overview.c_str());
+  for (const auto &[Name, O] : Options) {
+    const char *ValueHint = O.Kind == OptKind::String  ? " <string>"
+                            : O.Kind == OptKind::Int   ? " <int>"
+                                                       : " [0|1]";
+    Out += formatString("  -%s%s\n      %s\n", Name.c_str(), ValueHint,
+                        O.Help.c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,84 @@
+//===- support/CommandLine.h - Tiny option parser for tools ----*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small command-line option parser in the PinPlay option style: options
+/// look like `-log:fat 1`, `-slicesize 200000`, `--roi-start sniper:1`, or
+/// `-o out.elfie`; everything else is a positional argument. Tools register
+/// options up front so `-help` output is generated automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_COMMANDLINE_H
+#define ELFIE_SUPPORT_COMMANDLINE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elfie {
+
+/// Declarative command-line parser. Register options, then call parse().
+class CommandLine {
+public:
+  CommandLine(std::string ToolName, std::string Overview)
+      : ToolName(std::move(ToolName)), Overview(std::move(Overview)) {}
+
+  /// Registers a string option `-Name <value>` with a default.
+  void addString(const std::string &Name, const std::string &Default,
+                 const std::string &Help);
+
+  /// Registers an integer option `-Name <value>` with a default.
+  void addInt(const std::string &Name, int64_t Default,
+              const std::string &Help);
+
+  /// Registers a boolean flag. Accepts `-Name`, `-Name 0`, and `-Name 1`.
+  void addFlag(const std::string &Name, bool Default, const std::string &Help);
+
+  /// Parses argv. Unknown `-option`s and missing values produce errors;
+  /// `-help` prints usage and exits.
+  Error parse(int Argc, const char *const *Argv);
+
+  /// Accessors; assert if the option was never registered.
+  const std::string &getString(const std::string &Name) const;
+  int64_t getInt(const std::string &Name) const;
+  bool getFlag(const std::string &Name) const;
+
+  /// True if the user supplied the option explicitly.
+  bool wasSet(const std::string &Name) const;
+
+  /// Positional (non-option) arguments, in order.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Renders the -help text.
+  std::string usage() const;
+
+private:
+  enum class OptKind { String, Int, Flag };
+  struct Option {
+    OptKind Kind;
+    std::string Help;
+    std::string StrValue;
+    int64_t IntValue = 0;
+    bool BoolValue = false;
+    bool Set = false;
+  };
+
+  const Option *find(const std::string &Name, OptKind Kind) const;
+
+  std::string ToolName;
+  std::string Overview;
+  std::map<std::string, Option> Options;
+  std::vector<std::string> Positional;
+};
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_COMMANDLINE_H

@@ -1,0 +1,48 @@
+//===- support/Error.cpp --------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdarg>
+
+using namespace elfie;
+
+static std::string vformatString(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Len < 0)
+    return std::string(Fmt);
+  std::string Out(static_cast<size_t>(Len), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+Error elfie::makeError(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Msg = vformatString(Fmt, Args);
+  va_end(Args);
+  return Error::failure(std::move(Msg));
+}
+
+void elfie::reportFatalError(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Msg = vformatString(Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void elfie::exitOnError(const Error &E, const char *Banner) {
+  if (!E.isError())
+    return;
+  std::fprintf(stderr, "%s: %s\n", Banner, E.message().c_str());
+  std::exit(1);
+}

@@ -1,0 +1,143 @@
+//===- support/Error.h - Lightweight recoverable-error types ---*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal recoverable-error handling in the spirit of llvm::Error /
+/// llvm::Expected, without exceptions or RTTI. An Error carries a message; an
+/// Expected<T> carries either a T or an Error. Library code returns these;
+/// tool code converts failures into diagnostics and exit codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_ERROR_H
+#define ELFIE_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace elfie {
+
+/// A recoverable error: either success (empty) or a failure message.
+///
+/// Unlike llvm::Error this type does not abort on unchecked destruction; it
+/// is a plain value. Use isError()/message() to inspect.
+class Error {
+public:
+  /// Constructs a success value.
+  Error() = default;
+
+  /// Constructs a failure carrying \p Msg.
+  static Error failure(std::string Msg) {
+    Error E;
+    E.Failed = true;
+    E.Msg = std::move(Msg);
+    return E;
+  }
+
+  /// Constructs a success value (symmetry with llvm::Error::success()).
+  static Error success() { return Error(); }
+
+  /// True when this represents a failure.
+  bool isError() const { return Failed; }
+  explicit operator bool() const { return Failed; }
+
+  /// The failure message; empty for success values.
+  const std::string &message() const { return Msg; }
+
+private:
+  bool Failed = false;
+  std::string Msg;
+};
+
+/// Builds a failure Error from a printf-style format string.
+Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Either a value of type T or an Error. Check with operator bool before
+/// dereferencing; asserts protect misuse.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)), HasValue(true) {}
+
+  /// Constructs a failure. The error must be a real failure.
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err.isError() && "Expected constructed from success Error");
+  }
+
+  /// True when a value is present.
+  explicit operator bool() const { return HasValue; }
+  bool hasValue() const { return HasValue; }
+
+  T &operator*() {
+    assert(HasValue && "dereferencing errored Expected");
+    return Value;
+  }
+  const T &operator*() const {
+    assert(HasValue && "dereferencing errored Expected");
+    return Value;
+  }
+  T *operator->() {
+    assert(HasValue && "dereferencing errored Expected");
+    return &Value;
+  }
+  const T *operator->() const {
+    assert(HasValue && "dereferencing errored Expected");
+    return &Value;
+  }
+
+  /// Extracts the error (valid only when !hasValue()).
+  Error takeError() {
+    assert(!HasValue && "takeError on a success Expected");
+    return std::move(Err);
+  }
+
+  /// The failure message (empty on success).
+  const std::string &message() const { return Err.message(); }
+
+  /// Moves the value out (valid only when hasValue()).
+  T takeValue() {
+    assert(HasValue && "takeValue on an errored Expected");
+    return std::move(Value);
+  }
+
+private:
+  T Value{};
+  Error Err;
+  bool HasValue = false;
+};
+
+/// Aborts with \p Msg; used for invariant violations that indicate a bug in
+/// this code base rather than bad input.
+[[noreturn]] void reportFatalError(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Marks unreachable code; aborts with a message if executed.
+[[noreturn]] inline void elfieUnreachable(const char *Msg) {
+  std::fprintf(stderr, "UNREACHABLE executed: %s\n", Msg);
+  std::abort();
+}
+
+/// Tool-side helper: if \p E is a failure, print it with \p Banner and exit.
+void exitOnError(const Error &E, const char *Banner = "error");
+
+/// Tool-side helper: unwrap an Expected or print-and-exit.
+template <typename T>
+T exitOnError(Expected<T> V, const char *Banner = "error") {
+  if (!V) {
+    std::fprintf(stderr, "%s: %s\n", Banner, V.message().c_str());
+    std::exit(1);
+  }
+  return V.takeValue();
+}
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_ERROR_H

@@ -1,0 +1,174 @@
+//===- support/FileIO.cpp -------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sys/stat.h>
+
+using namespace elfie;
+
+Expected<std::vector<uint8_t>>
+elfie::readFileBytes(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return makeError("cannot open '%s': %s", Path.c_str(),
+                     std::strerror(errno));
+  std::vector<uint8_t> Out;
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.insert(Out.end(), Buf, Buf + N);
+  bool Bad = std::ferror(F);
+  std::fclose(F);
+  if (Bad)
+    return makeError("read error on '%s'", Path.c_str());
+  return Out;
+}
+
+Expected<std::string> elfie::readFileText(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  return std::string(Bytes->begin(), Bytes->end());
+}
+
+Error elfie::writeFile(const std::string &Path, const void *Data,
+                       size_t Size) {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return makeError("cannot create '%s': %s", Path.c_str(),
+                     std::strerror(errno));
+  size_t Written = Size ? std::fwrite(Data, 1, Size, F) : 0;
+  int CloseErr = std::fclose(F);
+  if (Written != Size || CloseErr != 0)
+    return makeError("write error on '%s'", Path.c_str());
+  return Error::success();
+}
+
+Error elfie::writeFileText(const std::string &Path, const std::string &Text) {
+  return writeFile(Path, Text.data(), Text.size());
+}
+
+Error elfie::createDirectories(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::create_directories(Path, EC);
+  if (EC)
+    return makeError("cannot create directory '%s': %s", Path.c_str(),
+                     EC.message().c_str());
+  return Error::success();
+}
+
+bool elfie::fileExists(const std::string &Path) {
+  std::error_code EC;
+  return std::filesystem::exists(Path, EC);
+}
+
+void elfie::removeFile(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::remove(Path, EC);
+}
+
+void elfie::removeTree(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::remove_all(Path, EC);
+}
+
+Error elfie::makeExecutable(const std::string &Path) {
+  if (::chmod(Path.c_str(), 0755) != 0)
+    return makeError("chmod failed on '%s': %s", Path.c_str(),
+                     std::strerror(errno));
+  return Error::success();
+}
+
+void BinaryWriter::writeLE(const void *P, size_t N) {
+  const uint8_t *B = static_cast<const uint8_t *>(P);
+  Bytes.insert(Bytes.end(), B, B + N);
+}
+
+void BinaryWriter::writeBlob(const void *Data, size_t Size) {
+  writeU32(static_cast<uint32_t>(Size));
+  writeRaw(Data, Size);
+}
+
+void BinaryWriter::writeRaw(const void *Data, size_t Size) {
+  const uint8_t *B = static_cast<const uint8_t *>(Data);
+  Bytes.insert(Bytes.end(), B, B + Size);
+}
+
+uint8_t BinaryReader::readU8() {
+  if (!take(1))
+    return 0;
+  return Data[Pos++];
+}
+
+uint16_t BinaryReader::readU16() {
+  if (!take(2))
+    return 0;
+  uint16_t V;
+  std::memcpy(&V, Data + Pos, 2);
+  Pos += 2;
+  return V;
+}
+
+uint32_t BinaryReader::readU32() {
+  if (!take(4))
+    return 0;
+  uint32_t V;
+  std::memcpy(&V, Data + Pos, 4);
+  Pos += 4;
+  return V;
+}
+
+uint64_t BinaryReader::readU64() {
+  if (!take(8))
+    return 0;
+  uint64_t V;
+  std::memcpy(&V, Data + Pos, 8);
+  Pos += 8;
+  return V;
+}
+
+double BinaryReader::readDouble() {
+  if (!take(8))
+    return 0.0;
+  double V;
+  std::memcpy(&V, Data + Pos, 8);
+  Pos += 8;
+  return V;
+}
+
+std::vector<uint8_t> BinaryReader::readBlob() {
+  uint32_t N = readU32();
+  if (!take(N))
+    return {};
+  std::vector<uint8_t> Out(Data + Pos, Data + Pos + N);
+  Pos += N;
+  return Out;
+}
+
+std::string BinaryReader::readString() {
+  auto Blob = readBlob();
+  return std::string(Blob.begin(), Blob.end());
+}
+
+void BinaryReader::readRaw(void *Out, size_t N) {
+  if (!take(N)) {
+    std::memset(Out, 0, N);
+    return;
+  }
+  std::memcpy(Out, Data + Pos, N);
+  Pos += N;
+}
+
+void BinaryReader::skip(size_t N) {
+  if (take(N))
+    Pos += N;
+}

@@ -1,0 +1,131 @@
+//===- support/FileIO.h - Whole-file and binary I/O helpers ----*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File-system helpers used throughout the tool-chain: whole-file reads and
+/// writes, directory creation, and a little-endian binary stream pair used
+/// for the pinball on-disk format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_FILEIO_H
+#define ELFIE_SUPPORT_FILEIO_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elfie {
+
+/// Reads the entire file at \p Path into a byte vector.
+Expected<std::vector<uint8_t>> readFileBytes(const std::string &Path);
+
+/// Reads the entire file at \p Path into a string.
+Expected<std::string> readFileText(const std::string &Path);
+
+/// Writes \p Size bytes from \p Data to \p Path, replacing any existing file.
+Error writeFile(const std::string &Path, const void *Data, size_t Size);
+
+/// Writes \p Text to \p Path, replacing any existing file.
+Error writeFileText(const std::string &Path, const std::string &Text);
+
+/// Creates directory \p Path (and parents). Succeeds if it already exists.
+Error createDirectories(const std::string &Path);
+
+/// True when \p Path exists (any file type).
+bool fileExists(const std::string &Path);
+
+/// Removes a file if present; ignores missing files.
+void removeFile(const std::string &Path);
+
+/// Removes a directory tree if present; ignores missing paths.
+void removeTree(const std::string &Path);
+
+/// Marks \p Path executable (chmod 0755). Used on emitted ELFies.
+Error makeExecutable(const std::string &Path);
+
+/// An in-memory little-endian binary writer used to build on-disk records.
+class BinaryWriter {
+public:
+  void writeU8(uint8_t V) { Bytes.push_back(V); }
+  void writeU16(uint16_t V) { writeLE(&V, 2); }
+  void writeU32(uint32_t V) { writeLE(&V, 4); }
+  void writeU64(uint64_t V) { writeLE(&V, 8); }
+  void writeI64(int64_t V) { writeU64(static_cast<uint64_t>(V)); }
+  void writeDouble(double V) { writeLE(&V, 8); }
+
+  /// Writes a length-prefixed (u32) byte blob.
+  void writeBlob(const void *Data, size_t Size);
+
+  /// Writes a length-prefixed (u32) string.
+  void writeString(const std::string &S) { writeBlob(S.data(), S.size()); }
+
+  /// Appends raw bytes with no length prefix.
+  void writeRaw(const void *Data, size_t Size);
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  size_t size() const { return Bytes.size(); }
+
+private:
+  void writeLE(const void *P, size_t N);
+  std::vector<uint8_t> Bytes;
+};
+
+/// A bounds-checked little-endian reader over a byte buffer. All read
+/// methods report overruns through error(); callers check once at the end
+/// (errors are sticky and reads after an error return zeros).
+class BinaryReader {
+public:
+  BinaryReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit BinaryReader(const std::vector<uint8_t> &Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  uint8_t readU8();
+  uint16_t readU16();
+  uint32_t readU32();
+  uint64_t readU64();
+  int64_t readI64() { return static_cast<int64_t>(readU64()); }
+  double readDouble();
+
+  /// Reads a length-prefixed (u32) blob.
+  std::vector<uint8_t> readBlob();
+
+  /// Reads a length-prefixed (u32) string.
+  std::string readString();
+
+  /// Reads \p N raw bytes into \p Out.
+  void readRaw(void *Out, size_t N);
+
+  /// Skips \p N bytes.
+  void skip(size_t N);
+
+  size_t offset() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+  /// True once any read has overrun the buffer.
+  bool hadError() const { return Failed; }
+
+private:
+  bool take(size_t N) {
+    if (Failed || Size - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_FILEIO_H

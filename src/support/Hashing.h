@@ -1,0 +1,42 @@
+//===- support/Hashing.h - Stable non-cryptographic hashing ----*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a hashing with a stable definition across platforms. Used for basic
+/// block vector dimension hashing (SimPoint random projection) and for
+/// checksumming pinball memory images in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_HASHING_H
+#define ELFIE_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace elfie {
+
+/// 64-bit FNV-1a over a byte range.
+inline uint64_t fnv1a(const void *Data, size_t Size,
+                      uint64_t Seed = 0xcbf29ce484222325ull) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// Hashes a 64-bit value (useful for address-keyed projections).
+inline uint64_t hashU64(uint64_t V, uint64_t Seed = 0xcbf29ce484222325ull) {
+  return fnv1a(&V, sizeof(V), Seed);
+}
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_HASHING_H

@@ -1,0 +1,22 @@
+//===- support/RNG.cpp ----------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+
+#include <cmath>
+
+using namespace elfie;
+
+double RNG::nextGaussian() {
+  // Box-Muller; discard the second value for simplicity (determinism is the
+  // requirement here, not throughput).
+  double U1 = nextDouble();
+  double U2 = nextDouble();
+  if (U1 < 1e-300)
+    U1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+}

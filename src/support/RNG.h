@@ -1,0 +1,86 @@
+//===- support/RNG.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic RNG (splitmix64 seeded xoshiro256**) used by
+/// the workload generator, SimPoint's k-means seeding/random projection, and
+/// property tests. Determinism across runs and platforms is a requirement:
+/// the whole evaluation must be reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_RNG_H
+#define ELFIE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace elfie {
+
+/// Deterministic 64-bit PRNG (xoshiro256**, seeded via splitmix64).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9E3779B97F4A7C15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed.
+  void reseed(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      // splitmix64 step.
+      X += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0)");
+    // Rejection-free modulo is fine here; bias is irrelevant for our uses.
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "bad range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard normal via Box-Muller (deterministic).
+  double nextGaussian();
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+  uint64_t State[4];
+};
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_RNG_H

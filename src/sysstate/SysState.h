@@ -1,0 +1,76 @@
+//===- sysstate/SysState.h - pinball_sysstate analysis ----------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SYSSTATE technique of paper §I-A / §II-C2: a replay-based analysis
+/// of a pinball's system calls that reconstructs the file and heap state
+/// the region depends on, so a re-executing ELFie finds the OS resources
+/// it expects.
+///
+///  * Files referenced only via a descriptor (opened before the region)
+///    become proxy files named `FD_<n>`, populated solely from the read()
+///    records in the region (paper Fig. 8). The ELFie pre-opens them and
+///    dup()s them onto the right descriptor at startup.
+///  * Files opened inside the region get a proxy with their real name.
+///  * BRK.log records the first and last program break (the ELFie runtime
+///    uses it to lay out heap growth).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SYSSTATE_SYSSTATE_H
+#define ELFIE_SYSSTATE_SYSSTATE_H
+
+#include "pinball/Pinball.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace sysstate {
+
+/// One file the ELFie must be able to open at startup or during the run.
+struct FileProxy {
+  /// The descriptor the region uses.
+  int64_t Fd = -1;
+  /// Proxy file name: "FD_<n>" for pre-region descriptors, the real
+  /// (region-relative) path for files opened inside the region.
+  std::string ProxyName;
+  /// True when the file was opened before the region (needs dup() at
+  /// ELFie startup).
+  bool OpenedBeforeRegion = false;
+  /// True when the region writes to this descriptor (the proxy must be
+  /// opened writable).
+  bool Written = false;
+  /// Reconstructed contents (reads placed at their file offsets).
+  std::vector<uint8_t> Contents;
+};
+
+/// The reconstructed OS state for a region.
+struct SysState {
+  std::vector<FileProxy> Files;
+  /// BRK.log: first and last program break in the region.
+  uint64_t BrkStart = 0;
+  uint64_t BrkEnd = 0;
+  /// Human-readable report in the style of the paper's Fig. 8.
+  std::string report() const;
+};
+
+/// Analyzes \p PB's syscall log and reconstructs the file/heap state.
+SysState analyze(const pinball::Pinball &PB);
+
+/// Writes the sysstate directory: a `workdir/` containing every proxy file
+/// (the ELFie is meant to run with workdir as its current directory), plus
+/// `BRK.log` and a `report.txt`.
+Error writeSysstateDir(const SysState &State, const std::string &Dir);
+
+} // namespace sysstate
+} // namespace elfie
+
+#endif // ELFIE_SYSSTATE_SYSSTATE_H

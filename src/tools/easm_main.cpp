@@ -1,0 +1,29 @@
+//===- tools/easm_main.cpp - assembler driver -----------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "easm/Assembler.h"
+#include "support/CommandLine.h"
+#include "support/FileIO.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("easm", "EG64 assembler: assembles .s into a guest ELF "
+                         "executable");
+  CL.addString("o", "a.out", "output executable path");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().size() != 1) {
+    std::fprintf(stderr, "usage: easm [-o out] input.s\n");
+    return 1;
+  }
+  const std::string &Input = CL.positional()[0];
+  std::string Source = exitOnError(readFileText(Input));
+  exitOnError(easm::assembleToFile(Source, Input, CL.getString("o")));
+  return 0;
+}

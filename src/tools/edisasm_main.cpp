@@ -1,0 +1,42 @@
+//===- tools/edisasm_main.cpp - guest ELF disassembler --------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "elf/ELFReader.h"
+#include "isa/ISA.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("edisasm", "disassembles the executable sections of an "
+                            "EG64 guest ELF");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().size() != 1) {
+    std::fprintf(stderr, "usage: edisasm file\n");
+    return 1;
+  }
+  auto Reader = exitOnError(elf::ELFReader::open(CL.positional()[0]));
+  for (const auto &S : Reader.sections()) {
+    if (!(S.Flags & elf::SHF_EXECINSTR) || S.Data.empty())
+      continue;
+    std::printf("section %s @ %#llx:\n", S.Name.c_str(),
+                static_cast<unsigned long long>(S.Addr));
+    for (size_t Off = 0; Off + 8 <= S.Data.size(); Off += 8) {
+      uint64_t PC = S.Addr + Off;
+      isa::Inst I;
+      if (isa::decode(S.Data.data() + Off, I))
+        std::printf("  %10llx:  %s\n", static_cast<unsigned long long>(PC),
+                    isa::disassemble(I, PC).c_str());
+      else
+        std::printf("  %10llx:  <data>\n",
+                    static_cast<unsigned long long>(PC));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- tools/elogger_main.cpp - PinPlay-style logger driver ---------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pinball/Logger.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("elogger", "captures a region of a guest program's "
+                            "execution as a pinball");
+  CL.addInt("region:start", 0, "region start (global retired instructions)");
+  CL.addInt("region:length", 200000, "region length (instructions)");
+  CL.addFlag("log:whole_image", false,
+             "record all pages mapped at region start");
+  CL.addFlag("log:pages_early", false,
+             "place lazily-captured pages in the initial image");
+  CL.addFlag("log:fat", false, "fat pinball (= whole_image + pages_early)");
+  CL.addString("o", "region.pb", "output pinball directory");
+  CL.addString("fsroot", ".", "guest filesystem root");
+  CL.addInt("seed", 0, "schedule jitter seed");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().empty()) {
+    std::fprintf(stderr, "usage: elogger [options] program [args...]\n");
+    return 1;
+  }
+
+  pinball::CaptureRequest Req;
+  Req.ProgramPath = CL.positional()[0];
+  Req.ProgramName = Req.ProgramPath;
+  Req.Args.assign(CL.positional().begin(), CL.positional().end());
+  Req.RegionStart = static_cast<uint64_t>(CL.getInt("region:start"));
+  Req.RegionLength = static_cast<uint64_t>(CL.getInt("region:length"));
+  if (CL.getFlag("log:fat")) {
+    Req.Opts = pinball::LoggerOptions::fat();
+  } else {
+    Req.Opts.WholeImage = CL.getFlag("log:whole_image");
+    Req.Opts.PagesEarly = CL.getFlag("log:pages_early");
+  }
+  Req.Config.FsRoot = CL.getString("fsroot");
+  Req.Config.ScheduleSeed = static_cast<uint64_t>(CL.getInt("seed"));
+
+  pinball::Pinball PB = exitOnError(pinball::captureRegion(Req));
+  exitOnError(PB.save(CL.getString("o")));
+  std::fprintf(stderr,
+               "elogger: captured [%llu, +%llu) threads=%zu pages=%zu "
+               "injects=%zu syscalls=%zu -> %s\n",
+               static_cast<unsigned long long>(PB.Meta.RegionStart),
+               static_cast<unsigned long long>(PB.Meta.RegionLength),
+               PB.Threads.size(), PB.Image.size(), PB.Injects.size(),
+               PB.Syscalls.size(), CL.getString("o").c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- tools/ereplay_main.cpp - constrained replayer driver ---------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/Replayer.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("ereplay", "replays a pinball: constrained by default, "
+                            "or injection-less (-replay:injection 0)");
+  CL.addFlag("replay:injection", true,
+             "inject syscall side effects and enforce the recorded thread "
+             "order (0 mimics an ELFie run)");
+  CL.addInt("maxinsns", -1, "stop after N instructions");
+  CL.addString("fsroot", ".", "guest filesystem root (injection=0 mode)");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().size() != 1) {
+    std::fprintf(stderr, "usage: ereplay [options] pinball-dir\n");
+    return 1;
+  }
+
+  pinball::Pinball PB =
+      exitOnError(pinball::Pinball::load(CL.positional()[0]));
+  replay::ReplayOptions Opts;
+  Opts.Injection = CL.getFlag("replay:injection");
+  Opts.Config.FsRoot = CL.getString("fsroot");
+  if (CL.getInt("maxinsns") >= 0)
+    Opts.MaxInstructions = static_cast<uint64_t>(CL.getInt("maxinsns"));
+
+  auto R = exitOnError(replay::replayPinball(PB, Opts));
+  std::fprintf(stderr, "ereplay: retired %llu instructions (region %llu)\n",
+               static_cast<unsigned long long>(R.Retired),
+               static_cast<unsigned long long>(PB.Meta.RegionLength));
+  for (const auto &[Tid, N] : R.RetiredPerThread) {
+    const pinball::ThreadRegs *T = PB.threadRegs(Tid);
+    std::fprintf(stderr, "ereplay:   thread %u: %llu (recorded %llu)\n",
+                 Tid, static_cast<unsigned long long>(N),
+                 static_cast<unsigned long long>(T ? T->RegionIcount : 0));
+  }
+  if (!R.Divergence.empty()) {
+    std::fprintf(stderr, "ereplay: DIVERGENCE: %s\n", R.Divergence.c_str());
+    return 2;
+  }
+  return 0;
+}

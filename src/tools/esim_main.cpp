@@ -1,0 +1,64 @@
+//===- tools/esim_main.cpp - timing simulator driver ----------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Frontend.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("esim",
+                 "cycle-level simulation of guest binaries/ELFies "
+                 "(execution-driven) or pinballs (replay-driven)");
+  CL.addString("config", "nehalem",
+               "machine: gainestown8 | nehalem | haswell | skylake | "
+               "skylake-fs");
+  CL.addFlag("pinball", false, "treat the input as a pinball directory");
+  CL.addFlag("constrained", true,
+             "pinball mode: enforce the recorded schedule + injection");
+  CL.addInt("maxinsns", -1, "ROI instruction budget");
+  CL.addString("fsroot", ".", "guest filesystem root");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().empty()) {
+    std::fprintf(stderr, "usage: esim [options] binary|pinball-dir "
+                         "[args...]\n");
+    return 1;
+  }
+
+  sim::MachineConfig Machine;
+  if (!sim::configByName(CL.getString("config"), Machine))
+    exitOnError(makeError("unknown config '%s'",
+                          CL.getString("config").c_str()));
+
+  sim::RunControls Controls;
+  if (CL.getInt("maxinsns") >= 0)
+    Controls.MaxInstructions = static_cast<uint64_t>(CL.getInt("maxinsns"));
+
+  Expected<sim::SimResult> R = makeError("unreachable");
+  if (CL.getFlag("pinball")) {
+    pinball::Pinball PB =
+        exitOnError(pinball::Pinball::load(CL.positional()[0]));
+    R = sim::simulatePinball(PB, Machine, CL.getFlag("constrained"),
+                             Controls);
+  } else {
+    vm::VMConfig VMC;
+    VMC.FsRoot = CL.getString("fsroot");
+    std::vector<std::string> Args(CL.positional().begin(),
+                                  CL.positional().end());
+    R = sim::simulateBinaryFile(CL.positional()[0], Machine, Controls, VMC,
+                                Args);
+  }
+  sim::SimResult Result = exitOnError(std::move(R));
+  std::printf("=== esim (%s) ===\n", Machine.Name.c_str());
+  if (Result.WasElfie)
+    std::printf("input recognized as an ELFie (ROI from marker, budget "
+                "from elfie_region_length)\n");
+  std::fputs(Result.Stats.summary().c_str(), stdout);
+  return 0;
+}

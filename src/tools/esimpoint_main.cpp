@@ -1,0 +1,57 @@
+//===- tools/esimpoint_main.cpp - PinPoints region selection driver -------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "simpoint/PinPoints.h"
+#include "support/CommandLine.h"
+#include "support/FileIO.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("esimpoint", "profiles a guest program (BBV collection) "
+                              "and selects representative regions "
+                              "(PinPoints methodology)");
+  CL.addInt("slicesize", 200000, "slice size in instructions");
+  CL.addInt("warmup", 800000, "warm-up prefix in instructions");
+  CL.addInt("maxk", 50, "maximum number of phases (clusters)");
+  CL.addInt("dims", 16, "projected BBV dimensions");
+  CL.addInt("seed", 42, "clustering seed");
+  CL.addInt("maxinsns", -1, "bound the profiling run");
+  CL.addString("o", "", "write the regions table to this file");
+  CL.addString("fsroot", ".", "guest filesystem root");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().empty()) {
+    std::fprintf(stderr, "usage: esimpoint [options] program [args...]\n");
+    return 1;
+  }
+
+  simpoint::PinPointsOptions Opts;
+  Opts.SliceSize = static_cast<uint64_t>(CL.getInt("slicesize"));
+  Opts.WarmupLength = static_cast<uint64_t>(CL.getInt("warmup"));
+  Opts.MaxK = static_cast<unsigned>(CL.getInt("maxk"));
+  Opts.Dims = static_cast<unsigned>(CL.getInt("dims"));
+  Opts.Seed = static_cast<uint64_t>(CL.getInt("seed"));
+
+  vm::VMConfig Config;
+  Config.FsRoot = CL.getString("fsroot");
+  std::vector<std::string> Args(CL.positional().begin(),
+                                CL.positional().end());
+  uint64_t Budget = CL.getInt("maxinsns") < 0
+                        ? UINT64_MAX
+                        : static_cast<uint64_t>(CL.getInt("maxinsns"));
+
+  auto R = exitOnError(simpoint::profileAndSelect(
+      CL.positional()[0], Args, Config, Opts, Budget));
+  std::string Table = simpoint::formatRegions(R);
+  if (!CL.getString("o").empty())
+    exitOnError(writeFileText(CL.getString("o"), Table));
+  else
+    std::fputs(Table.c_str(), stdout);
+  return 0;
+}

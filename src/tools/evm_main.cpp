@@ -1,0 +1,85 @@
+//===- tools/evm_main.cpp - EVM functional simulator driver ---------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "elf/ELFReader.h"
+#include "support/CommandLine.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("evm", "runs an EG64 guest ELF (program or guest ELFie) "
+                        "under the functional simulator");
+  CL.addInt("maxinsns", -1, "stop after N retired instructions");
+  CL.addInt("quantum", 100, "scheduler quantum (instructions)");
+  CL.addInt("seed", 0, "schedule jitter seed (0 = fixed quantum)");
+  CL.addString("fsroot", ".", "directory guest open() resolves against");
+  CL.addFlag("stats", false, "print retired-instruction statistics");
+  CL.addFlag("raw-entry", false,
+             "start a bare thread at the entry point (ELFie-style; "
+             "auto-detected for ELFies)");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().empty()) {
+    std::fprintf(stderr, "usage: evm [options] program [args...]\n");
+    return 1;
+  }
+
+  auto Reader = exitOnError(elf::ELFReader::open(CL.positional()[0]));
+  bool RawEntry = CL.getFlag("raw-entry") ||
+                  Reader.findSymbol("elfie_on_start") != nullptr;
+
+  vm::VMConfig Config;
+  Config.Quantum = static_cast<uint64_t>(CL.getInt("quantum"));
+  Config.ScheduleSeed = static_cast<uint64_t>(CL.getInt("seed"));
+  Config.FsRoot = CL.getString("fsroot");
+  vm::VM M(Config);
+  exitOnError(M.loadELF(Reader));
+  if (RawEntry) {
+    vm::ThreadState T;
+    T.PC = M.entry();
+    M.spawnThread(T);
+  } else {
+    std::vector<std::string> Args(CL.positional().begin(),
+                                  CL.positional().end());
+    exitOnError(M.setupMainThread(Args));
+  }
+
+  uint64_t Budget = CL.getInt("maxinsns") < 0
+                        ? UINT64_MAX
+                        : static_cast<uint64_t>(CL.getInt("maxinsns"));
+  vm::RunResult R = M.run(Budget);
+
+  if (CL.getFlag("stats")) {
+    std::fprintf(stderr, "evm: retired %llu instructions, %zu threads\n",
+                 static_cast<unsigned long long>(M.globalRetired()),
+                 M.threadIds().size());
+    for (uint32_t Tid : M.threadIds())
+      std::fprintf(stderr, "evm:   thread %u retired %llu\n", Tid,
+                   static_cast<unsigned long long>(
+                       M.thread(Tid)->Retired));
+  }
+  switch (R.Reason) {
+  case vm::StopReason::AllExited:
+    return static_cast<int>(R.ExitCode & 0xff);
+  case vm::StopReason::Halted:
+    return 0;
+  case vm::StopReason::BudgetReached:
+    std::fprintf(stderr, "evm: instruction budget reached\n");
+    return 0;
+  case vm::StopReason::Faulted:
+    std::fprintf(stderr, "evm: guest fault in thread %u at %#llx: %s\n",
+                 R.FaultInfo.Tid,
+                 static_cast<unsigned long long>(R.FaultInfo.PC),
+                 R.FaultInfo.Message.c_str());
+    return 139;
+  case vm::StopReason::Stopped:
+    return 0;
+  }
+  return 0;
+}

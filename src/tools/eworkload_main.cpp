@@ -1,0 +1,55 @@
+//===- tools/eworkload_main.cpp - workload suite driver -------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/FileIO.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace elfie;
+using namespace elfie::workloads;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("eworkload", "generates/builds the synthetic SPEC-like "
+                              "workload suite");
+  CL.addFlag("list", false, "list all workloads");
+  CL.addString("input", "train", "input set: test | train | ref");
+  CL.addString("o", "", "output path (default <name>.<input>.elf)");
+  CL.addFlag("source", false, "print the generated assembly instead");
+  exitOnError(CL.parse(Argc, Argv));
+
+  if (CL.getFlag("list")) {
+    for (const WorkloadInfo &W : registry())
+      std::printf("%-18s %-9s %s\n", W.Name.c_str(),
+                  W.SuiteKind == Suite::IntRate   ? "int_rate"
+                  : W.SuiteKind == Suite::FpRate  ? "fp_rate"
+                                                  : "omp_speed",
+                  W.MultiThreaded ? "8 threads" : "1 thread");
+    return 0;
+  }
+  if (CL.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: eworkload [-input train] [-o out] name | -list\n");
+    return 1;
+  }
+  const std::string &Name = CL.positional()[0];
+  InputSet Input = CL.getString("input") == "test"  ? InputSet::Test
+                   : CL.getString("input") == "ref" ? InputSet::Ref
+                                                    : InputSet::Train;
+  if (CL.getFlag("source")) {
+    std::string Src = exitOnError(generateSource(Name, Input));
+    std::fputs(Src.c_str(), stdout);
+    return 0;
+  }
+  std::string Out = CL.getString("o").empty()
+                        ? Name + "." + inputSetName(Input) + ".elf"
+                        : CL.getString("o");
+  exitOnError(buildWorkloadFile(Name, Input, Out));
+  std::fprintf(stderr, "eworkload: built %s\n", Out.c_str());
+  return 0;
+}

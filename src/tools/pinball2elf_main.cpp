@@ -1,0 +1,89 @@
+//===- tools/pinball2elf_main.cpp - the pinball2elf driver ----------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pinball2Elf.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("pinball2elf",
+                 "converts a fat pinball into a stand-alone ELFie "
+                 "executable (native x86-64 or guest EG64)");
+  CL.addString("target", "native", "'native' (x86-64) or 'guest' (EG64)");
+  CL.addString("o", "region.elfie", "output executable");
+  CL.addFlag("icount", true,
+             "embed the graceful-exit instruction countdown");
+  CL.addFlag("perfle", false,
+             "report retired instructions + cycles per thread at exit");
+  CL.addFlag("verbose", false, "elfie_on_start banner");
+  CL.addFlag("sysstate", false,
+             "embed FD_<n> descriptor preopens (run the ELFie inside the "
+             "sysstate workdir)");
+  CL.addString("roi-start", "ssc:1",
+               "ROI marker: [sniper|ssc|simics]:TAG, or 'none'");
+  CL.addFlag("layout", false, "print the linker-script-style layout and "
+                              "exit");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().size() != 1) {
+    std::fprintf(stderr, "usage: pinball2elf [options] pinball-dir\n");
+    return 1;
+  }
+
+  pinball::Pinball PB =
+      exitOnError(pinball::Pinball::load(CL.positional()[0]));
+
+  core::Pinball2ElfOptions Opts;
+  if (CL.getString("target") == "guest")
+    Opts.TargetKind = core::Pinball2ElfOptions::Target::Guest;
+  else if (CL.getString("target") == "object")
+    Opts.TargetKind = core::Pinball2ElfOptions::Target::Object;
+  else if (CL.getString("target") != "native")
+    exitOnError(makeError("unknown target '%s'",
+                          CL.getString("target").c_str()));
+  Opts.EmitICountChecks = CL.getFlag("icount");
+  Opts.Perfle = CL.getFlag("perfle");
+  Opts.Verbose = CL.getFlag("verbose");
+  Opts.EmbedSysstate = CL.getFlag("sysstate");
+
+  std::string Roi = CL.getString("roi-start");
+  if (Roi == "none") {
+    Opts.EmitMarkers = false;
+  } else {
+    auto Parts = splitString(Roi, ':');
+    std::string Kind = Parts.size() == 2 ? Parts[0] : "ssc";
+    std::string TagText = Parts.size() == 2 ? Parts[1] : Parts[0];
+    if (Kind == "sniper")
+      Opts.MarkerType = isa::MarkerKind::Sniper;
+    else if (Kind == "ssc")
+      Opts.MarkerType = isa::MarkerKind::SSC;
+    else if (Kind == "simics")
+      Opts.MarkerType = isa::MarkerKind::Simics;
+    else
+      exitOnError(makeError("unknown marker type '%s'", Kind.c_str()));
+    int64_t Tag;
+    if (!parseInt64(TagText, Tag))
+      exitOnError(makeError("bad marker tag '%s'", TagText.c_str()));
+    Opts.MarkerTag = static_cast<int32_t>(Tag);
+  }
+
+  if (CL.getFlag("layout")) {
+    std::fputs(core::describeLayout(PB, Opts).c_str(), stdout);
+    return 0;
+  }
+
+  exitOnError(core::pinballToElfFile(PB, Opts, CL.getString("o")));
+  std::fprintf(stderr,
+               "pinball2elf: %s -> %s (%s, %zu threads, region %llu)\n",
+               CL.positional()[0].c_str(), CL.getString("o").c_str(),
+               CL.getString("target").c_str(), PB.Threads.size(),
+               static_cast<unsigned long long>(PB.Meta.RegionLength));
+  return 0;
+}

@@ -1,0 +1,35 @@
+//===- tools/pinball_sysstate_main.cpp - sysstate analysis driver ---------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "sysstate/SysState.h"
+
+#include <cstdio>
+
+using namespace elfie;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("pinball_sysstate",
+                 "reconstructs the file/heap OS state a pinball region "
+                 "depends on (paper §II-C2)");
+  CL.addString("o", "", "output sysstate directory (default: "
+                        "<pinball>.sysstate)");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().size() != 1) {
+    std::fprintf(stderr, "usage: pinball_sysstate [-o dir] pinball-dir\n");
+    return 1;
+  }
+  const std::string &PBDir = CL.positional()[0];
+  pinball::Pinball PB = exitOnError(pinball::Pinball::load(PBDir));
+  sysstate::SysState State = sysstate::analyze(PB);
+  std::string OutDir =
+      CL.getString("o").empty() ? PBDir + ".sysstate" : CL.getString("o");
+  exitOnError(sysstate::writeSysstateDir(State, OutDir));
+  std::fputs(State.report().c_str(), stdout);
+  std::fprintf(stderr, "pinball_sysstate: wrote %s\n", OutDir.c_str());
+  return 0;
+}

@@ -1,0 +1,172 @@
+//===- vm/Memory.cpp ------------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Memory.h"
+
+using namespace elfie;
+using namespace elfie::vm;
+
+void AddressSpace::map(uint64_t Addr, uint64_t Size, uint8_t Perm) {
+  if (Size == 0)
+    return;
+  uint64_t First = pageBase(Addr);
+  uint64_t Last = pageBase(Addr + Size - 1);
+  for (uint64_t P = First;; P += GuestPageSize) {
+    auto It = Pages.find(P);
+    if (It == Pages.end()) {
+      auto Page = std::make_unique<AddressSpace::Page>();
+      std::memset(Page->Bytes, 0, GuestPageSize);
+      Page->Perm = Perm;
+      Pages.emplace(P, std::move(Page));
+    } else {
+      It->second->Perm |= Perm;
+    }
+    if (P == Last)
+      break;
+  }
+}
+
+void AddressSpace::unmap(uint64_t Addr, uint64_t Size) {
+  if (Size == 0)
+    return;
+  uint64_t First = pageBase(Addr);
+  uint64_t Last = pageBase(Addr + Size - 1);
+  for (uint64_t P = First;; P += GuestPageSize) {
+    Pages.erase(P);
+    if (P == Last)
+      break;
+  }
+}
+
+AddressSpace::Page *AddressSpace::touch(uint64_t PageAddr) {
+  auto It = Pages.find(PageAddr);
+  if (It == Pages.end())
+    return nullptr;
+  Page *P = It->second.get();
+  if (!P->AccessedSinceMark) {
+    if (Hook)
+      Hook(PageAddr, P->Bytes);
+    P->AccessedSinceMark = true;
+  }
+  return P;
+}
+
+MemFault AddressSpace::read(uint64_t Addr, void *Out, uint64_t Size) {
+  uint8_t *Dst = static_cast<uint8_t *>(Out);
+  while (Size > 0) {
+    uint64_t Base = pageBase(Addr);
+    Page *P = touch(Base);
+    if (!P)
+      return MemFault::Unmapped;
+    uint64_t Off = Addr - Base;
+    uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
+    std::memcpy(Dst, P->Bytes + Off, Chunk);
+    Dst += Chunk;
+    Addr += Chunk;
+    Size -= Chunk;
+  }
+  return MemFault::None;
+}
+
+MemFault AddressSpace::write(uint64_t Addr, const void *Data, uint64_t Size) {
+  const uint8_t *Src = static_cast<const uint8_t *>(Data);
+  while (Size > 0) {
+    uint64_t Base = pageBase(Addr);
+    Page *P = touch(Base);
+    if (!P)
+      return MemFault::Unmapped;
+    if (!(P->Perm & PermWrite))
+      return MemFault::NoPermission;
+    uint64_t Off = Addr - Base;
+    uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
+    std::memcpy(P->Bytes + Off, Src, Chunk);
+    Src += Chunk;
+    Addr += Chunk;
+    Size -= Chunk;
+  }
+  return MemFault::None;
+}
+
+MemFault AddressSpace::fetch(uint64_t Addr, void *Out, uint64_t Size) {
+  uint8_t *Dst = static_cast<uint8_t *>(Out);
+  while (Size > 0) {
+    uint64_t Base = pageBase(Addr);
+    Page *P = touch(Base);
+    if (!P)
+      return MemFault::Unmapped;
+    if (!(P->Perm & PermExec))
+      return MemFault::NoPermission;
+    uint64_t Off = Addr - Base;
+    uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
+    std::memcpy(Dst, P->Bytes + Off, Chunk);
+    Dst += Chunk;
+    Addr += Chunk;
+    Size -= Chunk;
+  }
+  return MemFault::None;
+}
+
+MemFault AddressSpace::poke(uint64_t Addr, const void *Data, uint64_t Size) {
+  const uint8_t *Src = static_cast<const uint8_t *>(Data);
+  while (Size > 0) {
+    uint64_t Base = pageBase(Addr);
+    auto It = Pages.find(Base);
+    if (It == Pages.end())
+      return MemFault::Unmapped;
+    uint64_t Off = Addr - Base;
+    uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
+    std::memcpy(It->second->Bytes + Off, Src, Chunk);
+    Src += Chunk;
+    Addr += Chunk;
+    Size -= Chunk;
+  }
+  return MemFault::None;
+}
+
+MemFault AddressSpace::peek(uint64_t Addr, void *Out, uint64_t Size) const {
+  uint8_t *Dst = static_cast<uint8_t *>(Out);
+  while (Size > 0) {
+    uint64_t Base = pageBase(Addr);
+    auto It = Pages.find(Base);
+    if (It == Pages.end())
+      return MemFault::Unmapped;
+    uint64_t Off = Addr - Base;
+    uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
+    std::memcpy(Dst, It->second->Bytes + Off, Chunk);
+    Dst += Chunk;
+    Addr += Chunk;
+    Size -= Chunk;
+  }
+  return MemFault::None;
+}
+
+Expected<std::string> AddressSpace::readCString(uint64_t Addr,
+                                                uint64_t MaxLen) {
+  std::string Out;
+  for (uint64_t I = 0; I < MaxLen; ++I) {
+    char C;
+    if (read(Addr + I, &C, 1) != MemFault::None)
+      return makeError("unmapped memory while reading string at %#llx",
+                       static_cast<unsigned long long>(Addr + I));
+    if (C == '\0')
+      return Out;
+    Out.push_back(C);
+  }
+  return makeError("unterminated guest string at %#llx",
+                   static_cast<unsigned long long>(Addr));
+}
+
+void AddressSpace::clearAccessTracking() {
+  for (auto &[Addr, P] : Pages)
+    P->AccessedSinceMark = false;
+}
+
+void AddressSpace::forEachPage(
+    const std::function<void(uint64_t, const Page &)> &Fn) const {
+  for (const auto &[Addr, P] : Pages)
+    Fn(Addr, *P);
+}

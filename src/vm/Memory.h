@@ -1,0 +1,146 @@
+//===- vm/Memory.h - Sparse paged guest address space -----------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The EVM's guest address space: a sparse map of 4 KiB pages with
+/// per-page permissions and access tracking. The PinPlay-style logger uses
+/// the tracking bits to implement lazy page capture ("page injection
+/// records") and `-log:pages_early`; the pinball memory image is produced
+/// by walking mapped pages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_VM_MEMORY_H
+#define ELFIE_VM_MEMORY_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace elfie {
+namespace vm {
+
+constexpr uint64_t GuestPageSize = 4096;
+constexpr uint64_t GuestPageMask = GuestPageSize - 1;
+
+inline uint64_t pageBase(uint64_t Addr) { return Addr & ~GuestPageMask; }
+
+/// Page permissions.
+enum PagePerm : uint8_t {
+  PermNone = 0,
+  PermRead = 1,
+  PermWrite = 2,
+  PermExec = 4,
+  PermRW = PermRead | PermWrite,
+  PermRX = PermRead | PermExec,
+  PermRWX = PermRead | PermWrite | PermExec,
+};
+
+/// Result of a memory operation that can fault.
+enum class MemFault {
+  None,
+  Unmapped,      ///< access to an unmapped page
+  NoPermission,  ///< execute of non-X page, write of non-W page
+};
+
+/// Sparse guest memory.
+class AddressSpace {
+public:
+  struct Page {
+    uint8_t Bytes[GuestPageSize];
+    uint8_t Perm = PermNone;
+    /// Set once any byte of the page has been read/written/executed since
+    /// the last clearAccessTracking(). Drives lazy pinball page capture.
+    bool AccessedSinceMark = false;
+  };
+
+  /// Maps [Addr, Addr+Size) zero-filled with permission \p Perm. Addr and
+  /// Size are rounded out to page boundaries. Existing pages keep their
+  /// contents but get their permissions widened.
+  void map(uint64_t Addr, uint64_t Size, uint8_t Perm);
+
+  /// Unmaps any pages intersecting [Addr, Addr+Size).
+  void unmap(uint64_t Addr, uint64_t Size);
+
+  /// True when the page containing \p Addr is mapped.
+  bool isMapped(uint64_t Addr) const {
+    return Pages.find(pageBase(Addr)) != Pages.end();
+  }
+
+  /// Reads \p Size bytes at \p Addr. Faults on unmapped pages.
+  MemFault read(uint64_t Addr, void *Out, uint64_t Size);
+
+  /// Writes \p Size bytes at \p Addr. Faults on unmapped/read-only pages.
+  MemFault write(uint64_t Addr, const void *Data, uint64_t Size);
+
+  /// Fetch for execution: reads \p Size bytes requiring PermExec.
+  MemFault fetch(uint64_t Addr, void *Out, uint64_t Size);
+
+  /// Privileged write that ignores page permissions and access tracking.
+  /// Used by loaders and by checkpoint restore — never by guest code.
+  MemFault poke(uint64_t Addr, const void *Data, uint64_t Size);
+
+  /// Privileged read that ignores access tracking (checkpoint capture).
+  MemFault peek(uint64_t Addr, void *Out, uint64_t Size) const;
+
+  /// Typed helpers (assert-free fast paths used by the interpreter).
+  MemFault readU64(uint64_t Addr, uint64_t &Out) {
+    return read(Addr, &Out, 8);
+  }
+  MemFault writeU64(uint64_t Addr, uint64_t V) { return write(Addr, &V, 8); }
+
+  /// Reads a NUL-terminated guest string (bounded by \p MaxLen).
+  Expected<std::string> readCString(uint64_t Addr, uint64_t MaxLen = 4096);
+
+  /// Clears AccessedSinceMark on every page (start of a logging region).
+  void clearAccessTracking();
+
+  /// Installs a hook invoked on the **first** access to each page after the
+  /// last clearAccessTracking(), before the access mutates the page. The
+  /// hook receives the page base address and its current (pre-access)
+  /// contents.
+  using FirstTouchHook =
+      std::function<void(uint64_t PageAddr, const uint8_t *Bytes)>;
+  void setFirstTouchHook(FirstTouchHook Hook) {
+    this->Hook = std::move(Hook);
+  }
+
+  /// Walks all mapped pages in address order.
+  void
+  forEachPage(const std::function<void(uint64_t Addr, const Page &)> &Fn)
+      const;
+
+  /// Number of mapped pages.
+  size_t pageCount() const { return Pages.size(); }
+
+  /// Direct page lookup (null when unmapped). For loaders and checkpoints.
+  Page *getPage(uint64_t Addr) {
+    auto It = Pages.find(pageBase(Addr));
+    return It == Pages.end() ? nullptr : It->second.get();
+  }
+  const Page *getPage(uint64_t Addr) const {
+    auto It = Pages.find(pageBase(Addr));
+    return It == Pages.end() ? nullptr : It->second.get();
+  }
+
+private:
+  Page *touch(uint64_t PageAddr);
+
+  // Ordered map so that forEachPage and pinball images are deterministic.
+  std::map<uint64_t, std::unique_ptr<Page>> Pages;
+  FirstTouchHook Hook;
+};
+
+} // namespace vm
+} // namespace elfie
+
+#endif // ELFIE_VM_MEMORY_H

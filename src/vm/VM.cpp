@@ -1,0 +1,829 @@
+//===- vm/VM.cpp - EVM interpreter loop ------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "elf/ELFReader.h"
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdarg>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace elfie;
+using namespace elfie::vm;
+using isa::Inst;
+using isa::Opcode;
+
+Observer::~Observer() = default;
+
+VM::VM(VMConfig Config) : Config(std::move(Config)) {
+  BrkTop = isa::HeapBase;
+  SchedRNG.reseed(this->Config.ScheduleSeed ? this->Config.ScheduleSeed
+                                            : 0x5eed);
+}
+
+VM::~VM() {
+  for (auto &[Fd, E] : FDs)
+    if (!E.IsStd && E.HostFd >= 0)
+      ::close(E.HostFd);
+}
+
+Error VM::loadELF(const elf::ELFReader &Reader) {
+  if (Reader.machine() != elf::EM_EG64)
+    return makeError("not an EG64 guest binary (machine %u)",
+                     Reader.machine());
+  if (Reader.fileType() != elf::ET_EXEC)
+    return makeError("guest binary is not an executable");
+  for (const auto &Seg : Reader.segments()) {
+    if (Seg.Type != elf::PT_LOAD)
+      continue;
+    uint8_t Perm = 0;
+    if (Seg.Flags & elf::PF_R)
+      Perm |= PermRead;
+    if (Seg.Flags & elf::PF_W)
+      Perm |= PermWrite;
+    if (Seg.Flags & elf::PF_X)
+      Perm |= PermExec;
+    Mem.map(Seg.VAddr, Seg.MemSize, Perm);
+    if (!Seg.Data.empty())
+      if (Mem.poke(Seg.VAddr, Seg.Data.data(), Seg.Data.size()) !=
+          MemFault::None)
+        return makeError("failed to populate segment at %#llx",
+                         static_cast<unsigned long long>(Seg.VAddr));
+  }
+  Entry = Reader.entry();
+  return Error::success();
+}
+
+Error VM::loadELFFile(const std::string &Path) {
+  auto Reader = elf::ELFReader::open(Path);
+  if (!Reader)
+    return Reader.takeError();
+  return loadELF(*Reader);
+}
+
+Error VM::setupMainThread(const std::vector<std::string> &Args) {
+  uint64_t StackBase = Config.StackTop - Config.StackSize;
+  Mem.map(StackBase, Config.StackSize, PermRW);
+
+  // Strings live at the top of the stack; argv array and argc below them,
+  // Linux-style (argc at sp, argv[i] at sp + 8 + 8*i).
+  uint64_t Cursor = Config.StackTop;
+  std::vector<uint64_t> ArgPtrs;
+  for (const std::string &A : Args) {
+    Cursor -= A.size() + 1;
+    if (Mem.write(Cursor, A.c_str(), A.size() + 1) != MemFault::None)
+      return makeError("argv strings overflow the stack");
+    ArgPtrs.push_back(Cursor);
+  }
+  Cursor &= ~uint64_t(15);
+  // argc + argv[] + NULL terminator.
+  uint64_t Needed = 8 + 8 * (ArgPtrs.size() + 1);
+  Cursor -= Needed;
+  Cursor &= ~uint64_t(15);
+  uint64_t SP = Cursor;
+  Mem.writeU64(SP, ArgPtrs.size());
+  for (size_t I = 0; I < ArgPtrs.size(); ++I)
+    Mem.writeU64(SP + 8 + 8 * I, ArgPtrs[I]);
+  Mem.writeU64(SP + 8 + 8 * ArgPtrs.size(), 0);
+
+  ThreadState T;
+  T.PC = Entry;
+  T.GPR[isa::RegSP] = SP;
+  spawnThread(T);
+  return Error::success();
+}
+
+uint32_t VM::spawnThread(const ThreadState &Initial) {
+  ThreadState T = Initial;
+  T.Tid = NextTid++;
+  T.Exited = false;
+  T.GPR[isa::RegZero] = 0;
+  Threads.emplace(T.Tid, T);
+  CreationOrder.push_back(T.Tid);
+  return T.Tid;
+}
+
+ThreadState *VM::thread(uint32_t Tid) {
+  auto It = Threads.find(Tid);
+  return It == Threads.end() ? nullptr : &It->second;
+}
+
+const ThreadState *VM::thread(uint32_t Tid) const {
+  auto It = Threads.find(Tid);
+  return It == Threads.end() ? nullptr : &It->second;
+}
+
+std::vector<uint32_t> VM::threadIds() const { return CreationOrder; }
+
+std::vector<uint32_t> VM::liveThreadIds() const {
+  std::vector<uint32_t> Out;
+  for (uint32_t Tid : CreationOrder)
+    if (!Threads.at(Tid).Exited)
+      Out.push_back(Tid);
+  return Out;
+}
+
+unsigned VM::liveThreadCount() const {
+  unsigned N = 0;
+  for (const auto &[Tid, T] : Threads)
+    if (!T.Exited)
+      ++N;
+  return N;
+}
+
+uint64_t VM::virtualTimeNs() const {
+  if (Config.RealTimeClock) {
+    struct timespec TS;
+    clock_gettime(CLOCK_MONOTONIC, &TS);
+    return uint64_t(TS.tv_sec) * 1000000000ull + uint64_t(TS.tv_nsec);
+  }
+  return Config.TimeBaseNs + GlobalRetired * Config.NsPerInst;
+}
+
+void VM::exitThread(ThreadState &T, int64_t Code) {
+  T.Exited = true;
+  T.ExitCode = Code;
+  if (Obs)
+    Obs->onThreadExit(T.Tid, Code);
+}
+
+VM::StepStatus VM::fault(ThreadState &T, uint64_t Addr, const char *Fmt,
+                         ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  char Buf[256];
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  LastFault.Tid = T.Tid;
+  LastFault.PC = T.PC;
+  LastFault.Addr = Addr;
+  LastFault.Message = Buf;
+  return StepStatus::Faulted;
+}
+
+uint32_t VM::pickNextThread() {
+  // Round-robin over live threads starting after RRIndex.
+  size_t N = CreationOrder.size();
+  for (size_t Step = 1; Step <= N; ++Step) {
+    size_t Idx = (RRIndex + Step) % N;
+    uint32_t Tid = CreationOrder[Idx];
+    if (!Threads.at(Tid).Exited) {
+      RRIndex = Idx;
+      uint64_t Q = Config.Quantum;
+      if (Config.ScheduleSeed)
+        Q = Q / 2 + SchedRNG.nextBelow(Q) + 1;
+      QuantumLeft = std::max<uint64_t>(Q, 1);
+      return Tid;
+    }
+  }
+  return UINT32_MAX;
+}
+
+RunResult VM::run(uint64_t MaxInstructions) {
+  RunResult R;
+  StopRequested = false;
+  uint64_t Budget = MaxInstructions;
+  uint32_t CurTid = UINT32_MAX;
+
+  while (Budget > 0) {
+    if (GroupExited || liveThreadCount() == 0) {
+      R.Reason = StopReason::AllExited;
+      R.ExitCode = GroupExitCode;
+      return R;
+    }
+    if (CurTid == UINT32_MAX || Threads.at(CurTid).Exited ||
+        QuantumLeft == 0) {
+      CurTid = pickNextThread();
+      if (CurTid == UINT32_MAX) {
+        R.Reason = StopReason::AllExited;
+        R.ExitCode = GroupExitCode;
+        return R;
+      }
+    }
+    ThreadState &T = Threads.at(CurTid);
+    StepStatus S = stepOne(T);
+    switch (S) {
+    case StepStatus::Ok:
+      break;
+    case StepStatus::Exited:
+      break; // next loop iteration reschedules
+    case StepStatus::Halted:
+      R.Reason = StopReason::Halted;
+      R.ExitCode = GroupExitCode;
+      return R;
+    case StepStatus::Faulted:
+      R.Reason = StopReason::Faulted;
+      R.FaultInfo = LastFault;
+      return R;
+    case StepStatus::Stopped:
+      R.Reason = StopReason::Stopped;
+      return R;
+    }
+    --Budget;
+    if (QuantumLeft > 0)
+      --QuantumLeft;
+    if (StopRequested) {
+      R.Reason = StopReason::Stopped;
+      return R;
+    }
+  }
+  R.Reason = StopReason::BudgetReached;
+  return R;
+}
+
+StopReason VM::stepThread(uint32_t Tid) {
+  auto It = Threads.find(Tid);
+  assert(It != Threads.end() && "stepping unknown thread");
+  ThreadState &T = It->second;
+  assert(!T.Exited && "stepping an exited thread");
+  StopRequested = false;
+  StepStatus S = stepOne(T);
+  if (StopRequested && S == StepStatus::Ok)
+    return StopReason::Stopped;
+  switch (S) {
+  case StepStatus::Ok:
+    return StopReason::BudgetReached;
+  case StepStatus::Exited:
+    return (GroupExited || liveThreadCount() == 0) ? StopReason::AllExited
+                                                   : StopReason::BudgetReached;
+  case StepStatus::Halted:
+    return StopReason::Halted;
+  case StepStatus::Faulted:
+    return StopReason::Faulted;
+  case StepStatus::Stopped:
+    return StopReason::Stopped;
+  }
+  elfieUnreachable("bad step status");
+}
+
+VM::StepStatus VM::stepOne(ThreadState &T) {
+  uint64_t PC = T.PC;
+  uint8_t Raw[8];
+  MemFault MF = Mem.fetch(PC, Raw, 8);
+  if (MF != MemFault::None)
+    return fault(T, PC, "instruction fetch from %s page at %#llx",
+                 MF == MemFault::Unmapped ? "unmapped" : "non-executable",
+                 static_cast<unsigned long long>(PC));
+  Inst I;
+  if (!isa::decode(Raw, I))
+    return fault(T, PC, "invalid instruction encoding at %#llx",
+                 static_cast<unsigned long long>(PC));
+
+  if (Obs)
+    Obs->onInstruction(T, PC, I);
+
+  uint64_t *R = T.GPR;
+  double *F = T.FPR;
+  uint64_t NextPC = PC + isa::InstSize;
+  auto Retire = [&](uint64_t To) {
+    T.GPR[isa::RegZero] = 0;
+    T.PC = To;
+    ++T.Retired;
+    ++GlobalRetired;
+  };
+  auto MemAccess = [&](uint64_t Addr, uint32_t Size, bool IsWrite) {
+    if (Obs)
+      Obs->onMemoryAccess(T.Tid, Addr, Size, IsWrite);
+  };
+  auto Transfer = [&](uint64_t To, bool Taken) {
+    if (Obs)
+      Obs->onControlTransfer(T.Tid, PC, To, Taken);
+  };
+
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::Fence:
+    Retire(NextPC);
+    return StepStatus::Ok;
+  case Opcode::Pause:
+    // Spin hint: retire and end the quantum so other threads can make
+    // progress through the lock/barrier this thread is spinning on.
+    Retire(NextPC);
+    QuantumLeft = 0;
+    return StepStatus::Ok;
+  case Opcode::Halt:
+    Retire(NextPC);
+    Transfer(NextPC, false);
+    return StepStatus::Halted;
+  case Opcode::Marker:
+    if (Obs)
+      Obs->onMarker(T.Tid, static_cast<isa::MarkerKind>(I.Rd), I.Imm);
+    Retire(NextPC);
+    return StepStatus::Ok;
+  case Opcode::Syscall:
+    return doSyscall(T);
+
+  // ---- Integer ALU ----
+  case Opcode::Add: R[I.Rd] = R[I.Rs1] + R[I.Rs2]; break;
+  case Opcode::Sub: R[I.Rd] = R[I.Rs1] - R[I.Rs2]; break;
+  case Opcode::Mul: R[I.Rd] = R[I.Rs1] * R[I.Rs2]; break;
+  case Opcode::Mulh: {
+    __int128 P = static_cast<__int128>(static_cast<int64_t>(R[I.Rs1])) *
+                 static_cast<int64_t>(R[I.Rs2]);
+    R[I.Rd] = static_cast<uint64_t>(P >> 64);
+    break;
+  }
+  case Opcode::Div: {
+    int64_t A = static_cast<int64_t>(R[I.Rs1]);
+    int64_t B = static_cast<int64_t>(R[I.Rs2]);
+    if (B == 0)
+      R[I.Rd] = UINT64_MAX;
+    else if (A == INT64_MIN && B == -1)
+      R[I.Rd] = static_cast<uint64_t>(INT64_MIN);
+    else
+      R[I.Rd] = static_cast<uint64_t>(A / B);
+    break;
+  }
+  case Opcode::Divu:
+    R[I.Rd] = R[I.Rs2] == 0 ? UINT64_MAX : R[I.Rs1] / R[I.Rs2];
+    break;
+  case Opcode::Rem: {
+    int64_t A = static_cast<int64_t>(R[I.Rs1]);
+    int64_t B = static_cast<int64_t>(R[I.Rs2]);
+    if (B == 0)
+      R[I.Rd] = static_cast<uint64_t>(A);
+    else if (A == INT64_MIN && B == -1)
+      R[I.Rd] = 0;
+    else
+      R[I.Rd] = static_cast<uint64_t>(A % B);
+    break;
+  }
+  case Opcode::Remu:
+    R[I.Rd] = R[I.Rs2] == 0 ? R[I.Rs1] : R[I.Rs1] % R[I.Rs2];
+    break;
+  case Opcode::And: R[I.Rd] = R[I.Rs1] & R[I.Rs2]; break;
+  case Opcode::Or: R[I.Rd] = R[I.Rs1] | R[I.Rs2]; break;
+  case Opcode::Xor: R[I.Rd] = R[I.Rs1] ^ R[I.Rs2]; break;
+  case Opcode::Shl: R[I.Rd] = R[I.Rs1] << (R[I.Rs2] & 63); break;
+  case Opcode::Shr: R[I.Rd] = R[I.Rs1] >> (R[I.Rs2] & 63); break;
+  case Opcode::Sar:
+    R[I.Rd] = static_cast<uint64_t>(static_cast<int64_t>(R[I.Rs1]) >>
+                                    (R[I.Rs2] & 63));
+    break;
+  case Opcode::Slt:
+    R[I.Rd] = static_cast<int64_t>(R[I.Rs1]) < static_cast<int64_t>(R[I.Rs2]);
+    break;
+  case Opcode::Sltu: R[I.Rd] = R[I.Rs1] < R[I.Rs2]; break;
+  case Opcode::Seq: R[I.Rd] = R[I.Rs1] == R[I.Rs2]; break;
+  case Opcode::Mov: R[I.Rd] = R[I.Rs1]; break;
+
+  case Opcode::Addi:
+    R[I.Rd] = R[I.Rs1] + static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::Muli:
+    R[I.Rd] = R[I.Rs1] * static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::Andi:
+    R[I.Rd] = R[I.Rs1] & static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::Ori:
+    R[I.Rd] = R[I.Rs1] | static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::Xori:
+    R[I.Rd] = R[I.Rs1] ^ static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::Shli: R[I.Rd] = R[I.Rs1] << (I.Imm & 63); break;
+  case Opcode::Shri: R[I.Rd] = R[I.Rs1] >> (I.Imm & 63); break;
+  case Opcode::Sari:
+    R[I.Rd] = static_cast<uint64_t>(static_cast<int64_t>(R[I.Rs1]) >>
+                                    (I.Imm & 63));
+    break;
+  case Opcode::Slti:
+    R[I.Rd] = static_cast<int64_t>(R[I.Rs1]) < static_cast<int64_t>(I.Imm);
+    break;
+  case Opcode::Sltui:
+    R[I.Rd] = R[I.Rs1] < static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::Ldi:
+    R[I.Rd] = static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::Ldih:
+    R[I.Rd] = (static_cast<uint64_t>(static_cast<uint32_t>(I.Imm)) << 32) |
+              (R[I.Rd] & 0xffffffffull);
+    break;
+
+  // ---- Loads/stores ----
+  case Opcode::Ld1:
+  case Opcode::Ld2:
+  case Opcode::Ld4:
+  case Opcode::Ld8:
+  case Opcode::Ld1s:
+  case Opcode::Ld2s:
+  case Opcode::Ld4s: {
+    uint32_t Size = I.Op == Opcode::Ld1 || I.Op == Opcode::Ld1s   ? 1
+                    : I.Op == Opcode::Ld2 || I.Op == Opcode::Ld2s ? 2
+                    : I.Op == Opcode::Ld4 || I.Op == Opcode::Ld4s ? 4
+                                                                  : 8;
+    uint64_t Addr = R[I.Rs1] + static_cast<int64_t>(I.Imm);
+    MemAccess(Addr, Size, false);
+    uint64_t V = 0;
+    if (Mem.read(Addr, &V, Size) != MemFault::None)
+      return fault(T, Addr, "load from unmapped address %#llx",
+                   static_cast<unsigned long long>(Addr));
+    if (I.Op == Opcode::Ld1s)
+      V = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(V)));
+    else if (I.Op == Opcode::Ld2s)
+      V = static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int16_t>(V)));
+    else if (I.Op == Opcode::Ld4s)
+      V = static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(V)));
+    R[I.Rd] = V;
+    break;
+  }
+  case Opcode::St1:
+  case Opcode::St2:
+  case Opcode::St4:
+  case Opcode::St8: {
+    uint32_t Size = I.Op == Opcode::St1   ? 1
+                    : I.Op == Opcode::St2 ? 2
+                    : I.Op == Opcode::St4 ? 4
+                                          : 8;
+    uint64_t Addr = R[I.Rs1] + static_cast<int64_t>(I.Imm);
+    MemAccess(Addr, Size, true);
+    uint64_t V = R[I.Rd];
+    MemFault WF = Mem.write(Addr, &V, Size);
+    if (WF != MemFault::None)
+      return fault(T, Addr, "store to %s address %#llx",
+                   WF == MemFault::Unmapped ? "unmapped" : "read-only",
+                   static_cast<unsigned long long>(Addr));
+    break;
+  }
+
+  // ---- Control flow ----
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bgeu: {
+    bool Taken = false;
+    switch (I.Op) {
+    case Opcode::Beq: Taken = R[I.Rs1] == R[I.Rs2]; break;
+    case Opcode::Bne: Taken = R[I.Rs1] != R[I.Rs2]; break;
+    case Opcode::Blt:
+      Taken = static_cast<int64_t>(R[I.Rs1]) < static_cast<int64_t>(R[I.Rs2]);
+      break;
+    case Opcode::Bge:
+      Taken =
+          static_cast<int64_t>(R[I.Rs1]) >= static_cast<int64_t>(R[I.Rs2]);
+      break;
+    case Opcode::Bltu: Taken = R[I.Rs1] < R[I.Rs2]; break;
+    case Opcode::Bgeu: Taken = R[I.Rs1] >= R[I.Rs2]; break;
+    default: break;
+    }
+    uint64_t To = Taken ? PC + static_cast<int64_t>(I.Imm) : NextPC;
+    Transfer(To, Taken);
+    Retire(To);
+    return StepStatus::Ok;
+  }
+  case Opcode::Jmp: {
+    uint64_t To = PC + static_cast<int64_t>(I.Imm);
+    Transfer(To, true);
+    Retire(To);
+    return StepStatus::Ok;
+  }
+  case Opcode::Jal: {
+    uint64_t To = PC + static_cast<int64_t>(I.Imm);
+    R[I.Rd] = NextPC;
+    Transfer(To, true);
+    Retire(To);
+    return StepStatus::Ok;
+  }
+  case Opcode::Jalr: {
+    uint64_t To = R[I.Rs1] + static_cast<int64_t>(I.Imm);
+    if (To & 7)
+      return fault(T, To, "jalr to misaligned address %#llx",
+                   static_cast<unsigned long long>(To));
+    R[I.Rd] = NextPC;
+    Transfer(To, true);
+    Retire(To);
+    return StepStatus::Ok;
+  }
+
+  // ---- Atomics ----
+  case Opcode::AmoAdd:
+  case Opcode::AmoSwap:
+  case Opcode::Cas: {
+    uint64_t Addr = R[I.Rs1];
+    MemAccess(Addr, 8, true);
+    uint64_t Old = 0;
+    if (Mem.read(Addr, &Old, 8) != MemFault::None)
+      return fault(T, Addr, "atomic access to unmapped address %#llx",
+                   static_cast<unsigned long long>(Addr));
+    uint64_t New = Old;
+    if (I.Op == Opcode::AmoAdd)
+      New = Old + R[I.Rs2];
+    else if (I.Op == Opcode::AmoSwap)
+      New = R[I.Rs2];
+    else if (Old == R[I.Rd]) // Cas: Rd carries the expected value
+      New = R[I.Rs2];
+    if (New != Old || I.Op != Opcode::Cas) {
+      MemFault WF = Mem.write(Addr, &New, 8);
+      if (WF != MemFault::None)
+        return fault(T, Addr, "atomic write to %s address %#llx",
+                     WF == MemFault::Unmapped ? "unmapped" : "read-only",
+                     static_cast<unsigned long long>(Addr));
+    }
+    R[I.Rd] = Old;
+    break;
+  }
+
+  // ---- Floating point ----
+  case Opcode::Fadd: F[I.Rd] = F[I.Rs1] + F[I.Rs2]; break;
+  case Opcode::Fsub: F[I.Rd] = F[I.Rs1] - F[I.Rs2]; break;
+  case Opcode::Fmul: F[I.Rd] = F[I.Rs1] * F[I.Rs2]; break;
+  case Opcode::Fdiv: F[I.Rd] = F[I.Rs1] / F[I.Rs2]; break;
+  // fmin/fmax follow SSE minsd/maxsd semantics — the second source is
+  // returned when the operands are unordered (NaN) or equal — so the
+  // native translation matches the interpreter bit-for-bit.
+  case Opcode::Fmin:
+    F[I.Rd] = F[I.Rs1] < F[I.Rs2] ? F[I.Rs1] : F[I.Rs2];
+    break;
+  case Opcode::Fmax:
+    F[I.Rd] = F[I.Rs1] > F[I.Rs2] ? F[I.Rs1] : F[I.Rs2];
+    break;
+  case Opcode::Fsqrt: F[I.Rd] = std::sqrt(F[I.Rs1]); break;
+  case Opcode::Fneg: F[I.Rd] = -F[I.Rs1]; break;
+  case Opcode::Fabs: F[I.Rd] = std::fabs(F[I.Rs1]); break;
+  case Opcode::Fmov: F[I.Rd] = F[I.Rs1]; break;
+  case Opcode::Feq: R[I.Rd] = F[I.Rs1] == F[I.Rs2]; break;
+  case Opcode::Flt: R[I.Rd] = F[I.Rs1] < F[I.Rs2]; break;
+  case Opcode::Fle: R[I.Rd] = F[I.Rs1] <= F[I.Rs2]; break;
+  case Opcode::Fld: {
+    uint64_t Addr = R[I.Rs1] + static_cast<int64_t>(I.Imm);
+    MemAccess(Addr, 8, false);
+    uint64_t Bits = 0;
+    if (Mem.read(Addr, &Bits, 8) != MemFault::None)
+      return fault(T, Addr, "fld from unmapped address %#llx",
+                   static_cast<unsigned long long>(Addr));
+    std::memcpy(&F[I.Rd], &Bits, 8);
+    break;
+  }
+  case Opcode::Fst: {
+    uint64_t Addr = R[I.Rs1] + static_cast<int64_t>(I.Imm);
+    MemAccess(Addr, 8, true);
+    uint64_t Bits;
+    std::memcpy(&Bits, &F[I.Rd], 8);
+    MemFault WF = Mem.write(Addr, &Bits, 8);
+    if (WF != MemFault::None)
+      return fault(T, Addr, "fst to %s address %#llx",
+                   WF == MemFault::Unmapped ? "unmapped" : "read-only",
+                   static_cast<unsigned long long>(Addr));
+    break;
+  }
+  case Opcode::Fcvtid:
+    F[I.Rd] = static_cast<double>(static_cast<int64_t>(R[I.Rs1]));
+    break;
+  case Opcode::Fcvtdi: {
+    double V = F[I.Rs1];
+    int64_t Out;
+    // Saturating conversion with a defined NaN result so the native
+    // translation (cvttsd2si semantics) matches exactly.
+    if (std::isnan(V))
+      Out = INT64_MIN;
+    else if (V >= 9223372036854775808.0)
+      Out = INT64_MIN; // matches x86 cvttsd2si overflow (0x8000...)
+    else if (V <= -9223372036854775808.0)
+      Out = INT64_MIN;
+    else
+      Out = static_cast<int64_t>(V);
+    R[I.Rd] = static_cast<uint64_t>(Out);
+    break;
+  }
+  case Opcode::FmvToF:
+    std::memcpy(&F[I.Rd], &R[I.Rs1], 8);
+    break;
+  case Opcode::FmvToI:
+    std::memcpy(&R[I.Rd], &F[I.Rs1], 8);
+    break;
+  }
+
+  Retire(NextPC);
+  return StepStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// System calls
+// ---------------------------------------------------------------------------
+
+static std::string resolveGuestPath(const std::string &Root,
+                                    const std::string &GuestPath) {
+  if (GuestPath.empty())
+    return Root;
+  if (GuestPath[0] == '/')
+    return Root + GuestPath;
+  return Root + "/" + GuestPath;
+}
+
+int64_t VM::sysOpen(ThreadState &T, uint64_t PathAddr, uint64_t Flags,
+                    uint64_t Mode) {
+  auto Path = Mem.readCString(PathAddr);
+  if (!Path)
+    return -EFAULT;
+  std::string HostPath = resolveGuestPath(Config.FsRoot, *Path);
+  // Guest flag values were chosen to match Linux; pass through.
+  int HostFd = ::open(HostPath.c_str(), static_cast<int>(Flags),
+                      static_cast<mode_t>(Mode));
+  if (HostFd < 0)
+    return -errno;
+  int GuestFd = NextFd++;
+  FDs[GuestFd] = {HostFd, *Path, false};
+  return GuestFd;
+}
+
+int64_t VM::sysRead(ThreadState &T, uint64_t Fd, uint64_t Buf, uint64_t Len) {
+  if (Fd == 0)
+    return 0; // stdin is always at EOF in the EVM
+  auto It = FDs.find(static_cast<int>(Fd));
+  if (It == FDs.end())
+    return -EBADF;
+  std::vector<uint8_t> Tmp(std::min<uint64_t>(Len, 1 << 20));
+  ssize_t N = ::read(It->second.HostFd, Tmp.data(), Tmp.size());
+  if (N < 0)
+    return -errno;
+  if (N > 0 && Mem.write(Buf, Tmp.data(), static_cast<uint64_t>(N)) !=
+                   MemFault::None)
+    return -EFAULT;
+  return N;
+}
+
+int64_t VM::sysWrite(ThreadState &T, uint64_t Fd, uint64_t Buf,
+                     uint64_t Len) {
+  std::vector<char> Tmp(Len);
+  if (Len && Mem.read(Buf, Tmp.data(), Len) != MemFault::None)
+    return -EFAULT;
+  if (Fd == 1 || Fd == 2) {
+    auto &Sink = Fd == 1 ? Config.StdoutSink : Config.StderrSink;
+    if (Sink)
+      Sink(Tmp.data(), Len);
+    else
+      std::fwrite(Tmp.data(), 1, Len, Fd == 1 ? stdout : stderr);
+    return static_cast<int64_t>(Len);
+  }
+  auto It = FDs.find(static_cast<int>(Fd));
+  if (It == FDs.end())
+    return -EBADF;
+  ssize_t N = ::write(It->second.HostFd, Tmp.data(), Len);
+  return N < 0 ? -errno : N;
+}
+
+int64_t VM::sysClose(uint64_t Fd) {
+  auto It = FDs.find(static_cast<int>(Fd));
+  if (It == FDs.end())
+    return Fd <= 2 ? 0 : -EBADF;
+  ::close(It->second.HostFd);
+  FDs.erase(It);
+  return 0;
+}
+
+int64_t VM::sysLseek(uint64_t Fd, int64_t Off, uint64_t Whence) {
+  auto It = FDs.find(static_cast<int>(Fd));
+  if (It == FDs.end())
+    return -EBADF;
+  off_t Res = ::lseek(It->second.HostFd, Off, static_cast<int>(Whence));
+  return Res < 0 ? -errno : Res;
+}
+
+int64_t VM::sysBrk(uint64_t Addr) {
+  // Guest brk is grow-only (shrinks are refused, Linux-style failure
+  // semantics): this keeps the semantics implementable in a native ELFie,
+  // where heap growth maps fresh zero pages above the captured image.
+  if (Addr <= BrkTop || Addr < isa::HeapBase ||
+      Addr > isa::HeapBase + (1ull << 32))
+    return static_cast<int64_t>(BrkTop);
+  Mem.map(BrkTop, Addr - BrkTop, PermRW);
+  BrkTop = Addr;
+  return static_cast<int64_t>(BrkTop);
+}
+
+int64_t VM::sysMmapAnon(uint64_t Addr, uint64_t Len) {
+  if (Len == 0)
+    return -EINVAL;
+  if (Addr == 0) {
+    Addr = elf::alignUp(MmapCursor, GuestPageSize);
+    MmapCursor = Addr + elf::alignUp(Len, GuestPageSize);
+  }
+  Mem.map(Addr, Len, PermRW);
+  return static_cast<int64_t>(Addr);
+}
+
+int64_t VM::sysMunmap(uint64_t Addr, uint64_t Len) {
+  Mem.unmap(Addr, Len);
+  return 0;
+}
+
+VM::StepStatus VM::doSyscall(ThreadState &T) {
+  uint64_t PC = T.PC;
+  uint64_t Nr = T.GPR[isa::SysNrReg];
+  uint64_t Args[6];
+  for (unsigned I = 0; I < 6; ++I)
+    Args[I] = T.GPR[isa::SysArgReg0 + I];
+
+  auto Finish = [&](int64_t Result) {
+    T.GPR[isa::SysRetReg] = static_cast<uint64_t>(Result);
+    T.GPR[isa::RegZero] = 0;
+    if (Obs)
+      Obs->onSyscall(T.Tid, Nr, Args, Result);
+    T.PC = PC + isa::InstSize;
+    ++T.Retired;
+    ++GlobalRetired;
+  };
+
+  // Replay injection path: the interceptor handles everything except
+  // thread-lifecycle syscalls, which must execute for real so replayed
+  // threads actually exist/exit.
+  bool Lifecycle = Nr == static_cast<uint64_t>(isa::Sys::Exit) ||
+                   Nr == static_cast<uint64_t>(isa::Sys::ExitGroup) ||
+                   Nr == static_cast<uint64_t>(isa::Sys::Clone);
+  if (Interceptor && !Lifecycle) {
+    int64_t Result = 0;
+    if (Interceptor(T.Tid, Nr, Args, Result)) {
+      Finish(Result);
+      return StepStatus::Ok;
+    }
+  }
+
+  switch (static_cast<isa::Sys>(Nr)) {
+  case isa::Sys::Exit: {
+    if (Obs)
+      Obs->onSyscall(T.Tid, Nr, Args, 0);
+    ++T.Retired;
+    ++GlobalRetired;
+    T.PC = PC + isa::InstSize;
+    exitThread(T, static_cast<int64_t>(Args[0]));
+    if (liveThreadCount() == 0)
+      GroupExitCode = static_cast<int64_t>(Args[0]);
+    return StepStatus::Exited;
+  }
+  case isa::Sys::ExitGroup: {
+    if (Obs)
+      Obs->onSyscall(T.Tid, Nr, Args, 0);
+    ++T.Retired;
+    ++GlobalRetired;
+    T.PC = PC + isa::InstSize;
+    GroupExited = true;
+    GroupExitCode = static_cast<int64_t>(Args[0]);
+    exitThread(T, GroupExitCode);
+    return StepStatus::Exited;
+  }
+  case isa::Sys::Write:
+    Finish(sysWrite(T, Args[0], Args[1], Args[2]));
+    return StepStatus::Ok;
+  case isa::Sys::Read:
+    Finish(sysRead(T, Args[0], Args[1], Args[2]));
+    return StepStatus::Ok;
+  case isa::Sys::Open:
+    Finish(sysOpen(T, Args[0], Args[1], Args[2]));
+    return StepStatus::Ok;
+  case isa::Sys::Close:
+    Finish(sysClose(Args[0]));
+    return StepStatus::Ok;
+  case isa::Sys::Lseek:
+    Finish(sysLseek(Args[0], static_cast<int64_t>(Args[1]), Args[2]));
+    return StepStatus::Ok;
+  case isa::Sys::Brk:
+    Finish(sysBrk(Args[0]));
+    return StepStatus::Ok;
+  case isa::Sys::ClockGetTimeNs:
+    Finish(static_cast<int64_t>(virtualTimeNs()));
+    return StepStatus::Ok;
+  case isa::Sys::Clone: {
+    ThreadState Child;
+    Child.PC = Args[0];
+    Child.GPR[isa::RegSP] = Args[1];
+    Child.GPR[1] = Args[2];
+    uint32_t ChildTid = spawnThread(Child);
+    if (Obs)
+      Obs->onThreadCreate(T.Tid, ChildTid);
+    Finish(ChildTid);
+    return StepStatus::Ok;
+  }
+  case isa::Sys::GetTid:
+    Finish(T.Tid);
+    return StepStatus::Ok;
+  case isa::Sys::Yield:
+    QuantumLeft = 0;
+    Finish(0);
+    return StepStatus::Ok;
+  case isa::Sys::MmapAnon:
+    Finish(sysMmapAnon(Args[0], Args[1]));
+    return StepStatus::Ok;
+  case isa::Sys::Munmap:
+    Finish(sysMunmap(Args[0], Args[1]));
+    return StepStatus::Ok;
+  }
+  return fault(T, PC, "unknown system call %llu at %#llx",
+               static_cast<unsigned long long>(Nr),
+               static_cast<unsigned long long>(PC));
+}

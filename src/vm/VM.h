@@ -1,0 +1,266 @@
+//===- vm/VM.h - The EVM functional simulator -------------------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EVM: a deterministic, multi-threaded functional simulator for EG64 guest
+/// programs. It plays the role Pin plays in the paper's tool-chain: it runs
+/// unmodified guest binaries, exposes instrumentation hooks (instructions,
+/// memory accesses, control transfers, system calls, markers, thread
+/// events), and gives external controllers — the PinPlay-style logger, the
+/// constrained replayer, and the timing simulators — precise execution
+/// control (per-thread single stepping, instruction budgets, syscall
+/// interception).
+///
+/// Determinism: threads are interleaved by a round-robin scheduler with a
+/// fixed instruction quantum (optionally jittered by a seed to model
+/// run-to-run variation of multi-threaded programs, cf. paper §I). Atomics
+/// and fences are sequentially consistent because execution is a global
+/// interleaving of single steps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_VM_VM_H
+#define ELFIE_VM_VM_H
+
+#include "isa/ISA.h"
+#include "support/Error.h"
+#include "support/RNG.h"
+#include "vm/Memory.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace elf {
+class ELFReader;
+}
+namespace vm {
+
+/// Architectural state of one guest thread.
+struct ThreadState {
+  uint32_t Tid = 0;
+  uint64_t GPR[isa::NumGPRs] = {};
+  double FPR[isa::NumFPRs] = {};
+  uint64_t PC = 0;
+  bool Exited = false;
+  int64_t ExitCode = 0;
+  /// Instructions retired by this thread since creation.
+  uint64_t Retired = 0;
+};
+
+/// Why VM::run returned.
+enum class StopReason {
+  AllExited,     ///< every thread exited (or exit_group)
+  Halted,        ///< a halt instruction executed
+  Faulted,       ///< unmapped access / bad opcode / misaligned target
+  BudgetReached, ///< the instruction budget was consumed
+  Stopped,       ///< an observer called requestStop()
+};
+
+/// Details of a guest fault (the EVM analogue of an ELFie's "ungraceful
+/// exit", paper §II-C1).
+struct Fault {
+  uint32_t Tid = 0;
+  uint64_t PC = 0;
+  uint64_t Addr = 0;
+  std::string Message;
+};
+
+/// Result of a run.
+struct RunResult {
+  StopReason Reason = StopReason::AllExited;
+  Fault FaultInfo;
+  int64_t ExitCode = 0;
+};
+
+/// Instrumentation interface (the Pin "analysis routine" analogue).
+/// Callbacks fire synchronously from the interpreter loop.
+class Observer {
+public:
+  virtual ~Observer();
+  /// Before executing the instruction at \p PC.
+  virtual void onInstruction(const ThreadState &T, uint64_t PC,
+                             const isa::Inst &I) {}
+  /// After computing the effective address of a load/store/atomic.
+  virtual void onMemoryAccess(uint32_t Tid, uint64_t Addr, uint32_t Size,
+                              bool IsWrite) {}
+  /// After a taken or not-taken control transfer; \p ToPC is the next PC.
+  /// Fires only for control-flow instructions.
+  virtual void onControlTransfer(uint32_t Tid, uint64_t FromPC, uint64_t ToPC,
+                                 bool Taken) {}
+  /// After a system call completed (or was injected). Args are the values
+  /// of r1..r6 at entry; \p Result the value placed in r1.
+  virtual void onSyscall(uint32_t Tid, uint64_t Nr, const uint64_t *Args,
+                         int64_t Result) {}
+  /// A marker instruction retired.
+  virtual void onMarker(uint32_t Tid, isa::MarkerKind Kind, int32_t Tag) {}
+  virtual void onThreadCreate(uint32_t ParentTid, uint32_t ChildTid) {}
+  virtual void onThreadExit(uint32_t Tid, int64_t Code) {}
+};
+
+/// EVM configuration.
+struct VMConfig {
+  uint64_t StackTop = isa::DefaultStackTop;
+  uint64_t StackSize = 1 << 20;
+  /// Scheduler quantum in instructions.
+  uint64_t Quantum = 100;
+  /// Nonzero: jitter each quantum in [Quantum/2, 3*Quantum/2] from this
+  /// seed, modelling run-to-run thread-interleaving variation.
+  uint64_t ScheduleSeed = 0;
+  /// Virtual clock: clock_gettime = TimeBaseNs + retired * NsPerInst.
+  uint64_t TimeBaseNs = 1000000000ull;
+  uint64_t NsPerInst = 1;
+  /// true: clock_gettime returns the real host clock (non-deterministic).
+  bool RealTimeClock = false;
+  /// Directory guest open() paths resolve against.
+  std::string FsRoot = ".";
+  /// Sinks for guest stdout/stderr; when unset, bytes go to host stdout /
+  /// stderr.
+  std::function<void(const char *, size_t)> StdoutSink;
+  std::function<void(const char *, size_t)> StderrSink;
+};
+
+/// The functional simulator.
+class VM {
+public:
+  explicit VM(VMConfig Config = VMConfig());
+  ~VM();
+
+  /// Maps the PT_LOAD segments of a guest executable and records its entry
+  /// point. Rejects non-EG64 machines.
+  Error loadELF(const elf::ELFReader &Reader);
+
+  /// Convenience: open + parse + load.
+  Error loadELFFile(const std::string &Path);
+
+  /// Creates the main thread (tid 0): maps the stack, pushes argc/argv
+  /// Linux-style (argc at sp, argv pointers above), sets pc to the entry.
+  Error setupMainThread(const std::vector<std::string> &Args = {});
+
+  /// Creates a thread from explicit architectural state (used by the
+  /// replayer and by tests). Returns the tid.
+  uint32_t spawnThread(const ThreadState &Initial);
+
+  /// Runs until all threads exit, a fault, a halt, a stop request, or until
+  /// \p MaxInstructions have retired (across all threads).
+  RunResult run(uint64_t MaxInstructions = UINT64_MAX);
+
+  /// Executes exactly one instruction on \p Tid (replayer schedule control).
+  /// Returns the observed stop condition; StopReason::BudgetReached means
+  /// "stepped fine, more to run".
+  StopReason stepThread(uint32_t Tid);
+
+  /// Observer management (one active observer; null to detach).
+  void setObserver(Observer *O) { Obs = O; }
+
+  /// From an observer callback: makes run() return Stopped after the
+  /// current instruction.
+  void requestStop() { StopRequested = true; }
+
+  /// Syscall interception (replay injection). Return true to skip native
+  /// emulation; the interceptor is responsible for memory side effects and
+  /// must set \p Result (placed in r1).
+  using SyscallInterceptor = std::function<bool(
+      uint32_t Tid, uint64_t Nr, const uint64_t *Args, int64_t &Result)>;
+  void setSyscallInterceptor(SyscallInterceptor I) {
+    Interceptor = std::move(I);
+  }
+
+  AddressSpace &mem() { return Mem; }
+  const AddressSpace &mem() const { return Mem; }
+
+  ThreadState *thread(uint32_t Tid);
+  const ThreadState *thread(uint32_t Tid) const;
+
+  /// All thread ids ever created, in creation order.
+  std::vector<uint32_t> threadIds() const;
+  /// Tids that have not exited.
+  std::vector<uint32_t> liveThreadIds() const;
+  unsigned liveThreadCount() const;
+
+  /// Total instructions retired across all threads.
+  uint64_t globalRetired() const { return GlobalRetired; }
+
+  uint64_t entry() const { return Entry; }
+  const VMConfig &config() const { return Config; }
+
+  /// Current program break (guest heap top).
+  uint64_t brkTop() const { return BrkTop; }
+
+  /// Restores the program break without mapping pages (checkpoint restore;
+  /// the pages come from the checkpoint image).
+  void restoreBrk(uint64_t Top) { BrkTop = Top; }
+
+  /// The most recent fault (valid after a Faulted stop).
+  const Fault &lastFault() const { return LastFault; }
+
+  /// The exit code from exit_group / the last thread exit.
+  int64_t exitCode() const { return GroupExitCode; }
+
+  /// Guest-visible virtual time in nanoseconds (what clock_gettime sees).
+  uint64_t virtualTimeNs() const;
+
+private:
+  enum class StepStatus { Ok, Exited, Halted, Faulted, Stopped };
+  StepStatus stepOne(ThreadState &T);
+  StepStatus doSyscall(ThreadState &T);
+  StepStatus fault(ThreadState &T, uint64_t Addr, const char *Fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+  void exitThread(ThreadState &T, int64_t Code);
+  uint32_t pickNextThread();
+
+  // Host file descriptor table.
+  struct FDEntry {
+    int HostFd = -1;
+    std::string GuestPath;
+    bool IsStd = false;
+  };
+  int64_t sysOpen(ThreadState &T, uint64_t PathAddr, uint64_t Flags,
+                  uint64_t Mode);
+  int64_t sysRead(ThreadState &T, uint64_t Fd, uint64_t Buf, uint64_t Len);
+  int64_t sysWrite(ThreadState &T, uint64_t Fd, uint64_t Buf, uint64_t Len);
+  int64_t sysClose(uint64_t Fd);
+  int64_t sysLseek(uint64_t Fd, int64_t Off, uint64_t Whence);
+  int64_t sysBrk(uint64_t Addr);
+  int64_t sysMmapAnon(uint64_t Addr, uint64_t Len);
+  int64_t sysMunmap(uint64_t Addr, uint64_t Len);
+
+  VMConfig Config;
+  AddressSpace Mem;
+  uint64_t Entry = 0;
+
+  std::map<uint32_t, ThreadState> Threads;
+  std::vector<uint32_t> CreationOrder;
+  uint32_t NextTid = 0;
+
+  // Scheduler state.
+  size_t RRIndex = 0;          // index into CreationOrder
+  uint64_t QuantumLeft = 0;
+  RNG SchedRNG;
+
+  uint64_t GlobalRetired = 0;
+  uint64_t BrkTop = 0;
+  uint64_t MmapCursor = 0x20000000ull;
+  bool GroupExited = false;
+  int64_t GroupExitCode = 0;
+  bool StopRequested = false;
+  Fault LastFault;
+
+  Observer *Obs = nullptr;
+  SyscallInterceptor Interceptor;
+
+  std::map<int, FDEntry> FDs;
+  int NextFd = 3;
+};
+
+} // namespace vm
+} // namespace elfie
+
+#endif // ELFIE_VM_VM_H

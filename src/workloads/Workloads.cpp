@@ -1,0 +1,877 @@
+//===- workloads/Workloads.cpp --------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "easm/Assembler.h"
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+#include <map>
+
+using namespace elfie;
+using namespace elfie::workloads;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernel library. Contract: a kernel is a leaf subroutine `krn_<name>`;
+// on entry r10 = iteration count, r11 = data base address; clobbers
+// r1..r8, r12, r13; returns with ret. Buffer sizes are .equ constants.
+// ---------------------------------------------------------------------------
+
+struct Kernel {
+  const char *Name;
+  const char *Equates; ///< .equ lines
+  const char *Bss;     ///< .bss declarations
+  const char *Init;    ///< init subroutine body (init_<name>)
+  const char *Body;    ///< kernel subroutine (krn_<name>)
+  double InstsPerIter; ///< approximate retired instructions per iteration
+};
+
+// Rolling-hash over a byte buffer (perlbench-like string processing).
+const Kernel HashKernel = {
+    "hash",
+    "  .equ HBUF_SIZE, 65536\n  .equ HBUF_MASK, 65535\n",
+    "hbuf: .space 98368\nhout: .space 8\n",
+    R"(
+init_hash:
+  la   r1, hbuf
+  ldi  r2, 0
+  ldi  r3, 12345
+ih_loop:
+  muli r3, r3, 1103515245
+  addi r3, r3, 12345
+  shri r4, r3, 16
+  add  r5, r1, r2
+  st1  r4, 0(r5)
+  addi r2, r2, 1
+  slti r6, r2, HBUF_SIZE
+  bnez r6, ih_loop
+  ret
+)",
+    R"(
+krn_hash:
+  ldi  r2, 0
+  ldi  r3, 5381
+kh_loop:
+  andi r4, r2, HBUF_MASK
+  add  r5, r11, r4
+  ld1  r6, 0(r5)
+  muli r3, r3, 131
+  add  r3, r3, r6
+  andi r7, r3, 1
+  beqz r7, kh_even
+  shri r3, r3, 1
+  xori r3, r3, 0x5bd1
+kh_even:
+  addi r2, r2, 1
+  blt  r2, r10, kh_loop
+  la   r1, hout
+  st8  r3, 0(r1)
+  ret
+)",
+    11.0};
+
+// Pointer chasing over a permutation ring (mcf-like, cache hostile).
+const Kernel ChaseKernel = {
+    "chase",
+    "  .equ RING_ENTRIES, 1048576\n  .equ RING_MASK, 1048575\n",
+    "  .align 8\nring: .space 8421440\nchout: .space 8\n",
+    R"(
+init_chase:
+  la   r1, ring
+  ldi  r2, 0
+ic_loop:
+  addi r3, r2, 600641       # large odd stride, coprime with 2^20
+  andi r3, r3, RING_MASK
+  shli r4, r2, 3
+  add  r4, r4, r1
+  st8  r3, 0(r4)
+  addi r2, r2, 1
+  slti r5, r2, RING_ENTRIES
+  bnez r5, ic_loop
+  ret
+)",
+    R"(
+krn_chase:
+  ldi  r2, 0
+  ldi  r3, 0                # cursor
+kc_loop:
+  shli r4, r3, 3
+  add  r4, r4, r11
+  ld8  r3, 0(r4)
+  addi r2, r2, 1
+  blt  r2, r10, kc_loop
+  la   r1, chout
+  st8  r3, 0(r1)
+  ret
+)",
+    6.0};
+
+// FP stencil sweep over a grid row (lbm/roms-like streaming FP).
+const Kernel StencilKernel = {
+    "stencil",
+    "  .equ GRID_DOUBLES, 32768\n",
+    "  .align 8\nfgrid_a: .space 294976\nfgrid_b: .space 262144\n",
+    R"(
+init_stencil:
+  la   r1, fgrid_a
+  la   r2, fgrid_b
+  ldi  r3, 0
+is_loop:
+  fcvtid f1, r3
+  shli r4, r3, 3
+  add  r5, r1, r4
+  fst  f1, 0(r5)
+  add  r5, r2, r4
+  fst  f1, 0(r5)
+  addi r3, r3, 1
+  slti r6, r3, GRID_DOUBLES
+  bnez r6, is_loop
+  ret
+)",
+    R"(
+krn_stencil:                # r10 sweeps over the slice at r11
+  ldi  r12, 0
+ks_sweep:
+  ldi  r2, 1
+  ldi  r13, 4095            # doubles per slice sweep - 1
+ks_row:
+  shli r3, r2, 3
+  add  r3, r3, r11
+  fld  f1, -8(r3)
+  fld  f2, 0(r3)
+  fld  f3, 8(r3)
+  fadd f4, f1, f3
+  fadd f4, f4, f2
+  fmul f4, f4, f7           # f7 = 0.25 set by caller prologue below
+  fst  f4, 0(r3)
+  addi r2, r2, 1
+  blt  r2, r13, ks_row
+  addi r12, r12, 1
+  blt  r12, r10, ks_sweep
+  ret
+)",
+    9.0 * 4094};
+
+// Sum-of-absolute-differences over two blocks (x264-like).
+const Kernel SadKernel = {
+    "sad",
+    "  .equ FRAME_BYTES, 262144\n  .equ FRAME_MASK, 262143\n",
+    "frame_a: .space 294976\nframe_b: .space 294976\nsadout: .space 8\n",
+    R"(
+init_sad:
+  la   r1, frame_a
+  la   r2, frame_b
+  ldi  r3, 0
+  ldi  r4, 777
+isad_loop:
+  muli r4, r4, 1103515245
+  addi r4, r4, 12345
+  shri r5, r4, 13
+  add  r6, r1, r3
+  st1  r5, 0(r6)
+  shri r5, r4, 21
+  add  r6, r2, r3
+  st1  r5, 0(r6)
+  addi r3, r3, 1
+  slti r6, r3, FRAME_BYTES
+  bnez r6, isad_loop
+  ret
+)",
+    R"(
+krn_sad:                    # r10 blocks of 64 bytes each
+  ldi  r2, 0                # block index
+  ldi  r3, 0                # accumulator
+  la   r12, frame_b
+ksad_block:
+  muli r4, r2, 64
+  andi r4, r4, FRAME_MASK
+  add  r5, r11, r4
+  add  r6, r12, r4
+  ldi  r7, 0
+ksad_inner:
+  ld1  r8, 0(r5)
+  ld1  r13, 0(r6)
+  sub  r8, r8, r13
+  sari r13, r8, 63
+  xor  r8, r8, r13
+  sub  r8, r8, r13          # abs
+  add  r3, r3, r8
+  addi r5, r5, 1
+  addi r6, r6, 1
+  addi r7, r7, 1
+  slti r8, r7, 64
+  bnez r8, ksad_inner
+  addi r2, r2, 1
+  blt  r2, r10, ksad_block
+  la   r4, sadout
+  st8  r3, 0(r4)
+  ret
+)",
+    11.0 * 64};
+
+// Binary-tree descend-and-update (omnetpp/xalancbmk-like).
+const Kernel TreeKernel = {
+    "tree",
+    "  .equ TREE_NODES, 65536\n  .equ TREE_MASK, 65535\n",
+    "  .align 8\ntree: .space 557120\ntrout: .space 8\n",
+    R"(
+init_tree:
+  la   r1, tree
+  ldi  r2, 0
+  ldi  r3, 999
+it_loop:
+  muli r3, r3, 1103515245
+  addi r3, r3, 12345
+  shli r4, r2, 3
+  add  r4, r4, r1
+  st8  r3, 0(r4)
+  addi r2, r2, 1
+  slti r5, r2, TREE_NODES
+  bnez r5, it_loop
+  ret
+)",
+    R"(
+krn_tree:                   # r10 descents
+  ldi  r2, 0
+  ldi  r3, 424242           # key seed
+kt_desc:
+  muli r3, r3, 1103515245
+  addi r3, r3, 12345
+  ldi  r4, 1                # node index
+kt_step:
+  andi r5, r4, TREE_MASK
+  shli r5, r5, 3
+  add  r5, r5, r11
+  ld8  r6, 0(r5)
+  xor  r7, r6, r3
+  andi r7, r7, 1
+  shli r4, r4, 1
+  add  r4, r4, r7           # left/right by key bit
+  addi r6, r6, 1
+  st8  r6, 0(r5)
+  sltui r8, r4, TREE_NODES
+  bnez r8, kt_step
+  addi r2, r2, 1
+  blt  r2, r10, kt_desc
+  la   r1, trout
+  st8  r4, 0(r1)
+  ret
+)",
+    11.0 * 16};
+
+// LCG Monte-Carlo histogram updates (leela-like).
+const Kernel RngKernel = {
+    "rng",
+    "  .equ HIST_ENTRIES, 4096\n  .equ HIST_MASK, 4095\n",
+    "  .align 8\nhist: .space 65600\n",
+    R"(
+init_rng:
+  ret
+)",
+    R"(
+krn_rng:
+  ldi  r2, 0
+  ldi  r3, 31337
+kr_loop:
+  muli r3, r3, 1103515245
+  addi r3, r3, 12345
+  shri r4, r3, 8
+  andi r4, r4, HIST_MASK
+  shli r4, r4, 3
+  add  r4, r4, r11
+  ld8  r5, 0(r4)
+  addi r5, r5, 1
+  st8  r5, 0(r4)
+  andi r6, r3, 7
+  bnez r6, kr_skip
+  sub  r5, r5, r2
+kr_skip:
+  addi r2, r2, 1
+  blt  r2, r10, kr_loop
+  ret
+)",
+    12.0};
+
+// Window match searching (xz-like compression).
+const Kernel MatchKernel = {
+    "match",
+    "  .equ WIN_BYTES, 131072\n  .equ WIN_MASK, 131071\n",
+    "window: .space 163904\nmout: .space 8\n",
+    R"(
+init_match:
+  la   r1, window
+  ldi  r2, 0
+  ldi  r3, 55
+im_loop:
+  muli r3, r3, 1103515245
+  addi r3, r3, 12345
+  shri r4, r3, 18
+  andi r4, r4, 15           # small alphabet -> frequent partial matches
+  add  r5, r1, r2
+  st1  r4, 0(r5)
+  addi r2, r2, 1
+  slti r6, r2, WIN_BYTES
+  bnez r6, im_loop
+  ret
+)",
+    R"(
+krn_match:                  # r10 match attempts
+  ldi  r2, 0
+  ldi  r3, 1                # position
+  ldi  r12, 0               # total match length
+km_try:
+  muli r4, r3, 2654435
+  andi r4, r4, WIN_MASK     # candidate
+  add  r5, r11, r3
+  add  r6, r11, r4
+  ldi  r7, 0
+km_cmp:
+  ld1  r8, 0(r5)
+  ld1  r13, 0(r6)
+  bne  r8, r13, km_done
+  addi r5, r5, 1
+  addi r6, r6, 1
+  addi r7, r7, 1
+  slti r8, r7, 64
+  bnez r8, km_cmp
+km_done:
+  add  r12, r12, r7
+  addi r3, r3, 7
+  andi r3, r3, WIN_MASK
+  bnez r3, km_next
+  ldi  r3, 1
+km_next:
+  addi r2, r2, 1
+  blt  r2, r10, km_try
+  la   r1, mout
+  st8  r12, 0(r1)
+  ret
+)",
+    9.0 * 8};
+
+// Dense FP mini-matmul (namd/bwaves-like).
+const Kernel MatKernel = {
+    "mat",
+    "  .equ MAT_N, 16\n",
+    "  .align 8\nmat_a: .space 2048\nmat_b: .space 2048\nmat_c: .space 2048\n",
+    R"(
+init_mat:
+  la   r1, mat_a
+  la   r2, mat_b
+  ldi  r3, 0
+imat_loop:
+  addi r4, r3, 1
+  fcvtid f1, r4
+  shli r5, r3, 3
+  add  r6, r1, r5
+  fst  f1, 0(r6)
+  add  r6, r2, r5
+  fst  f1, 0(r6)
+  addi r3, r3, 1
+  slti r6, r3, 256
+  bnez r6, imat_loop
+  ret
+)",
+    R"(
+krn_mat:                    # r10 = full 16x16x16 multiplications
+  ldi  r12, 0
+kmat_rep:
+  ldi  r2, 0                # i
+kmat_i:
+  ldi  r3, 0                # j
+kmat_j:
+  ldi  r4, 0                # k
+  fmvtof f1, r0             # acc = 0
+kmat_k:
+  muli r5, r2, 128          # i*16*8
+  shli r6, r4, 3
+  add  r5, r5, r6
+  la   r7, mat_a
+  add  r5, r5, r7
+  fld  f2, 0(r5)
+  muli r5, r4, 128
+  shli r6, r3, 3
+  add  r5, r5, r6
+  la   r7, mat_b
+  add  r5, r5, r7
+  fld  f3, 0(r5)
+  fmul f4, f2, f3
+  fadd f1, f1, f4
+  addi r4, r4, 1
+  slti r5, r4, MAT_N
+  bnez r5, kmat_k
+  muli r5, r2, 128
+  shli r6, r3, 3
+  add  r5, r5, r6
+  la   r7, mat_c
+  add  r5, r5, r7
+  fst  f1, 0(r5)
+  addi r3, r3, 1
+  slti r5, r3, MAT_N
+  bnez r5, kmat_j
+  addi r2, r2, 1
+  slti r5, r2, MAT_N
+  bnez r5, kmat_i
+  addi r12, r12, 1
+  blt  r12, r10, kmat_rep
+  ret
+)",
+    16.0 * 16 * 16 * 16 + 16 * 16 * 10};
+
+// Branchy register-heavy integer mix, barely touching memory
+// (exchange2/deepsjeng-like).
+const Kernel MixKernel = {
+    "mix",
+    "",
+    "mixout: .space 8\n",
+    R"(
+init_mix:
+  ret
+)",
+    R"(
+krn_mix:
+  ldi  r2, 0
+  ldi  r3, 98765
+  ldi  r4, 4242
+km_loop:
+  muli r3, r3, 69069
+  addi r3, r3, 1
+  xor  r4, r4, r3
+  shri r5, r4, 7
+  add  r4, r4, r5
+  andi r6, r3, 3
+  beqz r6, km_a
+  slti r7, r6, 2
+  bnez r7, km_b
+  sub  r4, r4, r2
+  jmp  km_c
+km_a:
+  add  r4, r4, r2
+  jmp  km_c
+km_b:
+  xori r4, r4, 0x7f7f
+km_c:
+  addi r2, r2, 1
+  blt  r2, r10, km_loop
+  la   r1, mixout
+  st8  r4, 0(r1)
+  ret
+)",
+    13.0};
+
+// Recursive descent with real stack traffic (deepsjeng-like search).
+const Kernel RecurseKernel = {
+    "recurse",
+    "  .equ REC_DEPTH, 24\n",
+    "recout: .space 8\n",
+    R"(
+init_recurse:
+  ret
+)",
+    R"(
+krn_recurse:                # r10 root calls
+  push lr
+  ldi  r2, 0
+krec_loop:
+  ldi  r1, REC_DEPTH
+  call rec_fn
+  la   r3, recout
+  st8  r1, 0(r3)
+  addi r2, r2, 1
+  blt  r2, r10, krec_loop
+  pop  lr
+  ret
+rec_fn:                     # r1 = depth -> r1 = value
+  slti r3, r1, 1
+  beqz r3, rec_go
+  ldi  r1, 1
+  ret
+rec_go:
+  push lr
+  push r1
+  addi r1, r1, -1
+  call rec_fn
+  pop  r4                   # original depth
+  muli r5, r4, 3
+  add  r1, r1, r5
+  andi r6, r4, 1
+  beqz r6, rec_even
+  xori r1, r1, 0x155
+rec_even:
+  pop  lr
+  ret
+)",
+    24.0 * 12};
+
+// Clock-polling loop (the non-repeatable-syscall behaviour some
+// workloads have; also exercised by the sysstate machinery).
+const Kernel ClockKernel = {
+    "clock",
+    "",
+    "ckout: .space 8\n",
+    R"(
+init_clock:
+  ret
+)",
+    R"(
+krn_clock:
+  ldi  r2, 0
+  ldi  r3, 0
+kck_loop:
+  ldi  r7, 8
+  syscall
+  andi r4, r1, 1023
+  add  r3, r3, r4
+  addi r2, r2, 1
+  blt  r2, r10, kck_loop
+  la   r1, ckout
+  st8  r3, 0(r1)
+  ret
+)",
+    8.0};
+
+const Kernel *allKernels[] = {&HashKernel, &ChaseKernel,  &StencilKernel,
+                              &SadKernel,  &TreeKernel,   &RngKernel,
+                              &MatchKernel, &MatKernel,   &MixKernel,
+                              &RecurseKernel, &ClockKernel};
+
+const Kernel *kernelByName(const std::string &Name) {
+  for (const Kernel *K : allKernels)
+    if (Name == K->Name)
+      return K;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Workload descriptions: phase sequences in target instruction counts.
+// ---------------------------------------------------------------------------
+
+struct Phase {
+  const char *Kernel;
+  /// Target retired instructions for this phase at train scale.
+  double TrainInsts;
+  /// Data base label override (defaults to the kernel's primary buffer).
+  const char *Base = nullptr;
+};
+
+struct WorkloadDef {
+  const char *Name;
+  Suite SuiteKind;
+  bool MultiThreaded;
+  unsigned RelativeLength; // ref multiplier vs train (x10 baseline)
+  std::vector<Phase> Phases;
+};
+
+const char *primaryBase(const std::string &Kernel) {
+  if (Kernel == "hash")
+    return "hbuf";
+  if (Kernel == "chase")
+    return "ring";
+  if (Kernel == "stencil")
+    return "fgrid_a";
+  if (Kernel == "sad")
+    return "frame_a";
+  if (Kernel == "tree")
+    return "tree";
+  if (Kernel == "rng")
+    return "hist";
+  if (Kernel == "match")
+    return "window";
+  if (Kernel == "mat")
+    return "mat_a";
+  return "mixout"; // mix/recurse/clock ignore r11
+}
+
+const std::vector<WorkloadDef> &workloadDefs() {
+  // Train targets are in instructions (~1/1000 of the paper's train runs).
+  static const std::vector<WorkloadDef> Defs = {
+      // ---- int rate ----
+      {"perlbench_like", Suite::IntRate, false, 8,
+       {{"hash", 1.2e6}, {"match", 0.8e6}, {"hash", 1.0e6},
+        {"tree", 0.6e6}, {"hash", 0.9e6}}},
+      {"gcc_like", Suite::IntRate, false, 6,
+       // Many short, dissimilar phases: the "hard to represent" benchmark
+       // (paper Fig. 9 / Table II).
+       {{"hash", 0.35e6}, {"tree", 0.45e6}, {"mix", 0.3e6},
+        {"match", 0.4e6}, {"chase", 0.5e6}, {"rng", 0.3e6},
+        {"tree", 0.35e6}, {"hash", 0.3e6}, {"mix", 0.45e6},
+        {"chase", 0.4e6}, {"match", 0.35e6}, {"rng", 0.4e6}}},
+      {"mcf_like", Suite::IntRate, false, 10,
+       {{"chase", 2.2e6}, {"tree", 0.5e6}, {"chase", 1.8e6}}},
+      {"omnetpp_like", Suite::IntRate, false, 7,
+       {{"tree", 1.5e6}, {"rng", 0.5e6}, {"tree", 1.2e6}}},
+      {"xalancbmk_like", Suite::IntRate, false, 7,
+       {{"tree", 1.0e6}, {"hash", 0.8e6}, {"tree", 0.9e6},
+        {"match", 0.5e6}}},
+      {"x264_like", Suite::IntRate, false, 12,
+       {{"sad", 1.5e6}, {"hash", 0.3e6}, {"sad", 1.4e6}, {"hash", 0.3e6},
+        {"sad", 1.6e6}}},
+      {"deepsjeng_like", Suite::IntRate, false, 8,
+       {{"recurse", 1.2e6}, {"tree", 0.7e6}, {"recurse", 1.1e6},
+        {"mix", 0.5e6}}},
+      {"leela_like", Suite::IntRate, false, 9,
+       {{"rng", 1.4e6}, {"tree", 0.8e6}, {"rng", 1.3e6}}},
+      {"exchange2_like", Suite::IntRate, false, 10,
+       {{"mix", 1.8e6}, {"recurse", 0.9e6}, {"mix", 1.7e6}}},
+      {"xz_like", Suite::IntRate, false, 14,
+       {{"match", 1.6e6}, {"rng", 0.4e6}, {"match", 1.5e6},
+        {"hash", 0.5e6}}},
+      // ---- fp rate ----
+      {"lbm_like", Suite::FpRate, false, 12,
+       {{"stencil", 2.5e6}, {"mat", 0.4e6}, {"stencil", 2.2e6}}},
+      {"namd_like", Suite::FpRate, false, 9,
+       {{"mat", 1.8e6}, {"stencil", 0.8e6}, {"mat", 1.6e6}}},
+      {"povray_like", Suite::FpRate, false, 8,
+       {{"mat", 1.0e6}, {"rng", 0.6e6}, {"stencil", 0.9e6},
+        {"mix", 0.5e6}}},
+      {"roms_like", Suite::FpRate, false, 11,
+       {{"stencil", 1.8e6}, {"sad", 0.5e6}, {"stencil", 1.9e6}}},
+      {"fotonik3d_like", Suite::FpRate, false, 10,
+       {{"stencil", 2.0e6}, {"mat", 0.7e6}, {"stencil", 1.7e6}}},
+      {"cactus_like", Suite::FpRate, false, 9,
+       {{"mat", 1.2e6}, {"stencil", 1.4e6}, {"mat", 1.1e6}}},
+      // ---- omp speed (8 threads; aggregate instruction targets) ----
+      {"xz_s", Suite::OmpSpeed, false, 10, // single-threaded speed run
+       {{"match", 2.0e6}, {"hash", 0.6e6}, {"match", 1.8e6}}},
+      {"bwaves_s_like", Suite::OmpSpeed, true, 10,
+       {{"mat", 2.4e6}, {"stencil", 1.6e6}}},
+      {"lbm_s_like", Suite::OmpSpeed, true, 12,
+       {{"stencil", 2.8e6}, {"mat", 1.2e6}}},
+      {"imagick_s_like", Suite::OmpSpeed, true, 9,
+       {{"sad", 2.0e6}, {"hash", 1.2e6}}},
+      {"nab_s_like", Suite::OmpSpeed, true, 8,
+       {{"mat", 1.6e6}, {"rng", 1.0e6}, {"mat", 1.4e6}}},
+  };
+  return Defs;
+}
+
+double inputScale(InputSet I) {
+  switch (I) {
+  case InputSet::Test:
+    return 0.15;
+  case InputSet::Train:
+    return 1.0;
+  case InputSet::Ref:
+    return 10.0;
+  }
+  return 1.0;
+}
+
+/// Builds the full assembly program for a workload definition.
+std::string buildProgramSource(const WorkloadDef &Def, InputSet Input) {
+  double Scale = inputScale(Input);
+  if (Input == InputSet::Ref)
+    Scale *= Def.RelativeLength / 8.0; // spread ref lengths per benchmark
+
+  // Collect the kernels used (each instantiated once).
+  std::map<std::string, const Kernel *> Used;
+  for (const Phase &P : Def.Phases)
+    Used[P.Kernel] = kernelByName(P.Kernel);
+
+  std::string S;
+  S += "# generated workload: ";
+  S += Def.Name;
+  S += "\n";
+  for (auto &[Name, K] : Used)
+    S += K->Equates;
+  S += "  .text\n_start:\n";
+
+  // Init all kernels' data.
+  for (auto &[Name, K] : Used)
+    S += formatString("  call init_%s\n", Name.c_str());
+  // FP constant for the stencil (f7 = 0.25).
+  if (Used.count("stencil"))
+    S += "  ldi r1, 1\n  fcvtid f7, r1\n  ldi r1, 4\n  fcvtid f8, r1\n"
+         "  fdiv f7, f7, f8\n";
+
+  unsigned Threads = Def.MultiThreaded ? 8 : 1;
+  if (!Def.MultiThreaded) {
+    S += "  ldi r9, 0\n  call wl_phases\n  jmp wl_finish\n";
+  } else {
+    // Spawn 7 workers; everyone (including the main thread as index 0)
+    // runs the phase sequence with per-thread data slices and meets at a
+    // spin barrier after each phase (OpenMP active-wait style).
+    S += R"(
+  ldi  r9, 1
+wl_spawn:
+  ldi  r7, 9
+  la   r1, wl_worker
+  la   r2, wl_stacks
+  muli r3, r9, 8192
+  add  r2, r2, r3
+  mov  r3, r9
+  syscall
+  addi r9, r9, 1
+  slti r4, r9, 8
+  bnez r4, wl_spawn
+  ldi  r9, 0                # main thread participates as index 0
+  call wl_phases
+wl_wait_end:
+  la   r2, wl_done
+  ld8  r3, 0(r2)
+  pause
+  slti r4, r3, 7            # 7 workers signal; main thread is index 0
+  bnez r4, wl_wait_end
+  jmp  wl_finish
+
+wl_worker:                  # r1 = thread index
+  mov  r9, r1
+  call wl_phases
+  la   r2, wl_done
+  ldi  r3, 1
+  amoadd r4, (r2), r3
+  ldi  r7, 0
+  ldi  r1, 0
+  syscall
+)";
+  }
+
+  // The phase driver (wl_phases): each phase sets r10/r11 and calls the
+  // kernel; MT variants divide iterations by the thread count and offset
+  // the data base by a per-thread slice.
+  S += "\nwl_phases:\n  push lr\n";
+  int BarrierNo = 0;
+  for (const Phase &P : Def.Phases) {
+    const Kernel *K = Used[P.Kernel];
+    uint64_t Iters = static_cast<uint64_t>(P.TrainInsts * Scale /
+                                           K->InstsPerIter);
+    if (Iters == 0)
+      Iters = 1;
+    if (Def.MultiThreaded)
+      Iters = std::max<uint64_t>(1, Iters / Threads);
+    // (threads scale this per-index below: see the imbalance note)
+    const char *Base = P.Base ? P.Base : primaryBase(P.Kernel);
+    S += formatString("  li r10, %llu\n",
+                      static_cast<unsigned long long>(Iters));
+    S += formatString("  la r11, %s\n", Base);
+    if (Def.MultiThreaded) {
+      // Slice the buffer: base += tid * 4096 (keeps slices disjoint for
+      // cache behaviour without changing kernel code).
+      S += "  muli r12, r9, 4096\n  add r11, r11, r12\n";
+      // Work imbalance: thread t runs iters * (8 + t) / 8, so early
+      // finishers spin at the barrier — the active-wait behaviour behind
+      // the paper's Fig. 11 (ELFie icounts exceed pinball icounts).
+      S += "  addi r12, r9, 8\n  mul r10, r10, r12\n  shri r10, r10, 3\n";
+    }
+    S += formatString("  call krn_%s\n", P.Kernel);
+    if (Def.MultiThreaded) {
+      // Barrier.
+      ++BarrierNo;
+      S += formatString(R"(
+  la   r2, wl_barrier
+  ldi  r3, 1
+  amoadd r4, (r2), r3
+  ldi  r13, %d
+wl_bspin_%d:
+  la   r2, wl_barrier
+  ld8  r4, 0(r2)
+  pause
+  blt  r4, r13, wl_bspin_%d
+)",
+                        BarrierNo * 8, BarrierNo, BarrierNo);
+    }
+  }
+  S += "  pop lr\n  ret\n";
+
+  // Program end: write one result byte, exit.
+  S += R"(
+wl_finish:
+  la   r1, hashout_any
+  ld8  r2, 0(r1)
+  ldi  r7, 2
+  ldi  r1, 1
+  la   r2, hashout_any
+  ldi  r3, 1
+  syscall
+  ldi  r7, 1
+  ldi  r1, 0
+  syscall
+)";
+
+  // Kernel bodies + inits.
+  for (auto &[Name, K] : Used) {
+    S += K->Init;
+    S += K->Body;
+  }
+
+  // Data.
+  S += "  .data\n  .align 8\nhashout_any: .quad 0\n";
+  S += "  .bss\n  .align 8\n";
+  for (auto &[Name, K] : Used)
+    S += K->Bss;
+  if (Def.MultiThreaded)
+    S += "wl_barrier: .space 8\nwl_done: .space 8\nwl_stacks: .space "
+         "65536\n";
+  return S;
+}
+
+} // namespace
+
+const std::vector<WorkloadInfo> &workloads::registry() {
+  static std::vector<WorkloadInfo> Infos = [] {
+    std::vector<WorkloadInfo> Out;
+    for (const WorkloadDef &D : workloadDefs())
+      Out.push_back({D.Name, D.SuiteKind, D.MultiThreaded,
+                     D.RelativeLength});
+    return Out;
+  }();
+  return Infos;
+}
+
+std::vector<WorkloadInfo> workloads::suite(Suite S) {
+  std::vector<WorkloadInfo> Out;
+  for (const WorkloadInfo &W : registry())
+    if (W.SuiteKind == S)
+      Out.push_back(W);
+  return Out;
+}
+
+const WorkloadInfo *workloads::find(const std::string &Name) {
+  for (const WorkloadInfo &W : registry())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+Expected<std::string> workloads::generateSource(const std::string &Name,
+                                                InputSet Input) {
+  for (const WorkloadDef &D : workloadDefs())
+    if (Name == D.Name)
+      return buildProgramSource(D, Input);
+  return makeError("unknown workload '%s'", Name.c_str());
+}
+
+Expected<std::vector<uint8_t>>
+workloads::buildWorkload(const std::string &Name, InputSet Input) {
+  auto Src = generateSource(Name, Input);
+  if (!Src)
+    return Src.takeError();
+  return easm::assembleToELF(*Src, Name + ".s");
+}
+
+Error workloads::buildWorkloadFile(const std::string &Name, InputSet Input,
+                                   const std::string &OutPath) {
+  auto Src = generateSource(Name, Input);
+  if (!Src)
+    return Src.takeError();
+  return easm::assembleToFile(*Src, Name + ".s", OutPath);
+}
+
+const char *workloads::inputSetName(InputSet I) {
+  switch (I) {
+  case InputSet::Test:
+    return "test";
+  case InputSet::Train:
+    return "train";
+  case InputSet::Ref:
+    return "ref";
+  }
+  return "?";
+}

@@ -1,0 +1,83 @@
+//===- workloads/Workloads.h - synthetic SPEC-like suite --------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload suite standing in for SPEC CPU2017/CPU2006 (DESIGN.md §2).
+/// Each workload is generated EG64 assembly composed from a library of
+/// kernels chosen to reproduce the *behavioural properties* the paper's
+/// evaluation depends on:
+///
+///  * distinct execution phases (SimPoint clustering finds them),
+///  * a "hard to represent" many-phase benchmark (gcc_like, Table II),
+///  * cache-hostile pointer chasing (mcf_like), streaming media compute
+///    (x264_like), compression match loops (xz_like), FP stencils and
+///    dense kernels (the fp suite),
+///  * multi-threaded "speed" variants with OpenMP-style active-wait
+///    spinning (§IV-B, Fig. 11) — including the single-threaded xz_s.1,
+///  * clock and file system calls where the originals have them.
+///
+/// Input sets scale iteration counts: test < train < ref, mirroring the
+/// paper's train/ref distinction at 1/1000 scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_WORKLOADS_WORKLOADS_H
+#define ELFIE_WORKLOADS_WORKLOADS_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace workloads {
+
+enum class InputSet { Test, Train, Ref };
+
+/// Which part of the suite a workload belongs to.
+enum class Suite {
+  IntRate, ///< single-threaded integer (SPECrate int analogue)
+  FpRate,  ///< single-threaded floating point
+  OmpSpeed ///< 8-thread speed workloads (OpenMP analogue)
+};
+
+struct WorkloadInfo {
+  std::string Name;
+  Suite SuiteKind;
+  bool MultiThreaded;
+  /// Rough relative run length (ref instructions / shortest ref).
+  unsigned RelativeLength;
+};
+
+/// All workloads, in canonical order.
+const std::vector<WorkloadInfo> &registry();
+
+/// Workloads of one suite.
+std::vector<WorkloadInfo> suite(Suite S);
+
+/// Looks up a workload; null when unknown.
+const WorkloadInfo *find(const std::string &Name);
+
+/// Generates the assembly source for \p Name with \p Input scaling.
+Expected<std::string> generateSource(const std::string &Name,
+                                     InputSet Input);
+
+/// Assembles the workload into a guest ELF image.
+Expected<std::vector<uint8_t>> buildWorkload(const std::string &Name,
+                                             InputSet Input);
+
+/// Assembles to a file (used by tools, benches, and examples).
+Error buildWorkloadFile(const std::string &Name, InputSet Input,
+                        const std::string &OutPath);
+
+const char *inputSetName(InputSet I);
+
+} // namespace workloads
+} // namespace elfie
+
+#endif // ELFIE_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,106 @@
+//===- tests/common/Subprocess.h - run emitted ELFies -----------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an emitted native ELFie as a subprocess and captures stdout,
+/// stderr, and the wait status. Used by the pinball2elf tests, examples,
+/// and benches to validate that ELFies really run natively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_TESTS_COMMON_SUBPROCESS_H
+#define ELFIE_TESTS_COMMON_SUBPROCESS_H
+
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <signal.h>
+
+namespace elfie {
+namespace test {
+
+struct ProcessResult {
+  bool Started = false;
+  bool Exited = false;   ///< normal exit (vs signal)
+  int ExitCode = -1;     ///< when Exited
+  int TermSignal = 0;    ///< when killed by a signal
+  std::string Stdout;
+  std::string Stderr;
+  std::string Error;
+};
+
+/// Runs \p Path (argv[0] only) with \p WorkDir as its working directory
+/// (empty = inherit), capturing stdout/stderr. Kills the child after
+/// \p TimeoutSec seconds.
+inline ProcessResult runProcess(const std::string &Path,
+                                const std::string &WorkDir = "",
+                                int TimeoutSec = 30) {
+  ProcessResult R;
+  int OutPipe[2], ErrPipe[2];
+  if (pipe(OutPipe) != 0 || pipe(ErrPipe) != 0) {
+    R.Error = "pipe failed";
+    return R;
+  }
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    R.Error = "fork failed";
+    return R;
+  }
+  if (Pid == 0) {
+    // Child.
+    dup2(OutPipe[1], 1);
+    dup2(ErrPipe[1], 2);
+    close(OutPipe[0]);
+    close(OutPipe[1]);
+    close(ErrPipe[0]);
+    close(ErrPipe[1]);
+    if (!WorkDir.empty() && chdir(WorkDir.c_str()) != 0)
+      _exit(126);
+    alarm(static_cast<unsigned>(TimeoutSec));
+    char *const Argv[] = {const_cast<char *>(Path.c_str()), nullptr};
+    execv(Path.c_str(), Argv);
+    _exit(125); // exec failed
+  }
+  close(OutPipe[1]);
+  close(ErrPipe[1]);
+  R.Started = true;
+
+  auto Drain = [](int Fd, std::string &Out) {
+    char Buf[4096];
+    ssize_t N;
+    while ((N = read(Fd, Buf, sizeof(Buf))) > 0)
+      Out.append(Buf, static_cast<size_t>(N));
+  };
+  // Sequential drains suffice: pipe buffers hold our small test outputs.
+  Drain(OutPipe[0], R.Stdout);
+  Drain(ErrPipe[0], R.Stderr);
+  close(OutPipe[0]);
+  close(ErrPipe[0]);
+
+  int Status = 0;
+  if (waitpid(Pid, &Status, 0) < 0) {
+    R.Error = "waitpid failed";
+    return R;
+  }
+  if (WIFEXITED(Status)) {
+    R.Exited = true;
+    R.ExitCode = WEXITSTATUS(Status);
+  } else if (WIFSIGNALED(Status)) {
+    R.TermSignal = WTERMSIG(Status);
+  }
+  return R;
+}
+
+} // namespace test
+} // namespace elfie
+
+#endif // ELFIE_TESTS_COMMON_SUBPROCESS_H

@@ -1,0 +1,84 @@
+//===- tests/core/ObjectElfieTest.cpp - ET_REL emission (§II-B5) ----------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pinball2Elf.h"
+
+#include "../common/TestHelpers.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+using namespace elfie::core;
+
+namespace {
+
+TEST(ObjectElfie, EmitsRelocatableWithContextsAndSymbols) {
+  std::string Dir = testing::TempDir() + "/elfie_obj";
+  removeTree(Dir);
+  createDirectories(Dir);
+  auto PB = test::capture(Dir, test::computeProgram(), 4000, 6000,
+                          pinball::LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+
+  Pinball2ElfOptions Opts;
+  Opts.TargetKind = Pinball2ElfOptions::Target::Object;
+  auto Image = pinballToElf(*PB, Opts);
+  ASSERT_TRUE(Image.hasValue()) << Image.message();
+
+  auto R = elf::ELFReader::parse(*Image);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  // Relocatable: no program headers, no entry point.
+  EXPECT_EQ(R->fileType(), elf::ET_REL);
+  EXPECT_EQ(R->entry(), 0u);
+  EXPECT_TRUE(R->segments().empty());
+
+  // Pinball pages present as sections at their original addresses.
+  bool FoundText = false;
+  for (const auto &S : R->sections())
+    if (startsWith(S.Name, ".text.0x"))
+      FoundText = true;
+  EXPECT_TRUE(FoundText);
+
+  // Packed contexts + the .t<N>.<reg> symbols of §II-B5.
+  const auto *Ctx = R->findSection(".data.contexts");
+  ASSERT_NE(Ctx, nullptr);
+  size_t PerThread = (isa::NumGPRs + isa::NumFPRs + 2) * 8;
+  EXPECT_EQ(Ctx->Data.size(), PB->Threads.size() * PerThread);
+  const auto *R7 = R->findSymbol(".t0.r7");
+  ASSERT_NE(R7, nullptr);
+  uint64_t Value;
+  memcpy(&Value, Ctx->Data.data() + R7->Value, 8);
+  EXPECT_EQ(Value, PB->Threads[0].GPR[7])
+      << "the context bytes must be the captured register values";
+  const auto *PC = R->findSymbol(".t0.pc");
+  ASSERT_NE(PC, nullptr);
+  memcpy(&Value, Ctx->Data.data() + PC->Value, 8);
+  EXPECT_EQ(Value, PB->Threads[0].PC);
+  const auto *IC = R->findSymbol(".t0.icount");
+  ASSERT_NE(IC, nullptr);
+  EXPECT_EQ(IC->Value, 6000u);
+  removeTree(Dir);
+}
+
+TEST(ObjectElfie, ToolAcceptsObjectTarget) {
+  // Covered end-to-end in tests/tools; here just the library dispatch.
+  std::string Dir = testing::TempDir() + "/elfie_obj2";
+  removeTree(Dir);
+  createDirectories(Dir);
+  auto PB = test::capture(Dir, test::computeProgram(), 1000, 1000,
+                          pinball::LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue());
+  Pinball2ElfOptions Opts;
+  Opts.TargetKind = Pinball2ElfOptions::Target::Object;
+  std::string Path = Dir + "/r.o";
+  ASSERT_FALSE(pinballToElfFile(*PB, Opts, Path).isError());
+  EXPECT_TRUE(fileExists(Path));
+  removeTree(Dir);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- tests/elf/ELFTest.cpp - ELF writer/reader round trips --------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "elf/ELFReader.h"
+#include "elf/ELFWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+using namespace elfie::elf;
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const char *S) {
+  return std::vector<uint8_t>(S, S + strlen(S));
+}
+
+TEST(ELFWriter, MinimalExecutableRoundTrip) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  W.setEntry(0x10000);
+  unsigned Text = W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000,
+                               bytesOf("CODECODE"));
+  W.addSymbol("_start", 0x10000, Text, STB_GLOBAL, STT_FUNC);
+
+  auto R = ELFReader::parse(W.finalize());
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(R->fileType(), ET_EXEC);
+  EXPECT_EQ(R->machine(), EM_EG64);
+  EXPECT_EQ(R->entry(), 0x10000u);
+
+  const auto *S = R->findSection(".text");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Addr, 0x10000u);
+  EXPECT_EQ(S->Data, bytesOf("CODECODE"));
+  EXPECT_TRUE(S->Flags & SHF_EXECINSTR);
+
+  const auto *Sym = R->findSymbol("_start");
+  ASSERT_NE(Sym, nullptr);
+  EXPECT_EQ(Sym->Value, 0x10000u);
+}
+
+TEST(ELFWriter, SegmentsCoverAllocSectionsOnly) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000, bytesOf("XXXX"));
+  W.addSection(".data", SHF_ALLOC | SHF_WRITE, 0x20000, bytesOf("YYYY"));
+  // Non-ALLOC section: carries data but must not produce a PT_LOAD. This is
+  // how pinball2elf keeps checkpointed stack pages away from the system
+  // loader (paper Fig. 4/5).
+  W.addSection(".data.stack.stash", 0, 0x7ff0000000, bytesOf("SSSS"));
+
+  auto R = ELFReader::parse(W.finalize());
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  unsigned NumLoad = 0;
+  for (const auto &Seg : R->segments())
+    if (Seg.Type == PT_LOAD)
+      ++NumLoad;
+  EXPECT_EQ(NumLoad, 2u);
+  // The stash section's data still round-trips through the file.
+  const auto *Stash = R->findSection(".data.stack.stash");
+  ASSERT_NE(Stash, nullptr);
+  EXPECT_EQ(Stash->Data, bytesOf("SSSS"));
+}
+
+TEST(ELFWriter, LoadSegmentOffsetCongruentToVaddr) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  // Deliberately unaligned vaddr within the page.
+  W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10378, bytesOf("Z"));
+  auto R = ELFReader::parse(W.finalize());
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  const auto *S = R->findSection(".text");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Offset % PageSize, S->Addr % PageSize)
+      << "PT_LOAD requires offset === vaddr (mod page size)";
+}
+
+TEST(ELFWriter, NoBitsSection) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000, bytesOf("AAAA"));
+  W.addNoBitsSection(".bss", SHF_ALLOC | SHF_WRITE, 0x30000, 0x2000);
+  auto R = ELFReader::parse(W.finalize());
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  const auto *S = R->findSection(".bss");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Type, static_cast<uint32_t>(SHT_NOBITS));
+  EXPECT_EQ(S->Size, 0x2000u);
+  EXPECT_TRUE(S->Data.empty());
+  // The matching PT_LOAD must have filesz 0, memsz 0x2000.
+  bool Found = false;
+  for (const auto &Seg : R->segments())
+    if (Seg.Type == PT_LOAD && Seg.VAddr == 0x30000) {
+      Found = true;
+      EXPECT_EQ(Seg.FileSize, 0u);
+      EXPECT_EQ(Seg.MemSize, 0x2000u);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(ELFWriter, ManySectionsAndSymbols) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  // Pinball images decompose into many page-run sections; make sure a
+  // large section count works.
+  for (int I = 0; I < 200; ++I) {
+    uint64_t Addr = 0x10000 + uint64_t(I) * 0x1000;
+    std::vector<uint8_t> Data(16, static_cast<uint8_t>(I));
+    unsigned Idx = W.addSection(".text.page" + std::to_string(I),
+                                SHF_ALLOC | SHF_EXECINSTR, Addr, Data);
+    W.addSymbol("page" + std::to_string(I), Addr, Idx, STB_LOCAL);
+  }
+  auto R = ELFReader::parse(W.finalize());
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(R->symbols().size(), 200u);
+  const auto *S = R->findSection(".text.page199");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Data[0], 199);
+}
+
+TEST(ELFWriter, LocalSymbolsPrecedeGlobals) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  unsigned T =
+      W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000, bytesOf("A"));
+  W.addSymbol("g1", 1, T, STB_GLOBAL);
+  W.addSymbol("l1", 2, T, STB_LOCAL);
+  W.addSymbol("g2", 3, T, STB_GLOBAL);
+  auto R = ELFReader::parse(W.finalize());
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  ASSERT_EQ(R->symbols().size(), 3u);
+  EXPECT_EQ(R->symbols()[0].Name, "l1");
+}
+
+TEST(ELFReader, RejectsGarbage) {
+  std::vector<uint8_t> Junk = {1, 2, 3, 4};
+  EXPECT_FALSE(ELFReader::parse(Junk).hasValue());
+
+  std::vector<uint8_t> BadMagic(128, 0);
+  BadMagic[0] = 0x7f;
+  BadMagic[1] = 'N';
+  EXPECT_FALSE(ELFReader::parse(BadMagic).hasValue());
+}
+
+TEST(ELFReader, RejectsTruncatedSectionTable) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000, bytesOf("AAAA"));
+  std::vector<uint8_t> Image = W.finalize();
+  Image.resize(Image.size() - 32); // chop into the section header table
+  EXPECT_FALSE(ELFReader::parse(Image).hasValue());
+}
+
+TEST(ELFReader, OpenMissingFileFails) {
+  EXPECT_FALSE(ELFReader::open("/nonexistent/elf").hasValue());
+}
+
+} // namespace

@@ -1,0 +1,287 @@
+//===- tests/pinball/PinballTest.cpp - Format + logger behaviour ----------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pinball/Pinball.h"
+
+#include "../common/TestHelpers.h"
+#include "pinball/Logger.h"
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+using namespace elfie::pinball;
+using test::capture;
+using test::computeProgram;
+
+namespace {
+
+std::string tempDir(const std::string &Name) {
+  std::string D = testing::TempDir() + "/elfie_pb_" + Name;
+  removeTree(D);
+  createDirectories(D);
+  return D;
+}
+
+TEST(Logger, FatPinballCapturesRegion) {
+  std::string Dir = tempDir("fat");
+  auto PB = capture(Dir, computeProgram(), 1000, 20000,
+                    LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  EXPECT_TRUE(PB->isFat());
+  EXPECT_EQ(PB->Meta.RegionStart, 1000u);
+  EXPECT_EQ(PB->Meta.RegionLength, 20000u);
+  ASSERT_EQ(PB->Threads.size(), 1u);
+  EXPECT_EQ(PB->Threads[0].RegionIcount, 20000u);
+  // Fat pinball: everything in the image, no lazy records.
+  EXPECT_TRUE(PB->Injects.empty());
+  EXPECT_GT(PB->Image.size(), 2u); // text + data + stack at least
+  // The schedule covers exactly the region.
+  uint64_t Total = 0;
+  for (const auto &S : PB->Schedule)
+    Total += S.NumInsts;
+  EXPECT_EQ(Total, 20000u);
+  removeTree(Dir);
+}
+
+TEST(Logger, RegularPinballUsesLazyInjection) {
+  std::string Dir = tempDir("regular");
+  auto PB = capture(Dir, computeProgram(), 1000, 20000, LoggerOptions());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  EXPECT_FALSE(PB->isFat());
+  EXPECT_TRUE(PB->Image.empty());
+  EXPECT_GT(PB->Injects.size(), 0u);
+  // First injection must be at icount 0 (the first instruction fetch).
+  uint64_t MinIcount = UINT64_MAX;
+  for (const auto &I : PB->Injects)
+    MinIcount = std::min(MinIcount, I.FirstUseIcount);
+  EXPECT_EQ(MinIcount, 0u);
+  removeTree(Dir);
+}
+
+TEST(Logger, WholeImageCapturesUntouchedPages) {
+  std::string Dir = tempDir("whole");
+  LoggerOptions OnlyWhole;
+  OnlyWhole.WholeImage = true;
+  auto Whole = capture(Dir, computeProgram(), 1000, 100, OnlyWhole);
+  ASSERT_TRUE(Whole.hasValue()) << Whole.message();
+  auto Regular = capture(Dir, computeProgram(), 1000, 100, LoggerOptions());
+  ASSERT_TRUE(Regular.hasValue()) << Regular.message();
+  // A 100-instruction region touches few pages; the whole image holds all
+  // mapped pages (text + data + full stack), strictly more.
+  EXPECT_GT(Whole->Image.size(), Regular->Injects.size());
+  removeTree(Dir);
+}
+
+TEST(Logger, FatPinballLargerThanRegular) {
+  // Paper §II-A: "a fat pinball can be much larger than a regular pinball".
+  std::string Dir = tempDir("size");
+  auto Fat =
+      capture(Dir, computeProgram(), 1000, 100, LoggerOptions::fat());
+  auto Regular = capture(Dir, computeProgram(), 1000, 100, LoggerOptions());
+  ASSERT_TRUE(Fat.hasValue());
+  ASSERT_TRUE(Regular.hasValue());
+  EXPECT_GT(Fat->imageBytes(), Regular->imageBytes());
+  removeTree(Dir);
+}
+
+TEST(Logger, CapturedPagesHoldRegionStartContents) {
+  // The lazy capture must record page contents as of region start, not as
+  // of first touch after later writes. We verify by comparing against a
+  // reference run stopped at region start.
+  std::string Dir = tempDir("contents");
+  const uint64_t Start = 5000;
+  auto PB = capture(Dir, computeProgram(), Start, 30000,
+                    LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+
+  auto Ref = test::makeVM(computeProgram(), nullptr);
+  ASSERT_NE(Ref, nullptr);
+  ASSERT_EQ(Ref->run(Start).Reason, vm::StopReason::BudgetReached);
+  for (const PageRecord &P : PB->Image) {
+    const vm::AddressSpace::Page *Page = Ref->mem().getPage(P.Addr);
+    ASSERT_NE(Page, nullptr) << "page " << std::hex << P.Addr;
+    EXPECT_EQ(fnv1a(P.Bytes.data(), P.Bytes.size()),
+              fnv1a(Page->Bytes, vm::GuestPageSize))
+        << "page contents differ at " << std::hex << P.Addr;
+  }
+  removeTree(Dir);
+}
+
+TEST(Logger, RegistersMatchReferenceRun) {
+  std::string Dir = tempDir("regs");
+  const uint64_t Start = 7777;
+  auto PB =
+      capture(Dir, computeProgram(), Start, 1000, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+
+  auto Ref = test::makeVM(computeProgram(), nullptr);
+  ASSERT_EQ(Ref->run(Start).Reason, vm::StopReason::BudgetReached);
+  const vm::ThreadState *T = Ref->thread(0);
+  ASSERT_EQ(PB->Threads.size(), 1u);
+  EXPECT_EQ(PB->Threads[0].PC, T->PC);
+  for (unsigned I = 0; I < isa::NumGPRs; ++I)
+    EXPECT_EQ(PB->Threads[0].GPR[I], T->GPR[I]) << "GPR " << I;
+  removeTree(Dir);
+}
+
+TEST(Logger, SyscallsRecordedWithSideEffects) {
+  std::string Dir = tempDir("syscalls");
+  // Create the input file the program reads.
+  std::string Data(256, '\0');
+  for (size_t I = 0; I < Data.size(); ++I)
+    Data[I] = static_cast<char>(I);
+  writeFileText(Dir + "/data.bin", Data);
+  vm::VMConfig Config;
+  Config.FsRoot = Dir;
+  // Region covers the read loop (starts after the padding loop).
+  auto PB = capture(Dir, test::fileReaderProgram(), 16000, 2000,
+                    LoggerOptions::fat(), Config);
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  // Region must contain read() records with memory side effects.
+  unsigned Reads = 0;
+  for (const SyscallRecord &S : PB->Syscalls) {
+    if (S.Nr == static_cast<uint64_t>(isa::Sys::Read)) {
+      ++Reads;
+      ASSERT_EQ(S.MemWrites.size(), 1u);
+      EXPECT_EQ(S.MemWrites[0].Bytes.size(),
+                static_cast<size_t>(S.Result));
+    }
+  }
+  EXPECT_GT(Reads, 0u);
+  removeTree(Dir);
+}
+
+TEST(Logger, RegionTruncatedAtProgramExit) {
+  std::string Dir = tempDir("trunc");
+  // Ask for far more instructions than the program has.
+  auto PB = capture(Dir, computeProgram(), 1000, 100000000,
+                    LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  EXPECT_LT(PB->Meta.RegionLength, 100000000u);
+  EXPECT_GT(PB->Meta.RegionLength, 10000u);
+  removeTree(Dir);
+}
+
+TEST(Logger, FailsWhenRegionStartBeyondExit) {
+  std::string Dir = tempDir("beyond");
+  auto PB = capture(Dir, computeProgram(), 100000000, 100,
+                    LoggerOptions::fat());
+  ASSERT_FALSE(PB.hasValue());
+  EXPECT_NE(PB.message().find("before the region start"), std::string::npos);
+  removeTree(Dir);
+}
+
+TEST(Logger, MultiThreadedCapture) {
+  std::string Dir = tempDir("mt");
+  // Fast-forward past thread creation so all 8 threads exist at region
+  // start, then capture a slice of the parallel phase.
+  auto PB = capture(Dir, test::multiThreadProgram(), 40000, 30000,
+                    LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  EXPECT_EQ(PB->Threads.size(), 8u);
+  // All threads should have executed in the region (active-wait spinning).
+  std::set<uint32_t> Seen;
+  for (const auto &S : PB->Schedule)
+    Seen.insert(S.Tid);
+  EXPECT_EQ(Seen.size(), 8u);
+  uint64_t TotalPerThread = 0;
+  for (const auto &T : PB->Threads)
+    TotalPerThread += T.RegionIcount;
+  EXPECT_EQ(TotalPerThread, PB->Meta.RegionLength);
+  removeTree(Dir);
+}
+
+// ---- Serialization ----
+
+TEST(PinballFormat, SaveLoadRoundTrip) {
+  std::string Dir = tempDir("roundtrip");
+  auto PB = capture(Dir, computeProgram(), 2000, 5000, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  PB->Meta.ProgramName = "compute";
+
+  std::string PBDir = Dir + "/region.pb";
+  ASSERT_FALSE(PB->save(PBDir).isError());
+  auto Loaded = Pinball::load(PBDir);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+
+  EXPECT_EQ(Loaded->Meta.ProgramName, "compute");
+  EXPECT_EQ(Loaded->Meta.RegionStart, PB->Meta.RegionStart);
+  EXPECT_EQ(Loaded->Meta.RegionLength, PB->Meta.RegionLength);
+  EXPECT_EQ(Loaded->Meta.StackTop, PB->Meta.StackTop);
+  EXPECT_EQ(Loaded->Meta.BrkAtStart, PB->Meta.BrkAtStart);
+  ASSERT_EQ(Loaded->Image.size(), PB->Image.size());
+  for (size_t I = 0; I < PB->Image.size(); ++I) {
+    EXPECT_EQ(Loaded->Image[I].Addr, PB->Image[I].Addr);
+    EXPECT_EQ(Loaded->Image[I].Perm, PB->Image[I].Perm);
+    EXPECT_EQ(Loaded->Image[I].Bytes, PB->Image[I].Bytes);
+  }
+  ASSERT_EQ(Loaded->Threads.size(), PB->Threads.size());
+  EXPECT_EQ(Loaded->Threads[0].PC, PB->Threads[0].PC);
+  EXPECT_EQ(Loaded->Threads[0].RegionIcount, PB->Threads[0].RegionIcount);
+  ASSERT_EQ(Loaded->Syscalls.size(), PB->Syscalls.size());
+  ASSERT_EQ(Loaded->Schedule.size(), PB->Schedule.size());
+  EXPECT_EQ(Loaded->OutputLog, PB->OutputLog);
+  removeTree(Dir);
+}
+
+TEST(PinballFormat, LoadMissingDirectoryFails) {
+  auto R = Pinball::load("/nonexistent/pinball/dir");
+  ASSERT_FALSE(R.hasValue());
+}
+
+TEST(PinballFormat, LoadRejectsCorruptMeta) {
+  std::string Dir = tempDir("corrupt_meta");
+  auto PB = capture(Dir, computeProgram(), 100, 100, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue());
+  std::string PBDir = Dir + "/r.pb";
+  ASSERT_FALSE(PB->save(PBDir).isError());
+  writeFileText(PBDir + "/meta", "garbage");
+  auto R = Pinball::load(PBDir);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("meta"), std::string::npos);
+  removeTree(Dir);
+}
+
+TEST(PinballFormat, LoadRejectsTruncatedImage) {
+  std::string Dir = tempDir("corrupt_image");
+  auto PB = capture(Dir, computeProgram(), 100, 1000, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue());
+  std::string PBDir = Dir + "/r.pb";
+  ASSERT_FALSE(PB->save(PBDir).isError());
+  auto Bytes = readFileBytes(PBDir + "/image.text");
+  ASSERT_TRUE(Bytes.hasValue());
+  Bytes->resize(Bytes->size() / 2);
+  ASSERT_FALSE(
+      writeFile(PBDir + "/image.text", Bytes->data(), Bytes->size())
+          .isError());
+  auto R = Pinball::load(PBDir);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("truncated"), std::string::npos);
+  removeTree(Dir);
+}
+
+TEST(PinballFormat, LoadRejectsMissingRegFile) {
+  std::string Dir = tempDir("missing_reg");
+  auto PB = capture(Dir, computeProgram(), 100, 1000, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue());
+  std::string PBDir = Dir + "/r.pb";
+  ASSERT_FALSE(PB->save(PBDir).isError());
+  removeFile(PBDir + "/t0.reg");
+  EXPECT_FALSE(Pinball::load(PBDir).hasValue());
+  removeTree(Dir);
+}
+
+TEST(PinballFormat, AllPagesCombinesImageAndInjects) {
+  Pinball PB;
+  PB.Image.resize(2);
+  PB.Injects.resize(3);
+  EXPECT_EQ(PB.allPages().size(), 5u);
+  EXPECT_EQ(PB.imageBytes(), 5 * vm::GuestPageSize);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+//===- tests/simpoint/SimPointTest.cpp - BBV/kmeans/PinPoints -------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "simpoint/PinPoints.h"
+
+#include "../common/TestHelpers.h"
+#include "simpoint/BBV.h"
+#include "simpoint/KMeans.h"
+#include "support/RNG.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+using namespace elfie::simpoint;
+
+namespace {
+
+std::string tempDir(const std::string &Name) {
+  std::string D = testing::TempDir() + "/elfie_sp_" + Name;
+  removeTree(D);
+  createDirectories(D);
+  return D;
+}
+
+// ---- k-means ----
+
+/// Three well-separated 2-D blobs.
+std::vector<std::vector<double>> threeBlobs(unsigned PerBlob,
+                                            uint64_t Seed) {
+  RNG R(Seed);
+  std::vector<std::vector<double>> Points;
+  const double Centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (unsigned B = 0; B < 3; ++B)
+    for (unsigned I = 0; I < PerBlob; ++I)
+      Points.push_back({Centers[B][0] + R.nextGaussian() * 0.3,
+                        Centers[B][1] + R.nextGaussian() * 0.3});
+  return Points;
+}
+
+TEST(KMeans, SeparatesObviousClusters) {
+  auto Points = threeBlobs(40, 7);
+  KMeansResult R = kmeans(Points, 3, 1);
+  ASSERT_EQ(R.K, 3u);
+  // All points of one blob share a cluster id.
+  for (unsigned B = 0; B < 3; ++B) {
+    unsigned First = R.Assignment[B * 40];
+    for (unsigned I = 0; I < 40; ++I)
+      EXPECT_EQ(R.Assignment[B * 40 + I], First) << "blob " << B;
+  }
+  EXPECT_LT(R.Distortion, 40.0);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  auto Points = threeBlobs(30, 3);
+  KMeansResult A = kmeans(Points, 4, 99);
+  KMeansResult B = kmeans(Points, 4, 99);
+  EXPECT_EQ(A.Assignment, B.Assignment);
+  EXPECT_DOUBLE_EQ(A.Distortion, B.Distortion);
+}
+
+TEST(KMeans, BICPicksAboutThreeForThreeBlobs) {
+  auto Points = threeBlobs(50, 11);
+  KMeansResult Best = kmeansBest(Points, 10, 5);
+  EXPECT_GE(Best.K, 3u);
+  EXPECT_LE(Best.K, 5u) << "BIC should not badly overfit 3 blobs";
+}
+
+TEST(KMeans, MoreClustersNeverIncreaseDistortion) {
+  auto Points = threeBlobs(30, 13);
+  double Prev = std::numeric_limits<double>::max();
+  for (unsigned K = 1; K <= 6; ++K) {
+    KMeansResult R = kmeans(Points, K, 21);
+    EXPECT_LE(R.Distortion, Prev * 1.05) << "k=" << K;
+    Prev = R.Distortion;
+  }
+}
+
+TEST(KMeans, HandlesDegenerateInputs) {
+  // K > N.
+  std::vector<std::vector<double>> Two = {{1, 1}, {2, 2}};
+  KMeansResult R = kmeans(Two, 5, 1);
+  EXPECT_EQ(R.K, 2u);
+  // Identical points.
+  std::vector<std::vector<double>> Same(10, {3.0, 3.0});
+  R = kmeans(Same, 3, 1);
+  EXPECT_EQ(R.Assignment.size(), 10u);
+  EXPECT_LT(R.Distortion, 1e-9);
+  // Empty.
+  R = kmeans({}, 3, 1);
+  EXPECT_TRUE(R.Assignment.empty());
+}
+
+// ---- BBV ----
+
+TEST(BBV, PhasedProgramProducesDistinctVectors) {
+  // Program with two clearly different phases.
+  std::string Src = R"(
+_start:
+  ldi  r9, 0
+phase_a:
+  muli r2, r2, 7
+  addi r2, r2, 1
+  xori r2, r2, 3
+  addi r9, r9, 1
+  slti r3, r9, 30000
+  bnez r3, phase_a
+  ldi  r9, 0
+  la   r4, buf
+phase_b:
+  andi r5, r9, 4095
+  add  r6, r4, r5
+  ld1  r7, 0(r6)
+  add  r8, r8, r7
+  addi r9, r9, 1
+  slti r3, r9, 30000
+  bnez r3, phase_b
+  ldi  r7, 1
+  ldi  r1, 0
+  syscall
+  .bss
+buf: .space 4096
+)";
+  auto M = test::makeVM(Src, nullptr);
+  ASSERT_NE(M, nullptr);
+  BBVCollector C(10000, 12, 1);
+  M->setObserver(&C);
+  M->run(10000000);
+  C.finish();
+  ASSERT_GE(C.slices().size(), 10u);
+
+  // Slices within phase A resemble each other and differ from phase B.
+  const auto &S = C.slices();
+  double Within = squaredDistance(S[1].Projected, S[2].Projected);
+  double Across = squaredDistance(S[1].Projected,
+                                  S[S.size() - 2].Projected);
+  EXPECT_LT(Within * 10, Across)
+      << "phase structure must be visible in the BBVs";
+}
+
+TEST(BBV, SlicesAreNormalized) {
+  auto M = test::makeVM(test::computeProgram(), nullptr);
+  BBVCollector C(5000, 8, 2);
+  M->setObserver(&C);
+  M->run(10000000);
+  C.finish();
+  ASSERT_GT(C.slices().size(), 0u);
+  for (const SliceVector &V : C.slices()) {
+    double L1 = 0;
+    for (double X : V.Projected)
+      L1 += X > 0 ? X : -X;
+    EXPECT_NEAR(L1, 1.0, 1e-9);
+  }
+}
+
+TEST(BBV, SliceIndicesAreSequential) {
+  auto M = test::makeVM(test::computeProgram(), nullptr);
+  BBVCollector C(4000, 8, 3);
+  M->setObserver(&C);
+  M->run(10000000);
+  C.finish();
+  for (size_t I = 0; I < C.slices().size(); ++I)
+    EXPECT_EQ(C.slices()[I].SliceIndex, I);
+}
+
+// ---- PinPoints ----
+
+TEST(PinPoints, SelectsWeightedRegions) {
+  std::string Dir = tempDir("select");
+  std::string Path = test::writeGuestELF(Dir, "prog.elf",
+                                         test::computeProgram());
+  PinPointsOptions Opts;
+  Opts.SliceSize = 4000;
+  Opts.WarmupLength = 8000;
+  Opts.MaxK = 10;
+  auto R = profileAndSelect(Path, {}, vm::VMConfig(), Opts);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  ASSERT_GT(R->Regions.size(), 0u);
+  EXPECT_LE(R->Regions.size(), 10u);
+
+  double TotalWeight = 0;
+  for (const Region &Reg : R->Regions) {
+    TotalWeight += Reg.Weight;
+    EXPECT_EQ(Reg.Length, Opts.SliceSize);
+    EXPECT_EQ(Reg.StartIcount, Reg.SliceIndex * Opts.SliceSize);
+    if (Reg.StartIcount > Opts.WarmupLength)
+      EXPECT_EQ(Reg.WarmupStart, Reg.StartIcount - Opts.WarmupLength);
+    else
+      EXPECT_EQ(Reg.WarmupStart, 0u);
+  }
+  EXPECT_NEAR(TotalWeight, 1.0, 1e-9)
+      << "region weights must sum to 1 (all slices covered)";
+  removeTree(Dir);
+}
+
+TEST(PinPoints, AlternatesComeFromSameCluster) {
+  std::string Dir = tempDir("alts");
+  std::string Path = test::writeGuestELF(
+      Dir, "prog.elf", test::computeProgram());
+  PinPointsOptions Opts;
+  Opts.SliceSize = 2000;
+  Opts.MaxK = 6;
+  Opts.MaxAlternates = 2;
+  auto R = profileAndSelect(Path, {}, vm::VMConfig(), Opts);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  for (const Region &Reg : R->Regions)
+    for (uint64_t Alt : Reg.AlternateSlices) {
+      ASSERT_LT(Alt, R->Assignment.size());
+      EXPECT_EQ(R->Assignment[Alt], Reg.Cluster)
+          << "alternate representatives must belong to the same phase";
+    }
+  removeTree(Dir);
+}
+
+TEST(PinPoints, GccLikeNeedsMoreClustersThanX264Like) {
+  // The "hard to represent" workload has more phases (paper §IV-A).
+  using workloads::InputSet;
+  auto GccSrc = workloads::generateSource("gcc_like", InputSet::Test);
+  auto X264Src = workloads::generateSource("x264_like", InputSet::Test);
+  ASSERT_TRUE(GccSrc.hasValue());
+  ASSERT_TRUE(X264Src.hasValue());
+  std::string Dir = tempDir("phases");
+  std::string GccPath = test::writeGuestELF(Dir, "gcc.elf", *GccSrc);
+  std::string X264Path = test::writeGuestELF(Dir, "x264.elf", *X264Src);
+
+  PinPointsOptions Opts;
+  Opts.SliceSize = 50000;
+  Opts.MaxK = 20;
+  auto Gcc = profileAndSelect(GccPath, {}, vm::VMConfig(), Opts);
+  auto X264 = profileAndSelect(X264Path, {}, vm::VMConfig(), Opts);
+  ASSERT_TRUE(Gcc.hasValue()) << Gcc.message();
+  ASSERT_TRUE(X264.hasValue()) << X264.message();
+  EXPECT_GT(Gcc->K, X264->K)
+      << "gcc_like must exhibit more phases than the streaming x264_like";
+  removeTree(Dir);
+}
+
+TEST(PinPoints, FormatRegionsIsParseable) {
+  PinPointsResult R;
+  R.TotalSlices = 10;
+  R.SliceSize = 1000;
+  R.K = 2;
+  Region A;
+  A.Cluster = 0;
+  A.SliceIndex = 2;
+  A.StartIcount = 2000;
+  A.Weight = 0.6;
+  A.AlternateSlices = {3};
+  R.Regions.push_back(A);
+  std::string Text = formatRegions(R);
+  EXPECT_NE(Text.find("0 2 2000 0.600000 3"), std::string::npos) << Text;
+}
+
+TEST(PinPoints, TooShortProgramFails) {
+  std::string Dir = tempDir("short");
+  std::string Path =
+      test::writeGuestELF(Dir, "tiny.elf", "_start:\n  halt\n");
+  PinPointsOptions Opts;
+  Opts.SliceSize = 1000000;
+  auto R = profileAndSelect(Path, {}, vm::VMConfig(), Opts);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("too short"), std::string::npos);
+  removeTree(Dir);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- tests/support/CommandLineTest.cpp ----------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+
+namespace {
+
+CommandLine makeCL() {
+  CommandLine CL("tool", "test tool");
+  CL.addString("o", "out.default", "output file");
+  CL.addInt("slicesize", 200000, "slice size");
+  CL.addFlag("log:fat", false, "fat pinball");
+  CL.addFlag("verbose", false, "verbose");
+  return CL;
+}
+
+TEST(CommandLine, Defaults) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool"};
+  ASSERT_FALSE(CL.parse(1, Argv).isError());
+  EXPECT_EQ(CL.getString("o"), "out.default");
+  EXPECT_EQ(CL.getInt("slicesize"), 200000);
+  EXPECT_FALSE(CL.getFlag("log:fat"));
+  EXPECT_FALSE(CL.wasSet("o"));
+}
+
+TEST(CommandLine, ParsesValues) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool", "-o", "x.elfie", "-slicesize", "100",
+                        "-log:fat", "1", "input.pb"};
+  ASSERT_FALSE(CL.parse(8, Argv).isError());
+  EXPECT_EQ(CL.getString("o"), "x.elfie");
+  EXPECT_EQ(CL.getInt("slicesize"), 100);
+  EXPECT_TRUE(CL.getFlag("log:fat"));
+  ASSERT_EQ(CL.positional().size(), 1u);
+  EXPECT_EQ(CL.positional()[0], "input.pb");
+  EXPECT_TRUE(CL.wasSet("o"));
+}
+
+TEST(CommandLine, PinPlayStyleFlagZero) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool", "-log:fat", "0"};
+  ASSERT_FALSE(CL.parse(3, Argv).isError());
+  EXPECT_FALSE(CL.getFlag("log:fat"));
+}
+
+TEST(CommandLine, BareFlag) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool", "-verbose", "pos"};
+  ASSERT_FALSE(CL.parse(3, Argv).isError());
+  EXPECT_TRUE(CL.getFlag("verbose"));
+  ASSERT_EQ(CL.positional().size(), 1u);
+}
+
+TEST(CommandLine, EqualsSyntax) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool", "-o=file", "--slicesize=7"};
+  ASSERT_FALSE(CL.parse(3, Argv).isError());
+  EXPECT_EQ(CL.getString("o"), "file");
+  EXPECT_EQ(CL.getInt("slicesize"), 7);
+}
+
+TEST(CommandLine, UnknownOptionFails) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool", "-bogus", "1"};
+  Error E = CL.parse(3, Argv);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("unknown option"), std::string::npos);
+}
+
+TEST(CommandLine, MissingValueFails) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool", "-o"};
+  EXPECT_TRUE(CL.parse(2, Argv).isError());
+}
+
+TEST(CommandLine, BadIntFails) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool", "-slicesize", "soon"};
+  EXPECT_TRUE(CL.parse(3, Argv).isError());
+}
+
+TEST(CommandLine, NegativeNumberIsPositional) {
+  CommandLine CL = makeCL();
+  const char *Argv[] = {"tool", "-5"};
+  ASSERT_FALSE(CL.parse(2, Argv).isError());
+  ASSERT_EQ(CL.positional().size(), 1u);
+  EXPECT_EQ(CL.positional()[0], "-5");
+}
+
+} // namespace

@@ -1,0 +1,56 @@
+//===- tests/support/ErrorTest.cpp ----------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+
+TEST(Error, SuccessIsNotError) {
+  Error E;
+  EXPECT_FALSE(E.isError());
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_TRUE(E.message().empty());
+}
+
+TEST(Error, FailureCarriesMessage) {
+  Error E = Error::failure("something broke");
+  EXPECT_TRUE(E.isError());
+  EXPECT_EQ(E.message(), "something broke");
+}
+
+TEST(Error, MakeErrorFormats) {
+  Error E = makeError("bad value %d in '%s'", 42, "file.s");
+  EXPECT_TRUE(E.isError());
+  EXPECT_EQ(E.message(), "bad value 42 in 'file.s'");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> V(7);
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(*V, 7);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> V(makeError("nope"));
+  ASSERT_FALSE(V.hasValue());
+  EXPECT_EQ(V.message(), "nope");
+  Error E = V.takeError();
+  EXPECT_TRUE(E.isError());
+}
+
+TEST(Expected, TakeValueMoves) {
+  Expected<std::string> V(std::string("hello"));
+  std::string S = V.takeValue();
+  EXPECT_EQ(S, "hello");
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> V(std::string("abc"));
+  EXPECT_EQ(V->size(), 3u);
+}

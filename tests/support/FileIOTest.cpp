@@ -1,0 +1,90 @@
+//===- tests/support/FileIOTest.cpp ---------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "/elfie_fileio_" + Name;
+}
+
+TEST(FileIO, RoundTrip) {
+  std::string Path = tempPath("roundtrip");
+  std::string Text = "hello\nworld\n";
+  ASSERT_FALSE(writeFileText(Path, Text).isError());
+  auto Read = readFileText(Path);
+  ASSERT_TRUE(Read.hasValue());
+  EXPECT_EQ(*Read, Text);
+  removeFile(Path);
+}
+
+TEST(FileIO, MissingFileFails) {
+  auto R = readFileBytes(tempPath("does_not_exist"));
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("cannot open"), std::string::npos);
+}
+
+TEST(FileIO, CreateDirectories) {
+  std::string Dir = tempPath("a/b/c");
+  ASSERT_FALSE(createDirectories(Dir).isError());
+  EXPECT_TRUE(fileExists(Dir));
+  // Idempotent.
+  EXPECT_FALSE(createDirectories(Dir).isError());
+  removeTree(tempPath("a"));
+}
+
+TEST(BinaryIO, WriterReaderRoundTrip) {
+  BinaryWriter W;
+  W.writeU8(0xab);
+  W.writeU16(0x1234);
+  W.writeU32(0xdeadbeef);
+  W.writeU64(0x0123456789abcdefull);
+  W.writeI64(-42);
+  W.writeDouble(3.25);
+  W.writeString("pinball");
+  uint8_t Blob[3] = {1, 2, 3};
+  W.writeBlob(Blob, 3);
+
+  BinaryReader R(W.bytes());
+  EXPECT_EQ(R.readU8(), 0xab);
+  EXPECT_EQ(R.readU16(), 0x1234);
+  EXPECT_EQ(R.readU32(), 0xdeadbeefu);
+  EXPECT_EQ(R.readU64(), 0x0123456789abcdefull);
+  EXPECT_EQ(R.readI64(), -42);
+  EXPECT_DOUBLE_EQ(R.readDouble(), 3.25);
+  EXPECT_EQ(R.readString(), "pinball");
+  auto B = R.readBlob();
+  ASSERT_EQ(B.size(), 3u);
+  EXPECT_EQ(B[2], 3);
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.hadError());
+}
+
+TEST(BinaryIO, ReaderOverrunIsSticky) {
+  BinaryWriter W;
+  W.writeU16(7);
+  BinaryReader R(W.bytes());
+  EXPECT_EQ(R.readU32(), 0u); // overrun
+  EXPECT_TRUE(R.hadError());
+  EXPECT_EQ(R.readU8(), 0u); // still failed
+  EXPECT_TRUE(R.hadError());
+}
+
+TEST(BinaryIO, EmptyBlob) {
+  BinaryWriter W;
+  W.writeBlob(nullptr, 0);
+  BinaryReader R(W.bytes());
+  EXPECT_TRUE(R.readBlob().empty());
+  EXPECT_FALSE(R.hadError());
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+//===- tests/tools/ToolsTest.cpp - CLI pipeline integration ---------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// Drives the installed command-line tools (easm, evm, elogger, ereplay,
+/// pinball_sysstate, pinball2elf, esimpoint, esim, eworkload, edisasm)
+/// through the full Fig. 1 pipeline as subprocesses — the way a downstream
+/// user would.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+
+using namespace elfie;
+
+#ifndef ELFIE_BIN_DIR
+#define ELFIE_BIN_DIR ""
+#endif
+
+namespace {
+
+struct CmdResult {
+  int ExitCode = -1;
+  std::string Output; // stdout + stderr
+};
+
+CmdResult runTool(const std::string &CmdLine) {
+  std::string Full = std::string(ELFIE_BIN_DIR) + "/" + CmdLine + " 2>&1";
+  FILE *P = popen(Full.c_str(), "r");
+  CmdResult R;
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Output.append(Buf, N);
+  int Status = pclose(P);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+class ToolPipeline : public testing::Test {
+protected:
+  void SetUp() override {
+    Dir = testing::TempDir() + "/elfie_tools";
+    removeTree(Dir);
+    createDirectories(Dir);
+  }
+  void TearDown() override { removeTree(Dir); }
+  std::string Dir;
+};
+
+TEST_F(ToolPipeline, FullFigure1Flow) {
+  // easm: assemble a program.
+  std::string Src = R"(
+_start:
+  ldi r9, 0
+loop:
+  muli r2, r2, 13
+  addi r2, r2, 7
+  addi r9, r9, 1
+  slti r3, r9, 50000
+  bnez r3, loop
+  la  r2, msg
+  ldi r7, 2
+  ldi r1, 1
+  ldi r3, 3
+  syscall
+  ldi r7, 1
+  ldi r1, 0
+  syscall
+  .data
+msg: .ascii "ok\n"
+)";
+  ASSERT_FALSE(writeFileText(Dir + "/p.s", Src).isError());
+  auto R = runTool(formatString("easm -o %s/p.elf %s/p.s", Dir.c_str(),
+                                Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+
+  // edisasm: readable disassembly.
+  R = runTool(formatString("edisasm %s/p.elf", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("muli r2, r2, 13"), std::string::npos);
+
+  // evm: run it.
+  R = runTool(formatString("evm -stats %s/p.elf", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("ok"), std::string::npos);
+  EXPECT_NE(R.Output.find("retired"), std::string::npos);
+
+  // elogger: capture a fat pinball.
+  R = runTool(formatString("elogger -region:start 50000 -region:length "
+                           "100000 -log:fat 1 -o %s/r.pb %s/p.elf",
+                           Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_TRUE(fileExists(Dir + "/r.pb/meta"));
+  EXPECT_TRUE(fileExists(Dir + "/r.pb/t0.reg"));
+
+  // ereplay: constrained + injection-less replay.
+  R = runTool(formatString("ereplay %s/r.pb", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("retired 100000"), std::string::npos);
+  R = runTool(
+      formatString("ereplay -replay:injection 0 %s/r.pb", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+
+  // pinball_sysstate: OS-state reconstruction.
+  R = runTool(formatString("pinball_sysstate %s/r.pb", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_TRUE(fileExists(Dir + "/r.pb.sysstate/BRK.log"));
+
+  // pinball2elf: layout dump, then both targets.
+  R = runTool(formatString("pinball2elf -layout %s/r.pb", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("SECTIONS"), std::string::npos);
+  R = runTool(formatString("pinball2elf -perfle 1 -o %s/r.elfie %s/r.pb",
+                           Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString(
+      "pinball2elf -target guest -o %s/r.gelfie %s/r.pb", Dir.c_str(),
+      Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+
+  // The native ELFie runs on the hardware and reports its budget.
+  {
+    std::string Full = Dir + "/r.elfie 2>&1";
+    FILE *P = popen(Full.c_str(), "r");
+    ASSERT_NE(P, nullptr);
+    std::string Out;
+    char Buf[4096];
+    size_t N;
+    while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+      Out.append(Buf, N);
+    int Status = pclose(P);
+    EXPECT_EQ(WEXITSTATUS(Status), 0) << Out;
+    EXPECT_NE(Out.find("retired 100000"), std::string::npos) << Out;
+  }
+
+  // evm consumes the guest ELFie (auto raw-entry), esim simulates it.
+  R = runTool(
+      formatString("evm -stats -maxinsns 100000 %s/r.gelfie", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(
+      formatString("esim -config nehalem %s/r.gelfie", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("recognized as an ELFie"), std::string::npos);
+  EXPECT_NE(R.Output.find("IPC"), std::string::npos);
+
+  // esim pinball front-end.
+  R = runTool(formatString("esim -config nehalem -pinball %s/r.pb",
+                           Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+
+  // esimpoint region selection on the original program.
+  R = runTool(formatString(
+      "esimpoint -slicesize 20000 -maxk 5 %s/p.elf", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("regions from"), std::string::npos);
+}
+
+TEST_F(ToolPipeline, WorkloadTool) {
+  auto R = runTool("eworkload -list");
+  ASSERT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("gcc_like"), std::string::npos);
+  EXPECT_NE(R.Output.find("omp_speed"), std::string::npos);
+
+  R = runTool(formatString("eworkload -input test -o %s/w.elf xz_like",
+                           Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString("evm %s/w.elf", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+}
+
+TEST_F(ToolPipeline, ErrorPaths) {
+  auto R = runTool("evm /nonexistent/file.elf");
+  EXPECT_NE(R.ExitCode, 0);
+  R = runTool("ereplay /nonexistent/pinball");
+  EXPECT_NE(R.ExitCode, 0);
+  R = runTool(formatString("pinball2elf -target bogus %s", Dir.c_str()));
+  EXPECT_NE(R.ExitCode, 0);
+  R = runTool("esim -config unknown-config whatever");
+  EXPECT_NE(R.ExitCode, 0);
+}
+
+} // namespace

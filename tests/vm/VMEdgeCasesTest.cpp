@@ -1,0 +1,228 @@
+//===- tests/vm/VMEdgeCasesTest.cpp - syscall & scheduler edge cases ------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "../common/TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+using namespace elfie::vm;
+
+namespace {
+
+RunResult runSrc(const std::string &Src, vm::VM *&Out,
+                 std::unique_ptr<vm::VM> &Holder,
+                 vm::VMConfig Config = vm::VMConfig()) {
+  Holder = test::makeVM(Src, nullptr, Config);
+  Out = Holder.get();
+  return Holder->run(10000000);
+}
+
+TEST(VMEdge, BrkIsGrowOnly) {
+  std::unique_ptr<VM> H;
+  VM *M;
+  auto R = runSrc(R"(
+_start:
+  ldi r7, 7
+  ldi r1, 0
+  syscall            # query
+  mov r9, r1
+  addi r1, r9, 8192  # grow
+  ldi r7, 7
+  syscall
+  mov r10, r1
+  mov r1, r9         # attempt shrink back: refused, returns current top
+  ldi r7, 7
+  syscall
+  sub r1, r1, r10    # 0 if the shrink was refused
+  ldi r7, 1
+  syscall
+)",
+                  M, H);
+  EXPECT_EQ(R.Reason, StopReason::AllExited);
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(VMEdge, UnknownSyscallFaults) {
+  std::unique_ptr<VM> H;
+  VM *M;
+  auto R = runSrc("_start:\n  ldi r7, 999\n  syscall\n", M, H);
+  EXPECT_EQ(R.Reason, StopReason::Faulted);
+  EXPECT_NE(R.FaultInfo.Message.find("unknown system call"),
+            std::string::npos);
+}
+
+TEST(VMEdge, WriteToBadFdReturnsEBADF) {
+  std::unique_ptr<VM> H;
+  VM *M;
+  auto R = runSrc(R"(
+_start:
+  ldi r7, 2
+  ldi r1, 42          # never-opened fd
+  la  r2, b
+  ldi r3, 1
+  syscall
+  ldi r7, 1
+  syscall             # exit_group(result)
+  .data
+b: .byte 0
+)",
+                  M, H);
+  EXPECT_EQ(R.ExitCode & 0xff, (-EBADF) & 0xff);
+}
+
+TEST(VMEdge, MmapAnonFixedAndBump) {
+  std::unique_ptr<VM> H;
+  VM *M;
+  auto R = runSrc(R"(
+_start:
+  ldi r7, 12           # mmap_anon(0, 8192): bump allocator
+  ldi r1, 0
+  ldi r2, 8192
+  syscall
+  mov r9, r1
+  st8 r9, 0(r9)        # must be mapped + writable
+  ldi r7, 12           # mmap_anon(fixed hint)
+  li  r1, 0x30000000
+  ldi r2, 4096
+  syscall
+  li  r2, 0x30000000
+  sub r10, r1, r2      # 0 when honored
+  ldi r7, 13           # munmap the fixed one
+  syscall
+  mov r1, r10
+  ldi r7, 1
+  syscall
+)",
+                  M, H);
+  EXPECT_EQ(R.Reason, StopReason::AllExited);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_FALSE(M->mem().isMapped(0x30000000));
+}
+
+TEST(VMEdge, LseekWhenceVariants) {
+  std::string Dir = testing::TempDir() + "/evm_lseek";
+  removeTree(Dir);
+  createDirectories(Dir);
+  writeFileText(Dir + "/f", "0123456789");
+  vm::VMConfig C;
+  C.FsRoot = Dir;
+  std::unique_ptr<VM> H;
+  VM *M;
+  auto R = runSrc(R"(
+_start:
+  ldi r7, 4
+  la  r1, p
+  ldi r2, 0
+  ldi r3, 0
+  syscall
+  mov r9, r1
+  ldi r7, 6           # SEEK_END -2 -> offset 8
+  mov r1, r9
+  ldi r2, -2
+  ldi r3, 2
+  syscall
+  mov r10, r1         # 8
+  ldi r7, 6           # SEEK_CUR -3 -> offset 5
+  mov r1, r9
+  ldi r2, -3
+  ldi r3, 1
+  syscall
+  add r10, r10, r1    # 8 + 5 = 13
+  ldi r7, 3
+  mov r1, r9
+  la  r2, b
+  ldi r3, 1
+  syscall             # reads '5'
+  la  r2, b
+  ld1 r2, 0(r2)
+  add r1, r10, r2     # 13 + '5'(53) = 66
+  ldi r7, 1
+  syscall
+  .data
+p: .asciz "f"
+b: .byte 0
+)",
+                  M, H, C);
+  EXPECT_EQ(R.ExitCode, 66);
+  removeTree(Dir);
+}
+
+TEST(VMEdge, ExitLeavesOtherThreadsRunning) {
+  std::unique_ptr<VM> H;
+  VM *M;
+  auto R = runSrc(R"(
+_start:
+  ldi r7, 9
+  la  r1, child
+  la  r2, stk+1024
+  ldi r3, 0
+  syscall
+  ldi r7, 0           # main thread exits; child continues
+  ldi r1, 0
+  syscall
+child:
+  ldi r2, 0
+cl:
+  addi r2, r2, 1
+  slti r3, r2, 100
+  bnez r3, cl
+  ldi r7, 1           # exit_group(7)
+  ldi r1, 7
+  syscall
+  .bss
+  .align 8
+stk: .space 1024
+)",
+                  M, H);
+  EXPECT_EQ(R.Reason, StopReason::AllExited);
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(VMEdge, GetTidAndYield) {
+  std::unique_ptr<VM> H;
+  VM *M;
+  auto R = runSrc(R"(
+_start:
+  ldi r7, 10
+  syscall
+  mov r9, r1          # tid 0
+  ldi r7, 11
+  syscall             # yield returns 0
+  add r1, r9, r1
+  ldi r7, 1
+  syscall
+)",
+                  M, H);
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+// Property: for any schedule seed, the MT program's atomic total is the
+// same (atomics are race-free by construction); per-thread splits differ.
+class SchedulerSeeds : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerSeeds, AtomicTotalsSeedIndependent) {
+  vm::VMConfig C;
+  C.ScheduleSeed = GetParam();
+  auto Out = std::make_shared<std::string>();
+  auto M = test::makeVM(test::multiThreadProgram(4, 2, 500), Out, C);
+  ASSERT_NE(M, nullptr);
+  auto R = M->run(50000000);
+  ASSERT_EQ(R.Reason, StopReason::AllExited)
+      << (R.Reason == StopReason::Faulted ? R.FaultInfo.Message : "");
+  ASSERT_EQ(Out->size(), 8u);
+  uint64_t Total;
+  memcpy(&Total, Out->data(), 8);
+  EXPECT_EQ(Total, 4u * 2 * 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerSeeds,
+                         testing::Values(0ull, 1ull, 42ull, 1234567ull));
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- tests/workloads/WorkloadsTest.cpp - suite sanity -------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "../common/TestHelpers.h"
+#include "elf/ELFReader.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+using namespace elfie::workloads;
+
+namespace {
+
+TEST(Workloads, RegistryShape) {
+  const auto &R = registry();
+  EXPECT_GE(R.size(), 19u) << "the suite stands in for 19+ benchmarks";
+  EXPECT_GE(suite(Suite::IntRate).size(), 10u);
+  EXPECT_GE(suite(Suite::FpRate).size(), 5u);
+  EXPECT_GE(suite(Suite::OmpSpeed).size(), 4u);
+  ASSERT_NE(find("gcc_like"), nullptr);
+  ASSERT_NE(find("xz_s"), nullptr);
+  EXPECT_FALSE(find("xz_s")->MultiThreaded)
+      << "xz_s.1 is the single-threaded speed benchmark (paper §IV-B)";
+  EXPECT_EQ(find("nonexistent"), nullptr);
+}
+
+TEST(Workloads, UnknownNameFails) {
+  EXPECT_FALSE(generateSource("bogus", InputSet::Train).hasValue());
+}
+
+/// Every workload must assemble and run to completion at test scale.
+class WorkloadRuns : public testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRuns, BuildsAndRunsAtTestScale) {
+  auto Image = buildWorkload(GetParam(), InputSet::Test);
+  ASSERT_TRUE(Image.hasValue()) << Image.message();
+  auto Reader = elf::ELFReader::parse(*Image);
+  ASSERT_TRUE(Reader.hasValue()) << Reader.message();
+
+  vm::VMConfig Config;
+  Config.StdoutSink = [](const char *, size_t) {};
+  vm::VM M(Config);
+  ASSERT_FALSE(M.loadELF(*Reader).isError());
+  ASSERT_FALSE(M.setupMainThread({GetParam()}).isError());
+  auto R = M.run(100000000);
+  EXPECT_EQ(R.Reason, vm::StopReason::AllExited)
+      << (R.Reason == vm::StopReason::Faulted ? R.FaultInfo.Message
+                                              : "did not finish");
+  EXPECT_GT(M.globalRetired(), 100000u)
+      << "test input should still run a meaningful number of instructions";
+  const WorkloadInfo *Info = find(GetParam());
+  EXPECT_EQ(M.threadIds().size(), Info->MultiThreaded ? 8u : 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadRuns, [] {
+  std::vector<std::string> Names;
+  for (const WorkloadInfo &W : registry())
+    Names.push_back(W.Name);
+  return testing::ValuesIn(Names);
+}());
+
+TEST(Workloads, InputSetsScaleRunLength) {
+  auto RunLen = [](InputSet I) -> uint64_t {
+    auto Image = buildWorkload("leela_like", I);
+    EXPECT_TRUE(Image.hasValue());
+    auto Reader = elf::ELFReader::parse(*Image);
+    vm::VMConfig Config;
+    Config.StdoutSink = [](const char *, size_t) {};
+    vm::VM M(Config);
+    EXPECT_FALSE(M.loadELF(*Reader).isError());
+    EXPECT_FALSE(M.setupMainThread().isError());
+    M.run(1000000000ull);
+    return M.globalRetired();
+  };
+  uint64_t T = RunLen(InputSet::Test);
+  uint64_t Tr = RunLen(InputSet::Train);
+  uint64_t R = RunLen(InputSet::Ref);
+  EXPECT_LT(T, Tr);
+  EXPECT_LT(Tr * 3, R) << "ref must be much longer than train";
+}
+
+TEST(Workloads, DeterministicAcrossRuns) {
+  auto Run = [](uint64_t &Retired) {
+    auto Image = buildWorkload("perlbench_like", InputSet::Test);
+    auto Reader = elf::ELFReader::parse(*Image);
+    std::string Out;
+    vm::VMConfig Config;
+    Config.StdoutSink = [&Out](const char *P, size_t N) {
+      Out.append(P, N);
+    };
+    vm::VM M(Config);
+    (void)M.loadELF(*Reader);
+    (void)M.setupMainThread();
+    M.run(1000000000ull);
+    Retired = M.globalRetired();
+    return Out;
+  };
+  uint64_t RA, RB;
+  std::string A = Run(RA), B = Run(RB);
+  EXPECT_EQ(RA, RB);
+  EXPECT_EQ(A, B);
+}
+
+} // namespace

@@ -1,0 +1,461 @@
+//===- tests/x86/EncoderTest.cpp - JIT-execute encoded snippets -----------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// Encoder validation by direct execution: each test emits a short function
+/// (System V calling convention: args in rdi/rsi, result in rax), copies it
+/// into an executable mapping, and calls it. Wrong encodings crash or
+/// return wrong values immediately.
+///
+//===----------------------------------------------------------------------===//
+
+#include "x86/Encoder.h"
+
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+
+#include <cmath>
+
+#include <cstring>
+
+using namespace elfie;
+using namespace elfie::x86;
+
+namespace {
+
+/// Maps encoder output into executable memory and provides a callable.
+class JitBuffer {
+public:
+  explicit JitBuffer(const Encoder &E) {
+    Size = (E.size() + 4095) & ~size_t(4095);
+    Mem = mmap(nullptr, Size, PROT_READ | PROT_WRITE | PROT_EXEC,
+               MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    EXPECT_NE(Mem, MAP_FAILED);
+    std::memcpy(Mem, E.code().data(), E.size());
+  }
+  ~JitBuffer() { munmap(Mem, Size); }
+
+  template <typename Fn> Fn as() const { return reinterpret_cast<Fn>(Mem); }
+
+private:
+  void *Mem;
+  size_t Size;
+};
+
+using Fn0 = uint64_t (*)();
+using Fn1 = uint64_t (*)(uint64_t);
+using Fn2 = uint64_t (*)(uint64_t, uint64_t);
+using FnP = uint64_t (*)(void *);
+
+TEST(Encoder, MovImmAndRet) {
+  Encoder E;
+  E.movRegImm64(RAX, 0x1122334455667788ull);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn0>()(), 0x1122334455667788ull);
+}
+
+TEST(Encoder, MovImm32ZeroExtends) {
+  Encoder E;
+  E.movRegImm64(RAX, UINT64_MAX);
+  E.movRegImm32(RAX, 0xdeadbeef);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn0>()(), 0xdeadbeefull);
+}
+
+TEST(Encoder, RegRegMoves) {
+  Encoder E;
+  E.movRegReg(RAX, RDI); // arg1
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn1>()(42), 42u);
+}
+
+TEST(Encoder, HighRegisters) {
+  Encoder E;
+  E.movRegImm64(R10, 7);
+  E.movRegImm64(R15, 5);
+  E.pushReg(R15);
+  E.movRegReg(RAX, R10);
+  E.popReg(R15);
+  E.addRegReg(RAX, R15);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn0>()(), 12u);
+}
+
+TEST(Encoder, Arithmetic) {
+  Encoder E;
+  E.movRegReg(RAX, RDI);
+  E.addRegReg(RAX, RSI);
+  E.addRegImm32(RAX, -5);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn2>()(10, 20), 25u);
+}
+
+TEST(Encoder, SubAndNeg) {
+  Encoder E;
+  E.movRegReg(RAX, RDI);
+  E.subRegReg(RAX, RSI);
+  E.negReg(RAX);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn2>()(3, 10), 7u);
+}
+
+TEST(Encoder, MemoryRoundTrip) {
+  Encoder E;
+  // rdi = buffer. Store, reload with all widths at varied displacements.
+  E.movRegImm64(RAX, 0x1112131415161718ull);
+  E.movMemReg(RDI, 0, RAX);
+  E.movzxRegMem8(RAX, RDI, 0);   // 0x18
+  E.movzxRegMem16(RCX, RDI, 0);  // 0x1718
+  E.addRegReg(RAX, RCX);
+  E.movRegMem32(RCX, RDI, 4);    // 0x11121314
+  E.addRegReg(RAX, RCX);
+  E.ret();
+  JitBuffer J(E);
+  alignas(8) uint8_t Buf[16] = {};
+  EXPECT_EQ(J.as<FnP>()(Buf), 0x18u + 0x1718u + 0x11121314u);
+}
+
+TEST(Encoder, SignExtendingLoads) {
+  Encoder E;
+  E.movsxRegMem8(RAX, RDI, 0);
+  E.movsxRegMem16(RCX, RDI, 2);
+  E.addRegReg(RAX, RCX);
+  E.movsxRegMem32(RCX, RDI, 4);
+  E.addRegReg(RAX, RCX);
+  E.ret();
+  JitBuffer J(E);
+  struct {
+    int8_t A = -1;
+    int8_t Pad = 0;
+    int16_t B = -2;
+    int32_t C = -3;
+  } Data;
+  EXPECT_EQ(static_cast<int64_t>(J.as<FnP>()(&Data)), -6);
+}
+
+TEST(Encoder, NarrowStores) {
+  Encoder E;
+  E.movRegImm64(RAX, 0xffffffffffffffffull);
+  E.movMemReg8(RDI, 0, RAX);
+  E.movMemReg16(RDI, 2, RAX);
+  E.movMemReg32(RDI, 4, RAX);
+  E.movRegImm64(RAX, 0);
+  E.ret();
+  JitBuffer J(E);
+  uint8_t Buf[12] = {};
+  J.as<FnP>()(Buf);
+  EXPECT_EQ(Buf[0], 0xff); // 1-byte store at 0
+  EXPECT_EQ(Buf[1], 0x00);
+  EXPECT_EQ(Buf[2], 0xff); // 2-byte store at 2
+  EXPECT_EQ(Buf[3], 0xff);
+  EXPECT_EQ(Buf[4], 0xff); // 4-byte store at 4 covers 4..7
+  EXPECT_EQ(Buf[7], 0xff);
+  EXPECT_EQ(Buf[8], 0x00); // ...and not beyond
+}
+
+TEST(Encoder, MulDiv) {
+  Encoder E;
+  E.movRegReg(RAX, RDI);
+  E.imulRegReg(RAX, RSI);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn2>()(7, 6), 42u);
+
+  Encoder E2;
+  E2.movRegReg(RAX, RDI);
+  E2.cqo();
+  E2.idivReg(RSI); // quotient in rax
+  E2.ret();
+  JitBuffer J2(E2);
+  EXPECT_EQ(J2.as<Fn2>()(100, 7), 14u);
+  EXPECT_EQ(static_cast<int64_t>(
+                J2.as<uint64_t (*)(int64_t, int64_t)>()(-100, 7)),
+            -14);
+}
+
+TEST(Encoder, OneOperandImulMem) {
+  Encoder E;
+  // rdx:rax = rax * [rdi]; return high half.
+  E.movRegReg(RAX, RSI);
+  E.imulMem(RDI, 0);
+  E.movRegReg(RAX, RDX);
+  E.ret();
+  JitBuffer J(E);
+  uint64_t M = 1ull << 62;
+  // (1<<62) * 8 = 1<<65 -> high half = 2.
+  EXPECT_EQ(J.as<uint64_t (*)(void *, uint64_t)>()(&M, 8), 2u);
+}
+
+TEST(Encoder, Shifts) {
+  Encoder E;
+  E.movRegReg(RAX, RDI);
+  E.movRegReg(RCX, RSI);
+  E.shlRegCl(RAX);
+  E.shrRegImm(RAX, 1);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn2>()(3, 4), 24u); // (3<<4)>>1
+
+  Encoder E2;
+  E2.movRegReg(RAX, RDI);
+  E2.sarRegImm(RAX, 2);
+  E2.ret();
+  JitBuffer J2(E2);
+  EXPECT_EQ(static_cast<int64_t>(J2.as<uint64_t (*)(int64_t)>()(-8)), -2);
+}
+
+TEST(Encoder, CompareAndSetcc) {
+  Encoder E;
+  E.cmpRegReg(RDI, RSI);
+  E.setcc(CondL, RAX);
+  E.ret();
+  JitBuffer J(E);
+  auto F = J.as<uint64_t (*)(int64_t, int64_t)>();
+  EXPECT_EQ(F(1, 2), 1u);
+  EXPECT_EQ(F(2, 1), 0u);
+  EXPECT_EQ(F(-1, 1), 1u);
+}
+
+TEST(Encoder, LabelsAndBranches) {
+  // if (rdi < rsi) return 111 else return 222 — with a forward jcc.
+  Encoder E;
+  Label Less, Done;
+  E.cmpRegReg(RDI, RSI);
+  E.jcc(CondL, Less);
+  E.movRegImm32(RAX, 222);
+  E.jmp(Done);
+  E.bind(Less);
+  E.movRegImm32(RAX, 111);
+  E.bind(Done);
+  E.ret();
+  JitBuffer J(E);
+  auto F = J.as<uint64_t (*)(int64_t, int64_t)>();
+  EXPECT_EQ(F(1, 5), 111u);
+  EXPECT_EQ(F(5, 1), 222u);
+}
+
+TEST(Encoder, BackwardBranchLoop) {
+  // Sum 1..rdi via a backward jcc.
+  Encoder E;
+  Label Loop;
+  E.xorRegReg(RAX, RAX);
+  E.movRegImm32(RCX, 0);
+  E.bind(Loop);
+  E.addRegImm32(RCX, 1);
+  E.addRegReg(RAX, RCX);
+  E.cmpRegReg(RCX, RDI);
+  E.jcc(CondL, Loop);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn1>()(100), 5050u);
+}
+
+TEST(Encoder, CallAndRet) {
+  Encoder E;
+  Label Callee, Over;
+  E.call(Callee);
+  E.addRegImm32(RAX, 1);
+  E.ret();
+  E.bind(Callee);
+  E.movRegImm32(RAX, 41);
+  E.ret();
+  (void)Over;
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn0>()(), 42u);
+}
+
+TEST(Encoder, IndirectJump) {
+  Encoder E;
+  Label Target;
+  E.leaRegMem(RAX, RDI, 0); // rax = arg (address of code to jump to)...
+  // Build instead: load address of Target via a register trick is awkward
+  // without RIP-relative; test jmpReg by returning through it: put the
+  // return address in rax and jmp rax == ret.
+  (void)Target;
+  Encoder E2;
+  E2.popReg(RAX);  // return address
+  E2.movRegImm32(RCX, 0);
+  E2.jmpReg(RAX);  // acts as ret
+  JitBuffer J2(E2);
+  // Call through: wrap in a real function pointer call.
+  auto F = J2.as<Fn0>();
+  F();
+  SUCCEED();
+}
+
+TEST(Encoder, Atomics) {
+  Encoder E;
+  // lock xadd [rdi], rsi -> returns old value
+  E.movRegReg(RAX, RSI);
+  E.lockXaddMemReg(RDI, 0, RAX);
+  E.ret();
+  JitBuffer J(E);
+  uint64_t V = 100;
+  EXPECT_EQ(J.as<uint64_t (*)(void *, uint64_t)>()(&V, 5), 100u);
+  EXPECT_EQ(V, 105u);
+
+  Encoder E2;
+  // xchg [rdi], rsi
+  E2.movRegReg(RAX, RSI);
+  E2.xchgMemReg(RDI, 0, RAX);
+  E2.ret();
+  JitBuffer J2(E2);
+  V = 7;
+  EXPECT_EQ(J2.as<uint64_t (*)(void *, uint64_t)>()(&V, 9), 7u);
+  EXPECT_EQ(V, 9u);
+
+  Encoder E3;
+  // cmpxchg: rax = expected (rsi), new = rdx (rdx arg3)
+  E3.movRegReg(RAX, RSI);
+  E3.lockCmpxchgMemReg(RDI, 0, RDX);
+  E3.ret();
+  JitBuffer J3(E3);
+  V = 50;
+  auto F3 = J3.as<uint64_t (*)(void *, uint64_t, uint64_t)>();
+  EXPECT_EQ(F3(&V, 50, 60), 50u); // success: old returned
+  EXPECT_EQ(V, 60u);
+  EXPECT_EQ(F3(&V, 99, 70), 60u); // failure: old returned, V unchanged
+  EXPECT_EQ(V, 60u);
+}
+
+TEST(Encoder, DecMemAndJs) {
+  // Emulates the graceful-exit countdown: decrement a counter; return 1
+  // when it goes negative, 0 otherwise.
+  Encoder E;
+  Label Neg;
+  E.decMem(RDI, 0);
+  E.jcc(CondS, Neg);
+  E.movRegImm32(RAX, 0);
+  E.ret();
+  E.bind(Neg);
+  E.movRegImm32(RAX, 1);
+  E.ret();
+  JitBuffer J(E);
+  auto F = J.as<FnP>();
+  uint64_t Counter = 2;
+  EXPECT_EQ(F(&Counter), 0u); // 2 -> 1
+  EXPECT_EQ(F(&Counter), 0u); // 1 -> 0
+  EXPECT_EQ(F(&Counter), 1u); // 0 -> -1: sign set
+}
+
+TEST(Encoder, SSEArithmetic) {
+  // (a + b) * a / b  on doubles stored at [rdi], [rdi+8]; result to
+  // [rdi+16]; returns nothing meaningful.
+  Encoder E;
+  E.movsdXmmMem(XMM0, RDI, 0);
+  E.movsdXmmMem(XMM1, RDI, 8);
+  E.addsd(XMM0, XMM1);
+  E.mulsd(XMM0, XMM0);
+  E.sqrtsd(XMM0, XMM0);
+  E.divsd(XMM0, XMM1);
+  E.movsdMemXmm(RDI, 16, XMM0);
+  E.movRegImm32(RAX, 0);
+  E.ret();
+  JitBuffer J(E);
+  double Buf[3] = {3.0, 2.0, 0.0};
+  J.as<FnP>()(Buf);
+  EXPECT_DOUBLE_EQ(Buf[2], 2.5); // sqrt((3+2)^2)/2
+}
+
+TEST(Encoder, SSEConversionsAndCompare) {
+  Encoder E;
+  // rax = (int64)trunc((double)rdi / 2.0) using cvtsi2sd/cvttsd2si.
+  E.cvtsi2sd(XMM0, RDI);
+  E.movRegImm64(RAX, 2);
+  E.cvtsi2sd(XMM1, RAX);
+  E.divsd(XMM0, XMM1);
+  E.cvttsd2si(RAX, XMM0);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn1>()(7), 3u);
+
+  Encoder E2;
+  // min/max through SSE.
+  E2.cvtsi2sd(XMM0, RDI);
+  E2.cvtsi2sd(XMM1, RSI);
+  E2.minsd(XMM0, XMM1);
+  E2.cvttsd2si(RAX, XMM0);
+  E2.ret();
+  JitBuffer J2(E2);
+  EXPECT_EQ(J2.as<Fn2>()(9, 4), 4u);
+}
+
+TEST(Encoder, MovqBetweenGprAndXmm) {
+  Encoder E;
+  E.movqXmmReg(XMM0, RDI);
+  E.movqRegXmm(RAX, XMM0);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn1>()(0xcafebabedeadbeefull), 0xcafebabedeadbeefull);
+}
+
+TEST(Encoder, UcomisdFlags) {
+  // flt(a,b): ucomisd(b,a); seta.
+  Encoder E;
+  E.movsdXmmMem(XMM0, RDI, 8); // b
+  E.movsdXmmMem(XMM1, RDI, 0); // a
+  E.ucomisd(XMM0, XMM1);
+  E.setcc(CondA, RAX);
+  E.ret();
+  JitBuffer J(E);
+  auto F = J.as<FnP>();
+  double LT[2] = {1.0, 2.0};
+  double GT[2] = {2.0, 1.0};
+  double EQ2[2] = {1.0, 1.0};
+  double NAN2[2] = {std::nan(""), 1.0};
+  EXPECT_EQ(F(LT), 1u);
+  EXPECT_EQ(F(GT), 0u);
+  EXPECT_EQ(F(EQ2), 0u);
+  EXPECT_EQ(F(NAN2), 0u) << "NaN compares must be false";
+}
+
+TEST(Encoder, RdtscMonotonic) {
+  Encoder E;
+  E.rdtsc();
+  E.shlRegImm(RDX, 32);
+  E.orRegReg(RAX, RDX);
+  E.ret();
+  JitBuffer J(E);
+  auto F = J.as<Fn0>();
+  uint64_t A = F();
+  uint64_t B = F();
+  EXPECT_GE(B, A);
+}
+
+TEST(Encoder, MemOperandWithR12R13Base) {
+  // R12 and R13 hit the SIB/disp special cases in ModRM encoding.
+  Encoder E;
+  E.pushReg(R12);
+  E.pushReg(R13);
+  E.movRegReg(R12, RDI);
+  E.movRegReg(R13, RDI);
+  E.movRegMem(RAX, R12, 0);
+  E.addRegMem(RAX, R13, 8);
+  E.popReg(R13);
+  E.popReg(R12);
+  E.ret();
+  JitBuffer J(E);
+  uint64_t Buf[2] = {30, 12};
+  EXPECT_EQ(J.as<FnP>()(Buf), 42u);
+}
+
+TEST(Encoder, RspBaseUsesSib) {
+  Encoder E;
+  E.pushReg(RDI);
+  E.movRegMem(RAX, RSP, 0); // read back what we pushed
+  E.popReg(RCX);
+  E.ret();
+  JitBuffer J(E);
+  EXPECT_EQ(J.as<Fn1>()(77), 77u);
+}
+
+} // namespace
