@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fat_pinball.dir/ablation_fat_pinball.cpp.o"
+  "CMakeFiles/ablation_fat_pinball.dir/ablation_fat_pinball.cpp.o.d"
+  "ablation_fat_pinball"
+  "ablation_fat_pinball.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fat_pinball.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_validation_ref.dir/fig10_validation_ref.cpp.o"
+  "CMakeFiles/fig10_validation_ref.dir/fig10_validation_ref.cpp.o.d"
+  "fig10_validation_ref"
+  "fig10_validation_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_validation_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

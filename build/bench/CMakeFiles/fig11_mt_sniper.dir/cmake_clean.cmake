@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mt_sniper.dir/fig11_mt_sniper.cpp.o"
+  "CMakeFiles/fig11_mt_sniper.dir/fig11_mt_sniper.cpp.o.d"
+  "fig11_mt_sniper"
+  "fig11_mt_sniper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mt_sniper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_validation_train.dir/fig9_validation_train.cpp.o"
+  "CMakeFiles/fig9_validation_train.dir/fig9_validation_train.cpp.o.d"
+  "fig9_validation_train"
+  "fig9_validation_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_validation_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

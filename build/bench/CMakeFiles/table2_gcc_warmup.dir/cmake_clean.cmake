@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_gcc_warmup.dir/table2_gcc_warmup.cpp.o"
+  "CMakeFiles/table2_gcc_warmup.dir/table2_gcc_warmup.cpp.o.d"
+  "table2_gcc_warmup"
+  "table2_gcc_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gcc_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_ref_stats.cpp" "bench/CMakeFiles/table3_ref_stats.dir/table3_ref_stats.cpp.o" "gcc" "bench/CMakeFiles/table3_ref_stats.dir/table3_ref_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/elfie_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elfie_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpoint/CMakeFiles/elfie_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/elfie_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/elfie_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/elfie_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysstate/CMakeFiles/elfie_sysstate.dir/DependInfo.cmake"
+  "/root/repo/build/src/pinball/CMakeFiles/elfie_pinball.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elfie_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/easm/CMakeFiles/elfie_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elfie_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/elfie_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elfie_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fullsystem.dir/table4_fullsystem.cpp.o"
+  "CMakeFiles/table4_fullsystem.dir/table4_fullsystem.cpp.o.d"
+  "table4_fullsystem"
+  "table4_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_gem5_ipc.dir/table5_gem5_ipc.cpp.o"
+  "CMakeFiles/table5_gem5_ipc.dir/table5_gem5_ipc.cpp.o.d"
+  "table5_gem5_ipc"
+  "table5_gem5_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_gem5_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_gem5_ipc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_simulation.dir/mt_simulation.cpp.o"
+  "CMakeFiles/mt_simulation.dir/mt_simulation.cpp.o.d"
+  "mt_simulation"
+  "mt_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

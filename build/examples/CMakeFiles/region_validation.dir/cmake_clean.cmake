@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_validation.dir/region_validation.cpp.o"
+  "CMakeFiles/region_validation.dir/region_validation.cpp.o.d"
+  "region_validation"
+  "region_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysstate_files.dir/sysstate_files.cpp.o"
+  "CMakeFiles/sysstate_files.dir/sysstate_files.cpp.o.d"
+  "sysstate_files"
+  "sysstate_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysstate_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sysstate_files.
+# This may be replaced when dependencies are built.

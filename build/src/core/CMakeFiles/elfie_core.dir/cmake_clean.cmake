@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_core.dir/GuestElfie.cpp.o"
+  "CMakeFiles/elfie_core.dir/GuestElfie.cpp.o.d"
+  "CMakeFiles/elfie_core.dir/NativeElfie.cpp.o"
+  "CMakeFiles/elfie_core.dir/NativeElfie.cpp.o.d"
+  "CMakeFiles/elfie_core.dir/Pinball2Elf.cpp.o"
+  "CMakeFiles/elfie_core.dir/Pinball2Elf.cpp.o.d"
+  "libelfie_core.a"
+  "libelfie_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

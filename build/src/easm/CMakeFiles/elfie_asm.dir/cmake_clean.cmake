@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_asm.dir/Assembler.cpp.o"
+  "CMakeFiles/elfie_asm.dir/Assembler.cpp.o.d"
+  "libelfie_asm.a"
+  "libelfie_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_elf.dir/ELFReader.cpp.o"
+  "CMakeFiles/elfie_elf.dir/ELFReader.cpp.o.d"
+  "CMakeFiles/elfie_elf.dir/ELFWriter.cpp.o"
+  "CMakeFiles/elfie_elf.dir/ELFWriter.cpp.o.d"
+  "libelfie_elf.a"
+  "libelfie_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_isa.dir/ISA.cpp.o"
+  "CMakeFiles/elfie_isa.dir/ISA.cpp.o.d"
+  "libelfie_isa.a"
+  "libelfie_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

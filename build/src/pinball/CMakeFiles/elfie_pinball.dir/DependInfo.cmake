@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pinball/Logger.cpp" "src/pinball/CMakeFiles/elfie_pinball.dir/Logger.cpp.o" "gcc" "src/pinball/CMakeFiles/elfie_pinball.dir/Logger.cpp.o.d"
+  "/root/repo/src/pinball/Pinball.cpp" "src/pinball/CMakeFiles/elfie_pinball.dir/Pinball.cpp.o" "gcc" "src/pinball/CMakeFiles/elfie_pinball.dir/Pinball.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/elfie_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elfie_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/elfie_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elfie_elf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_pinball.dir/Logger.cpp.o"
+  "CMakeFiles/elfie_pinball.dir/Logger.cpp.o.d"
+  "CMakeFiles/elfie_pinball.dir/Pinball.cpp.o"
+  "CMakeFiles/elfie_pinball.dir/Pinball.cpp.o.d"
+  "libelfie_pinball.a"
+  "libelfie_pinball.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_pinball.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

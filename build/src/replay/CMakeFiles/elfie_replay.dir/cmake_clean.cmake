@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_replay.dir/Replayer.cpp.o"
+  "CMakeFiles/elfie_replay.dir/Replayer.cpp.o.d"
+  "libelfie_replay.a"
+  "libelfie_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

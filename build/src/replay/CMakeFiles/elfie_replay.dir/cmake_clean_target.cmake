@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelfie_replay.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_sim.dir/BranchPredictor.cpp.o"
+  "CMakeFiles/elfie_sim.dir/BranchPredictor.cpp.o.d"
+  "CMakeFiles/elfie_sim.dir/Cache.cpp.o"
+  "CMakeFiles/elfie_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/elfie_sim.dir/Config.cpp.o"
+  "CMakeFiles/elfie_sim.dir/Config.cpp.o.d"
+  "CMakeFiles/elfie_sim.dir/Frontend.cpp.o"
+  "CMakeFiles/elfie_sim.dir/Frontend.cpp.o.d"
+  "CMakeFiles/elfie_sim.dir/TimingModel.cpp.o"
+  "CMakeFiles/elfie_sim.dir/TimingModel.cpp.o.d"
+  "libelfie_sim.a"
+  "libelfie_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

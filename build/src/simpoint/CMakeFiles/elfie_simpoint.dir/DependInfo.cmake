@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simpoint/BBV.cpp" "src/simpoint/CMakeFiles/elfie_simpoint.dir/BBV.cpp.o" "gcc" "src/simpoint/CMakeFiles/elfie_simpoint.dir/BBV.cpp.o.d"
+  "/root/repo/src/simpoint/KMeans.cpp" "src/simpoint/CMakeFiles/elfie_simpoint.dir/KMeans.cpp.o" "gcc" "src/simpoint/CMakeFiles/elfie_simpoint.dir/KMeans.cpp.o.d"
+  "/root/repo/src/simpoint/PinPoints.cpp" "src/simpoint/CMakeFiles/elfie_simpoint.dir/PinPoints.cpp.o" "gcc" "src/simpoint/CMakeFiles/elfie_simpoint.dir/PinPoints.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/elfie_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elfie_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/elfie_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elfie_elf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

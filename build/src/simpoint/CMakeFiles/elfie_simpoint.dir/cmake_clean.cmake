@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_simpoint.dir/BBV.cpp.o"
+  "CMakeFiles/elfie_simpoint.dir/BBV.cpp.o.d"
+  "CMakeFiles/elfie_simpoint.dir/KMeans.cpp.o"
+  "CMakeFiles/elfie_simpoint.dir/KMeans.cpp.o.d"
+  "CMakeFiles/elfie_simpoint.dir/PinPoints.cpp.o"
+  "CMakeFiles/elfie_simpoint.dir/PinPoints.cpp.o.d"
+  "libelfie_simpoint.a"
+  "libelfie_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for elfie_simpoint.
+# This may be replaced when dependencies are built.

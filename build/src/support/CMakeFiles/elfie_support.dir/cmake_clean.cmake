@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/elfie_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/elfie_support.dir/Error.cpp.o"
+  "CMakeFiles/elfie_support.dir/Error.cpp.o.d"
+  "CMakeFiles/elfie_support.dir/FileIO.cpp.o"
+  "CMakeFiles/elfie_support.dir/FileIO.cpp.o.d"
+  "CMakeFiles/elfie_support.dir/Format.cpp.o"
+  "CMakeFiles/elfie_support.dir/Format.cpp.o.d"
+  "CMakeFiles/elfie_support.dir/RNG.cpp.o"
+  "CMakeFiles/elfie_support.dir/RNG.cpp.o.d"
+  "libelfie_support.a"
+  "libelfie_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

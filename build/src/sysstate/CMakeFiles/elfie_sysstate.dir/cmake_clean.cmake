@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_sysstate.dir/SysState.cpp.o"
+  "CMakeFiles/elfie_sysstate.dir/SysState.cpp.o.d"
+  "libelfie_sysstate.a"
+  "libelfie_sysstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_sysstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

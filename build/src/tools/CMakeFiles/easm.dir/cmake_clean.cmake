@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/easm"
+  "../../bin/easm.pdb"
+  "CMakeFiles/easm.dir/easm_main.cpp.o"
+  "CMakeFiles/easm.dir/easm_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

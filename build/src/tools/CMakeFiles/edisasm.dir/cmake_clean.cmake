@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/edisasm"
+  "../../bin/edisasm.pdb"
+  "CMakeFiles/edisasm.dir/edisasm_main.cpp.o"
+  "CMakeFiles/edisasm.dir/edisasm_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edisasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/elogger"
+  "../../bin/elogger.pdb"
+  "CMakeFiles/elogger.dir/elogger_main.cpp.o"
+  "CMakeFiles/elogger.dir/elogger_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elogger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

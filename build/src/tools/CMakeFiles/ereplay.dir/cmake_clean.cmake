@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/ereplay"
+  "../../bin/ereplay.pdb"
+  "CMakeFiles/ereplay.dir/ereplay_main.cpp.o"
+  "CMakeFiles/ereplay.dir/ereplay_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ereplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

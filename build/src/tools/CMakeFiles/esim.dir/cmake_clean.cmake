@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/esim"
+  "../../bin/esim.pdb"
+  "CMakeFiles/esim.dir/esim_main.cpp.o"
+  "CMakeFiles/esim.dir/esim_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/esimpoint"
+  "../../bin/esimpoint.pdb"
+  "CMakeFiles/esimpoint.dir/esimpoint_main.cpp.o"
+  "CMakeFiles/esimpoint.dir/esimpoint_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esimpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

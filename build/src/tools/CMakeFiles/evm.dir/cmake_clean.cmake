@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/evm"
+  "../../bin/evm.pdb"
+  "CMakeFiles/evm.dir/evm_main.cpp.o"
+  "CMakeFiles/evm.dir/evm_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

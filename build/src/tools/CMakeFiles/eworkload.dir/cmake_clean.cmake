@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/eworkload"
+  "../../bin/eworkload.pdb"
+  "CMakeFiles/eworkload.dir/eworkload_main.cpp.o"
+  "CMakeFiles/eworkload.dir/eworkload_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eworkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/pinball2elf"
+  "../../bin/pinball2elf.pdb"
+  "CMakeFiles/pinball2elf.dir/pinball2elf_main.cpp.o"
+  "CMakeFiles/pinball2elf.dir/pinball2elf_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinball2elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bin/pinball_sysstate"
+  "../../bin/pinball_sysstate.pdb"
+  "CMakeFiles/pinball_sysstate.dir/pinball_sysstate_main.cpp.o"
+  "CMakeFiles/pinball_sysstate.dir/pinball_sysstate_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinball_sysstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_vm.dir/Memory.cpp.o"
+  "CMakeFiles/elfie_vm.dir/Memory.cpp.o.d"
+  "CMakeFiles/elfie_vm.dir/VM.cpp.o"
+  "CMakeFiles/elfie_vm.dir/VM.cpp.o.d"
+  "libelfie_vm.a"
+  "libelfie_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

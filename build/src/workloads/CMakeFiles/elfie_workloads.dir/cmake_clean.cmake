@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/elfie_workloads.dir/Workloads.cpp.o.d"
+  "libelfie_workloads.a"
+  "libelfie_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elfie_x86.dir/Encoder.cpp.o"
+  "CMakeFiles/elfie_x86.dir/Encoder.cpp.o.d"
+  "CMakeFiles/elfie_x86.dir/Translator.cpp.o"
+  "CMakeFiles/elfie_x86.dir/Translator.cpp.o.d"
+  "libelfie_x86.a"
+  "libelfie_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elfie_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("elf")
+subdirs("isa")
+subdirs("easm")
+subdirs("vm")
+subdirs("pinball")
+subdirs("replay")
+subdirs("x86")
+subdirs("core")
+subdirs("simpoint")
+subdirs("sim")
+subdirs("workloads")
+subdirs("tools")

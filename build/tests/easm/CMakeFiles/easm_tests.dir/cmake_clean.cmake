@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easm_tests.dir/AssemblerTest.cpp.o"
+  "CMakeFiles/easm_tests.dir/AssemblerTest.cpp.o.d"
+  "easm_tests"
+  "easm_tests.pdb"
+  "easm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elf_tests.dir/ELFTest.cpp.o"
+  "CMakeFiles/elf_tests.dir/ELFTest.cpp.o.d"
+  "elf_tests"
+  "elf_tests.pdb"
+  "elf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinball_tests.dir/PinballTest.cpp.o"
+  "CMakeFiles/pinball_tests.dir/PinballTest.cpp.o.d"
+  "pinball_tests"
+  "pinball_tests.pdb"
+  "pinball_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinball_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_tests.dir/ReplayTest.cpp.o"
+  "CMakeFiles/replay_tests.dir/ReplayTest.cpp.o.d"
+  "replay_tests"
+  "replay_tests.pdb"
+  "replay_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

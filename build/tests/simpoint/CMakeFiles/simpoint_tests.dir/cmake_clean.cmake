@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpoint_tests.dir/SimPointTest.cpp.o"
+  "CMakeFiles/simpoint_tests.dir/SimPointTest.cpp.o.d"
+  "simpoint_tests"
+  "simpoint_tests.pdb"
+  "simpoint_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpoint_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

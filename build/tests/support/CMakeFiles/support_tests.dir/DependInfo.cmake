@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/CommandLineTest.cpp" "tests/support/CMakeFiles/support_tests.dir/CommandLineTest.cpp.o" "gcc" "tests/support/CMakeFiles/support_tests.dir/CommandLineTest.cpp.o.d"
+  "/root/repo/tests/support/ErrorTest.cpp" "tests/support/CMakeFiles/support_tests.dir/ErrorTest.cpp.o" "gcc" "tests/support/CMakeFiles/support_tests.dir/ErrorTest.cpp.o.d"
+  "/root/repo/tests/support/FileIOTest.cpp" "tests/support/CMakeFiles/support_tests.dir/FileIOTest.cpp.o" "gcc" "tests/support/CMakeFiles/support_tests.dir/FileIOTest.cpp.o.d"
+  "/root/repo/tests/support/FormatTest.cpp" "tests/support/CMakeFiles/support_tests.dir/FormatTest.cpp.o" "gcc" "tests/support/CMakeFiles/support_tests.dir/FormatTest.cpp.o.d"
+  "/root/repo/tests/support/RNGTest.cpp" "tests/support/CMakeFiles/support_tests.dir/RNGTest.cpp.o" "gcc" "tests/support/CMakeFiles/support_tests.dir/RNGTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/elfie_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/CommandLineTest.cpp.o"
+  "CMakeFiles/support_tests.dir/CommandLineTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/ErrorTest.cpp.o"
+  "CMakeFiles/support_tests.dir/ErrorTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/FileIOTest.cpp.o"
+  "CMakeFiles/support_tests.dir/FileIOTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/FormatTest.cpp.o"
+  "CMakeFiles/support_tests.dir/FormatTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/RNGTest.cpp.o"
+  "CMakeFiles/support_tests.dir/RNGTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_tests.dir/VMEdgeCasesTest.cpp.o"
+  "CMakeFiles/vm_tests.dir/VMEdgeCasesTest.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/VMTest.cpp.o"
+  "CMakeFiles/vm_tests.dir/VMTest.cpp.o.d"
+  "vm_tests"
+  "vm_tests.pdb"
+  "vm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

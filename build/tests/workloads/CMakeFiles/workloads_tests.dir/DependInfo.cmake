@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/WorkloadsTest.cpp" "tests/workloads/CMakeFiles/workloads_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/workloads/CMakeFiles/workloads_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/elfie_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/elfie_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pinball/CMakeFiles/elfie_pinball.dir/DependInfo.cmake"
+  "/root/repo/build/src/easm/CMakeFiles/elfie_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/elfie_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/elfie_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/elfie_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

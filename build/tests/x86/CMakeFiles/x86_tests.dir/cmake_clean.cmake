@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86_tests.dir/EncoderTest.cpp.o"
+  "CMakeFiles/x86_tests.dir/EncoderTest.cpp.o.d"
+  "CMakeFiles/x86_tests.dir/TranslatorTest.cpp.o"
+  "CMakeFiles/x86_tests.dir/TranslatorTest.cpp.o.d"
+  "x86_tests"
+  "x86_tests.pdb"
+  "x86_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
