@@ -109,6 +109,17 @@ void BM_ConstrainedReplay_MT(benchmark::State &S) {
 }
 BENCHMARK(BM_ConstrainedReplay_MT)->Unit(benchmark::kMillisecond);
 
+void BM_ConstrainedReplay_ST_NoDecodeCache(benchmark::State &S) {
+  replay::ReplayOptions Opts;
+  Opts.Config.EnableDecodeCache = false;
+  for (auto _ : S) {
+    auto R = replay::replayPinball(G->ST, Opts);
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+}
+BENCHMARK(BM_ConstrainedReplay_ST_NoDecodeCache)
+    ->Unit(benchmark::kMillisecond);
+
 double timeOf(const std::function<void()> &Fn, unsigned Reps = 5) {
   // Warm once, then take the minimum of Reps.
   Fn();
@@ -122,6 +133,8 @@ double timeOf(const std::function<void()> &Fn, unsigned Reps = 5) {
   }
   return Best;
 }
+
+void printDecodeCacheComparison();
 
 void printMatrixAndOverhead() {
   printHeader("Table I: pinball vs. ELFie differences");
@@ -159,6 +172,52 @@ void printMatrixAndOverhead() {
               ReplayMT / NativeMT > ReplayST / NativeST
                   ? ", and MT replay pays more than ST"
                   : "");
+
+  printDecodeCacheComparison();
+}
+
+/// Decoded-block cache before/after: single-threaded constrained replay
+/// with the cache off vs. on. Checks the speedup claim and that the two
+/// configurations retire the identical instruction stream.
+void printDecodeCacheComparison() {
+  printHeader("Replay VM decoded-block cache: before/after");
+
+  replay::ReplayOptions Off;
+  Off.Config.EnableDecodeCache = false;
+  replay::ReplayOptions On;
+  On.Config.EnableDecodeCache = true;
+
+  auto ROff = replay::replayPinball(G->ST, Off);
+  auto ROn = replay::replayPinball(G->ST, On);
+  if (!ROff || !ROn) {
+    std::fprintf(stderr, "decode-cache comparison replay failed\n");
+    return;
+  }
+  bool Identical = ROff->Retired == ROn->Retired &&
+                   ROff->RetiredPerThread == ROn->RetiredPerThread &&
+                   ROff->Stdout == ROn->Stdout &&
+                   ROff->Reason == ROn->Reason;
+
+  double TOff =
+      timeOf([&] { (void)replay::replayPinball(G->ST, Off); }, 5);
+  double TOn =
+      timeOf([&] { (void)replay::replayPinball(G->ST, On); }, 5);
+  double InstOff = ROff->Retired / TOff / 1e6;
+  double InstOn = ROn->Retired / TOn / 1e6;
+
+  std::printf("  cache off: %.2f ms  (%.1f Minst/s)\n", TOff * 1e3,
+              InstOff);
+  std::printf("  cache on:  %.2f ms  (%.1f Minst/s)  hits %llu  misses "
+              "%llu  invalidations %llu\n",
+              TOn * 1e3, InstOn,
+              static_cast<unsigned long long>(ROn->VMStats.Hits),
+              static_cast<unsigned long long>(ROn->VMStats.Misses),
+              static_cast<unsigned long long>(ROn->VMStats.Invalidations));
+  std::printf("  speedup: %.2fx (target >= 1.5x), behavior %s (retired "
+              "%llu vs %llu)\n",
+              TOff / TOn, Identical ? "IDENTICAL" : "DIVERGED!",
+              static_cast<unsigned long long>(ROff->Retired),
+              static_cast<unsigned long long>(ROn->Retired));
 }
 
 } // namespace

@@ -154,6 +154,10 @@ bool isa::isControlFlow(Opcode Op) {
   }
 }
 
+bool isa::isBlockTerminator(Opcode Op) {
+  return isControlFlow(Op) || Op == Opcode::Syscall || Op == Opcode::Marker;
+}
+
 bool isa::isLoad(Opcode Op) {
   switch (Op) {
   case Opcode::Ld1:

@@ -231,6 +231,9 @@ bool isValidOpcode(uint8_t Op);
 /// translator.
 bool isBranch(Opcode Op);       ///< conditional branches only
 bool isControlFlow(Opcode Op);  ///< branches + jumps + jal/jalr + halt
+/// True when \p Op must terminate a decoded straight-line block (the EVM's
+/// decode cache): control flow (incl. halt), syscalls, and markers.
+bool isBlockTerminator(Opcode Op);
 bool isMemoryAccess(Opcode Op); ///< loads/stores/atomics (incl. FP)
 bool isLoad(Opcode Op);
 bool isStore(Opcode Op);

@@ -10,6 +10,8 @@
 #include "support/FileIO.h"
 #include "support/Format.h"
 
+#include <algorithm>
+
 using namespace elfie;
 using namespace elfie::pinball;
 
@@ -28,7 +30,10 @@ Error checkHeader(BinaryReader &R, uint32_t Kind, const std::string &File) {
   uint32_t Magic = R.readU32();
   uint32_t Version = R.readU32();
   uint32_t GotKind = R.readU32();
-  if (R.hadError() || Magic != FileMagic)
+  if (R.hadError())
+    return makeError("'%s' is truncated (shorter than the pinball header)",
+                     File.c_str());
+  if (Magic != FileMagic)
     return makeError("'%s' is not a pinball file (bad magic)", File.c_str());
   if (Version != FormatVersion)
     return makeError("'%s' has unsupported pinball version %u", File.c_str(),
@@ -247,8 +252,32 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
       PB.Injects.push_back(std::move(Rec));
     }
   }
-  for (uint32_t I = 0; I < NumThreads; ++I) {
-    std::string Name = formatString("t%u.reg", I);
+  // Thread register files are named by tid (t<Tid>.reg) and tids need not
+  // be dense — e.g. a region captured after some threads already exited.
+  // Enumerate the directory instead of guessing names from the count.
+  std::vector<uint32_t> Tids;
+  {
+    auto Entries = listDirectory(Dir);
+    if (!Entries)
+      return Entries.takeError();
+    for (const std::string &Name : *Entries) {
+      if (Name.size() < 6 || Name.front() != 't' ||
+          Name.compare(Name.size() - 4, 4, ".reg") != 0)
+        continue;
+      std::string Digits = Name.substr(1, Name.size() - 5);
+      if (Digits.empty() ||
+          Digits.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+      Tids.push_back(static_cast<uint32_t>(std::stoul(Digits)));
+    }
+  }
+  std::sort(Tids.begin(), Tids.end());
+  if (Tids.size() != NumThreads)
+    return makeError("pinball has %zu t*.reg files but 'meta' records %u "
+                     "threads",
+                     Tids.size(), NumThreads);
+  for (uint32_t Tid : Tids) {
+    std::string Name = formatString("t%u.reg", Tid);
     auto Bytes = ReadAll(Name);
     if (!Bytes)
       return Bytes.takeError();
@@ -265,6 +294,9 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     T.RegionIcount = R.readU64();
     if (R.hadError())
       return makeError("'%s' is truncated", Name.c_str());
+    if (T.Tid != Tid)
+      return makeError("'%s' records tid %u, expected %u from its file name",
+                       Name.c_str(), T.Tid, Tid);
     PB.Threads.push_back(T);
   }
   {

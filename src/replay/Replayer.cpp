@@ -16,9 +16,9 @@ using namespace elfie;
 using namespace elfie::replay;
 using pinball::Pinball;
 
-std::unique_ptr<vm::VM> replay::makeReplayVM(const Pinball &PB,
-                                             const vm::VMConfig &Config,
-                                             bool LoadAllPages) {
+Expected<std::unique_ptr<vm::VM>>
+replay::makeReplayVM(const Pinball &PB, const vm::VMConfig &Config,
+                     bool LoadAllPages) {
   auto M = std::make_unique<vm::VM>(Config);
   auto LoadPage = [&](const pinball::PageRecord &P) {
     M->mem().map(P.Addr, vm::GuestPageSize, P.Perm);
@@ -44,8 +44,11 @@ std::unique_ptr<vm::VM> replay::makeReplayVM(const Pinball &PB,
     std::memcpy(S.FPR, T.FPR, sizeof(S.FPR));
     S.PC = T.PC;
     uint32_t Got = M->spawnThread(S);
-    (void)Got;
-    assert(Got == T.Tid && "pinball tids must be dense from 0");
+    if (Got != T.Tid)
+      return makeError("pinball thread ids are not dense from 0: found tid "
+                       "%u where %u was expected; re-log the region or "
+                       "renumber the t*.reg files",
+                       T.Tid, Got);
   }
   return M;
 }
@@ -68,7 +71,10 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
   if (!Opts.Injection) {
     // ELFie-mimicking mode: all pages up front, free scheduler, native
     // syscalls.
-    auto M = makeReplayVM(PB, Config, /*LoadAllPages=*/true);
+    auto MaybeVM = makeReplayVM(PB, Config, /*LoadAllPages=*/true);
+    if (!MaybeVM)
+      return MaybeVM.takeError();
+    auto M = MaybeVM.takeValue();
     if (Opts.Obs)
       M->setObserver(Opts.Obs);
     vm::RunResult RR = M->run(Budget);
@@ -80,11 +86,15 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
       Result.FinalThreads[Tid] = *M->thread(Tid);
     }
     Result.Stdout = *Captured;
+    Result.VMStats = RR.CacheStats;
     return Result;
   }
 
   // Constrained replay.
-  auto M = makeReplayVM(PB, Config, /*LoadAllPages=*/false);
+  auto MaybeVM = makeReplayVM(PB, Config, /*LoadAllPages=*/false);
+  if (!MaybeVM)
+    return MaybeVM.takeError();
+  auto M = MaybeVM.takeValue();
   if (Opts.Obs)
     M->setObserver(Opts.Obs);
 
@@ -193,5 +203,6 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
   Result.SyscallLogFullyConsumed =
       Divergence.empty() && SyscallCursor == PB.Syscalls.size();
   Result.Divergence = Divergence;
+  Result.VMStats = M->decodeCacheStats();
   return Result;
 }

@@ -67,15 +67,20 @@ struct ReplayResult {
   bool SyscallLogFullyConsumed = true;
   /// Divergence diagnostics (empty when replay matched the log).
   std::string Divergence;
+  /// Decoded-block cache counters from the replay VM (hits, misses,
+  /// invalidations). All zero when the cache is disabled.
+  vm::DecodeCacheStats VMStats;
 };
 
 /// Builds a VM primed with the pinball's state: pages mapped (image only —
 /// lazy injection is the replayer's job), threads spawned with their
 /// recorded registers, brk restored. Exposed for pinball2elf's sysstate
-/// analysis and for the simulators' pinball front-end.
-std::unique_ptr<vm::VM> makeReplayVM(const pinball::Pinball &PB,
-                                     const vm::VMConfig &Config,
-                                     bool LoadAllPages);
+/// analysis and for the simulators' pinball front-end. Errors when the
+/// pinball's tids are not dense from 0 (the EVM hands out sequential tids,
+/// so sparse tids cannot be reproduced by spawning).
+Expected<std::unique_ptr<vm::VM>> makeReplayVM(const pinball::Pinball &PB,
+                                               const vm::VMConfig &Config,
+                                               bool LoadAllPages);
 
 /// Replays \p PB according to \p Opts.
 Expected<ReplayResult> replayPinball(const pinball::Pinball &PB,

@@ -179,6 +179,7 @@ sim::simulateBinaryImage(const std::vector<uint8_t> &Image,
   Out.RoiRetired = Obs.roiRetired();
   Out.MarkerSeen = Obs.markerSeen();
   Out.WasElfie = IsElfie;
+  Out.VMStats = M.decodeCacheStats();
   return Out;
 }
 
@@ -248,5 +249,6 @@ Expected<SimResult> sim::simulatePinball(const pinball::Pinball &PB,
   Out.Stats = Model.stats();
   Out.Reason = R->Reason;
   Out.RoiRetired = R->Retired;
+  Out.VMStats = R->VMStats;
   return Out;
 }

@@ -58,6 +58,9 @@ struct SimResult {
   bool MarkerSeen = false;
   /// Set when the input was recognized as an ELFie.
   bool WasElfie = false;
+  /// Decoded-block cache counters from the functional VM underneath the
+  /// timing model. All zero when the cache is disabled.
+  vm::DecodeCacheStats VMStats;
 };
 
 /// Simulates a guest ELF image (program or guest-target ELFie).

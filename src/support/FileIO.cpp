@@ -7,6 +7,7 @@
 
 #include "support/FileIO.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -79,6 +80,20 @@ void elfie::removeFile(const std::string &Path) {
 void elfie::removeTree(const std::string &Path) {
   std::error_code EC;
   std::filesystem::remove_all(Path, EC);
+}
+
+Expected<std::vector<std::string>>
+elfie::listDirectory(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Path, EC);
+  if (EC)
+    return makeError("cannot list directory '%s': %s", Path.c_str(),
+                     EC.message().c_str());
+  std::vector<std::string> Names;
+  for (const auto &Entry : It)
+    Names.push_back(Entry.path().filename().string());
+  std::sort(Names.begin(), Names.end());
+  return Names;
 }
 
 Error elfie::makeExecutable(const std::string &Path) {

@@ -47,6 +47,10 @@ void removeFile(const std::string &Path);
 /// Removes a directory tree if present; ignores missing paths.
 void removeTree(const std::string &Path);
 
+/// Lists the entry names (not full paths) in directory \p Path, sorted.
+/// Errors when the directory cannot be read.
+Expected<std::vector<std::string>> listDirectory(const std::string &Path);
+
 /// Marks \p Path executable (chmod 0755). Used on emitted ELFies.
 Error makeExecutable(const std::string &Path);
 

@@ -20,6 +20,9 @@ int main(int Argc, char **Argv) {
              "order (0 mimics an ELFie run)");
   CL.addInt("maxinsns", -1, "stop after N instructions");
   CL.addString("fsroot", ".", "guest filesystem root (injection=0 mode)");
+  CL.addFlag("vm:cache", true, "use the decoded-block cache");
+  CL.addFlag("vm:stats", false,
+             "print decoded-block cache statistics after replay");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: ereplay [options] pinball-dir\n");
@@ -31,6 +34,7 @@ int main(int Argc, char **Argv) {
   replay::ReplayOptions Opts;
   Opts.Injection = CL.getFlag("replay:injection");
   Opts.Config.FsRoot = CL.getString("fsroot");
+  Opts.Config.EnableDecodeCache = CL.getFlag("vm:cache");
   if (CL.getInt("maxinsns") >= 0)
     Opts.MaxInstructions = static_cast<uint64_t>(CL.getInt("maxinsns"));
 
@@ -44,6 +48,13 @@ int main(int Argc, char **Argv) {
                  Tid, static_cast<unsigned long long>(N),
                  static_cast<unsigned long long>(T ? T->RegionIcount : 0));
   }
+  if (CL.getFlag("vm:stats"))
+    std::fprintf(stderr,
+                 "ereplay: decode cache: %llu hits, %llu misses, "
+                 "%llu invalidations\n",
+                 static_cast<unsigned long long>(R.VMStats.Hits),
+                 static_cast<unsigned long long>(R.VMStats.Misses),
+                 static_cast<unsigned long long>(R.VMStats.Invalidations));
   if (!R.Divergence.empty()) {
     std::fprintf(stderr, "ereplay: DIVERGENCE: %s\n", R.Divergence.c_str());
     return 2;

@@ -24,6 +24,8 @@ int main(int Argc, char **Argv) {
              "pinball mode: enforce the recorded schedule + injection");
   CL.addInt("maxinsns", -1, "ROI instruction budget");
   CL.addString("fsroot", ".", "guest filesystem root");
+  CL.addFlag("vm:stats", false,
+             "print the functional VM's decoded-block cache statistics");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().empty()) {
     std::fprintf(stderr, "usage: esim [options] binary|pinball-dir "
@@ -60,5 +62,10 @@ int main(int Argc, char **Argv) {
     std::printf("input recognized as an ELFie (ROI from marker, budget "
                 "from elfie_region_length)\n");
   std::fputs(Result.Stats.summary().c_str(), stdout);
+  if (CL.getFlag("vm:stats"))
+    std::printf("decode cache: %llu hits, %llu misses, %llu invalidations\n",
+                static_cast<unsigned long long>(Result.VMStats.Hits),
+                static_cast<unsigned long long>(Result.VMStats.Misses),
+                static_cast<unsigned long long>(Result.VMStats.Invalidations));
   return 0;
 }

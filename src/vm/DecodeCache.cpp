@@ -1,0 +1,61 @@
+//===- vm/DecodeCache.cpp -------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/DecodeCache.h"
+
+#include "vm/Memory.h"
+
+#include <algorithm>
+
+using namespace elfie;
+using namespace elfie::vm;
+
+const DecodedBlock *DecodeCache::insert(std::unique_ptr<DecodedBlock> B) {
+  ++Stats.Misses;
+  uint64_t PC = B->StartPC;
+  DecodedBlock *Raw = B.get();
+  auto It = Blocks.find(PC);
+  if (It != Blocks.end()) {
+    // Rebuild of a PC whose stale block was not yet invalidated: keep the
+    // fresh decode.
+    It->second = std::move(B);
+  } else {
+    Blocks.emplace(PC, std::move(B));
+    PageIndex[pageBase(PC)].push_back(PC);
+  }
+  Slots[slotOf(PC)] = Raw;
+  return Raw;
+}
+
+void DecodeCache::invalidatePage(uint64_t PageAddr) {
+  auto It = PageIndex.find(PageAddr);
+  if (It == PageIndex.end())
+    return;
+  for (uint64_t PC : It->second) {
+    auto BIt = Blocks.find(PC);
+    if (BIt == Blocks.end())
+      continue;
+    size_t Slot = slotOf(PC);
+    if (Slots[Slot] == BIt->second.get())
+      Slots[Slot] = nullptr;
+    Blocks.erase(BIt);
+    ++Stats.Invalidations;
+  }
+  PageIndex.erase(It);
+  ++Generation;
+}
+
+void DecodeCache::flush() {
+  if (Blocks.empty())
+    return;
+  Stats.Invalidations += Blocks.size();
+  ++Stats.Flushes;
+  Blocks.clear();
+  PageIndex.clear();
+  std::fill(Slots.begin(), Slots.end(), nullptr);
+  ++Generation;
+}

@@ -1,0 +1,133 @@
+//===- vm/DecodeCache.h - Decoded basic-block cache -------------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decoded basic-block cache for the EVM interpreter. Every replay-based
+/// flow (constrained replay, injection-less replay, SYSSTATE reconstruction,
+/// the timing simulators) retires instructions through VM::stepOne, which
+/// without this cache performs a page-table lookup plus a full isa::decode
+/// for every retired instruction. The cache decodes straight-line runs once
+/// into flat DecodedBlocks — terminated at control transfers, syscalls,
+/// markers, and page boundaries — and the interpreter dispatches from the
+/// cached form.
+///
+/// Lookup is two-level: a direct-mapped slot array indexed by start PC
+/// absorbs the common case in O(1), backed by a hash map holding every
+/// block (so conflict evictions never lose decode work).
+///
+/// Invalidation is precise and page-granular: the VM wires
+/// AddressSpace::setCodeInvalidateHook to invalidatePage()/flush(), so any
+/// write or poke to an executable page, any unmap, and any
+/// clearAccessTracking() (the logger re-arms lazy page capture; cached
+/// blocks must not skip the fetch that triggers first-touch) drops the
+/// affected blocks. A generation counter lets per-thread block cursors
+/// validate cheaply without dangling-pointer risk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_VM_DECODECACHE_H
+#define ELFIE_VM_DECODECACHE_H
+
+#include "isa/ISA.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace elfie {
+namespace vm {
+
+/// Decode-cache counters, exposed through RunResult/ReplayResult and the
+/// tools' --vm-stats switch.
+struct DecodeCacheStats {
+  /// Instructions dispatched from a cached block.
+  uint64_t Hits = 0;
+  /// Block builds (a lookup that found nothing and decoded a new block).
+  uint64_t Misses = 0;
+  /// Blocks dropped by precise (page-granular) invalidation.
+  uint64_t Invalidations = 0;
+  /// Full-cache flushes (unmap of exec pages en masse, access-tracking
+  /// resets).
+  uint64_t Flushes = 0;
+};
+
+/// A run of instructions decoded once, executed many times. Blocks never
+/// cross a guest page boundary, so invalidation of one page maps to a
+/// well-defined set of blocks.
+struct DecodedBlock {
+  uint64_t StartPC = 0;
+  std::vector<isa::Inst> Insts;
+
+  uint64_t pcAt(size_t Idx) const { return StartPC + Idx * isa::InstSize; }
+};
+
+/// The cache: direct-mapped front, hash-map backing, page index for
+/// invalidation.
+class DecodeCache {
+public:
+  /// Direct-mapped slot count (power of two).
+  static constexpr size_t NumSlots = 4096;
+  /// Blocks are capped at this many instructions.
+  static constexpr size_t MaxBlockInsts = 256;
+
+  DecodeCache() { Slots.assign(NumSlots, nullptr); }
+
+  /// Finds the block starting exactly at \p PC; null on miss. Counts a hit
+  /// when found.
+  const DecodedBlock *lookup(uint64_t PC) {
+    size_t Slot = slotOf(PC);
+    DecodedBlock *B = Slots[Slot];
+    if (B && B->StartPC == PC) {
+      ++Stats.Hits;
+      return B;
+    }
+    auto It = Blocks.find(PC);
+    if (It == Blocks.end())
+      return nullptr;
+    Slots[Slot] = It->second.get();
+    ++Stats.Hits;
+    return It->second.get();
+  }
+
+  /// Inserts a freshly built block and counts the miss that caused it.
+  /// Returns the cache-owned block.
+  const DecodedBlock *insert(std::unique_ptr<DecodedBlock> B);
+
+  /// Counts a dispatch served by a per-thread cursor (no lookup needed).
+  void noteCursorHit() { ++Stats.Hits; }
+
+  /// Drops every block living on the page at \p PageAddr (page-aligned).
+  void invalidatePage(uint64_t PageAddr);
+
+  /// Drops everything.
+  void flush();
+
+  /// Monotonic counter bumped by every invalidation; cursors holding block
+  /// pointers compare generations before dereferencing.
+  uint64_t generation() const { return Generation; }
+
+  const DecodeCacheStats &stats() const { return Stats; }
+  size_t blockCount() const { return Blocks.size(); }
+
+private:
+  static size_t slotOf(uint64_t PC) {
+    return (PC / isa::InstSize) & (NumSlots - 1);
+  }
+
+  std::vector<DecodedBlock *> Slots;
+  std::unordered_map<uint64_t, std::unique_ptr<DecodedBlock>> Blocks;
+  /// Page base -> start PCs of blocks on that page.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> PageIndex;
+  uint64_t Generation = 0;
+  DecodeCacheStats Stats;
+};
+
+} // namespace vm
+} // namespace elfie
+
+#endif // ELFIE_VM_DECODECACHE_H

@@ -10,11 +10,25 @@
 using namespace elfie;
 using namespace elfie::vm;
 
+namespace {
+
+/// Last page base covered by [Addr, Addr+Size). A range ending at (or
+/// wrapping past) the top of the 64-bit space is clamped to the final
+/// page, so the page walk below always terminates.
+uint64_t clampedLastPage(uint64_t Addr, uint64_t Size) {
+  uint64_t End = Addr + Size - 1;
+  if (End < Addr) // wrapped
+    End = UINT64_MAX;
+  return pageBase(End);
+}
+
+} // namespace
+
 void AddressSpace::map(uint64_t Addr, uint64_t Size, uint8_t Perm) {
   if (Size == 0)
     return;
   uint64_t First = pageBase(Addr);
-  uint64_t Last = pageBase(Addr + Size - 1);
+  uint64_t Last = clampedLastPage(Addr, Size);
   for (uint64_t P = First;; P += GuestPageSize) {
     auto It = Pages.find(P);
     if (It == Pages.end()) {
@@ -34,9 +48,14 @@ void AddressSpace::unmap(uint64_t Addr, uint64_t Size) {
   if (Size == 0)
     return;
   uint64_t First = pageBase(Addr);
-  uint64_t Last = pageBase(Addr + Size - 1);
+  uint64_t Last = clampedLastPage(Addr, Size);
   for (uint64_t P = First;; P += GuestPageSize) {
-    Pages.erase(P);
+    auto It = Pages.find(P);
+    if (It != Pages.end()) {
+      if (It->second->Perm & PermExec)
+        notifyCodeChange(P);
+      Pages.erase(It);
+    }
     if (P == Last)
       break;
   }
@@ -62,6 +81,8 @@ MemFault AddressSpace::read(uint64_t Addr, void *Out, uint64_t Size) {
     Page *P = touch(Base);
     if (!P)
       return MemFault::Unmapped;
+    if (!(P->Perm & PermRead))
+      return MemFault::NoPermission;
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
     std::memcpy(Dst, P->Bytes + Off, Chunk);
@@ -81,6 +102,8 @@ MemFault AddressSpace::write(uint64_t Addr, const void *Data, uint64_t Size) {
       return MemFault::Unmapped;
     if (!(P->Perm & PermWrite))
       return MemFault::NoPermission;
+    if (P->Perm & PermExec)
+      notifyCodeChange(Base);
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
     std::memcpy(P->Bytes + Off, Src, Chunk);
@@ -117,6 +140,8 @@ MemFault AddressSpace::poke(uint64_t Addr, const void *Data, uint64_t Size) {
     auto It = Pages.find(Base);
     if (It == Pages.end())
       return MemFault::Unmapped;
+    if (It->second->Perm & PermExec)
+      notifyCodeChange(Base);
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
     std::memcpy(It->second->Bytes + Off, Src, Chunk);
@@ -163,6 +188,10 @@ Expected<std::string> AddressSpace::readCString(uint64_t Addr,
 void AddressSpace::clearAccessTracking() {
   for (auto &[Addr, P] : Pages)
     P->AccessedSinceMark = false;
+  // Cached decoded code must be dropped: lazy page capture relies on the
+  // first post-reset *fetch* of each code page firing the first-touch hook,
+  // which cached blocks would otherwise skip.
+  notifyCodeChange(AllPages);
 }
 
 void AddressSpace::forEachPage(

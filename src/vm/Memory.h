@@ -49,7 +49,7 @@ enum PagePerm : uint8_t {
 enum class MemFault {
   None,
   Unmapped,      ///< access to an unmapped page
-  NoPermission,  ///< execute of non-X page, write of non-W page
+  NoPermission,  ///< read of non-R, write of non-W, execute of non-X page
 };
 
 /// Sparse guest memory.
@@ -65,10 +65,12 @@ public:
 
   /// Maps [Addr, Addr+Size) zero-filled with permission \p Perm. Addr and
   /// Size are rounded out to page boundaries. Existing pages keep their
-  /// contents but get their permissions widened.
+  /// contents but get their permissions widened. Ranges that would wrap
+  /// past the top of the 64-bit space are clamped to end at the last page.
   void map(uint64_t Addr, uint64_t Size, uint8_t Perm);
 
-  /// Unmaps any pages intersecting [Addr, Addr+Size).
+  /// Unmaps any pages intersecting [Addr, Addr+Size). Wrapping ranges are
+  /// clamped like map().
   void unmap(uint64_t Addr, uint64_t Size);
 
   /// True when the page containing \p Addr is mapped.
@@ -76,7 +78,7 @@ public:
     return Pages.find(pageBase(Addr)) != Pages.end();
   }
 
-  /// Reads \p Size bytes at \p Addr. Faults on unmapped pages.
+  /// Reads \p Size bytes at \p Addr. Faults on unmapped/no-read pages.
   MemFault read(uint64_t Addr, void *Out, uint64_t Size);
 
   /// Writes \p Size bytes at \p Addr. Faults on unmapped/read-only pages.
@@ -114,6 +116,22 @@ public:
     this->Hook = std::move(Hook);
   }
 
+  /// Sentinel page address meaning "every page" in the code-invalidate
+  /// hook (used by clearAccessTracking, which re-arms first-touch capture
+  /// and therefore requires cached code to be re-fetched).
+  static constexpr uint64_t AllPages = ~0ull;
+
+  /// Installs a hook invoked whenever the bytes of an *executable* page may
+  /// have changed or the page disappeared: guest stores and privileged
+  /// pokes into PermExec pages, unmap of PermExec pages, and access-
+  /// tracking resets (reported as AllPages). The VM uses this to keep its
+  /// decoded-block cache coherent, including against self-modifying code
+  /// and the replayer's page injection.
+  using CodeInvalidateHook = std::function<void(uint64_t PageAddr)>;
+  void setCodeInvalidateHook(CodeInvalidateHook Hook) {
+    CodeHook = std::move(Hook);
+  }
+
   /// Walks all mapped pages in address order.
   void
   forEachPage(const std::function<void(uint64_t Addr, const Page &)> &Fn)
@@ -135,9 +153,15 @@ public:
 private:
   Page *touch(uint64_t PageAddr);
 
+  void notifyCodeChange(uint64_t PageAddr) {
+    if (CodeHook)
+      CodeHook(PageAddr);
+  }
+
   // Ordered map so that forEachPage and pinball images are deterministic.
   std::map<uint64_t, std::unique_ptr<Page>> Pages;
   FirstTouchHook Hook;
+  CodeInvalidateHook CodeHook;
 };
 
 } // namespace vm

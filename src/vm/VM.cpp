@@ -29,6 +29,15 @@ VM::VM(VMConfig Config) : Config(std::move(Config)) {
   BrkTop = isa::HeapBase;
   SchedRNG.reseed(this->Config.ScheduleSeed ? this->Config.ScheduleSeed
                                             : 0x5eed);
+  // Keep the decoded-block cache coherent with the address space: stores
+  // and pokes into executable pages (self-modifying code, replay page
+  // injection), unmaps, and access-tracking resets all invalidate.
+  Mem.setCodeInvalidateHook([this](uint64_t PageAddr) {
+    if (PageAddr == AddressSpace::AllPages)
+      DC.flush();
+    else
+      DC.invalidatePage(PageAddr);
+  });
 }
 
 VM::~VM() {
@@ -108,8 +117,12 @@ uint32_t VM::spawnThread(const ThreadState &Initial) {
   T.Tid = NextTid++;
   T.Exited = false;
   T.GPR[isa::RegZero] = 0;
+  T.CurBlock = nullptr; // cursors from another VM's cache are meaningless
+  T.CurIdx = 0;
+  T.CurGen = 0;
   Threads.emplace(T.Tid, T);
   CreationOrder.push_back(T.Tid);
+  ++LiveCount;
   return T.Tid;
 }
 
@@ -133,13 +146,7 @@ std::vector<uint32_t> VM::liveThreadIds() const {
   return Out;
 }
 
-unsigned VM::liveThreadCount() const {
-  unsigned N = 0;
-  for (const auto &[Tid, T] : Threads)
-    if (!T.Exited)
-      ++N;
-  return N;
-}
+unsigned VM::liveThreadCount() const { return LiveCount; }
 
 uint64_t VM::virtualTimeNs() const {
   if (Config.RealTimeClock) {
@@ -153,6 +160,8 @@ uint64_t VM::virtualTimeNs() const {
 void VM::exitThread(ThreadState &T, int64_t Code) {
   T.Exited = true;
   T.ExitCode = Code;
+  if (LiveCount > 0)
+    --LiveCount;
   if (Obs)
     Obs->onThreadExit(T.Tid, Code);
 }
@@ -193,52 +202,50 @@ RunResult VM::run(uint64_t MaxInstructions) {
   RunResult R;
   StopRequested = false;
   uint64_t Budget = MaxInstructions;
-  uint32_t CurTid = UINT32_MAX;
+  // Hot-loop state: the current thread is looked up only on reschedule
+  // (std::map nodes are stable across clone-driven insertions).
+  ThreadState *Cur = nullptr;
+  auto Done = [&](StopReason Reason) {
+    R.Reason = Reason;
+    R.CacheStats = DC.stats();
+    return R;
+  };
 
   while (Budget > 0) {
-    if (GroupExited || liveThreadCount() == 0) {
-      R.Reason = StopReason::AllExited;
+    if (GroupExited || LiveCount == 0) {
       R.ExitCode = GroupExitCode;
-      return R;
+      return Done(StopReason::AllExited);
     }
-    if (CurTid == UINT32_MAX || Threads.at(CurTid).Exited ||
-        QuantumLeft == 0) {
-      CurTid = pickNextThread();
+    if (!Cur || Cur->Exited || QuantumLeft == 0) {
+      uint32_t CurTid = pickNextThread();
       if (CurTid == UINT32_MAX) {
-        R.Reason = StopReason::AllExited;
         R.ExitCode = GroupExitCode;
-        return R;
+        return Done(StopReason::AllExited);
       }
+      Cur = &Threads.at(CurTid);
     }
-    ThreadState &T = Threads.at(CurTid);
-    StepStatus S = stepOne(T);
+    StepStatus S = stepOne(*Cur);
     switch (S) {
     case StepStatus::Ok:
       break;
     case StepStatus::Exited:
       break; // next loop iteration reschedules
     case StepStatus::Halted:
-      R.Reason = StopReason::Halted;
       R.ExitCode = GroupExitCode;
-      return R;
+      return Done(StopReason::Halted);
     case StepStatus::Faulted:
-      R.Reason = StopReason::Faulted;
       R.FaultInfo = LastFault;
-      return R;
+      return Done(StopReason::Faulted);
     case StepStatus::Stopped:
-      R.Reason = StopReason::Stopped;
-      return R;
+      return Done(StopReason::Stopped);
     }
     --Budget;
     if (QuantumLeft > 0)
       --QuantumLeft;
-    if (StopRequested) {
-      R.Reason = StopReason::Stopped;
-      return R;
-    }
+    if (StopRequested)
+      return Done(StopReason::Stopped);
   }
-  R.Reason = StopReason::BudgetReached;
-  return R;
+  return Done(StopReason::BudgetReached);
 }
 
 StopReason VM::stepThread(uint32_t Tid) {
@@ -266,7 +273,81 @@ StopReason VM::stepThread(uint32_t Tid) {
   elfieUnreachable("bad step status");
 }
 
+const Inst *VM::cachedInst(ThreadState &T) {
+  // Cursor fast path: the thread is still walking the block it dispatched
+  // from last step. Generation must match before the pointer is touched —
+  // invalidation frees blocks.
+  if (T.CurBlock && T.CurGen == DC.generation()) {
+    uint32_t Next = T.CurIdx + 1;
+    if (Next < T.CurBlock->Insts.size() && T.PC == T.CurBlock->pcAt(Next)) {
+      T.CurIdx = Next;
+      DC.noteCursorHit();
+      return &T.CurBlock->Insts[Next];
+    }
+  }
+  const DecodedBlock *B = DC.lookup(T.PC);
+  if (!B)
+    return nullptr;
+  T.CurBlock = B;
+  T.CurIdx = 0;
+  T.CurGen = DC.generation();
+  return &B->Insts[0];
+}
+
+const Inst *VM::buildAndEnterBlock(ThreadState &T, StepStatus &Status) {
+  uint64_t PC = T.PC;
+  auto NB = std::make_unique<DecodedBlock>();
+  NB->StartPC = PC;
+  NB->Insts.reserve(16);
+  // Blocks never cross a page boundary, so page-granular invalidation is
+  // exact. The fetches here also drive access tracking / first-touch
+  // capture, exactly like pre-cache per-instruction fetches did (blocks
+  // live on one page, so the page is touched at block entry either way).
+  uint64_t PageEnd = pageBase(PC) + GuestPageSize;
+  for (uint64_t P = PC; P + isa::InstSize <= PageEnd; P += isa::InstSize) {
+    uint8_t Raw[8];
+    MemFault MF = Mem.fetch(P, Raw, 8);
+    Inst I;
+    if (MF != MemFault::None || !isa::decode(Raw, I)) {
+      if (!NB->Insts.empty())
+        break; // cache the valid prefix; the bad PC faults when reached
+      if (MF != MemFault::None)
+        Status = fault(T, P, "instruction fetch from %s page at %#llx",
+                       MF == MemFault::Unmapped ? "unmapped"
+                                                : "non-executable",
+                       static_cast<unsigned long long>(P));
+      else
+        Status = fault(T, P, "invalid instruction encoding at %#llx",
+                       static_cast<unsigned long long>(P));
+      return nullptr;
+    }
+    NB->Insts.push_back(I);
+    if (isa::isBlockTerminator(I.Op) ||
+        NB->Insts.size() >= DecodeCache::MaxBlockInsts)
+      break;
+  }
+  const DecodedBlock *B = DC.insert(std::move(NB));
+  T.CurBlock = B;
+  T.CurIdx = 0;
+  T.CurGen = DC.generation();
+  return &B->Insts[0];
+}
+
 VM::StepStatus VM::stepOne(ThreadState &T) {
+  // Cached dispatch covers every 8-aligned PC below the top guest page;
+  // anything else (misaligned entry points, code in the last page) falls
+  // back to per-step fetch + decode.
+  if (Config.EnableDecodeCache && (T.PC & (isa::InstSize - 1)) == 0 &&
+      pageBase(T.PC) != pageBase(UINT64_MAX)) {
+    const Inst *IP = cachedInst(T);
+    if (!IP) {
+      StepStatus Status = StepStatus::Ok;
+      IP = buildAndEnterBlock(T, Status);
+      if (!IP)
+        return Status;
+    }
+    return execDecoded(T, *IP);
+  }
   uint64_t PC = T.PC;
   uint8_t Raw[8];
   MemFault MF = Mem.fetch(PC, Raw, 8);
@@ -278,7 +359,11 @@ VM::StepStatus VM::stepOne(ThreadState &T) {
   if (!isa::decode(Raw, I))
     return fault(T, PC, "invalid instruction encoding at %#llx",
                  static_cast<unsigned long long>(PC));
+  return execDecoded(T, I);
+}
 
+VM::StepStatus VM::execDecoded(ThreadState &T, const Inst I) {
+  uint64_t PC = T.PC;
   if (Obs)
     Obs->onInstruction(T, PC, I);
 
@@ -427,8 +512,10 @@ VM::StepStatus VM::stepOne(ThreadState &T) {
     uint64_t Addr = R[I.Rs1] + static_cast<int64_t>(I.Imm);
     MemAccess(Addr, Size, false);
     uint64_t V = 0;
-    if (Mem.read(Addr, &V, Size) != MemFault::None)
-      return fault(T, Addr, "load from unmapped address %#llx",
+    MemFault RF = Mem.read(Addr, &V, Size);
+    if (RF != MemFault::None)
+      return fault(T, Addr, "load from %s address %#llx",
+                   RF == MemFault::Unmapped ? "unmapped" : "unreadable",
                    static_cast<unsigned long long>(Addr));
     if (I.Op == Opcode::Ld1s)
       V = static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(V)));
@@ -518,8 +605,10 @@ VM::StepStatus VM::stepOne(ThreadState &T) {
     uint64_t Addr = R[I.Rs1];
     MemAccess(Addr, 8, true);
     uint64_t Old = 0;
-    if (Mem.read(Addr, &Old, 8) != MemFault::None)
-      return fault(T, Addr, "atomic access to unmapped address %#llx",
+    MemFault RF = Mem.read(Addr, &Old, 8);
+    if (RF != MemFault::None)
+      return fault(T, Addr, "atomic access to %s address %#llx",
+                   RF == MemFault::Unmapped ? "unmapped" : "unreadable",
                    static_cast<unsigned long long>(Addr));
     uint64_t New = Old;
     if (I.Op == Opcode::AmoAdd)
@@ -564,8 +653,10 @@ VM::StepStatus VM::stepOne(ThreadState &T) {
     uint64_t Addr = R[I.Rs1] + static_cast<int64_t>(I.Imm);
     MemAccess(Addr, 8, false);
     uint64_t Bits = 0;
-    if (Mem.read(Addr, &Bits, 8) != MemFault::None)
-      return fault(T, Addr, "fld from unmapped address %#llx",
+    MemFault RF = Mem.read(Addr, &Bits, 8);
+    if (RF != MemFault::None)
+      return fault(T, Addr, "fld from %s address %#llx",
+                   RF == MemFault::Unmapped ? "unmapped" : "unreadable",
                    static_cast<unsigned long long>(Addr));
     std::memcpy(&F[I.Rd], &Bits, 8);
     break;

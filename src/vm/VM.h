@@ -29,6 +29,7 @@
 #include "isa/ISA.h"
 #include "support/Error.h"
 #include "support/RNG.h"
+#include "vm/DecodeCache.h"
 #include "vm/Memory.h"
 
 #include <cstdint>
@@ -53,6 +54,13 @@ struct ThreadState {
   int64_t ExitCode = 0;
   /// Instructions retired by this thread since creation.
   uint64_t Retired = 0;
+
+  /// Decode-cache cursor (interpreter bookkeeping, not architectural
+  /// state): the cached block the thread last dispatched from, valid only
+  /// while CurGen matches the cache generation. spawnThread() resets it.
+  const DecodedBlock *CurBlock = nullptr;
+  uint32_t CurIdx = 0;
+  uint64_t CurGen = 0;
 };
 
 /// Why VM::run returned.
@@ -78,6 +86,8 @@ struct RunResult {
   StopReason Reason = StopReason::AllExited;
   Fault FaultInfo;
   int64_t ExitCode = 0;
+  /// Cumulative decode-cache counters at the time run() returned.
+  DecodeCacheStats CacheStats;
 };
 
 /// Instrumentation interface (the Pin "analysis routine" analogue).
@@ -119,6 +129,10 @@ struct VMConfig {
   uint64_t NsPerInst = 1;
   /// true: clock_gettime returns the real host clock (non-deterministic).
   bool RealTimeClock = false;
+  /// Dispatch from the decoded-block cache (default). Disable to force
+  /// fetch + decode on every step (the pre-cache interpreter, kept for
+  /// differential testing and the overhead benchmarks).
+  bool EnableDecodeCache = true;
   /// Directory guest open() paths resolve against.
   std::string FsRoot = ".";
   /// Sinks for guest stdout/stderr; when unset, bytes go to host stdout /
@@ -132,6 +146,11 @@ class VM {
 public:
   explicit VM(VMConfig Config = VMConfig());
   ~VM();
+
+  // The address space holds a callback into this object (decode-cache
+  // invalidation), so the VM must not be copied or moved.
+  VM(const VM &) = delete;
+  VM &operator=(const VM &) = delete;
 
   /// Maps the PT_LOAD segments of a guest executable and records its entry
   /// point. Rejects non-EG64 machines.
@@ -207,9 +226,24 @@ public:
   /// Guest-visible virtual time in nanoseconds (what clock_gettime sees).
   uint64_t virtualTimeNs() const;
 
+  /// Decode-cache counters (also reported through RunResult::CacheStats).
+  const DecodeCacheStats &decodeCacheStats() const { return DC.stats(); }
+  const DecodeCache &decodeCache() const { return DC; }
+
 private:
   enum class StepStatus { Ok, Exited, Halted, Faulted, Stopped };
   StepStatus stepOne(ThreadState &T);
+  /// Executes one already-decoded instruction at T.PC. Takes the
+  /// instruction by value: executing a store into the current code page
+  /// invalidates the block that owns the cached copy.
+  StepStatus execDecoded(ThreadState &T, isa::Inst I);
+  /// Cursor / direct-mapped lookup for the instruction at T.PC; null on a
+  /// cache miss.
+  const isa::Inst *cachedInst(ThreadState &T);
+  /// Decodes a fresh block starting at T.PC, inserts it, and points the
+  /// thread cursor at it. Null (with \p Status set) when the first fetch
+  /// or decode faults.
+  const isa::Inst *buildAndEnterBlock(ThreadState &T, StepStatus &Status);
   StepStatus doSyscall(ThreadState &T);
   StepStatus fault(ThreadState &T, uint64_t Addr, const char *Fmt, ...)
       __attribute__((format(printf, 4, 5)));
@@ -234,11 +268,13 @@ private:
 
   VMConfig Config;
   AddressSpace Mem;
+  DecodeCache DC;
   uint64_t Entry = 0;
 
   std::map<uint32_t, ThreadState> Threads;
   std::vector<uint32_t> CreationOrder;
   uint32_t NextTid = 0;
+  unsigned LiveCount = 0;
 
   // Scheduler state.
   size_t RRIndex = 0;          // index into CreationOrder

@@ -284,4 +284,78 @@ TEST(PinballFormat, AllPagesCombinesImageAndInjects) {
   EXPECT_EQ(PB.imageBytes(), 5 * vm::GuestPageSize);
 }
 
+/// A minimal hand-built pinball with the given thread ids.
+Pinball pinballWithTids(const std::vector<uint32_t> &Tids) {
+  Pinball PB;
+  PB.Meta.ProgramName = "sparse";
+  PB.Meta.RegionLength = 100;
+  for (uint32_t Tid : Tids) {
+    ThreadRegs T;
+    T.Tid = Tid;
+    T.PC = 0x10000 + Tid * 8;
+    T.GPR[1] = Tid * 100;
+    T.RegionIcount = 10;
+    PB.Threads.push_back(T);
+  }
+  return PB;
+}
+
+TEST(PinballFormat, SparseTidsRoundTrip) {
+  // save() names register files t<Tid>.reg; load() used to guess
+  // t0..t{N-1} from the thread count and fail on sparse tids (e.g. a
+  // region captured after thread 1 exited).
+  std::string Dir = tempDir("sparse_tids");
+  Pinball PB = pinballWithTids({0, 2, 5});
+  std::string PBDir = Dir + "/r.pb";
+  ASSERT_FALSE(PB.save(PBDir).isError());
+
+  auto Loaded = Pinball::load(PBDir);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  ASSERT_EQ(Loaded->Threads.size(), 3u);
+  EXPECT_EQ(Loaded->Threads[0].Tid, 0u);
+  EXPECT_EQ(Loaded->Threads[1].Tid, 2u);
+  EXPECT_EQ(Loaded->Threads[2].Tid, 5u);
+  EXPECT_EQ(Loaded->Threads[2].GPR[1], 500u);
+  EXPECT_NE(Loaded->threadRegs(5), nullptr);
+  removeTree(Dir);
+}
+
+TEST(PinballFormat, RegFileCountMismatchReported) {
+  std::string Dir = tempDir("reg_count");
+  Pinball PB = pinballWithTids({0, 1, 2});
+  std::string PBDir = Dir + "/r.pb";
+  ASSERT_FALSE(PB.save(PBDir).isError());
+  removeFile(PBDir + "/t1.reg");
+  auto R = Pinball::load(PBDir);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("t*.reg"), std::string::npos);
+  removeTree(Dir);
+}
+
+TEST(PinballFormat, TruncatedHeaderDistinctFromBadMagic) {
+  std::string Dir = tempDir("header_diag");
+  Pinball PB = pinballWithTids({0});
+  std::string PBDir = Dir + "/r.pb";
+  ASSERT_FALSE(PB.save(PBDir).isError());
+
+  // A file shorter than the 12-byte header is "truncated", not "bad
+  // magic" (the reader used to return zeros for the missing fields and
+  // misreport the magic as wrong).
+  writeFileText(PBDir + "/meta", "xy");
+  auto Short = Pinball::load(PBDir);
+  ASSERT_FALSE(Short.hasValue());
+  EXPECT_NE(Short.message().find("truncated"), std::string::npos)
+      << Short.message();
+  EXPECT_EQ(Short.message().find("magic"), std::string::npos)
+      << Short.message();
+
+  // A full-length header with the wrong magic is "not a pinball".
+  writeFileText(PBDir + "/meta", "this is not a pinball header");
+  auto Bad = Pinball::load(PBDir);
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.message().find("magic"), std::string::npos)
+      << Bad.message();
+  removeTree(Dir);
+}
+
 } // namespace

@@ -275,4 +275,42 @@ TEST(Replay, CorruptScheduleDetected) {
   removeTree(Dir);
 }
 
+TEST(Replay, SparseTidsRejectedWithError) {
+  // The EVM hands out dense tids, so a pinball whose threads are not
+  // numbered 0..N-1 cannot be rebuilt by spawning. This used to be an
+  // assert (compiled out in release builds, silently mis-assigning
+  // registers); it must be a real error.
+  std::string Dir = tempDir("sparse_tid");
+  auto PB = capture(Dir, computeProgram(), 1000, 2000, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue());
+  PB->Threads[0].Tid = 3;
+  auto R = replayPinball(*PB);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("not dense"), std::string::npos)
+      << R.message();
+  removeTree(Dir);
+}
+
+TEST(Replay, DecodeCacheStatsReported) {
+  std::string Dir = tempDir("cache_stats");
+  auto PB = capture(Dir, computeProgram(), 1000, 5000, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue());
+  auto R = replayPinball(*PB);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  // Constrained replay steps 5000 instructions; each one is served by the
+  // cache (one hit or one miss).
+  EXPECT_EQ(R->VMStats.Hits + R->VMStats.Misses, 5000u);
+  EXPECT_GT(R->VMStats.Hits, R->VMStats.Misses);
+
+  ReplayOptions Off;
+  Off.Config.EnableDecodeCache = false;
+  auto ROff = replayPinball(*PB, Off);
+  ASSERT_TRUE(ROff.hasValue()) << ROff.message();
+  EXPECT_EQ(ROff->VMStats.Hits + ROff->VMStats.Misses, 0u);
+  // The cache must not change what replay computes.
+  EXPECT_EQ(R->Retired, ROff->Retired);
+  EXPECT_EQ(R->FinalThreads.at(0).PC, ROff->FinalThreads.at(0).PC);
+  removeTree(Dir);
+}
+
 } // namespace

@@ -1,0 +1,210 @@
+//===- tests/vm/DecodeCacheTest.cpp - Decoded-block cache behaviour -------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// The decode cache is a pure interpreter optimization: with it on or off
+/// the EVM must retire the identical instruction stream. These tests pin
+/// the hit/miss accounting, the behavioural equivalence, and the
+/// invalidation rules (stores into executable pages, self-modifying code).
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "../common/TestHelpers.h"
+#include "isa/ISA.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+using namespace elfie::vm;
+using test::computeProgram;
+using test::makeVM;
+using test::multiThreadProgram;
+
+namespace {
+
+/// Assembles tiny programs directly from isa::Inst lists into an RWX page,
+/// bypassing the assembler/loader: the SMC tests need code in a *writable*
+/// page, which the ELF loader never produces.
+constexpr uint64_t CodeBase = 0x10000;
+
+isa::Inst I3(isa::Opcode Op, uint8_t Rd, uint8_t Rs1, uint8_t Rs2,
+             int32_t Imm) {
+  isa::Inst I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  I.Imm = Imm;
+  return I;
+}
+
+std::unique_ptr<VM> rawVM(const std::vector<isa::Inst> &Prog,
+                          VMConfig Config = VMConfig()) {
+  if (!Config.StdoutSink)
+    Config.StdoutSink = [](const char *, size_t) {};
+  auto M = std::make_unique<VM>(Config);
+  M->mem().map(CodeBase, GuestPageSize, PermRWX);
+  for (size_t K = 0; K < Prog.size(); ++K) {
+    uint64_t Word = isa::encode(Prog[K]);
+    EXPECT_EQ(M->mem().poke(CodeBase + K * isa::InstSize, &Word, 8),
+              MemFault::None);
+  }
+  ThreadState T;
+  T.PC = CodeBase;
+  M->spawnThread(T);
+  return M;
+}
+
+TEST(DecodeCache, HitMissAccountingCoversEveryInstruction) {
+  auto Out = std::make_shared<std::string>();
+  auto M = makeVM(computeProgram(), Out);
+  ASSERT_TRUE(M);
+  RunResult R = M->run();
+  EXPECT_EQ(R.Reason, StopReason::AllExited);
+  // Every retired instruction is dispatched from the cache: exactly one
+  // hit (cursor or lookup) or one miss (block build) each.
+  EXPECT_EQ(R.CacheStats.Hits + R.CacheStats.Misses, M->globalRetired());
+  EXPECT_GT(R.CacheStats.Misses, 0u);
+  // The program is loop-heavy, so hits dominate by orders of magnitude.
+  EXPECT_GT(R.CacheStats.Hits, R.CacheStats.Misses * 100);
+  EXPECT_EQ(R.CacheStats.Invalidations, 0u);
+  EXPECT_GT(M->decodeCache().blockCount(), 0u);
+}
+
+TEST(DecodeCache, DisabledCacheCountsNothing) {
+  VMConfig C;
+  C.EnableDecodeCache = false;
+  auto M = makeVM(computeProgram(), std::make_shared<std::string>(), C);
+  ASSERT_TRUE(M);
+  RunResult R = M->run();
+  EXPECT_EQ(R.Reason, StopReason::AllExited);
+  EXPECT_EQ(R.CacheStats.Hits, 0u);
+  EXPECT_EQ(R.CacheStats.Misses, 0u);
+  EXPECT_EQ(M->decodeCache().blockCount(), 0u);
+}
+
+TEST(DecodeCache, OnOffBehaviourIdentical) {
+  auto Run = [](bool Enable) {
+    VMConfig C;
+    C.EnableDecodeCache = Enable;
+    auto Out = std::make_shared<std::string>();
+    auto M = makeVM(computeProgram(), Out, C);
+    RunResult R = M->run();
+    return std::tuple(R.Reason, R.ExitCode, M->globalRetired(), *Out,
+                      M->thread(0)->GPR[6]);
+  };
+  EXPECT_EQ(Run(true), Run(false));
+}
+
+TEST(DecodeCache, OnOffBehaviourIdenticalMultiThreaded) {
+  auto Run = [](bool Enable) {
+    VMConfig C;
+    C.EnableDecodeCache = Enable;
+    auto Out = std::make_shared<std::string>();
+    auto M = makeVM(multiThreadProgram(4, 2, 300), Out, C);
+    RunResult R = M->run();
+    return std::tuple(R.Reason, M->globalRetired(), *Out);
+  };
+  EXPECT_EQ(Run(true), Run(false));
+}
+
+TEST(DecodeCache, StoreToExecutablePageInvalidates) {
+  // St8 into the code page itself (past the code) must flush the cached
+  // blocks of that page even though no executed instruction changed.
+  std::vector<isa::Inst> Prog = {
+      I3(isa::Opcode::Ldi, 1, 0, 0,
+         static_cast<int32_t>(CodeBase + 2048)),
+      I3(isa::Opcode::St8, 2, 1, 0, 0),
+      I3(isa::Opcode::Halt, 0, 0, 0, 0),
+  };
+  auto M = rawVM(Prog);
+  RunResult R = M->run();
+  EXPECT_EQ(R.Reason, StopReason::Halted);
+  EXPECT_GE(R.CacheStats.Invalidations, 1u);
+}
+
+TEST(DecodeCache, StoreToDataPageDoesNotInvalidate) {
+  uint64_t DataPage = CodeBase + GuestPageSize;
+  std::vector<isa::Inst> Prog = {
+      I3(isa::Opcode::Ldi, 1, 0, 0, static_cast<int32_t>(DataPage)),
+      I3(isa::Opcode::St8, 2, 1, 0, 0),
+      I3(isa::Opcode::Halt, 0, 0, 0, 0),
+  };
+  auto M = rawVM(Prog);
+  M->mem().map(DataPage, GuestPageSize, PermRW);
+  RunResult R = M->run();
+  EXPECT_EQ(R.Reason, StopReason::Halted);
+  EXPECT_EQ(R.CacheStats.Invalidations, 0u);
+}
+
+/// Execute-modify-reexecute: the loop body adds 111 to r5, then patches
+/// itself to add 222 and runs once more. A stale cached block would add
+/// 111 twice (r5 == 222); precise invalidation yields 111 + 222 == 333.
+std::vector<isa::Inst> smcProgram() {
+  uint64_t Target = CodeBase + 6 * isa::InstSize; // the patched Addi
+  uint64_t NewWord =
+      isa::encode(I3(isa::Opcode::Addi, 5, 5, 0, 222));
+  return {
+      // r1 = &target, r2 = encoding of "addi r5, r5, 222"
+      I3(isa::Opcode::Ldi, 1, 0, 0, static_cast<int32_t>(Target)),
+      I3(isa::Opcode::Ldi, 2, 0, 0,
+         static_cast<int32_t>(NewWord & 0xffffffff)),
+      I3(isa::Opcode::Ldih, 2, 0, 0,
+         static_cast<int32_t>(NewWord >> 32)),
+      I3(isa::Opcode::Ldi, 6, 0, 0, 0), // pass counter
+      // loop: (CodeBase + 4*8)
+      I3(isa::Opcode::Addi, 6, 6, 0, 1),
+      I3(isa::Opcode::Nop, 0, 0, 0, 0),
+      I3(isa::Opcode::Addi, 5, 5, 0, 111), // TARGET (patched after pass 1)
+      I3(isa::Opcode::Slti, 7, 6, 0, 2),   // r7 = (passes < 2)
+      I3(isa::Opcode::Beq, 0, 7, 0, 3 * 8), // r7 == r0 -> done
+      I3(isa::Opcode::St8, 2, 1, 0, 0),     // patch the target
+      I3(isa::Opcode::Jmp, 0, 0, 0, -6 * 8), // back to loop
+      I3(isa::Opcode::Halt, 0, 0, 0, 0),
+  };
+}
+
+TEST(DecodeCache, SelfModifyingCodeReexecutesFreshBytes) {
+  for (bool Enable : {true, false}) {
+    VMConfig C;
+    C.EnableDecodeCache = Enable;
+    auto M = rawVM(smcProgram(), C);
+    RunResult R = M->run();
+    EXPECT_EQ(R.Reason, StopReason::Halted);
+    EXPECT_EQ(M->thread(0)->GPR[5], 333u)
+        << "cache " << (Enable ? "on" : "off")
+        << " executed stale bytes after self-modification";
+    if (Enable) {
+      EXPECT_GE(R.CacheStats.Invalidations, 1u);
+    }
+  }
+}
+
+TEST(DecodeCache, StepThreadUsesCacheToo) {
+  // The constrained replayer's hot path is stepThread; the per-thread
+  // cursor must serve it from the cache just like run().
+  auto M = makeVM(computeProgram(), std::make_shared<std::string>());
+  ASSERT_TRUE(M);
+  for (int K = 0; K < 1000; ++K)
+    ASSERT_EQ(M->stepThread(0), StopReason::BudgetReached);
+  const DecodeCacheStats &S = M->decodeCacheStats();
+  EXPECT_EQ(S.Hits + S.Misses, 1000u);
+  EXPECT_GT(S.Hits, S.Misses);
+}
+
+TEST(DecodeCache, UnmapOfExecutablePageInvalidates) {
+  auto M = rawVM({I3(isa::Opcode::Halt, 0, 0, 0, 0)});
+  RunResult R = M->run();
+  EXPECT_EQ(R.Reason, StopReason::Halted);
+  ASSERT_GT(M->decodeCache().blockCount(), 0u);
+  M->mem().unmap(CodeBase, GuestPageSize);
+  EXPECT_EQ(M->decodeCache().blockCount(), 0u);
+  EXPECT_GE(M->decodeCacheStats().Invalidations, 1u);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+//===- tests/vm/MemoryTest.cpp - AddressSpace regression tests ------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regressions for the address-space fixes: read must honour PermRead, and
+/// map/unmap must terminate for ranges ending at the very top of the
+/// 64-bit guest space instead of wrapping around forever.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace elfie;
+using namespace elfie::vm;
+
+namespace {
+
+constexpr uint64_t Base = 0x40000;
+
+TEST(AddressSpace, ReadRequiresPermRead) {
+  AddressSpace AS;
+  AS.map(Base, GuestPageSize, PermWrite);
+  uint64_t V = 0;
+  EXPECT_EQ(AS.read(Base, &V, 8), MemFault::NoPermission);
+  // Privileged peek still works.
+  EXPECT_EQ(AS.peek(Base, &V, 8), MemFault::None);
+
+  AddressSpace AS2;
+  AS2.map(Base, GuestPageSize, PermRead);
+  EXPECT_EQ(AS2.read(Base, &V, 8), MemFault::None);
+}
+
+TEST(AddressSpace, ReadOfUnmappedStillFaultsUnmapped) {
+  AddressSpace AS;
+  uint64_t V = 0;
+  EXPECT_EQ(AS.read(Base, &V, 8), MemFault::Unmapped);
+}
+
+TEST(AddressSpace, MapAtTopOfAddressSpaceTerminates) {
+  AddressSpace AS;
+  uint64_t LastPage = UINT64_MAX - GuestPageMask;
+  AS.map(LastPage, GuestPageSize, PermRW);
+  EXPECT_TRUE(AS.isMapped(UINT64_MAX));
+  EXPECT_EQ(AS.pageCount(), 1u);
+  // Round-trip through the page.
+  uint64_t V = 0x1122334455667788ull, Got = 0;
+  EXPECT_EQ(AS.write(LastPage, &V, 8), MemFault::None);
+  EXPECT_EQ(AS.read(LastPage, &Got, 8), MemFault::None);
+  EXPECT_EQ(Got, V);
+}
+
+TEST(AddressSpace, MapClampsWrappingRange) {
+  AddressSpace AS;
+  uint64_t LastPage = UINT64_MAX - GuestPageMask;
+  // Size overshoots the top of the space; the range is clamped to the
+  // last page instead of wrapping to page 0.
+  AS.map(LastPage, 4 * GuestPageSize, PermRW);
+  EXPECT_TRUE(AS.isMapped(LastPage));
+  EXPECT_FALSE(AS.isMapped(0));
+  EXPECT_EQ(AS.pageCount(), 1u);
+}
+
+TEST(AddressSpace, UnmapAtTopOfAddressSpaceTerminates) {
+  AddressSpace AS;
+  uint64_t LastPage = UINT64_MAX - GuestPageMask;
+  AS.map(LastPage - GuestPageSize, 2 * GuestPageSize, PermRW);
+  EXPECT_EQ(AS.pageCount(), 2u);
+  AS.unmap(LastPage - GuestPageSize, 4 * GuestPageSize); // wrapping size
+  EXPECT_FALSE(AS.isMapped(LastPage));
+  EXPECT_FALSE(AS.isMapped(LastPage - GuestPageSize));
+  EXPECT_EQ(AS.pageCount(), 0u);
+}
+
+TEST(AddressSpace, CodeInvalidateHookFiresOnExecPageWrite) {
+  AddressSpace AS;
+  std::vector<uint64_t> Invalidated;
+  AS.setCodeInvalidateHook(
+      [&](uint64_t Page) { Invalidated.push_back(Page); });
+  AS.map(Base, GuestPageSize, PermRWX);
+  AS.map(Base + GuestPageSize, GuestPageSize, PermRW);
+
+  uint64_t V = 1;
+  // Store into the executable page: hook fires with that page.
+  EXPECT_EQ(AS.write(Base + 16, &V, 8), MemFault::None);
+  ASSERT_EQ(Invalidated.size(), 1u);
+  EXPECT_EQ(Invalidated[0], Base);
+  // Store into the plain data page: no notification.
+  EXPECT_EQ(AS.write(Base + GuestPageSize, &V, 8), MemFault::None);
+  EXPECT_EQ(Invalidated.size(), 1u);
+  // Privileged poke into the exec page (replayer page injection): fires.
+  EXPECT_EQ(AS.poke(Base + 32, &V, 8), MemFault::None);
+  EXPECT_EQ(Invalidated.size(), 2u);
+  // Unmap of the exec page: fires.
+  AS.unmap(Base, GuestPageSize);
+  EXPECT_EQ(Invalidated.size(), 3u);
+  // clearAccessTracking reports the AllPages sentinel.
+  AS.clearAccessTracking();
+  ASSERT_EQ(Invalidated.size(), 4u);
+  EXPECT_EQ(Invalidated[3], AddressSpace::AllPages);
+}
+
+} // namespace
