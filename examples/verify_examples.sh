@@ -1,0 +1,48 @@
+#!/bin/sh
+# verify-examples: run the example pipelines and statically verify every
+# pinball -> ELFie conversion they produce, both through the emitter's own
+# self-check (pinball2elf -verify) and through the standalone verifier
+# (everify -json, asserting zero error-severity findings).
+#
+# Usage: verify_examples.sh <bin-dir> <examples-dir>
+set -eu
+
+BIN="$1"
+EXAMPLES="$2"
+WORK="${TMPDIR:-/tmp}/elfie_verify_examples"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# Fails loudly when the everify JSON report carries any error finding.
+check() {
+  if ! "$@" | grep -q '"errors":0'; then
+    echo "verify-examples: FAILED: $*" >&2
+    "$@" >&2 || true
+    exit 1
+  fi
+}
+
+echo "== quickstart pipeline =="
+"$EXAMPLES/quickstart" > "$WORK/quickstart.log" 2>&1
+PB=/tmp/elfie_quickstart/region.pb
+ELFIE=/tmp/elfie_quickstart/region.elfie
+
+# The emitter self-check across all three targets.
+"$BIN/pinball2elf" -verify -o "$WORK/r.elfie" "$PB" 2>> "$WORK/verify.log"
+"$BIN/pinball2elf" -verify -target guest -o "$WORK/r.gelfie" "$PB" \
+  2>> "$WORK/verify.log"
+"$BIN/pinball2elf" -verify -target object -o "$WORK/r.o" "$PB" \
+  2>> "$WORK/verify.log"
+
+# The standalone verifier, cross-checked against the source pinball.
+check "$BIN/everify" -json -markers 1 -pinball "$PB" "$ELFIE"
+check "$BIN/everify" -json -markers 1 -pinball "$PB" "$WORK/r.gelfie"
+check "$BIN/everify" -json -pinball "$PB" "$WORK/r.o"
+
+echo "== sysstate_files pipeline =="
+"$EXAMPLES/sysstate_files" > "$WORK/sysstate.log" 2>&1
+check "$BIN/everify" -json \
+  -sysstate /tmp/elfie_example_sysstate/region.pb.sysstate \
+  /tmp/elfie_example_sysstate/region.elfie
+
+echo "verify-examples: all example ELFies verified clean"

@@ -1,0 +1,160 @@
+//===- analyze/BudgetPass.cpp - icount budgets and ROI markers ------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// BUDGET.*: the graceful-exit machinery (paper §II-C1) hinges on the
+/// per-thread retired-instruction budgets embedded in the ELFie matching
+/// the counts recorded in the pinball — a mismatch silently truncates or
+/// overruns the region. Budgets are exported as absolute `.tN.icount`
+/// symbols by all three emitters; native ELFies additionally carry them in
+/// the packed context blocks. When the ELFie is known to have been emitted
+/// with ROI markers (§II-B5), their byte pattern must actually appear in
+/// the startup code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Passes.h"
+
+#include "isa/ISA.h"
+#include "support/Format.h"
+#include "x86/Translator.h"
+
+#include <climits>
+#include <cstring>
+
+using namespace elfie;
+using namespace elfie::analyze;
+
+namespace {
+
+/// The SSC marker the native emitter produces after `mov ebx, tag`.
+const uint8_t SSCPattern[3] = {0x64, 0x67, 0x90};
+
+class BudgetPass : public Pass {
+public:
+  const char *name() const override { return "budget"; }
+  const char *description() const override {
+    return "per-thread icount budgets match the pinball; markers present";
+  }
+
+  bool applicable(const AnalysisInput &In, std::string &WhyNot) const override {
+    if (!In.PB) {
+      WhyNot = "budget cross-checking needs the source pinball (-pinball)";
+      return false;
+    }
+    return true;
+  }
+
+  void run(const AnalysisInput &In, Report &Out) const override {
+    const pinball::Pinball &PB = *In.PB;
+
+    unsigned NumSyms = 0;
+    for (unsigned Tid = 0;; ++Tid) {
+      const auto *Sym =
+          In.Elf->findSymbol(formatString(".t%u.icount", Tid));
+      if (!Sym)
+        break;
+      ++NumSyms;
+      if (Tid < PB.Threads.size() &&
+          Sym->Value != PB.Threads[Tid].RegionIcount)
+        Out.add(Severity::Error, "BUDGET.MISMATCH", 0,
+                formatString("thread %u budget symbol is %llu but the "
+                             "pinball recorded %llu retired instructions",
+                             Tid,
+                             static_cast<unsigned long long>(Sym->Value),
+                             static_cast<unsigned long long>(
+                                 PB.Threads[Tid].RegionIcount)));
+    }
+    if (NumSyms != PB.Threads.size())
+      Out.add(Severity::Error, "BUDGET.THREADS", 0,
+              formatString("ELFie has %u .tN.icount symbol(s) but the "
+                           "pinball has %zu thread(s)",
+                           NumSyms, PB.Threads.size()));
+
+    if (const auto *Len = In.Elf->findSymbol("elfie_region_length")) {
+      if (Len->Value != PB.Meta.RegionLength)
+        Out.add(Severity::Error, "BUDGET.MISMATCH", 0,
+                formatString("elfie_region_length is %llu but the pinball "
+                             "region is %llu instructions",
+                             static_cast<unsigned long long>(Len->Value),
+                             static_cast<unsigned long long>(
+                                 PB.Meta.RegionLength)));
+    } else {
+      Out.add(Severity::Warning, "BUDGET.MISMATCH", 0,
+              "no elfie_region_length symbol");
+    }
+
+    // Native: the budget in each packed context must equal the pinball
+    // count as well — INT64_MAX means the countdown was disabled
+    // (-icount 0, §II-C1), which is legitimate but worth a note.
+    if (In.Kind == ElfKind::NativeExec) {
+      for (unsigned Tid = 0; Tid < PB.Threads.size(); ++Tid) {
+        const auto *Sym =
+            In.Elf->findSymbol(formatString(".t%u.ctx", Tid));
+        if (!Sym)
+          continue;
+        uint64_t Budget = 0;
+        if (!In.Elf->readAtVAddr(Sym->Value + x86::CtxLayout::BudgetOff,
+                                 &Budget, 8))
+          continue; // ContextPass reports unmapped context blocks
+        if (Budget == static_cast<uint64_t>(INT64_MAX))
+          Out.add(Severity::Note, "BUDGET.CTX_MISMATCH", Sym->Value,
+                  formatString("thread %u context budget is INT64_MAX: "
+                               "icount checks disabled at emission",
+                               Tid));
+        else if (Budget != PB.Threads[Tid].RegionIcount)
+          Out.add(Severity::Error, "BUDGET.CTX_MISMATCH", Sym->Value,
+                  formatString("thread %u context budget %llu != pinball "
+                               "count %llu",
+                               Tid,
+                               static_cast<unsigned long long>(Budget),
+                               static_cast<unsigned long long>(
+                                   PB.Threads[Tid].RegionIcount)));
+      }
+    }
+
+    checkMarkers(In, Out);
+  }
+
+private:
+  void checkMarkers(const AnalysisInput &In, Report &Out) const {
+    if (In.ExpectMarkers != 1 || In.Kind == ElfKind::Object)
+      return; // objects carry no startup code for markers to live in
+    const auto *Startup = In.Elf->findSection(".elfie.text");
+    if (!Startup || Startup->Data.empty()) {
+      Out.add(Severity::Error, "BUDGET.MARKER_MISSING", 0,
+              "markers expected but there is no startup code section");
+      return;
+    }
+    bool Found = false;
+    if (In.Kind == ElfKind::NativeExec) {
+      const auto &D = Startup->Data;
+      for (size_t I = 0; I + sizeof(SSCPattern) <= D.size() && !Found; ++I)
+        Found = std::memcmp(D.data() + I, SSCPattern,
+                            sizeof(SSCPattern)) == 0;
+    } else {
+      for (size_t Off = 0; Off + isa::InstSize <= Startup->Data.size();
+           Off += isa::InstSize) {
+        isa::Inst I;
+        if (isa::decode(Startup->Data.data() + Off, I) &&
+            I.Op == isa::Opcode::Marker) {
+          Found = true;
+          break;
+        }
+      }
+    }
+    if (!Found)
+      Out.add(Severity::Error, "BUDGET.MARKER_MISSING", Startup->Addr,
+              "ELFie was emitted with ROI markers but none appear in the "
+              "startup code");
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> analyze::makeBudgetPass() {
+  return std::make_unique<BudgetPass>();
+}

@@ -1,0 +1,177 @@
+//===- analyze/ContextPass.cpp - packed thread-context checks -------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// CTX.*: each checkpointed thread's start state must be executable. For
+/// native ELFies the contexts are 512-byte blocks in .elfie.data located
+/// via the `.tN.ctx` symbols (paper Fig. 3): the captured PC must lie in
+/// an executable mapped range, the SP in writable memory (or in the
+/// stashed stack range, §II-B3), the zero register really zero, and the
+/// slot index consistent. For guest ELFies the contexts are immediates in
+/// the startup assembly, so the checks run against the pinball's thread
+/// records when it is available.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Passes.h"
+
+#include "core/Pinball2Elf.h"
+#include "isa/ISA.h"
+#include "support/Format.h"
+#include "x86/Translator.h"
+
+#include <cstring>
+
+using namespace elfie;
+using namespace elfie::analyze;
+
+namespace {
+
+class ContextPass : public Pass {
+public:
+  const char *name() const override { return "context"; }
+  const char *description() const override {
+    return "thread contexts: PC executable, SP writable, registers sane";
+  }
+
+  bool applicable(const AnalysisInput &In, std::string &WhyNot) const override {
+    if (In.Kind == ElfKind::Object) {
+      WhyNot = "ET_REL objects carry contexts for a user-provided startup; "
+               "there is no loader view to check them against";
+      return false;
+    }
+    if (In.Kind == ElfKind::GuestExec && !In.PB) {
+      WhyNot = "guest startup embeds contexts as immediates; checking them "
+               "needs the source pinball (-pinball)";
+      return false;
+    }
+    return true;
+  }
+
+  void run(const AnalysisInput &In, Report &Out) const override {
+    if (In.Kind == ElfKind::NativeExec)
+      runNative(In, Out);
+    else
+      runGuest(In, Out);
+  }
+
+private:
+  /// PC must sit in a mapped executable range; for EG64-derived code it is
+  /// also 8-aligned (fixed instruction size).
+  void checkPC(const AnalysisInput &In, unsigned Tid, uint64_t PC,
+               Report &Out) const {
+    const auto *S = In.Elf->sectionContaining(PC);
+    if (!S || !(S->Flags & elf::SHF_EXECINSTR)) {
+      Out.add(Severity::Error, "CTX.PC_UNMAPPED", PC,
+              formatString("thread %u starts at pc %#llx which is %s", Tid,
+                           static_cast<unsigned long long>(PC),
+                           S ? "mapped but not executable" : "not mapped"));
+      return;
+    }
+    if (PC % isa::InstSize != 0)
+      Out.add(Severity::Error, "CTX.PC_UNALIGNED", PC,
+              formatString("thread %u pc %#llx is not %llu-byte aligned",
+                           Tid, static_cast<unsigned long long>(PC),
+                           static_cast<unsigned long long>(isa::InstSize)));
+  }
+
+  /// SP must point into writable mapped memory — or into the checkpointed
+  /// stack range, which is deliberately unmapped in the file (stash +
+  /// remap, §II-B3).
+  void checkSP(const AnalysisInput &In, unsigned Tid, uint64_t SP,
+               Report &Out) const {
+    const auto *S = In.Elf->sectionContaining(SP);
+    if (S && (S->Flags & elf::SHF_WRITE))
+      return;
+    if (In.PB && SP >= In.PB->Meta.StackBase && SP < In.PB->Meta.StackTop)
+      return; // startup remaps this range from the stash
+    if (!In.PB && In.Elf->findSection(".elfie.stash")) {
+      Out.add(Severity::Note, "CTX.SP_UNMAPPED", SP,
+              formatString("thread %u sp %#llx is not file-mapped; likely "
+                           "in the stash-remapped stack range (pass "
+                           "-pinball to check precisely)",
+                           Tid, static_cast<unsigned long long>(SP)));
+      return;
+    }
+    Out.add(Severity::Error, "CTX.SP_UNMAPPED", SP,
+            formatString("thread %u sp %#llx is not in a writable mapped "
+                         "range%s",
+                         Tid, static_cast<unsigned long long>(SP),
+                         S ? " (mapped read-only)" : ""));
+  }
+
+  void runNative(const AnalysisInput &In, Report &Out) const {
+    using x86::CtxLayout;
+    unsigned NumCtx = 0;
+    for (unsigned Tid = 0;; ++Tid) {
+      const auto *Sym =
+          In.Elf->findSymbol(formatString(".t%u.ctx", Tid));
+      if (!Sym)
+        break;
+      ++NumCtx;
+      uint8_t Ctx[CtxLayout::Size];
+      if (!In.Elf->readAtVAddr(Sym->Value, Ctx, sizeof(Ctx))) {
+        Out.add(Severity::Error, "CTX.PC_UNMAPPED", Sym->Value,
+                formatString("thread %u context block at %#llx is not "
+                             "fully mapped",
+                             Tid,
+                             static_cast<unsigned long long>(Sym->Value)));
+        continue;
+      }
+      auto Field = [&](int32_t Off) {
+        uint64_t V;
+        std::memcpy(&V, Ctx + Off, 8);
+        return V;
+      };
+      if (Field(CtxLayout::gpr(0)) != 0)
+        Out.add(Severity::Error, "CTX.R0_NONZERO", Sym->Value,
+                formatString("thread %u context has r0 = %#llx; the zero "
+                             "register must be 0",
+                             Tid, static_cast<unsigned long long>(
+                                      Field(CtxLayout::gpr(0)))));
+      if (Field(CtxLayout::SlotOff) != Tid)
+        Out.add(Severity::Error, "CTX.SLOT_MISMATCH", Sym->Value,
+                formatString("thread %u context has slot %llu", Tid,
+                             static_cast<unsigned long long>(
+                                 Field(CtxLayout::SlotOff))));
+      uint64_t PC = Field(CtxLayout::StartPCOff);
+      checkPC(In, Tid, PC, Out);
+      checkSP(In, Tid, Field(CtxLayout::gpr(isa::RegSP)), Out);
+      if (In.PB) {
+        if (Tid < In.PB->Threads.size() &&
+            PC != In.PB->Threads[Tid].PC)
+          Out.add(Severity::Error, "CTX.PC_MISMATCH", PC,
+                  formatString("thread %u context pc %#llx != pinball pc "
+                               "%#llx",
+                               Tid, static_cast<unsigned long long>(PC),
+                               static_cast<unsigned long long>(
+                                   In.PB->Threads[Tid].PC)));
+      }
+    }
+    if (NumCtx == 0)
+      Out.add(Severity::Error, "CTX.PC_UNMAPPED", 0,
+              "no .tN.ctx symbols found; cannot locate thread contexts");
+    else if (In.PB && NumCtx != In.PB->Threads.size())
+      Out.add(Severity::Error, "CTX.SLOT_MISMATCH", 0,
+              formatString("ELFie packs %u context(s) but the pinball has "
+                           "%zu thread(s)",
+                           NumCtx, In.PB->Threads.size()));
+  }
+
+  void runGuest(const AnalysisInput &In, Report &Out) const {
+    for (size_t I = 0; I < In.PB->Threads.size(); ++I) {
+      const pinball::ThreadRegs &T = In.PB->Threads[I];
+      checkPC(In, static_cast<unsigned>(I), T.PC, Out);
+      checkSP(In, static_cast<unsigned>(I), T.GPR[isa::RegSP], Out);
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> analyze::makeContextPass() {
+  return std::make_unique<ContextPass>();
+}

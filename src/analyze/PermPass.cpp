@@ -1,0 +1,138 @@
+//===- analyze/PermPass.cpp - page permission/content fidelity ------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// PERM.*: every captured page must reappear in the ELFie with the same
+/// R/W/X permissions and the same bytes it had at checkpoint time (paper
+/// §II-B2: sections inherit the original page permissions). Native ELFies
+/// route checkpointed stack pages through the stash section instead
+/// (§II-B3); for those the pass verifies the stashed copy byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Passes.h"
+
+#include "core/Pinball2Elf.h"
+#include "support/Format.h"
+#include "vm/VM.h"
+
+#include <cstring>
+
+using namespace elfie;
+using namespace elfie::analyze;
+
+namespace {
+
+class PermPass : public Pass {
+public:
+  const char *name() const override { return "perm"; }
+  const char *description() const override {
+    return "emitted R/W/X flags and bytes match the pinball pages";
+  }
+
+  bool applicable(const AnalysisInput &In, std::string &WhyNot) const override {
+    if (!In.PB) {
+      WhyNot = "page cross-checking needs the source pinball (-pinball)";
+      return false;
+    }
+    return true;
+  }
+
+  void run(const AnalysisInput &In, Report &Out) const override {
+    const pinball::Pinball &PB = *In.PB;
+    // Native ELFies stash stack pages; everything else loads in place.
+    // Stash order is pinball image order (the emitter's partition order).
+    uint64_t StashIndex = 0;
+    const auto *Stash = In.Kind == ElfKind::NativeExec
+                            ? In.Elf->findSection(".elfie.stash")
+                            : nullptr;
+    for (const pinball::PageRecord *P : PB.allPages()) {
+      bool IsStack = In.Kind == ElfKind::NativeExec &&
+                     P->Addr >= PB.Meta.StackBase &&
+                     P->Addr < PB.Meta.StackTop;
+      if (IsStack) {
+        checkStashedPage(*P, Stash, StashIndex++, Out);
+        continue;
+      }
+      const auto *S = In.Elf->sectionContaining(P->Addr);
+      if (!S) {
+        Out.add(Severity::Error, "PERM.MISSING", P->Addr,
+                formatString("captured page %#llx is not mapped by any "
+                             "section",
+                             static_cast<unsigned long long>(P->Addr)));
+        continue;
+      }
+      bool WantW = (P->Perm & vm::PermWrite) != 0;
+      bool WantX = (P->Perm & vm::PermExec) != 0;
+      bool HaveW = (S->Flags & elf::SHF_WRITE) != 0;
+      bool HaveX = (S->Flags & elf::SHF_EXECINSTR) != 0;
+      if (WantW != HaveW || WantX != HaveX)
+        Out.add(Severity::Error, "PERM.MISMATCH", P->Addr,
+                formatString("page %#llx captured %s but emitted %s in "
+                             "section '%s'",
+                             static_cast<unsigned long long>(P->Addr),
+                             permName(WantW, WantX), permName(HaveW, HaveX),
+                             S->Name.c_str()));
+      // Content: compare against the section payload (NOBITS reads as
+      // zero). Works for executables and ET_REL objects alike.
+      uint64_t Off = P->Addr - S->Addr;
+      if (Off + vm::GuestPageSize > S->Size) {
+        Out.add(Severity::Error, "PERM.MISSING", P->Addr,
+                formatString("page %#llx is only partially covered by "
+                             "section '%s'",
+                             static_cast<unsigned long long>(P->Addr),
+                             S->Name.c_str()));
+        continue;
+      }
+      for (uint64_t I = 0; I < vm::GuestPageSize; ++I) {
+        uint8_t Emitted = Off + I < S->Data.size() ? S->Data[Off + I] : 0;
+        if (Emitted != P->Bytes[I]) {
+          Out.add(Severity::Error, "PERM.CONTENT", P->Addr + I,
+                  formatString("page %#llx differs from the pinball at "
+                               "offset %llu (emitted %#x, captured %#x)",
+                               static_cast<unsigned long long>(P->Addr),
+                               static_cast<unsigned long long>(I), Emitted,
+                               P->Bytes[I]));
+          break; // one finding per page is enough
+        }
+      }
+    }
+  }
+
+private:
+  static const char *permName(bool W, bool X) {
+    if (W && X)
+      return "rwx";
+    if (W)
+      return "rw-";
+    if (X)
+      return "r-x";
+    return "r--";
+  }
+
+  void checkStashedPage(const pinball::PageRecord &P,
+                        const elf::ELFReader::SectionView *Stash,
+                        uint64_t Index, Report &Out) const {
+    if (!Stash)
+      return; // LayoutPass reports the missing stash section
+    uint64_t Off = Index * vm::GuestPageSize;
+    if (Off + vm::GuestPageSize > Stash->Data.size())
+      return; // LayoutPass reports the size mismatch
+    if (std::memcmp(Stash->Data.data() + Off, P.Bytes.data(),
+                    vm::GuestPageSize) != 0)
+      Out.add(Severity::Error, "PERM.STASH_CONTENT", P.Addr,
+              formatString("stashed copy of stack page %#llx (stash slot "
+                           "%llu) differs from the pinball",
+                           static_cast<unsigned long long>(P.Addr),
+                           static_cast<unsigned long long>(Index)));
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> analyze::makePermPass() {
+  return std::make_unique<PermPass>();
+}

@@ -1,0 +1,263 @@
+//===- analyze/ReachPass.cpp - startup-code reachability ------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// REACH.*: the generated startup code must actually get every thread to
+/// its captured PC (paper Fig. 6). For guest ELFies the startup is EG64 —
+/// fixed 8-byte instructions with 8-aligned control-flow targets, so an
+/// exact CFG walk is possible: from the entry point and every
+/// `elfie_tN_start` symbol, all paths must decode cleanly, stay inside the
+/// startup section, and end in the `jalr r0, r0, pc` that jumps to the
+/// captured PC — whose target must be mapped executable memory. Native
+/// startup is x86-64 (no decoder in this project); there the pass checks
+/// the symbol-level contract — entry == elfie_on_start, the runtime stubs
+/// inside the startup section — and validates each packed context's start
+/// PC against the EG64 code pages it indexes into.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Passes.h"
+
+#include "isa/ISA.h"
+#include "support/Format.h"
+#include "x86/Translator.h"
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+using namespace elfie;
+using namespace elfie::analyze;
+
+namespace {
+
+class ReachPass : public Pass {
+public:
+  const char *name() const override { return "reach"; }
+  const char *description() const override {
+    return "startup code reaches the jump to the captured PC on all paths";
+  }
+
+  bool applicable(const AnalysisInput &In, std::string &WhyNot) const override {
+    if (In.Kind == ElfKind::Object) {
+      WhyNot = "ET_REL objects have no entry point or startup code; the "
+               "user links their own (paper §II-B5)";
+      return false;
+    }
+    return true;
+  }
+
+  void run(const AnalysisInput &In, Report &Out) const override {
+    if (In.Kind == ElfKind::GuestExec)
+      runGuest(In, Out);
+    else
+      runNative(In, Out);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Guest: exact EG64 CFG walk.
+  //===------------------------------------------------------------------===//
+
+  /// Walks the CFG rooted at \p Seed inside the startup section. Returns
+  /// true when at least one `jalr` (the captured-PC jump) is reachable.
+  bool walk(const AnalysisInput &In,
+            const elf::ELFReader::SectionView &Text, uint64_t Seed,
+            const char *SeedName, Report &Out) const {
+    bool SawJump = false;
+    std::set<uint64_t> Seen;
+    std::vector<uint64_t> Work{Seed};
+    auto Push = [&](uint64_t A) {
+      if (Seen.insert(A).second)
+        Work.push_back(A);
+    };
+    while (!Work.empty()) {
+      uint64_t PC = Work.back();
+      Work.pop_back();
+      if (PC % isa::InstSize != 0) {
+        Out.add(Severity::Error, "REACH.TARGET", PC,
+                formatString("%s: control flow reaches misaligned address "
+                             "%#llx",
+                             SeedName,
+                             static_cast<unsigned long long>(PC)));
+        continue;
+      }
+      if (PC < Text.Addr || PC + isa::InstSize > Text.Addr + Text.Size) {
+        Out.add(Severity::Error, "REACH.FALLTHROUGH", PC,
+                formatString("%s: control flow leaves the startup section "
+                             "at %#llx without reaching the captured-PC "
+                             "jump",
+                             SeedName,
+                             static_cast<unsigned long long>(PC)));
+        continue;
+      }
+      isa::Inst I;
+      if (!isa::decode(Text.Data.data() + (PC - Text.Addr), I)) {
+        Out.add(Severity::Error, "REACH.BADINST", PC,
+                formatString("%s: undecodable instruction at %#llx",
+                             SeedName,
+                             static_cast<unsigned long long>(PC)));
+        continue;
+      }
+      switch (I.Op) {
+      case isa::Opcode::Jalr: {
+        // The generated `jalr r0, r0, pc` ends startup: verify the target.
+        SawJump = true;
+        uint64_t Target =
+            I.Rs1 == 0 ? static_cast<uint64_t>(static_cast<int64_t>(I.Imm))
+                       : 0;
+        if (I.Rs1 != 0) {
+          Out.add(Severity::Note, "REACH.TARGET", PC,
+                  formatString("%s: register-indirect jalr at %#llx; "
+                               "target not statically known",
+                               SeedName,
+                               static_cast<unsigned long long>(PC)));
+          break;
+        }
+        const auto *S = In.Elf->sectionContaining(Target);
+        if (!S || !(S->Flags & elf::SHF_EXECINSTR))
+          Out.add(Severity::Error, "REACH.PC_UNMAPPED", Target,
+                  formatString("%s: captured-PC jump at %#llx targets "
+                               "%#llx which is %s",
+                               SeedName,
+                               static_cast<unsigned long long>(PC),
+                               static_cast<unsigned long long>(Target),
+                               S ? "not executable" : "not mapped"));
+        break;
+      }
+      case isa::Opcode::Jmp:
+      case isa::Opcode::Jal:
+        Push(PC + I.Imm);
+        break;
+      case isa::Opcode::Beq:
+      case isa::Opcode::Bne:
+      case isa::Opcode::Blt:
+      case isa::Opcode::Bge:
+      case isa::Opcode::Bltu:
+      case isa::Opcode::Bgeu:
+        Push(PC + I.Imm);
+        Push(PC + isa::InstSize);
+        break;
+      case isa::Opcode::Halt:
+        break;
+      default:
+        Push(PC + isa::InstSize);
+        break;
+      }
+    }
+    return SawJump;
+  }
+
+  void runGuest(const AnalysisInput &In, Report &Out) const {
+    const auto *Text = In.Elf->findSection(".elfie.text");
+    if (!Text || Text->Data.empty()) {
+      Out.add(Severity::Error, "REACH.SYM_MISSING", 0,
+              "guest ELFie has no .elfie.text startup section");
+      return;
+    }
+    uint64_t Entry = In.Elf->entry();
+    if (Entry < Text->Addr || Entry >= Text->Addr + Text->Size) {
+      Out.add(Severity::Error, "REACH.SYM_RANGE", Entry,
+              formatString("entry point %#llx is outside the startup "
+                           "section [%#llx, %#llx)",
+                           static_cast<unsigned long long>(Entry),
+                           static_cast<unsigned long long>(Text->Addr),
+                           static_cast<unsigned long long>(Text->Addr +
+                                                           Text->Size)));
+      return;
+    }
+    if (!walk(In, *Text, Entry, "entry", Out))
+      Out.add(Severity::Error, "REACH.NO_JUMP", Entry,
+              "no path from the entry point reaches a captured-PC jump");
+    // Worker threads enter via clone() function pointers, invisible to
+    // the entry walk; seed each elfie_tN_start separately.
+    for (unsigned Tid = 1;; ++Tid) {
+      const auto *Sym =
+          In.Elf->findSymbol(formatString("elfie_t%u_start", Tid));
+      if (!Sym)
+        break;
+      std::string Name = formatString("elfie_t%u_start", Tid);
+      if (Sym->Value < Text->Addr ||
+          Sym->Value >= Text->Addr + Text->Size) {
+        Out.add(Severity::Error, "REACH.SYM_RANGE", Sym->Value,
+                formatString("%s is outside the startup section",
+                             Name.c_str()));
+        continue;
+      }
+      if (!walk(In, *Text, Sym->Value, Name.c_str(), Out))
+        Out.add(Severity::Error, "REACH.NO_JUMP", Sym->Value,
+                formatString("no path from %s reaches a captured-PC jump",
+                             Name.c_str()));
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Native: symbol-level contract + context start PCs decode as EG64.
+  //===------------------------------------------------------------------===//
+
+  void runNative(const AnalysisInput &In, Report &Out) const {
+    const auto *Text = In.Elf->findSection(".elfie.text");
+    if (!Text) {
+      Out.add(Severity::Error, "REACH.SYM_MISSING", 0,
+              "native ELFie has no .elfie.text runtime section");
+      return;
+    }
+    const auto *Start = In.Elf->findSymbol("elfie_on_start");
+    if (!Start)
+      Out.add(Severity::Error, "REACH.SYM_MISSING", 0,
+              "no elfie_on_start symbol");
+    else if (In.Elf->entry() != Start->Value)
+      Out.add(Severity::Error, "REACH.TARGET", In.Elf->entry(),
+              formatString("entry point %#llx != elfie_on_start %#llx",
+                           static_cast<unsigned long long>(
+                               In.Elf->entry()),
+                           static_cast<unsigned long long>(Start->Value)));
+    for (const char *Name :
+         {"elfie_on_start", "elfie_on_thread_start", "elfie_on_exit",
+          "elfie_syscall", "elfie_abort"}) {
+      const auto *Sym = In.Elf->findSymbol(Name);
+      if (!Sym) {
+        Out.add(Severity::Error, "REACH.SYM_MISSING", 0,
+                formatString("no %s symbol", Name));
+        continue;
+      }
+      if (Sym->Value < Text->Addr ||
+          Sym->Value >= Text->Addr + Text->Size)
+        Out.add(Severity::Error, "REACH.SYM_RANGE", Sym->Value,
+                formatString("%s (%#llx) is outside .elfie.text", Name,
+                             static_cast<unsigned long long>(Sym->Value)));
+    }
+    Out.add(Severity::Note, "REACH.TARGET", 0,
+            "native startup is x86-64; full CFG walk is done for guest "
+            "ELFies only");
+
+    // Each packed context's start PC must decode to a valid EG64
+    // instruction in the code pages the translation was built from.
+    for (unsigned Tid = 0;; ++Tid) {
+      const auto *Sym = In.Elf->findSymbol(formatString(".t%u.ctx", Tid));
+      if (!Sym)
+        break;
+      uint64_t PC = 0;
+      if (!In.Elf->readAtVAddr(Sym->Value + x86::CtxLayout::StartPCOff,
+                               &PC, 8))
+        continue; // ContextPass reports unmapped context blocks
+      uint8_t Word[isa::InstSize];
+      isa::Inst I;
+      if (!In.Elf->readAtVAddr(PC, Word, sizeof(Word)) ||
+          !isa::decode(Word, I))
+        Out.add(Severity::Error, "REACH.BADINST", PC,
+                formatString("thread %u start pc %#llx does not decode as "
+                             "an EG64 instruction",
+                             Tid, static_cast<unsigned long long>(PC)));
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> analyze::makeReachPass() {
+  return std::make_unique<ReachPass>();
+}

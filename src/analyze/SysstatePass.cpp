@@ -1,0 +1,118 @@
+//===- analyze/SysstatePass.cpp - sysstate proxy resolution ---------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// SYSSTATE.*: an ELFie emitted with `-sysstate` dup()s pre-opened FD_<n>
+/// proxy files onto the captured descriptors at startup (paper §II-C2,
+/// Fig. 8). Those opens happen inside the sysstate workdir — so every path
+/// in the embedded preopen table must resolve to a file pinball_sysstate
+/// actually wrote, and BRK.log must exist for heap layout. The table is
+/// located via the `elfie_fd_table` symbol (entries of {fd, path-address,
+/// open-flags}, 24 bytes each).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Passes.h"
+
+#include "support/FileIO.h"
+#include "support/Format.h"
+#include "sysstate/SysState.h"
+
+using namespace elfie;
+using namespace elfie::analyze;
+
+namespace {
+
+class SysstatePass : public Pass {
+public:
+  const char *name() const override { return "sysstate"; }
+  const char *description() const override {
+    return "embedded FD preopens resolve to proxies in the sysstate dir";
+  }
+
+  bool applicable(const AnalysisInput &In, std::string &WhyNot) const override {
+    if (In.SysstateDir.empty()) {
+      WhyNot = "no sysstate directory given (-sysstate)";
+      return false;
+    }
+    return true;
+  }
+
+  void run(const AnalysisInput &In, Report &Out) const override {
+    const std::string WorkDir = In.SysstateDir + "/workdir";
+    if (!fileExists(WorkDir)) {
+      Out.add(Severity::Error, "SYSSTATE.NO_WORKDIR", 0,
+              formatString("'%s' does not exist; run pinball_sysstate "
+                           "first",
+                           WorkDir.c_str()));
+      return;
+    }
+    if (!fileExists(In.SysstateDir + "/BRK.log"))
+      Out.add(Severity::Error, "SYSSTATE.NO_BRKLOG", 0,
+              formatString("'%s/BRK.log' does not exist",
+                           In.SysstateDir.c_str()));
+
+    // The embedded preopen table, when the ELFie carries one.
+    unsigned TableEntries = 0;
+    const auto *Table = In.Elf->findSymbol("elfie_fd_table");
+    if (Table) {
+      TableEntries = static_cast<unsigned>(Table->Size / 24);
+      for (unsigned I = 0; I < TableEntries; ++I) {
+        uint64_t PathAddr = 0;
+        std::string Name;
+        if (!In.Elf->readAtVAddr(Table->Value + I * 24 + 8, &PathAddr, 8) ||
+            !In.Elf->stringAtVAddr(PathAddr, Name)) {
+          Out.add(Severity::Error, "SYSSTATE.MISSING_PROXY",
+                  Table->Value + I * 24,
+                  formatString("preopen table entry %u has an unreadable "
+                               "path",
+                               I));
+          continue;
+        }
+        if (!fileExists(WorkDir + "/" + Name))
+          Out.add(Severity::Error, "SYSSTATE.MISSING_PROXY", PathAddr,
+                  formatString("preopen '%s' has no proxy file in '%s'",
+                               Name.c_str(), WorkDir.c_str()));
+      }
+    }
+
+    // With the pinball, recompute the expected state and cross-check.
+    if (In.PB) {
+      sysstate::SysState SS = sysstate::analyze(*In.PB);
+      unsigned WantPreopens = 0;
+      for (const sysstate::FileProxy &F : SS.Files) {
+        if (F.OpenedBeforeRegion)
+          ++WantPreopens;
+        if (!fileExists(WorkDir + "/" + F.ProxyName))
+          Out.add(Severity::Error, "SYSSTATE.MISSING_PROXY", 0,
+                  formatString("pinball needs proxy '%s' which is not in "
+                               "'%s'",
+                               F.ProxyName.c_str(), WorkDir.c_str()));
+      }
+      if (!Table && WantPreopens)
+        Out.add(Severity::Warning, "SYSSTATE.NOT_EMBEDDED", 0,
+                formatString("pinball has %u pre-region descriptor(s) but "
+                             "the ELFie embeds no preopen table (emit "
+                             "with -sysstate)",
+                             WantPreopens));
+      else if (Table && TableEntries != WantPreopens)
+        Out.add(Severity::Error, "SYSSTATE.TABLE_MISMATCH", Table->Value,
+                formatString("ELFie embeds %u preopen(s) but the pinball "
+                             "needs %u",
+                             TableEntries, WantPreopens));
+    } else if (!Table) {
+      Out.add(Severity::Note, "SYSSTATE.NOT_EMBEDDED", 0,
+              "ELFie embeds no preopen table; only directory structure "
+              "was checked");
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> analyze::makeSysstatePass() {
+  return std::make_unique<SysstatePass>();
+}

@@ -873,6 +873,15 @@ Expected<std::vector<uint8_t>> NativeEmitter::emit() {
   }
   W.addSymbol("elfie_region_length", PB.Meta.RegionLength, elf::SHN_ABS,
               elf::STB_GLOBAL);
+  // Runtime tables, for everify and post-mortem inspection: the stash
+  // table (8-byte guest address per stashed stack page) and the sysstate
+  // preopen table ({fd, path address, open flags} triples, 24 bytes each).
+  if (!StackPages.empty())
+    W.addSymbol("elfie_stash_table", dataAddr(StashTableOff), DataSec,
+                elf::STB_GLOBAL, elf::STT_OBJECT, StackPages.size() * 8);
+  if (!Preopens.empty())
+    W.addSymbol("elfie_fd_table", dataAddr(FdTableOff), DataSec,
+                elf::STB_GLOBAL, elf::STT_OBJECT, Preopens.size() * 24);
 
   return W.finalize();
 }

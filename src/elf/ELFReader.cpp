@@ -78,12 +78,18 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
 
   // Section name string table.
   std::vector<uint8_t> ShStrTab;
-  if (H.e_shstrndx != SHN_UNDEF && H.e_shstrndx < Shdrs.size()) {
+  if (H.e_shstrndx != SHN_UNDEF) {
+    if (H.e_shstrndx >= Shdrs.size())
+      return makeError("e_shstrndx is %u but the file has only %zu section "
+                       "headers",
+                       H.e_shstrndx, Shdrs.size());
     const Elf64_Shdr &S = Shdrs[H.e_shstrndx];
     if (!InRange(S.sh_offset, S.sh_size))
       return makeError(".shstrtab overruns the file");
     ShStrTab.assign(Bytes.begin() + S.sh_offset,
                     Bytes.begin() + S.sh_offset + S.sh_size);
+    if (!ShStrTab.empty() && ShStrTab.back() != 0)
+      return makeError(".shstrtab is not NUL-terminated");
   }
   auto NameAt = [&](uint32_t Off) -> std::string {
     if (Off >= ShStrTab.size())
@@ -122,9 +128,17 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
   if (SymTabIdx >= 0) {
     const Elf64_Shdr &S = Shdrs[SymTabIdx];
     uint32_t StrIdx = S.sh_link;
-    std::vector<uint8_t> StrTab;
-    if (StrIdx < R.Sections.size())
-      StrTab = R.Sections[StrIdx].Data;
+    if (StrIdx >= R.Sections.size())
+      return makeError(".symtab sh_link is %u but the file has only %zu "
+                       "sections",
+                       StrIdx, R.Sections.size());
+    const std::vector<uint8_t> &StrTab = R.Sections[StrIdx].Data;
+    if (!StrTab.empty() && StrTab.back() != 0)
+      return makeError(".symtab string table is not NUL-terminated");
+    if (R.Sections[SymTabIdx].Data.size() % sizeof(Elf64_Sym) != 0)
+      return makeError(".symtab size %zu is not a multiple of the symbol "
+                       "entry size %zu",
+                       R.Sections[SymTabIdx].Data.size(), sizeof(Elf64_Sym));
     auto SymName = [&](uint32_t Off) -> std::string {
       if (Off >= StrTab.size())
         return std::string();
@@ -170,4 +184,50 @@ ELFReader::findSymbol(const std::string &Name) const {
     if (S.Name == Name)
       return &S;
   return nullptr;
+}
+
+const ELFReader::SectionView *
+ELFReader::sectionContaining(uint64_t VAddr) const {
+  for (const SectionView &S : Sections)
+    if ((S.Flags & SHF_ALLOC) != 0 && VAddr >= S.Addr &&
+        VAddr - S.Addr < S.Size)
+      return &S;
+  return nullptr;
+}
+
+const ELFReader::SegmentView *
+ELFReader::segmentContaining(uint64_t VAddr) const {
+  for (const SegmentView &Seg : Segments)
+    if (Seg.Type == PT_LOAD && VAddr >= Seg.VAddr &&
+        VAddr - Seg.VAddr < Seg.MemSize)
+      return &Seg;
+  return nullptr;
+}
+
+bool ELFReader::readAtVAddr(uint64_t VAddr, void *Out, size_t Size) const {
+  if (Size == 0)
+    return segmentContaining(VAddr) != nullptr;
+  const SegmentView *Seg = segmentContaining(VAddr);
+  if (!Seg || VAddr - Seg->VAddr + Size > Seg->MemSize)
+    return false;
+  uint64_t Off = VAddr - Seg->VAddr;
+  uint8_t *Dst = static_cast<uint8_t *>(Out);
+  // Bytes past p_filesz are zero-filled by the loader.
+  for (size_t I = 0; I < Size; ++I)
+    Dst[I] = (Off + I < Seg->Data.size()) ? Seg->Data[Off + I] : 0;
+  return true;
+}
+
+bool ELFReader::stringAtVAddr(uint64_t VAddr, std::string &Out,
+                              size_t MaxLen) const {
+  Out.clear();
+  for (size_t I = 0; I < MaxLen; ++I) {
+    char C;
+    if (!readAtVAddr(VAddr + I, &C, 1))
+      return false;
+    if (C == 0)
+      return true;
+    Out.push_back(C);
+  }
+  return false;
 }

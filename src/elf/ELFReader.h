@@ -78,6 +78,25 @@ public:
   /// Finds a symbol by name; null when absent.
   const SymbolView *findSymbol(const std::string &Name) const;
 
+  /// Finds the ALLOC section whose [Addr, Addr+Size) range contains \p VAddr;
+  /// null when no loaded section covers it.
+  const SectionView *sectionContaining(uint64_t VAddr) const;
+
+  /// Finds the PT_LOAD segment whose [VAddr, VAddr+MemSize) range contains
+  /// \p VAddr; null when the address is not loader-mapped.
+  const SegmentView *segmentContaining(uint64_t VAddr) const;
+
+  /// Reads \p Size bytes of loaded memory at \p VAddr as the system loader
+  /// would have mapped it (PT_LOAD payload, zero-filled past p_filesz).
+  /// Returns false when the range is not fully covered by one segment.
+  bool readAtVAddr(uint64_t VAddr, void *Out, size_t Size) const;
+
+  /// Reads a NUL-terminated string from loaded memory at \p VAddr. Returns
+  /// false when the address is unmapped or no terminator appears within
+  /// \p MaxLen bytes of mapped memory.
+  bool stringAtVAddr(uint64_t VAddr, std::string &Out,
+                     size_t MaxLen = 4096) const;
+
 private:
   Elf64_Ehdr Header{};
   std::vector<SectionView> Sections;

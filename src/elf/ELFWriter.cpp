@@ -80,7 +80,36 @@ private:
 
 } // namespace
 
-std::vector<uint8_t> ELFWriter::finalize() {
+Expected<std::vector<uint8_t>> ELFWriter::finalize() {
+  // Refuse to emit an executable whose loadable sections collide: the
+  // loader would map the later PT_LOAD over the earlier one and the ELFie
+  // would silently run on corrupted state. (ET_REL objects conventionally
+  // carry sh_addr 0 everywhere, so the check applies to executables only;
+  // analyze/LayoutPass is the independent second opinion on emitted files.)
+  if (Type == ET_EXEC) {
+    struct Range {
+      uint64_t Lo, Hi;
+      const Section *S;
+    };
+    std::vector<Range> Ranges;
+    for (const Section &S : Sections)
+      if ((S.Flags & SHF_ALLOC) != 0 && S.Size)
+        Ranges.push_back({S.VAddr, S.VAddr + S.Size, &S});
+    std::sort(Ranges.begin(), Ranges.end(),
+              [](const Range &A, const Range &B) { return A.Lo < B.Lo; });
+    for (size_t I = 1; I < Ranges.size(); ++I)
+      if (Ranges[I].Lo < Ranges[I - 1].Hi)
+        return makeError(
+            "ALLOC sections '%s' [%#llx, %#llx) and '%s' [%#llx, %#llx) "
+            "overlap; the loader would map one over the other",
+            Ranges[I - 1].S->Name.c_str(),
+            static_cast<unsigned long long>(Ranges[I - 1].Lo),
+            static_cast<unsigned long long>(Ranges[I - 1].Hi),
+            Ranges[I].S->Name.c_str(),
+            static_cast<unsigned long long>(Ranges[I].Lo),
+            static_cast<unsigned long long>(Ranges[I].Hi));
+  }
+
   // Build .symtab/.strtab section payloads first so they can participate in
   // the generic layout below. The writer appends them as trailing non-ALLOC
   // sections; .shstrtab goes last.
@@ -297,8 +326,10 @@ std::vector<uint8_t> ELFWriter::finalize() {
 }
 
 Error ELFWriter::writeToFile(const std::string &Path) {
-  std::vector<uint8_t> Image = finalize();
-  if (Error E = writeFile(Path, Image.data(), Image.size()))
+  auto Image = finalize();
+  if (!Image)
+    return Image.takeError();
+  if (Error E = writeFile(Path, Image->data(), Image->size()))
     return E;
   if (Type == ET_EXEC)
     return makeExecutable(Path);

@@ -55,8 +55,12 @@ public:
                  unsigned SectionIndex, uint8_t Bind = STB_GLOBAL,
                  uint8_t SymType = STT_NOTYPE, uint64_t Size = 0);
 
-  /// Serializes the file image.
-  std::vector<uint8_t> finalize();
+  /// Serializes the file image. Fails when the described file would be
+  /// structurally broken: for ET_EXEC, two ALLOC sections whose vaddr
+  /// ranges overlap would make the loader map one on top of the other
+  /// (exactly the silent corruption the ELFie layout of paper §II-B2/§II-B3
+  /// must avoid), so that is a hard error rather than an emitted file.
+  Expected<std::vector<uint8_t>> finalize();
 
   /// Serializes and writes to \p Path; marks executables runnable.
   Error writeToFile(const std::string &Path);

@@ -5,7 +5,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analyze/Passes.h"
 #include "core/Pinball2Elf.h"
+#include "elf/ELFReader.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 
@@ -31,6 +33,9 @@ int main(int Argc, char **Argv) {
                "ROI marker: [sniper|ssc|simics]:TAG, or 'none'");
   CL.addFlag("layout", false, "print the linker-script-style layout and "
                               "exit");
+  CL.addFlag("verify", false,
+             "run the everify static-analysis passes on the emitted file "
+             "and fail on error-severity findings");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: pinball2elf [options] pinball-dir\n");
@@ -85,5 +90,27 @@ int main(int Argc, char **Argv) {
                CL.positional()[0].c_str(), CL.getString("o").c_str(),
                CL.getString("target").c_str(), PB.Threads.size(),
                static_cast<unsigned long long>(PB.Meta.RegionLength));
+
+  // Post-emit self-check: re-read the file we just wrote and run the
+  // everify passes against the pinball it was built from.
+  if (CL.getFlag("verify")) {
+    elf::ELFReader Elf =
+        exitOnError(elf::ELFReader::open(CL.getString("o")));
+    analyze::AnalysisInput In;
+    In.Elf = &Elf;
+    In.PB = &PB;
+    In.Kind = analyze::AnalysisInput::classify(Elf);
+    In.ExpectMarkers = Opts.EmitMarkers ? 1 : 0;
+    analyze::PassManager PM;
+    analyze::addStandardPasses(PM);
+    analyze::Report Report;
+    PM.runAll(In, Report);
+    std::fputs(Report.renderText().c_str(), stderr);
+    if (Report.errorCount()) {
+      std::fprintf(stderr, "pinball2elf: -verify failed on %s\n",
+                   CL.getString("o").c_str());
+      return 1;
+    }
+  }
   return 0;
 }

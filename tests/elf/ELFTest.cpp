@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace elfie;
 using namespace elfie::elf;
 
@@ -19,6 +21,12 @@ std::vector<uint8_t> bytesOf(const char *S) {
   return std::vector<uint8_t>(S, S + strlen(S));
 }
 
+std::vector<uint8_t> finalizeOK(ELFWriter &W) {
+  auto Image = W.finalize();
+  EXPECT_TRUE(Image.hasValue()) << Image.message();
+  return Image ? Image.takeValue() : std::vector<uint8_t>();
+}
+
 TEST(ELFWriter, MinimalExecutableRoundTrip) {
   ELFWriter W(ET_EXEC, EM_EG64);
   W.setEntry(0x10000);
@@ -26,7 +34,7 @@ TEST(ELFWriter, MinimalExecutableRoundTrip) {
                                bytesOf("CODECODE"));
   W.addSymbol("_start", 0x10000, Text, STB_GLOBAL, STT_FUNC);
 
-  auto R = ELFReader::parse(W.finalize());
+  auto R = ELFReader::parse(finalizeOK(W));
   ASSERT_TRUE(R.hasValue()) << R.message();
   EXPECT_EQ(R->fileType(), ET_EXEC);
   EXPECT_EQ(R->machine(), EM_EG64);
@@ -52,7 +60,7 @@ TEST(ELFWriter, SegmentsCoverAllocSectionsOnly) {
   // loader (paper Fig. 4/5).
   W.addSection(".data.stack.stash", 0, 0x7ff0000000, bytesOf("SSSS"));
 
-  auto R = ELFReader::parse(W.finalize());
+  auto R = ELFReader::parse(finalizeOK(W));
   ASSERT_TRUE(R.hasValue()) << R.message();
   unsigned NumLoad = 0;
   for (const auto &Seg : R->segments())
@@ -69,7 +77,7 @@ TEST(ELFWriter, LoadSegmentOffsetCongruentToVaddr) {
   ELFWriter W(ET_EXEC, EM_EG64);
   // Deliberately unaligned vaddr within the page.
   W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10378, bytesOf("Z"));
-  auto R = ELFReader::parse(W.finalize());
+  auto R = ELFReader::parse(finalizeOK(W));
   ASSERT_TRUE(R.hasValue()) << R.message();
   const auto *S = R->findSection(".text");
   ASSERT_NE(S, nullptr);
@@ -81,7 +89,7 @@ TEST(ELFWriter, NoBitsSection) {
   ELFWriter W(ET_EXEC, EM_EG64);
   W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000, bytesOf("AAAA"));
   W.addNoBitsSection(".bss", SHF_ALLOC | SHF_WRITE, 0x30000, 0x2000);
-  auto R = ELFReader::parse(W.finalize());
+  auto R = ELFReader::parse(finalizeOK(W));
   ASSERT_TRUE(R.hasValue()) << R.message();
   const auto *S = R->findSection(".bss");
   ASSERT_NE(S, nullptr);
@@ -110,7 +118,7 @@ TEST(ELFWriter, ManySectionsAndSymbols) {
                                 SHF_ALLOC | SHF_EXECINSTR, Addr, Data);
     W.addSymbol("page" + std::to_string(I), Addr, Idx, STB_LOCAL);
   }
-  auto R = ELFReader::parse(W.finalize());
+  auto R = ELFReader::parse(finalizeOK(W));
   ASSERT_TRUE(R.hasValue()) << R.message();
   EXPECT_EQ(R->symbols().size(), 200u);
   const auto *S = R->findSection(".text.page199");
@@ -125,10 +133,50 @@ TEST(ELFWriter, LocalSymbolsPrecedeGlobals) {
   W.addSymbol("g1", 1, T, STB_GLOBAL);
   W.addSymbol("l1", 2, T, STB_LOCAL);
   W.addSymbol("g2", 3, T, STB_GLOBAL);
-  auto R = ELFReader::parse(W.finalize());
+  auto R = ELFReader::parse(finalizeOK(W));
   ASSERT_TRUE(R.hasValue()) << R.message();
   ASSERT_EQ(R->symbols().size(), 3u);
   EXPECT_EQ(R->symbols()[0].Name, "l1");
+}
+
+TEST(ELFWriter, RejectsOverlappingAllocSections) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000,
+               std::vector<uint8_t>(0x2000, 0xaa));
+  // Starts inside the previous section's range: the loader would map one
+  // PT_LOAD over the other.
+  W.addSection(".data", SHF_ALLOC | SHF_WRITE, 0x11000,
+               std::vector<uint8_t>(0x1000, 0xbb));
+  auto Image = W.finalize();
+  ASSERT_FALSE(Image.hasValue());
+  EXPECT_NE(Image.message().find("overlap"), std::string::npos)
+      << Image.message();
+}
+
+TEST(ELFWriter, OverlapCheckCoversNoBitsAndIgnoresNonAlloc) {
+  {
+    // NOBITS ALLOC sections occupy address space too.
+    ELFWriter W(ET_EXEC, EM_EG64);
+    W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000,
+                 std::vector<uint8_t>(64, 0xcc));
+    W.addNoBitsSection(".bss", SHF_ALLOC | SHF_WRITE, 0x10020, 0x1000);
+    EXPECT_FALSE(W.finalize().hasValue());
+  }
+  {
+    // Non-ALLOC stash data may sit anywhere — it is never loader-mapped.
+    ELFWriter W(ET_EXEC, EM_EG64);
+    W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000,
+                 std::vector<uint8_t>(64, 0xcc));
+    W.addSection(".stash", 0, 0x10000, std::vector<uint8_t>(64, 0xdd));
+    EXPECT_TRUE(W.finalize().hasValue());
+  }
+  {
+    // Adjacent (touching) ranges are fine.
+    ELFWriter W(ET_EXEC, EM_EG64);
+    W.addSection(".a", SHF_ALLOC, 0x10000, std::vector<uint8_t>(16, 1));
+    W.addSection(".b", SHF_ALLOC, 0x10010, std::vector<uint8_t>(16, 2));
+    EXPECT_TRUE(W.finalize().hasValue());
+  }
 }
 
 TEST(ELFReader, RejectsGarbage) {
@@ -144,13 +192,105 @@ TEST(ELFReader, RejectsGarbage) {
 TEST(ELFReader, RejectsTruncatedSectionTable) {
   ELFWriter W(ET_EXEC, EM_EG64);
   W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000, bytesOf("AAAA"));
-  std::vector<uint8_t> Image = W.finalize();
+  std::vector<uint8_t> Image = finalizeOK(W);
   Image.resize(Image.size() - 32); // chop into the section header table
   EXPECT_FALSE(ELFReader::parse(Image).hasValue());
 }
 
 TEST(ELFReader, OpenMissingFileFails) {
   EXPECT_FALSE(ELFReader::open("/nonexistent/elf").hasValue());
+}
+
+// Builds an image with a symbol so .symtab/.strtab exist.
+std::vector<uint8_t> imageWithSymbols() {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  unsigned T =
+      W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000, bytesOf("AB"));
+  W.addSymbol("_start", 0x10000, T, STB_GLOBAL, STT_FUNC);
+  return finalizeOK(W);
+}
+
+TEST(ELFReader, RejectsOutOfRangeShStrNdx) {
+  std::vector<uint8_t> Image = imageWithSymbols();
+  Elf64_Ehdr H;
+  std::memcpy(&H, Image.data(), sizeof(H));
+  H.e_shstrndx = 999;
+  std::memcpy(Image.data(), &H, sizeof(H));
+  auto R = ELFReader::parse(Image);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("e_shstrndx"), std::string::npos) << R.message();
+}
+
+TEST(ELFReader, RejectsOutOfRangeSymtabLink) {
+  std::vector<uint8_t> Image = imageWithSymbols();
+  Elf64_Ehdr H;
+  std::memcpy(&H, Image.data(), sizeof(H));
+  for (unsigned I = 0; I < H.e_shnum; ++I) {
+    Elf64_Shdr S;
+    uint8_t *At = Image.data() + H.e_shoff + I * sizeof(Elf64_Shdr);
+    std::memcpy(&S, At, sizeof(S));
+    if (S.sh_type == SHT_SYMTAB) {
+      S.sh_link = 999;
+      std::memcpy(At, &S, sizeof(S));
+    }
+  }
+  auto R = ELFReader::parse(Image);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("sh_link"), std::string::npos) << R.message();
+}
+
+TEST(ELFReader, RejectsUnterminatedStringTable) {
+  std::vector<uint8_t> Image = imageWithSymbols();
+  Elf64_Ehdr H;
+  std::memcpy(&H, Image.data(), sizeof(H));
+  // Corrupt the final byte of the section-name string table.
+  Elf64_Shdr S;
+  std::memcpy(&S, Image.data() + H.e_shoff + H.e_shstrndx * sizeof(Elf64_Shdr),
+              sizeof(S));
+  ASSERT_GT(S.sh_size, 0u);
+  Image[S.sh_offset + S.sh_size - 1] = 'X';
+  auto R = ELFReader::parse(Image);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.message().find("NUL"), std::string::npos) << R.message();
+}
+
+TEST(ELFReader, VAddrQueries) {
+  ELFWriter W(ET_EXEC, EM_EG64);
+  W.addSection(".text", SHF_ALLOC | SHF_EXECINSTR, 0x10000, bytesOf("CODE"));
+  std::vector<uint8_t> Data = bytesOf("hello");
+  Data.push_back(0);
+  W.addSection(".data", SHF_ALLOC | SHF_WRITE, 0x20000, Data);
+  W.addNoBitsSection(".bss", SHF_ALLOC | SHF_WRITE, 0x30000, 0x100);
+  auto R = ELFReader::parse(finalizeOK(W));
+  ASSERT_TRUE(R.hasValue()) << R.message();
+
+  const auto *S = R->sectionContaining(0x10002);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Name, ".text");
+  EXPECT_EQ(R->sectionContaining(0x10004), nullptr); // one past the end
+  EXPECT_EQ(R->sectionContaining(0x50000), nullptr);
+
+  const auto *Seg = R->segmentContaining(0x20001);
+  ASSERT_NE(Seg, nullptr);
+  EXPECT_EQ(Seg->VAddr, 0x20000u);
+
+  char Buf[4] = {};
+  ASSERT_TRUE(R->readAtVAddr(0x10000, Buf, 4));
+  EXPECT_EQ(std::memcmp(Buf, "CODE", 4), 0);
+  EXPECT_FALSE(R->readAtVAddr(0x10002, Buf, 4)); // runs off the segment
+
+  // NOBITS memory reads as zeroes (loader zero-fill past p_filesz).
+  uint64_t Z = ~0ull;
+  ASSERT_TRUE(R->readAtVAddr(0x30008, &Z, sizeof(Z)));
+  EXPECT_EQ(Z, 0u);
+
+  std::string Str;
+  ASSERT_TRUE(R->stringAtVAddr(0x20000, Str));
+  EXPECT_EQ(Str, "hello");
+  EXPECT_FALSE(R->stringAtVAddr(0x50000, Str));
+  // No terminator within the mapped range of .text (terminates only if a
+  // NUL is found; .text's 4 bytes have none and the segment ends).
+  EXPECT_FALSE(R->stringAtVAddr(0x10000, Str));
 }
 
 } // namespace

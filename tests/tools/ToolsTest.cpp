@@ -6,7 +6,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Drives the installed command-line tools (easm, evm, elogger, ereplay,
-/// pinball_sysstate, pinball2elf, esimpoint, esim, eworkload, edisasm)
+/// pinball_sysstate, pinball2elf, everify, esimpoint, esim, eworkload,
+/// edisasm)
 /// through the full Fig. 1 pipeline as subprocesses — the way a downstream
 /// user would.
 ///
@@ -118,17 +119,34 @@ msg: .ascii "ok\n"
   ASSERT_EQ(R.ExitCode, 0) << R.Output;
   EXPECT_TRUE(fileExists(Dir + "/r.pb.sysstate/BRK.log"));
 
-  // pinball2elf: layout dump, then both targets.
+  // pinball2elf: layout dump, then both targets with the -verify
+  // self-check enabled.
   R = runTool(formatString("pinball2elf -layout %s/r.pb", Dir.c_str()));
   ASSERT_EQ(R.ExitCode, 0) << R.Output;
   EXPECT_NE(R.Output.find("SECTIONS"), std::string::npos);
-  R = runTool(formatString("pinball2elf -perfle 1 -o %s/r.elfie %s/r.pb",
-                           Dir.c_str(), Dir.c_str()));
-  ASSERT_EQ(R.ExitCode, 0) << R.Output;
   R = runTool(formatString(
-      "pinball2elf -target guest -o %s/r.gelfie %s/r.pb", Dir.c_str(),
+      "pinball2elf -perfle 1 -verify -o %s/r.elfie %s/r.pb", Dir.c_str(),
       Dir.c_str()));
   ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("0 error(s)"), std::string::npos);
+  R = runTool(formatString(
+      "pinball2elf -target guest -verify -o %s/r.gelfie %s/r.pb",
+      Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("0 error(s)"), std::string::npos);
+
+  // everify: the standalone verifier agrees, in text and in JSON.
+  R = runTool(formatString("everify -pinball %s/r.pb %s/r.elfie",
+                           Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("native ELFie"), std::string::npos);
+  EXPECT_NE(R.Output.find("0 error(s)"), std::string::npos);
+  R = runTool(formatString(
+      "everify -json -markers 1 -pinball %s/r.pb %s/r.gelfie", Dir.c_str(),
+      Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"errors\":0"), std::string::npos);
+  EXPECT_NE(R.Output.find("\"findings\":"), std::string::npos);
 
   // The native ELFie runs on the hardware and reports its budget.
   {
@@ -187,6 +205,10 @@ TEST_F(ToolPipeline, ErrorPaths) {
   EXPECT_NE(R.ExitCode, 0);
   R = runTool(formatString("pinball2elf -target bogus %s", Dir.c_str()));
   EXPECT_NE(R.ExitCode, 0);
+  R = runTool("everify /nonexistent/file.elfie");
+  EXPECT_NE(R.ExitCode, 0);
+  R = runTool("everify");
+  EXPECT_EQ(R.ExitCode, 2);
   R = runTool("esim -config unknown-config whatever");
   EXPECT_NE(R.ExitCode, 0);
 }
