@@ -43,7 +43,10 @@ public:
                "there is no loader view to check them against";
       return false;
     }
-    if (In.Kind == ElfKind::GuestExec && !In.PB) {
+    // Anything that is not a native ELFie (guest ELFies, but also files
+    // whose e_type/e_machine were corrupted into ElfKind::Unknown) has no
+    // .tN.ctx blocks to read; those checks need the source pinball.
+    if (In.Kind != ElfKind::NativeExec && !In.PB) {
       WhyNot = "guest startup embeds contexts as immediates; checking them "
                "needs the source pinball (-pinball)";
       return false;

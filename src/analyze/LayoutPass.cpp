@@ -53,6 +53,14 @@ public:
   void run(const AnalysisInput &In, Report &Out) const override {
     const elf::ELFReader &R = *In.Elf;
 
+    // A file whose e_type/e_machine identify neither a native nor a guest
+    // ELFie is rejected outright (fail closed on corrupted headers) rather
+    // than silently passing every kind-gated check below.
+    if (In.Kind == ElfKind::Unknown)
+      Out.add(Severity::Error, "LAYOUT.KIND", 0,
+              "e_type/e_machine identify neither a native (ET_EXEC x86-64) "
+              "nor a guest (ET_EXEC/ET_REL EG64) ELFie");
+
     // Overlap among ALLOC sections (independent second opinion on the
     // ELFWriter's own refusal to emit such files).
     struct Range {

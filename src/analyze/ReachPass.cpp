@@ -217,7 +217,7 @@ private:
                            static_cast<unsigned long long>(Start->Value)));
     for (const char *Name :
          {"elfie_on_start", "elfie_on_thread_start", "elfie_on_exit",
-          "elfie_syscall", "elfie_abort"}) {
+          "elfie_syscall", "elfie_abort", "elfie_on_fault"}) {
       const auto *Sym = In.Elf->findSymbol(Name);
       if (!Sym) {
         Out.add(Severity::Error, "REACH.SYM_MISSING", 0,
@@ -233,6 +233,38 @@ private:
     Out.add(Severity::Note, "REACH.TARGET", 0,
             "native startup is x86-64; full CFG walk is done for guest "
             "ELFies only");
+
+    // Divergence-containment contract: the ungraceful-exit report block
+    // must exist, be big enough for every field the fault handler writes,
+    // carry its magic, and ship with the kind field still zero (no fault).
+    const auto *Rpt = In.Elf->findSymbol("elfie_fault_report");
+    if (!Rpt) {
+      Out.add(Severity::Error, "REACH.FAULT_REPORT", 0,
+              "no elfie_fault_report symbol; ungraceful exits would be "
+              "unattributable");
+    } else if (Rpt->Size < 64) {
+      Out.add(Severity::Error, "REACH.FAULT_REPORT", Rpt->Value,
+              formatString("elfie_fault_report is %llu bytes; the fault "
+                           "handler writes 64",
+                           static_cast<unsigned long long>(Rpt->Size)));
+    } else {
+      uint8_t Hdr[16] = {0};
+      if (!In.Elf->readAtVAddr(Rpt->Value, Hdr, sizeof(Hdr)))
+        Out.add(Severity::Error, "REACH.FAULT_REPORT", Rpt->Value,
+                "elfie_fault_report block is not mapped");
+      else if (std::memcmp(Hdr, "EFLTRPT1", 8) != 0)
+        Out.add(Severity::Error, "REACH.FAULT_REPORT", Rpt->Value,
+                "elfie_fault_report magic is not EFLTRPT1");
+      else {
+        uint64_t Kind;
+        std::memcpy(&Kind, Hdr + 8, 8);
+        if (Kind != 0)
+          Out.add(Severity::Error, "REACH.FAULT_REPORT", Rpt->Value,
+                  formatString("elfie_fault_report kind is %llu at rest; "
+                               "a freshly emitted ELFie must ship with 0",
+                               static_cast<unsigned long long>(Kind)));
+      }
+    }
 
     // Each packed context's start PC must decode to a valid EG64
     // instruction in the code pages the translation was built from.

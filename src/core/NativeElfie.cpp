@@ -40,13 +40,58 @@ enum : uint32_t {
   NR_lseek = 8,
   NR_mmap = 9,
   NR_munmap = 11,
+  NR_rt_sigaction = 13,
+  NR_rt_sigreturn = 15,
   NR_sched_yield = 24,
   NR_dup2 = 33,
+  NR_alarm = 37,
   NR_clone = 56,
   NR_exit = 60,
+  NR_sigaltstack = 131,
   NR_gettid = 186,
   NR_clock_gettime = 228,
   NR_exit_group = 231,
+};
+
+// Signal-delivery ABI constants (kernel, x86-64). The kernel struct
+// sigaction is {handler, sa_flags, restorer, mask} (32 bytes) and requires
+// SA_RESTORER; siginfo carries si_addr at +16; the saved user context puts
+// gregs at +40 in kernel sigcontext order (R8..R15 = 0..7, RIP = 16).
+enum : uint32_t {
+  SIG_ILL = 4,
+  SIG_BUS = 7,
+  SIG_FPE = 8,
+  SIG_SEGV = 11,
+  SIG_ALRM = 14,
+};
+constexpr uint64_t SigActionFlags = 0x0C000004; // SIGINFO|RESTORER|ONSTACK
+constexpr int32_t SigInfoAddrOff = 16;
+constexpr int32_t UCtxSavedR15Off = 40 + 7 * 8;  // gregs[7]
+constexpr int32_t UCtxSavedRipOff = 40 + 16 * 8; // gregs[16]
+
+// Ungraceful-exit codes of the emitted ELFie itself (documented in
+// DESIGN.md §8): the abort stub (divergence) exits 127, a trapped hardware
+// signal exits 126, the watchdog exits 125.
+enum : uint32_t {
+  ExitCodeDivergence = 127,
+  ExitCodeSignal = 126,
+  ExitCodeWatchdog = 125,
+};
+
+// elfie_fault_report block layout (64 bytes in .elfie.data; statically
+// checkable by everify's REACH pass, populated by the abort stub and the
+// signal handler before exit).
+constexpr const char FaultReportMagic[8] = {'E', 'F', 'L', 'T',
+                                            'R', 'P', 'T', '1'};
+enum : int32_t {
+  FltMagicOff = 0,
+  FltKindOff = 8, // 0 none, 1 signal, 2 divergence, 3 watchdog
+  FltSignalOff = 16,
+  FltAddrOff = 24,
+  FltRipOff = 32,
+  FltSlotOff = 40,
+  FltIcountLeftOff = 48,
+  FltReportSize = 64,
 };
 
 constexpr uint64_t CloneFlags = 0x50f00; // VM|FS|FILES|SIGHAND|THREAD|SYSVSEM
@@ -102,9 +147,11 @@ private:
   void emitTableLookupAndJump(); // rax = guest pc -> jmp translation
   void emitRuntime();
   void emitSyscallStub();
-  void emitPerfleHelpers();
+  void emitFmtDec();
+  void emitFaultHandler(); // signal/watchdog containment + restorer
   void emitReport(); // inline report fragment (uses r15 ctx)
   void fillContexts();
+  uint64_t watchdogSeconds() const;
 
   const Pinball &PB;
   const Pinball2ElfOptions &Opts;
@@ -120,6 +167,9 @@ private:
   size_t BannerOff = 0;
   size_t PerfA = 0, PerfB = 0, PerfC = 0, PerfNl = 0; // message pieces
   size_t AbortMsgOff = 0;
+  size_t FaultReportOff = 0; ///< 64-byte elfie_fault_report block
+  size_t SigActOff = 0;      ///< 32-byte kernel struct sigaction
+  size_t FltA = 0, FltB = 0, FltC = 0, FltD = 0, FltE = 0; // msg pieces
   size_t TableOff = 0;
   size_t CtxOff = 0;
   size_t PreTouchOff = 0; ///< table of guest page addresses
@@ -141,9 +191,10 @@ private:
 
   // Labels.
   Label ThreadEntryCommon, FmtDec, ExitBudget, ExitCommon, Abort, Syscall;
+  Label FaultHandler, Restorer;
   // Encoder offsets for symbols.
   size_t StartupOff = 0, ThreadEntryOff = 0, ExitOff = 0, SyscallOff = 0,
-         AbortOff = 0;
+         AbortOff = 0, FaultHandlerOff = 0, RestorerOff = 0;
 
   std::unique_ptr<Translator> Xlate;
 };
@@ -194,6 +245,20 @@ void NativeEmitter::layoutData() {
   PerfB = Data.addString(PerfPieceB);
   PerfC = Data.addString(PerfPieceC);
   PerfNl = Data.addString("\n");
+  FltA = Data.addString("elfie-fault: signal ");
+  FltB = Data.addString(" addr ");
+  FltC = Data.addString(" rip ");
+  FltD = Data.addString(" slot ");
+  FltE = Data.addString(" icount-left ");
+
+  // elfie_fault_report: magic now, everything else at fault time.
+  FaultReportOff = Data.reserve(FltReportSize, 8);
+  Data.pokeBytes(FaultReportOff + FltMagicOff, FaultReportMagic, 8);
+
+  // Kernel struct sigaction {handler, flags, restorer, mask}. The handler
+  // and restorer addresses are poked after code emission fixes them.
+  SigActOff = Data.reserve(32, 8);
+  Data.poke64(SigActOff + 8, SigActionFlags);
 
   // Pre-touch table: every loader-mapped guest page, so startup can fault
   // them in before any measurement begins (all application pages are in
@@ -247,12 +312,37 @@ void NativeEmitter::emitTableLookupAndJump() {
   E.jmpReg(RAX);
 }
 
+uint64_t NativeEmitter::watchdogSeconds() const {
+  if (Opts.WatchdogSecs)
+    return Opts.WatchdogSecs;
+  // Budget-scaled: generous headroom over any plausible execution rate
+  // (50M retired/s is far below real hardware), bounded so a corrupt
+  // region length cannot disable the guard.
+  uint64_t Secs = 10 + PB.Meta.RegionLength / 50000000ull;
+  return std::min<uint64_t>(Secs, 600);
+}
+
 void NativeEmitter::emitStartup() {
   StartupOff = E.here();
   // Run on slot 0's host stack from the first instruction: the kernel's
   // initial stack may be about to be overwritten by the remap below.
   E.movRegImm64(RAX, stackTop(0) - 64);
   E.movRegReg(RSP, RAX);
+
+  // --- Divergence containment: trap the fault signals process-wide and
+  // arm the watchdog before anything can go wrong, so even a corrupt
+  // stash/preopen table dies with the structured report. ---
+  for (uint32_t Sig : {SIG_ILL, SIG_BUS, SIG_FPE, SIG_SEGV, SIG_ALRM}) {
+    E.movRegImm32(RDI, Sig);
+    E.movRegImm64(RSI, dataAddr(SigActOff));
+    E.xorRegReg(RDX, RDX);
+    E.movRegImm32(R10, 8); // sigsetsize
+    E.movRegImm32(RAX, NR_rt_sigaction);
+    E.syscall();
+  }
+  E.movRegImm32(RDI, static_cast<uint32_t>(watchdogSeconds()));
+  E.movRegImm32(RAX, NR_alarm);
+  E.syscall();
 
   // --- Stack-collision workaround (paper Figs. 4/5): map the guest stack
   // range fresh and copy the checkpointed stack pages from the stash. ---
@@ -363,6 +453,26 @@ void NativeEmitter::emitThreadEntryCommon() {
   E.bind(ThreadEntryCommon);
   // [rsp] = context pointer (pushed by startup / placed by clone).
   E.popReg(R15);
+
+  // Per-thread alternate signal stack (sigaltstack is per-thread): the
+  // fault handler must run even when the guest stack pointer is the thing
+  // that diverged. stack_t {ss_sp, ss_flags, ss_size} built on the host
+  // stack.
+  E.movRegMem(RAX, R15, CtxLayout::SlotOff);
+  E.shlRegImm(RAX, 14); // NativeLayout::AltStackSize == 1 << 14
+  E.movRegImm64(RCX, NativeLayout::AltStackBase);
+  E.addRegReg(RAX, RCX);
+  E.subRegImm32(RSP, 32);
+  E.movMemReg(RSP, 0, RAX); // ss_sp
+  E.xorRegReg(RCX, RCX);
+  E.movMemReg(RSP, 8, RCX); // ss_flags (+ padding)
+  E.movRegImm32(RCX, static_cast<uint32_t>(NativeLayout::AltStackSize));
+  E.movMemReg(RSP, 16, RCX); // ss_size
+  E.movRegReg(RDI, RSP);
+  E.xorRegReg(RSI, RSI);
+  E.movRegImm32(RAX, NR_sigaltstack);
+  E.syscall();
+  E.addRegImm32(RSP, 32);
   if (Opts.Perfle) {
     E.rdtsc();
     E.shlRegImm(RDX, 32);
@@ -378,9 +488,10 @@ void NativeEmitter::emitThreadEntryCommon() {
   emitTableLookupAndJump();
 }
 
-void NativeEmitter::emitPerfleHelpers() {
+void NativeEmitter::emitFmtDec() {
   // fmt_dec: rax = value, rdi = buffer end. Returns rsi = start, rdx = len.
-  // Clobbers rax, rcx, r8.
+  // Clobbers rax, rcx, r8. Used by perfle reporting and by the fault
+  // handler, so it is emitted unconditionally.
   E.bind(FmtDec);
   E.movRegReg(R8, RDI);
   E.movRegImm32(RCX, 10);
@@ -453,8 +564,7 @@ void NativeEmitter::emitReport() {
 }
 
 void NativeEmitter::emitRuntime() {
-  if (Opts.Perfle)
-    emitPerfleHelpers();
+  emitFmtDec();
 
   // --- Graceful exit (paper §II-C1) ---
   E.bind(ExitBudget);
@@ -479,19 +589,128 @@ void NativeEmitter::emitRuntime() {
   E.movRegImm32(RAX, NR_exit_group);
   E.syscall();
 
-  // --- Ungraceful exit (divergence) ---
+  // --- Ungraceful exit (divergence, §II-C1): fill the fault report so
+  // post-mortem tooling sees what diverged, then exit 127. r15 is the
+  // thread context at every abort site (table lookup + syscall stub). ---
   AbortOff = E.here();
   E.bind(Abort);
+  E.movRegImm64(RCX, dataAddr(FaultReportOff));
+  E.movRegImm32(RAX, 2); // kind = divergence
+  E.movMemReg(RCX, FltKindOff, RAX);
+  E.movRegMem(RAX, R15, CtxLayout::SlotOff);
+  E.movMemReg(RCX, FltSlotOff, RAX);
+  E.movRegMem(RAX, R15, CtxLayout::ICountOff);
+  E.movMemReg(RCX, FltIcountLeftOff, RAX);
   E.movRegImm32(RDI, 2);
   E.movRegImm64(RSI, dataAddr(AbortMsgOff));
   E.movRegImm32(RDX, static_cast<uint32_t>(AbortMsg.size()));
   E.movRegImm32(RAX, NR_write);
   E.syscall();
-  E.movRegImm32(RDI, 127);
+  E.movRegImm32(RDI, ExitCodeDivergence);
   E.movRegImm32(RAX, NR_exit_group);
   E.syscall();
 
   emitSyscallStub();
+  emitFaultHandler();
+}
+
+void NativeEmitter::emitFaultHandler() {
+  // SA_SIGINFO entry: rdi = signal, rsi = siginfo*, rdx = ucontext*.
+  // Runs on the per-thread altstack; fills elfie_fault_report, prints one
+  // "elfie-fault:" line to stderr, and exits the whole group with the
+  // documented code (126 hardware signal, 125 watchdog). Never returns.
+  FaultHandlerOff = E.here();
+  E.bind(FaultHandler);
+  E.movRegReg(R12, RDI);                     // signal number
+  E.movRegMem(R13, RSI, SigInfoAddrOff);     // si_addr
+  E.movRegMem(R14, RDX, UCtxSavedRipOff);    // faulting host RIP
+  E.movRegMem(RBX, RDX, UCtxSavedR15Off);    // interrupted thread's r15
+
+  E.movRegImm64(RCX, dataAddr(FaultReportOff));
+  Label KindWatch, KindDone;
+  E.cmpRegImm32(R12, SIG_ALRM);
+  E.jcc(CondE, KindWatch);
+  E.movRegImm32(RAX, 1); // kind = signal
+  E.jmp(KindDone);
+  E.bind(KindWatch);
+  E.movRegImm32(RAX, 3); // kind = watchdog
+  E.bind(KindDone);
+  E.movMemReg(RCX, FltKindOff, RAX);
+  E.movMemReg(RCX, FltSignalOff, R12);
+  E.movMemReg(RCX, FltAddrOff, R13);
+  E.movMemReg(RCX, FltRipOff, R14);
+
+  // The interrupted r15 is only a *candidate* context pointer — divergent
+  // code may have clobbered it. Range-check against the context array
+  // before dereferencing, or the handler itself would fault.
+  uint64_t CtxBase = dataAddr(CtxOff);
+  Label NoCtx, CtxDone;
+  E.movRegImm64(RAX, CtxBase);
+  E.cmpRegReg(RBX, RAX);
+  E.jcc(CondB, NoCtx);
+  E.movRegImm64(RAX, CtxBase + uint64_t(TotalSlots) * CtxLayout::Size);
+  E.cmpRegReg(RBX, RAX);
+  E.jcc(CondAE, NoCtx);
+  E.movRegMem(RAX, RBX, CtxLayout::SlotOff);
+  E.movMemReg(RCX, FltSlotOff, RAX);
+  E.movRegMem(RAX, RBX, CtxLayout::ICountOff);
+  E.movMemReg(RCX, FltIcountLeftOff, RAX);
+  E.jmp(CtxDone);
+  E.bind(NoCtx);
+  E.movRegImm64(RAX, static_cast<uint64_t>(-1));
+  E.movMemReg(RCX, FltSlotOff, RAX);
+  E.movMemReg(RCX, FltIcountLeftOff, RAX);
+  E.bind(CtxDone);
+
+  // One structured line on stderr:
+  // "elfie-fault: signal N addr N rip N slot N icount-left N\n".
+  auto WriteStr = [&](size_t StrOff, size_t Len) {
+    E.movRegImm32(RDI, 2);
+    E.movRegImm64(RSI, dataAddr(StrOff));
+    E.movRegImm32(RDX, static_cast<uint32_t>(Len));
+    E.movRegImm32(RAX, NR_write);
+    E.syscall();
+  };
+  auto WriteDecFromReport = [&](int32_t FieldOff) {
+    E.movRegImm64(RCX, dataAddr(FaultReportOff));
+    E.movRegMem(RAX, RCX, FieldOff);
+    E.subRegImm32(RSP, 32);
+    E.leaRegMem(RDI, RSP, 32);
+    E.call(FmtDec);
+    E.movRegImm32(RDI, 2);
+    E.movRegImm32(RAX, NR_write);
+    E.syscall();
+    E.addRegImm32(RSP, 32);
+  };
+  WriteStr(FltA, std::strlen("elfie-fault: signal "));
+  WriteDecFromReport(FltSignalOff);
+  WriteStr(FltB, std::strlen(" addr "));
+  WriteDecFromReport(FltAddrOff);
+  WriteStr(FltC, std::strlen(" rip "));
+  WriteDecFromReport(FltRipOff);
+  WriteStr(FltD, std::strlen(" slot "));
+  WriteDecFromReport(FltSlotOff);
+  WriteStr(FltE, std::strlen(" icount-left "));
+  WriteDecFromReport(FltIcountLeftOff);
+  WriteStr(PerfNl, 1);
+
+  Label WatchExit;
+  E.cmpRegImm32(R12, SIG_ALRM);
+  E.jcc(CondE, WatchExit);
+  E.movRegImm32(RDI, ExitCodeSignal);
+  E.movRegImm32(RAX, NR_exit_group);
+  E.syscall();
+  E.bind(WatchExit);
+  E.movRegImm32(RDI, ExitCodeWatchdog);
+  E.movRegImm32(RAX, NR_exit_group);
+  E.syscall();
+
+  // The kernel requires SA_RESTORER on x86-64; the restorer is never
+  // reached (the handler exits) but must exist and be well-formed.
+  RestorerOff = E.here();
+  E.bind(Restorer);
+  E.movRegImm32(RAX, NR_rt_sigreturn);
+  E.syscall();
 }
 
 void NativeEmitter::emitSyscallStub() {
@@ -787,6 +1006,11 @@ Expected<std::vector<uint8_t>> NativeEmitter::emit() {
   std::vector<uint8_t> Table = Xlate->buildAddressTable();
   Data.pokeBytes(TableOff, Table.data(), Table.size());
 
+  // Complete the sigaction struct: the handler and restorer addresses were
+  // only fixed by code emission above.
+  Data.poke64(SigActOff + 0, NativeLayout::HostCodeBase + FaultHandlerOff);
+  Data.poke64(SigActOff + 16, NativeLayout::HostCodeBase + RestorerOff);
+
   // ---- Assemble the ELF ----
   elf::ELFWriter W(elf::ET_EXEC, elf::EM_X86_64);
   W.setEntry(NativeLayout::HostCodeBase + StartupOff);
@@ -848,6 +1072,11 @@ Expected<std::vector<uint8_t>> NativeEmitter::emit() {
                      NativeLayout::HostStackBase,
                      uint64_t(TotalSlots) * NativeLayout::HostStackSize,
                      vm::GuestPageSize);
+  // Per-thread alternate signal stacks for the fault handler.
+  W.addNoBitsSection(".elfie.altstack", elf::SHF_ALLOC | elf::SHF_WRITE,
+                     NativeLayout::AltStackBase,
+                     uint64_t(TotalSlots) * NativeLayout::AltStackSize,
+                     vm::GuestPageSize);
 
   // Debugging symbols (paper §II-B5).
   W.addSymbol("elfie_on_start", NativeLayout::HostCodeBase + StartupOff,
@@ -861,6 +1090,10 @@ Expected<std::vector<uint8_t>> NativeEmitter::emit() {
               CodeSec, elf::STB_GLOBAL, elf::STT_FUNC);
   W.addSymbol("elfie_abort", NativeLayout::HostCodeBase + AbortOff, CodeSec,
               elf::STB_GLOBAL, elf::STT_FUNC);
+  W.addSymbol("elfie_on_fault", NativeLayout::HostCodeBase + FaultHandlerOff,
+              CodeSec, elf::STB_GLOBAL, elf::STT_FUNC);
+  W.addSymbol("elfie_fault_report", dataAddr(FaultReportOff), DataSec,
+              elf::STB_GLOBAL, elf::STT_OBJECT, FltReportSize);
   for (unsigned I = 0; I < NumStartThreads; ++I) {
     W.addSymbol(formatString(".t%u.ctx", I), ctxAddr(I), DataSec,
                 elf::STB_LOCAL, elf::STT_OBJECT, CtxLayout::Size);

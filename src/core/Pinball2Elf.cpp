@@ -110,11 +110,11 @@ Error core::pinballToElfFile(const pinball::Pinball &PB,
   auto Image = pinballToElf(PB, Opts);
   if (!Image)
     return Image.takeError();
-  if (Error E = writeFile(OutPath, Image->data(), Image->size()))
-    return E;
-  if (Opts.TargetKind == Pinball2ElfOptions::Target::Object)
-    return Error::success(); // relocatable objects are not executable
-  return makeExecutable(OutPath);
+  // Atomic: a crash mid-write must never leave a half-emitted (but
+  // executable-looking) ELFie behind.
+  bool Executable = Opts.TargetKind != Pinball2ElfOptions::Target::Object;
+  return writeFileAtomic(OutPath, Image->data(), Image->size(), Executable)
+      .withContext("emitting '" + OutPath + "'");
 }
 
 std::string core::describeLayout(const pinball::Pinball &PB,

@@ -80,6 +80,12 @@ struct Pinball2ElfOptions {
 
   /// Maximum threads the region may create dynamically via clone().
   unsigned MaxDynThreads = 56;
+
+  /// Watchdog timeout in seconds for the native ELFie's alarm(2) guard
+  /// (divergence containment: a runaway region dies with the documented
+  /// ungraceful-exit report instead of hanging forever). 0 scales the
+  /// timeout from the region's retired-instruction budget.
+  uint64_t WatchdogSecs = 0;
 };
 
 /// Fixed virtual-address layout of the native ELFie's own runtime (chosen
@@ -90,6 +96,11 @@ struct NativeLayout {
   static constexpr uint64_t HostStackBase = 0x10200000000ull;
   static constexpr uint64_t StashBase = 0x10300000000ull;
   static constexpr uint64_t HostStackSize = 1ull << 16; // per thread slot
+  /// Per-thread alternate signal stacks (fault containment): the runtime's
+  /// SIGSEGV/SIGBUS/SIGILL/SIGFPE handlers run here, so a blown guest
+  /// stack still produces the structured elfie-fault report.
+  static constexpr uint64_t AltStackBase = 0x10400000000ull;
+  static constexpr uint64_t AltStackSize = 1ull << 14; // per thread slot
 };
 
 /// Guest-target ELFie startup placement.

@@ -1,0 +1,138 @@
+//===- fault/FaultPlan.cpp ------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+
+#include <cstdlib>
+#include <unistd.h>
+
+using namespace elfie;
+using namespace elfie::fault;
+
+Expected<FaultSpec> elfie::fault::parseFaultSpec(const std::string &Text) {
+  size_t C1 = Text.find(':');
+  size_t C2 = Text.find(':', C1 == std::string::npos ? C1 : C1 + 1);
+  if (C1 == std::string::npos || C2 == std::string::npos)
+    return makeCodedError("EFAULT.SPEC.SYNTAX",
+                          "bad fault spec '%s' (want op:nth:kind)",
+                          Text.c_str());
+  std::string OpText = Text.substr(0, C1);
+  std::string NthText = Text.substr(C1 + 1, C2 - C1 - 1);
+  std::string KindText = Text.substr(C2 + 1);
+
+  FaultSpec S;
+  if (OpText == "read")
+    S.O = FaultSpec::Op::Read;
+  else if (OpText == "write")
+    S.O = FaultSpec::Op::Write;
+  else
+    return makeCodedError("EFAULT.SPEC.OP", "bad fault op '%s'",
+                          OpText.c_str());
+
+  char *End = nullptr;
+  unsigned long long Nth = std::strtoull(NthText.c_str(), &End, 10);
+  if (!End || *End != '\0' || Nth == 0)
+    return makeCodedError("EFAULT.SPEC.NTH", "bad fault index '%s'",
+                          NthText.c_str());
+  S.Nth = Nth;
+
+  if (KindText == "enospc")
+    S.K = FaultSpec::Kind::Enospc;
+  else if (KindText == "eio")
+    S.K = FaultSpec::Kind::Eio;
+  else if (KindText == "short")
+    S.K = FaultSpec::Kind::Short;
+  else if (KindText == "flip")
+    S.K = FaultSpec::Kind::Flip;
+  else if (KindText == "kill")
+    S.K = FaultSpec::Kind::Kill;
+  else
+    return makeCodedError("EFAULT.SPEC.KIND", "bad fault kind '%s'",
+                          KindText.c_str());
+  return S;
+}
+
+Error FaultPlan::parse(const std::string &SpecText) {
+  size_t Pos = 0;
+  while (Pos < SpecText.size()) {
+    size_t Comma = SpecText.find(',', Pos);
+    std::string Clause = SpecText.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? SpecText.size() : Comma + 1;
+    if (Clause.empty())
+      continue;
+    if (Clause.rfind("seed=", 0) == 0) {
+      Rand.reseed(std::strtoull(Clause.c_str() + 5, nullptr, 10));
+      continue;
+    }
+    auto S = parseFaultSpec(Clause);
+    if (!S)
+      return S.takeError();
+    Specs.push_back(*S);
+  }
+  return Error::success();
+}
+
+Error FaultPlan::apply(const FaultSpec &S, const std::string &Path,
+                       std::vector<uint8_t> &Data) {
+  switch (S.K) {
+  case FaultSpec::Kind::Enospc:
+    return makeCodedError("EFAULT.IO.WRITE",
+                          "injected: no space left on device on '%s'",
+                          Path.c_str());
+  case FaultSpec::Kind::Eio:
+    return makeCodedError("EFAULT.IO.READ", "injected: I/O error on '%s'",
+                          Path.c_str());
+  case FaultSpec::Kind::Short:
+    if (!Data.empty())
+      Data.resize(Rand.nextBelow(Data.size()));
+    return Error::success();
+  case FaultSpec::Kind::Flip:
+    if (!Data.empty())
+      Data[Rand.nextBelow(Data.size())] ^=
+          static_cast<uint8_t>(1u << Rand.nextBelow(8));
+    return Error::success();
+  case FaultSpec::Kind::Kill:
+    // Simulated power loss: no destructors, no atexit, no flush.
+    ::_exit(97);
+  }
+  return Error::success();
+}
+
+Error FaultPlan::onWrite(const std::string &Path,
+                         std::vector<uint8_t> &Data) {
+  ++Writes;
+  for (const FaultSpec &S : Specs)
+    if (S.O == FaultSpec::Op::Write && S.Nth == Writes)
+      if (Error E = apply(S, Path, Data))
+        return E;
+  return Error::success();
+}
+
+Error FaultPlan::onRead(const std::string &Path,
+                        std::vector<uint8_t> &Data) {
+  ++Reads;
+  for (const FaultSpec &S : Specs)
+    if (S.O == FaultSpec::Op::Read && S.Nth == Reads)
+      if (Error E = apply(S, Path, Data))
+        return E;
+  return Error::success();
+}
+
+bool elfie::fault::installFaultHookFromEnv() {
+  const char *Spec = std::getenv("ELFIE_FAULT_SPEC");
+  if (!Spec || !*Spec)
+    return false;
+  // Process-lifetime: the hook must outlive every I/O call in main().
+  static FaultPlan *Plan = new FaultPlan();
+  if (Error E = Plan->parse(Spec)) {
+    std::fprintf(stderr, "ELFIE_FAULT_SPEC: %s\n", E.str().c_str());
+    ::_exit(ExitUsage);
+  }
+  setIOFaultHook(Plan);
+  return true;
+}

@@ -1,0 +1,144 @@
+//===- fault/Mutator.cpp --------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Mutator.h"
+
+#include "support/FileIO.h"
+#include "support/Format.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+using namespace elfie;
+using namespace elfie::fault;
+
+Error elfie::fault::copyTree(const std::string &From,
+                             const std::string &To) {
+  std::error_code EC;
+  std::filesystem::copy(From, To,
+                        std::filesystem::copy_options::recursive, EC);
+  if (EC)
+    return makeCodedError("EFAULT.IO.COPY", "cannot copy '%s' to '%s': %s",
+                          From.c_str(), To.c_str(), EC.message().c_str());
+  return Error::success();
+}
+
+namespace {
+
+/// The byte-level mutation kinds shared by both artifact classes.
+enum class ByteMut {
+  TruncatePrefix, ///< keep a random strict prefix
+  ChopTail,       ///< drop 1..16 trailing bytes
+  FlipBit,        ///< flip one bit of one byte
+  HugeField,      ///< overwrite an aligned u32 with a near-overflow value
+  ZeroRange,      ///< zero a random run of bytes
+  PatchHeader,    ///< scribble over bytes in the first 64 (magic/version)
+};
+
+constexpr int NumByteMuts = 6;
+
+/// Applies \p M to \p Bytes; returns a description fragment.
+std::string applyByteMut(ByteMut M, std::vector<uint8_t> &Bytes, RNG &Rand) {
+  size_t N = Bytes.size();
+  switch (M) {
+  case ByteMut::TruncatePrefix: {
+    size_t Keep = N ? Rand.nextBelow(N) : 0;
+    Bytes.resize(Keep);
+    return formatString("truncate %zu -> %zu", N, Keep);
+  }
+  case ByteMut::ChopTail: {
+    size_t Drop = std::min<size_t>(N, 1 + Rand.nextBelow(16));
+    Bytes.resize(N - Drop);
+    return formatString("chop %zu tail bytes", Drop);
+  }
+  case ByteMut::FlipBit: {
+    if (N == 0)
+      return "flip on empty (noop)";
+    size_t At = Rand.nextBelow(N);
+    uint8_t Bit = static_cast<uint8_t>(1u << Rand.nextBelow(8));
+    Bytes[At] ^= Bit;
+    return formatString("flip bit 0x%02x at offset %zu", Bit, At);
+  }
+  case ByteMut::HugeField: {
+    if (N < 4)
+      return "huge-field on tiny file (noop)";
+    size_t At = Rand.nextBelow(N / 4) * 4;
+    uint32_t V = 0x7FFFFFF0u + static_cast<uint32_t>(Rand.nextBelow(16));
+    std::memcpy(Bytes.data() + At, &V, 4);
+    return formatString("huge u32 0x%08x at offset %zu", V, At);
+  }
+  case ByteMut::ZeroRange: {
+    if (N == 0)
+      return "zero on empty (noop)";
+    size_t At = Rand.nextBelow(N);
+    size_t Len = std::min<size_t>(N - At, 1 + Rand.nextBelow(64));
+    std::memset(Bytes.data() + At, 0, Len);
+    return formatString("zero %zu bytes at offset %zu", Len, At);
+  }
+  case ByteMut::PatchHeader: {
+    if (N == 0)
+      return "patch on empty (noop)";
+    size_t Span = std::min<size_t>(N, 64);
+    size_t At = Rand.nextBelow(Span);
+    Bytes[At] = static_cast<uint8_t>(Rand.next());
+    return formatString("patch header byte at offset %zu", At);
+  }
+  }
+  return "noop";
+}
+
+} // namespace
+
+Expected<std::string>
+elfie::fault::mutatePinballDir(const std::string &Dir, uint64_t Seed) {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.takeError();
+  // Only regular files are mutation targets (skip e.g. a sysstate subdir).
+  std::vector<std::string> Files;
+  for (const std::string &Name : *Names)
+    if (!std::filesystem::is_directory(Dir + "/" + Name))
+      Files.push_back(Name);
+  if (Files.empty())
+    return makeCodedError("EFAULT.MUTATE.EMPTY",
+                          "no files to mutate in '%s'", Dir.c_str());
+
+  RNG Rand(Seed);
+  const std::string &Name = Files[Rand.nextBelow(Files.size())];
+  std::string Path = Dir + "/" + Name;
+
+  // One extra kind beyond the byte mutations: delete the file outright.
+  uint64_t Kind = Rand.nextBelow(NumByteMuts + 1);
+  if (Kind == NumByteMuts) {
+    removeFile(Path);
+    return "delete " + Name;
+  }
+
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  std::string What =
+      applyByteMut(static_cast<ByteMut>(Kind), *Bytes, Rand);
+  if (Error E = writeFile(Path, Bytes->data(), Bytes->size()))
+    return E;
+  return Name + ": " + What;
+}
+
+Expected<std::string> elfie::fault::mutateElfFile(const std::string &Path,
+                                                 uint64_t Seed) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  RNG Rand(Seed);
+  std::string What = applyByteMut(
+      static_cast<ByteMut>(Rand.nextBelow(NumByteMuts)), *Bytes, Rand);
+  if (Error E = writeFile(Path, Bytes->data(), Bytes->size()))
+    return E;
+  return What;
+}

@@ -1,0 +1,44 @@
+//===- fault/Mutator.h - Systematic artifact corruption --------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic corruption of on-disk artifacts (pinball directories and
+/// ELF/ELFie files). Each seed maps to exactly one mutation, so a failing
+/// seed reported by efault or a test reproduces bit-for-bit. The mutations
+/// model the real failure surface: truncated tails (interrupted copy),
+/// flipped bytes (media corruption), huge count fields (hostile or buggy
+/// producer), deleted files (partial transfer), and patched headers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_FAULT_MUTATOR_H
+#define ELFIE_FAULT_MUTATOR_H
+
+#include "support/Error.h"
+
+#include <string>
+
+namespace elfie {
+namespace fault {
+
+/// Recursively copies directory \p From to \p To (which must not exist).
+Error copyTree(const std::string &From, const std::string &To);
+
+/// Applies the seed-determined mutation to the pinball directory \p Dir in
+/// place. Returns a human-readable description of what was done, e.g.
+/// "truncate sel.log 812 -> 113". The caller mutates a scratch copy.
+Expected<std::string> mutatePinballDir(const std::string &Dir,
+                                       uint64_t Seed);
+
+/// Applies the seed-determined mutation to the ELF file at \p Path in
+/// place. Returns a description of the mutation.
+Expected<std::string> mutateElfFile(const std::string &Path, uint64_t Seed);
+
+} // namespace fault
+} // namespace elfie
+
+#endif // ELFIE_FAULT_MUTATOR_H

@@ -11,6 +11,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <unistd.h>
 
 using namespace elfie;
 using namespace elfie::pinball;
@@ -31,16 +32,36 @@ Error checkHeader(BinaryReader &R, uint32_t Kind, const std::string &File) {
   uint32_t Version = R.readU32();
   uint32_t GotKind = R.readU32();
   if (R.hadError())
-    return makeError("'%s' is truncated (shorter than the pinball header)",
-                     File.c_str());
+    return makeCodedError(
+        "EFAULT.PINBALL.TRUNCATED",
+        "'%s' is truncated (shorter than the pinball header)", File.c_str());
   if (Magic != FileMagic)
-    return makeError("'%s' is not a pinball file (bad magic)", File.c_str());
+    return makeCodedError("EFAULT.PINBALL.MAGIC",
+                          "'%s' is not a pinball file (bad magic)",
+                          File.c_str());
   if (Version != FormatVersion)
-    return makeError("'%s' has unsupported pinball version %u", File.c_str(),
-                     Version);
+    return makeCodedError("EFAULT.PINBALL.VERSION",
+                          "'%s' has unsupported pinball version %u",
+                          File.c_str(), Version);
   if (GotKind != Kind)
-    return makeError("'%s' has unexpected record kind %u", File.c_str(),
-                     GotKind);
+    return makeCodedError("EFAULT.PINBALL.KIND",
+                          "'%s' has unexpected record kind %u", File.c_str(),
+                          GotKind);
+  return Error::success();
+}
+
+/// Range-checks a record count read from a file header against the bytes
+/// actually present: a corrupt or hostile count must never drive an
+/// allocation or loop past EOF. \p MinRecordSize is a per-record lower
+/// bound, so N * MinRecordSize <= remaining (overflow-safe as a division).
+Error checkCount(uint64_t N, size_t MinRecordSize, const BinaryReader &R,
+                 const std::string &File, const char *What) {
+  if (N > R.remaining() / MinRecordSize)
+    return makeCodedError(
+        "EFAULT.PINBALL.COUNT",
+        "'%s' claims %llu %s records but only %zu bytes remain",
+        File.c_str(), static_cast<unsigned long long>(N), What,
+        R.remaining());
   return Error::success();
 }
 
@@ -64,15 +85,20 @@ Error readPage(BinaryReader &R, PageRecord &P, const std::string &File) {
   P.Perm = R.readU8();
   P.Bytes = R.readBlob();
   if (R.hadError())
-    return makeError("'%s' is truncated inside a page record", File.c_str());
+    return makeCodedError("EFAULT.PINBALL.TRUNCATED",
+                          "'%s' is truncated inside a page record",
+                          File.c_str());
   if (P.Bytes.size() != vm::GuestPageSize)
-    return makeError("'%s': page record at %#llx has %zu bytes, expected %llu",
-                     File.c_str(), static_cast<unsigned long long>(P.Addr),
-                     P.Bytes.size(),
-                     static_cast<unsigned long long>(vm::GuestPageSize));
+    return makeCodedError(
+        "EFAULT.PINBALL.PAGE",
+        "'%s': page record at %#llx has %zu bytes, expected %llu",
+        File.c_str(), static_cast<unsigned long long>(P.Addr),
+        P.Bytes.size(), static_cast<unsigned long long>(vm::GuestPageSize));
   if (P.Addr & vm::GuestPageMask)
-    return makeError("'%s': page record address %#llx is not page aligned",
-                     File.c_str(), static_cast<unsigned long long>(P.Addr));
+    return makeCodedError(
+        "EFAULT.PINBALL.PAGE",
+        "'%s': page record address %#llx is not page aligned", File.c_str(),
+        static_cast<unsigned long long>(P.Addr));
   return Error::success();
 }
 
@@ -100,11 +126,22 @@ uint64_t Pinball::imageBytes() const {
 }
 
 Error Pinball::save(const std::string &Dir) const {
-  if (Error E = createDirectories(Dir))
+  // Crash-safe emission: build the pinball in a staged sibling directory,
+  // fsync every file, then rename the whole tree into place. A process
+  // killed at any point leaves either the previous complete pinball or
+  // nothing at \p Dir — never a half-written checkpoint a later stage
+  // would half-trust.
+  std::string Stage = Dir + ".stage." + std::to_string(::getpid());
+  removeTree(Stage);
+  if (Error E = createDirectories(Stage))
     return E;
+  auto Fail = [&](Error E) {
+    removeTree(Stage);
+    return E.withContext("saving pinball '" + Dir + "'");
+  };
   auto WriteOut = [&](const std::string &Name,
                       const BinaryWriter &W) -> Error {
-    return writeFile(Dir + "/" + Name, W.bytes().data(), W.size());
+    return writeFileAtomic(Stage + "/" + Name, W.bytes().data(), W.size());
   };
 
   {
@@ -114,7 +151,7 @@ Error Pinball::save(const std::string &Dir) const {
     for (const PageRecord &P : Image)
       writePage(W, P);
     if (Error E = WriteOut("image.text", W))
-      return E;
+      return Fail(std::move(E));
   }
   {
     BinaryWriter W;
@@ -125,7 +162,7 @@ Error Pinball::save(const std::string &Dir) const {
       writePage(W, I.Page);
     }
     if (Error E = WriteOut("inject.pages", W))
-      return E;
+      return Fail(std::move(E));
   }
   for (const ThreadRegs &T : Threads) {
     BinaryWriter W;
@@ -138,7 +175,7 @@ Error Pinball::save(const std::string &Dir) const {
     W.writeU64(T.PC);
     W.writeU64(T.RegionIcount);
     if (Error E = WriteOut(formatString("t%u.reg", T.Tid), W))
-      return E;
+      return Fail(std::move(E));
   }
   {
     BinaryWriter W;
@@ -157,7 +194,7 @@ Error Pinball::save(const std::string &Dir) const {
       }
     }
     if (Error E = WriteOut("sel.log", W))
-      return E;
+      return Fail(std::move(E));
   }
   {
     BinaryWriter W;
@@ -168,7 +205,7 @@ Error Pinball::save(const std::string &Dir) const {
       W.writeU64(S.NumInsts);
     }
     if (Error E = WriteOut("race.log", W))
-      return E;
+      return Fail(std::move(E));
   }
   {
     BinaryWriter W;
@@ -184,10 +221,13 @@ Error Pinball::save(const std::string &Dir) const {
     W.writeU64(Meta.BrkAtEnd);
     W.writeU32(static_cast<uint32_t>(Threads.size()));
     if (Error E = WriteOut("meta", W))
-      return E;
+      return Fail(std::move(E));
   }
-  if (Error E = writeFileText(Dir + "/output.log", OutputLog))
-    return E;
+  if (Error E = writeFileAtomic(Stage + "/output.log", OutputLog.data(),
+                                OutputLog.size()))
+    return Fail(std::move(E));
+  if (Error E = publishDirAtomic(Stage, Dir))
+    return Fail(std::move(E));
   return Error::success();
 }
 
@@ -218,7 +258,14 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     PB.Meta.BrkAtEnd = R.readU64();
     NumThreads = R.readU32();
     if (R.hadError())
-      return makeError("'meta' is truncated");
+      return makeCodedError("EFAULT.PINBALL.TRUNCATED",
+                            "'meta' is truncated");
+    // A pinball names one t<N>.reg file per thread; a count beyond any
+    // plausible directory is a corrupt header, not a real checkpoint.
+    if (NumThreads > (1u << 16))
+      return makeCodedError("EFAULT.PINBALL.COUNT",
+                            "'meta' claims an implausible %u threads",
+                            NumThreads);
   }
 
   {
@@ -229,6 +276,11 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     if (Error E = checkHeader(R, KindImage, "image.text"))
       return E;
     uint32_t N = R.readU32();
+    // 8 addr + 1 perm + 4 blob length is the smallest framing a page
+    // record can occupy; anything claiming more records than fit is bogus.
+    if (Error E = checkCount(N, 13, R, "image.text", "page"))
+      return E;
+    PB.Image.reserve(N);
     for (uint32_t I = 0; I < N; ++I) {
       PageRecord P;
       if (Error E = readPage(R, P, "image.text"))
@@ -244,6 +296,9 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     if (Error E = checkHeader(R, KindInject, "inject.pages"))
       return E;
     uint32_t N = R.readU32();
+    if (Error E = checkCount(N, 21, R, "inject.pages", "inject"))
+      return E;
+    PB.Injects.reserve(N);
     for (uint32_t I = 0; I < N; ++I) {
       InjectRecord Rec;
       Rec.FirstUseIcount = R.readU64();
@@ -273,9 +328,10 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
   }
   std::sort(Tids.begin(), Tids.end());
   if (Tids.size() != NumThreads)
-    return makeError("pinball has %zu t*.reg files but 'meta' records %u "
-                     "threads",
-                     Tids.size(), NumThreads);
+    return makeCodedError("EFAULT.PINBALL.THREADS",
+                          "pinball has %zu t*.reg files but 'meta' records "
+                          "%u threads",
+                          Tids.size(), NumThreads);
   for (uint32_t Tid : Tids) {
     std::string Name = formatString("t%u.reg", Tid);
     auto Bytes = ReadAll(Name);
@@ -293,10 +349,13 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     T.PC = R.readU64();
     T.RegionIcount = R.readU64();
     if (R.hadError())
-      return makeError("'%s' is truncated", Name.c_str());
+      return makeCodedError("EFAULT.PINBALL.TRUNCATED", "'%s' is truncated",
+                            Name.c_str());
     if (T.Tid != Tid)
-      return makeError("'%s' records tid %u, expected %u from its file name",
-                       Name.c_str(), T.Tid, Tid);
+      return makeCodedError(
+          "EFAULT.PINBALL.TID",
+          "'%s' records tid %u, expected %u from its file name",
+          Name.c_str(), T.Tid, Tid);
     PB.Threads.push_back(T);
   }
   {
@@ -307,6 +366,10 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     if (Error E = checkHeader(R, KindSyscalls, "sel.log"))
       return E;
     uint32_t N = R.readU32();
+    // tid(4) + nr(8) + 6 args(48) + result(8) + memwrite count(4).
+    if (Error E = checkCount(N, 72, R, "sel.log", "syscall"))
+      return E;
+    PB.Syscalls.reserve(N);
     for (uint32_t I = 0; I < N; ++I) {
       SyscallRecord S;
       S.Tid = R.readU32();
@@ -315,6 +378,9 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
         A = R.readU64();
       S.Result = R.readI64();
       uint32_t M = R.readU32();
+      if (Error E = checkCount(M, 12, R, "sel.log", "memwrite"))
+        return E.withContext(formatString("syscall record %u", I));
+      S.MemWrites.reserve(M);
       for (uint32_t J = 0; J < M; ++J) {
         SyscallRecord::MemWrite W;
         W.Addr = R.readU64();
@@ -322,7 +388,8 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
         S.MemWrites.push_back(std::move(W));
       }
       if (R.hadError())
-        return makeError("'sel.log' is truncated inside record %u", I);
+        return makeCodedError("EFAULT.PINBALL.TRUNCATED",
+                              "'sel.log' is truncated inside record %u", I);
       PB.Syscalls.push_back(std::move(S));
     }
   }
@@ -334,6 +401,10 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     if (Error E = checkHeader(R, KindSchedule, "race.log"))
       return E;
     uint32_t N = R.readU32();
+    // tid(4) + inst count(8): reject huge N before the loop allocates.
+    if (Error E = checkCount(N, 12, R, "race.log", "schedule"))
+      return E;
+    PB.Schedule.reserve(N);
     for (uint32_t I = 0; I < N; ++I) {
       ScheduleSlice S;
       S.Tid = R.readU32();
@@ -341,7 +412,8 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
       PB.Schedule.push_back(S);
     }
     if (R.hadError())
-      return makeError("'race.log' is truncated");
+      return makeCodedError("EFAULT.PINBALL.TRUNCATED",
+                            "'race.log' is truncated");
   }
   if (auto Text = readFileText(Dir + "/output.log"))
     PB.OutputLog = Text.takeValue();

@@ -101,6 +101,7 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
   // Syscall injection from sel.log, consumed strictly in order.
   size_t SyscallCursor = 0;
   std::string Divergence;
+  DivergenceInfo Diverge;
   M->setSyscallInterceptor([&](uint32_t Tid, uint64_t Nr,
                                const uint64_t *Args,
                                int64_t &InjectedResult) -> bool {
@@ -108,6 +109,10 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
       Divergence = formatString(
           "thread %u executed syscall %llu beyond the end of sel.log", Tid,
           static_cast<unsigned long long>(Nr));
+      Diverge.K = DivergenceInfo::Kind::SyscallBeyondLog;
+      Diverge.RecordIndex = SyscallCursor;
+      Diverge.ObservedTid = Tid;
+      Diverge.ObservedNr = Nr;
       M->requestStop();
       return true;
     }
@@ -118,6 +123,12 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
           "replay executed (tid %u, nr %llu)",
           SyscallCursor, Rec.Tid, static_cast<unsigned long long>(Rec.Nr),
           Tid, static_cast<unsigned long long>(Nr));
+      Diverge.K = DivergenceInfo::Kind::SyscallMismatch;
+      Diverge.RecordIndex = SyscallCursor;
+      Diverge.ExpectedTid = Rec.Tid;
+      Diverge.ExpectedNr = Rec.Nr;
+      Diverge.ObservedTid = Tid;
+      Diverge.ObservedNr = Nr;
       M->requestStop();
       return true;
     }
@@ -161,12 +172,16 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
       if (!T) {
         Divergence = formatString("schedule names unknown thread %u",
                                   Slice.Tid);
+        Diverge.K = DivergenceInfo::Kind::UnknownThread;
+        Diverge.ExpectedTid = Slice.Tid;
         break;
       }
       if (T->Exited) {
         Divergence = formatString(
             "schedule expects thread %u to run, but it has exited",
             Slice.Tid);
+        Diverge.K = DivergenceInfo::Kind::ExitedThread;
+        Diverge.ExpectedTid = Slice.Tid;
         break;
       }
       vm::StopReason SR = M->stepThread(Slice.Tid);
@@ -175,6 +190,8 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
         Result.Reason = vm::StopReason::Faulted;
         Result.FaultInfo = M->lastFault();
         Divergence = "replay faulted: " + Result.FaultInfo.Message;
+        Diverge.K = DivergenceInfo::Kind::ReplayFault;
+        Diverge.ObservedTid = Slice.Tid;
         break;
       }
       if (SR == vm::StopReason::Halted || SR == vm::StopReason::AllExited) {
@@ -203,6 +220,7 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
   Result.SyscallLogFullyConsumed =
       Divergence.empty() && SyscallCursor == PB.Syscalls.size();
   Result.Divergence = Divergence;
+  Result.Diverge = Diverge;
   Result.VMStats = M->decodeCacheStats();
   return Result;
 }

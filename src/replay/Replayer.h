@@ -49,6 +49,31 @@ struct ReplayOptions {
   uint64_t MaxInstructions = 0;
 };
 
+/// Structured description of where constrained replay stopped matching the
+/// log. Carried in ReplayResult so tools and tests can report (and exit on)
+/// divergence without parsing a message string.
+struct DivergenceInfo {
+  enum class Kind {
+    None,
+    SyscallBeyondLog, ///< replay executed more syscalls than sel.log holds
+    SyscallMismatch,  ///< logged (tid, nr) differs from the replayed pair
+    UnknownThread,    ///< race.log schedules a tid the VM never spawned
+    ExitedThread,     ///< race.log schedules a thread that already exited
+    ReplayFault,      ///< the replayed code faulted inside the VM
+  };
+  Kind K = Kind::None;
+  /// Index of the sel.log record at the mismatch (syscall kinds only).
+  size_t RecordIndex = 0;
+  /// Expected = what the log recorded; Observed = what replay executed.
+  /// For the thread kinds only the tids are meaningful.
+  uint32_t ExpectedTid = 0;
+  uint32_t ObservedTid = 0;
+  uint64_t ExpectedNr = 0;
+  uint64_t ObservedNr = 0;
+
+  bool diverged() const { return K != Kind::None; }
+};
+
 /// What happened during replay.
 struct ReplayResult {
   vm::StopReason Reason = vm::StopReason::AllExited;
@@ -67,6 +92,9 @@ struct ReplayResult {
   bool SyscallLogFullyConsumed = true;
   /// Divergence diagnostics (empty when replay matched the log).
   std::string Divergence;
+  /// Structured counterpart of Divergence: record index, expected vs.
+  /// observed (tid, nr), and the divergence kind.
+  DivergenceInfo Diverge;
   /// Decoded-block cache counters from the replay VM (hits, misses,
   /// invalidations). All zero when the cache is disabled.
   vm::DecodeCacheStats VMStats;

@@ -31,6 +31,14 @@ Error elfie::makeError(const char *Fmt, ...) {
   return Error::failure(std::move(Msg));
 }
 
+Error elfie::makeCodedError(const char *Code, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Msg = vformatString(Fmt, Args);
+  va_end(Args);
+  return Error::failure(Code, std::move(Msg));
+}
+
 void elfie::reportFatalError(const char *Fmt, ...) {
   va_list Args;
   va_start(Args, Fmt);
@@ -43,6 +51,6 @@ void elfie::reportFatalError(const char *Fmt, ...) {
 void elfie::exitOnError(const Error &E, const char *Banner) {
   if (!E.isError())
     return;
-  std::fprintf(stderr, "%s: %s\n", Banner, E.message().c_str());
-  std::exit(1);
+  std::fprintf(stderr, "%s: %s\n", Banner, E.str().c_str());
+  std::exit(ExitFailure);
 }

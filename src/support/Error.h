@@ -25,7 +25,21 @@
 
 namespace elfie {
 
+/// Stable process exit codes shared by every tool (documented in README and
+/// DESIGN.md §8): 0 = success, 1 = error finding / bad input, 2 = usage,
+/// 3 = divergence or ungraceful region exit.
+enum ExitCode : int {
+  ExitSuccess = 0,
+  ExitFailure = 1,
+  ExitUsage = 2,
+  ExitDivergence = 3,
+};
+
 /// A recoverable error: either success (empty) or a failure message.
+///
+/// Failures carry a stable dotted code ("EFAULT.PINBALL.TRUNCATED") so that
+/// tools can emit machine-checkable diagnostics, plus a context chain built
+/// with withContext() as the error propagates up the load/parse stack.
 ///
 /// Unlike llvm::Error this type does not abort on unchecked destruction; it
 /// is a plain value. Use isError()/message() to inspect.
@@ -34,10 +48,16 @@ public:
   /// Constructs a success value.
   Error() = default;
 
-  /// Constructs a failure carrying \p Msg.
+  /// Constructs a failure carrying \p Msg (and the generic code).
   static Error failure(std::string Msg) {
+    return failure("EFAULT.GENERIC", std::move(Msg));
+  }
+
+  /// Constructs a failure with a stable dotted \p Code.
+  static Error failure(std::string Code, std::string Msg) {
     Error E;
     E.Failed = true;
+    E.ErrCode = std::move(Code);
     E.Msg = std::move(Msg);
     return E;
   }
@@ -52,13 +72,34 @@ public:
   /// The failure message; empty for success values.
   const std::string &message() const { return Msg; }
 
+  /// The stable error code ("EFAULT.IO.OPEN"); empty for success values.
+  const std::string &code() const { return ErrCode; }
+
+  /// Prepends "\p What: " to the message, preserving the code. Returns the
+  /// augmented error so load paths can chain context as they unwind:
+  ///   return E.withContext("loading pinball '" + Dir + "'");
+  Error withContext(const std::string &What) const {
+    if (!Failed)
+      return *this;
+    return failure(ErrCode, What + ": " + Msg);
+  }
+
+  /// "CODE: message" for failures; "" for success. The form every tool
+  /// prints so rejections are greppable for their stable code.
+  std::string str() const { return Failed ? ErrCode + ": " + Msg : ""; }
+
 private:
   bool Failed = false;
+  std::string ErrCode;
   std::string Msg;
 };
 
-/// Builds a failure Error from a printf-style format string.
+/// Builds a failure Error from a printf-style format string (generic code).
 Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Builds a failure Error with a stable dotted code ("EFAULT.IO.READ").
+Error makeCodedError(const char *Code, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /// Either a value of type T or an Error. Check with operator bool before
 /// dereferencing; asserts protect misuse.
@@ -102,6 +143,9 @@ public:
   /// The failure message (empty on success).
   const std::string &message() const { return Err.message(); }
 
+  /// The underlying error (a success Error when hasValue()).
+  const Error &error() const { return Err; }
+
   /// Moves the value out (valid only when hasValue()).
   T takeValue() {
     assert(HasValue && "takeValue on an errored Expected");
@@ -132,8 +176,9 @@ void exitOnError(const Error &E, const char *Banner = "error");
 template <typename T>
 T exitOnError(Expected<T> V, const char *Banner = "error") {
   if (!V) {
-    std::fprintf(stderr, "%s: %s\n", Banner, V.message().c_str());
-    std::exit(1);
+    Error E = V.takeError();
+    std::fprintf(stderr, "%s: %s\n", Banner, E.str().c_str());
+    std::exit(ExitFailure);
   }
   return V.takeValue();
 }

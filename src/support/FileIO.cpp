@@ -11,26 +11,40 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <sys/stat.h>
+#include <unistd.h>
 
 using namespace elfie;
+
+static IOFaultHook *TheIOFaultHook = nullptr;
+
+void elfie::setIOFaultHook(IOFaultHook *Hook) { TheIOFaultHook = Hook; }
+
+IOFaultHook *elfie::ioFaultHook() { return TheIOFaultHook; }
 
 Expected<std::vector<uint8_t>>
 elfie::readFileBytes(const std::string &Path) {
   FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
-    return makeError("cannot open '%s': %s", Path.c_str(),
-                     std::strerror(errno));
+    return makeCodedError("EFAULT.IO.OPEN", "cannot open '%s': %s",
+                          Path.c_str(), std::strerror(errno));
   std::vector<uint8_t> Out;
   uint8_t Buf[1 << 16];
   size_t N;
   while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
     Out.insert(Out.end(), Buf, Buf + N);
+  int ReadErrno = errno;
   bool Bad = std::ferror(F);
   std::fclose(F);
   if (Bad)
-    return makeError("read error on '%s'", Path.c_str());
+    return makeCodedError("EFAULT.IO.READ", "read error on '%s': %s",
+                          Path.c_str(), std::strerror(ReadErrno));
+  if (TheIOFaultHook) {
+    if (Error E = TheIOFaultHook->onRead(Path, Out))
+      return E;
+  }
   return Out;
 }
 
@@ -41,16 +55,36 @@ Expected<std::string> elfie::readFileText(const std::string &Path) {
   return std::string(Bytes->begin(), Bytes->end());
 }
 
+/// Runs the write hook; on injection the (possibly mutated) bytes live in
+/// \p Storage and \p Data/\p Size are redirected into it.
+static Error applyWriteHook(const std::string &Path, const void *&Data,
+                            size_t &Size, std::vector<uint8_t> &Storage) {
+  if (!TheIOFaultHook)
+    return Error::success();
+  Storage.assign(static_cast<const uint8_t *>(Data),
+                 static_cast<const uint8_t *>(Data) + Size);
+  if (Error E = TheIOFaultHook->onWrite(Path, Storage))
+    return E;
+  Data = Storage.data();
+  Size = Storage.size();
+  return Error::success();
+}
+
 Error elfie::writeFile(const std::string &Path, const void *Data,
                        size_t Size) {
+  std::vector<uint8_t> Hooked;
+  if (Error E = applyWriteHook(Path, Data, Size, Hooked))
+    return E;
   FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
-    return makeError("cannot create '%s': %s", Path.c_str(),
-                     std::strerror(errno));
+    return makeCodedError("EFAULT.IO.OPEN", "cannot create '%s': %s",
+                          Path.c_str(), std::strerror(errno));
   size_t Written = Size ? std::fwrite(Data, 1, Size, F) : 0;
+  int WriteErrno = errno;
   int CloseErr = std::fclose(F);
   if (Written != Size || CloseErr != 0)
-    return makeError("write error on '%s'", Path.c_str());
+    return makeCodedError("EFAULT.IO.WRITE", "write error on '%s': %s",
+                          Path.c_str(), std::strerror(WriteErrno));
   return Error::success();
 }
 
@@ -58,12 +92,88 @@ Error elfie::writeFileText(const std::string &Path, const std::string &Text) {
   return writeFile(Path, Text.data(), Text.size());
 }
 
+Error elfie::writeFileAtomic(const std::string &Path, const void *Data,
+                             size_t Size, bool Executable) {
+  std::vector<uint8_t> Hooked;
+  if (Error E = applyWriteHook(Path, Data, Size, Hooked))
+    return E;
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                  Executable ? 0755 : 0644);
+  if (Fd < 0)
+    return makeCodedError("EFAULT.IO.OPEN", "cannot create '%s': %s",
+                          Tmp.c_str(), std::strerror(errno));
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  size_t Left = Size;
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int E = errno;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return makeCodedError("EFAULT.IO.WRITE", "write error on '%s': %s",
+                            Tmp.c_str(), std::strerror(E));
+    }
+    P += N;
+    Left -= static_cast<size_t>(N);
+  }
+  if (::fsync(Fd) != 0) {
+    int E = errno;
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return makeCodedError("EFAULT.IO.FSYNC", "fsync failed on '%s': %s",
+                          Tmp.c_str(), std::strerror(E));
+  }
+  if (::close(Fd) != 0) {
+    int E = errno;
+    ::unlink(Tmp.c_str());
+    return makeCodedError("EFAULT.IO.WRITE", "close failed on '%s': %s",
+                          Tmp.c_str(), std::strerror(E));
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    int E = errno;
+    ::unlink(Tmp.c_str());
+    return makeCodedError("EFAULT.IO.RENAME",
+                          "cannot rename '%s' to '%s': %s", Tmp.c_str(),
+                          Path.c_str(), std::strerror(E));
+  }
+  return Error::success();
+}
+
+Error elfie::renamePath(const std::string &From, const std::string &To) {
+  if (::rename(From.c_str(), To.c_str()) != 0)
+    return makeCodedError("EFAULT.IO.RENAME",
+                          "cannot rename '%s' to '%s': %s", From.c_str(),
+                          To.c_str(), std::strerror(errno));
+  return Error::success();
+}
+
+Error elfie::publishDirAtomic(const std::string &StageDir,
+                              const std::string &FinalDir) {
+  std::string Old = FinalDir + ".old." + std::to_string(::getpid());
+  bool HadOld = fileExists(FinalDir);
+  if (HadOld) {
+    if (Error E = renamePath(FinalDir, Old))
+      return E.withContext("publishing '" + FinalDir + "'");
+  }
+  if (Error E = renamePath(StageDir, FinalDir)) {
+    if (HadOld)
+      renamePath(Old, FinalDir); // best-effort restore
+    return E.withContext("publishing '" + FinalDir + "'");
+  }
+  if (HadOld)
+    removeTree(Old);
+  return Error::success();
+}
+
 Error elfie::createDirectories(const std::string &Path) {
   std::error_code EC;
   std::filesystem::create_directories(Path, EC);
   if (EC)
-    return makeError("cannot create directory '%s': %s", Path.c_str(),
-                     EC.message().c_str());
+    return makeCodedError("EFAULT.IO.DIR", "cannot create directory '%s': %s",
+                          Path.c_str(), EC.message().c_str());
   return Error::success();
 }
 
@@ -87,8 +197,8 @@ elfie::listDirectory(const std::string &Path) {
   std::error_code EC;
   std::filesystem::directory_iterator It(Path, EC);
   if (EC)
-    return makeError("cannot list directory '%s': %s", Path.c_str(),
-                     EC.message().c_str());
+    return makeCodedError("EFAULT.IO.LIST", "cannot list directory '%s': %s",
+                          Path.c_str(), EC.message().c_str());
   std::vector<std::string> Names;
   for (const auto &Entry : It)
     Names.push_back(Entry.path().filename().string());
@@ -98,8 +208,8 @@ elfie::listDirectory(const std::string &Path) {
 
 Error elfie::makeExecutable(const std::string &Path) {
   if (::chmod(Path.c_str(), 0755) != 0)
-    return makeError("chmod failed on '%s': %s", Path.c_str(),
-                     std::strerror(errno));
+    return makeCodedError("EFAULT.IO.CHMOD", "chmod failed on '%s': %s",
+                          Path.c_str(), std::strerror(errno));
   return Error::success();
 }
 

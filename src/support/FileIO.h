@@ -23,6 +23,33 @@
 
 namespace elfie {
 
+/// Fault-injection seam consulted by readFileBytes / writeFile /
+/// writeFileAtomic when installed. Normal operation has no hook and pays
+/// nothing; src/fault installs one (from ELFIE_FAULT_SPEC) to inject short
+/// reads/writes, I/O errors, byte flips, and mid-write kills at controlled
+/// points. Lives here (not in src/fault) because support cannot depend on
+/// higher layers.
+class IOFaultHook {
+public:
+  virtual ~IOFaultHook() = default;
+
+  /// Called before \p Data is written to \p Path. May mutate \p Data
+  /// (truncation, byte flip), return a failure to simulate ENOSPC/EIO, or
+  /// terminate the process to simulate a mid-write kill.
+  virtual Error onWrite(const std::string &Path,
+                        std::vector<uint8_t> &Data) = 0;
+
+  /// Called after \p Data is read from \p Path, with the same powers.
+  virtual Error onRead(const std::string &Path,
+                       std::vector<uint8_t> &Data) = 0;
+};
+
+/// Installs (or clears, with nullptr) the process-wide I/O fault hook.
+void setIOFaultHook(IOFaultHook *Hook);
+
+/// The installed hook, or nullptr.
+IOFaultHook *ioFaultHook();
+
 /// Reads the entire file at \p Path into a byte vector.
 Expected<std::vector<uint8_t>> readFileBytes(const std::string &Path);
 
@@ -34,6 +61,23 @@ Error writeFile(const std::string &Path, const void *Data, size_t Size);
 
 /// Writes \p Text to \p Path, replacing any existing file.
 Error writeFileText(const std::string &Path, const std::string &Text);
+
+/// Crash-safe write: writes to a temporary sibling, fsyncs, then renames
+/// over \p Path, so a kill at any point leaves either the complete old file
+/// or the complete new file — never a partial one. \p Executable marks the
+/// temp file 0755 before the rename (for emitted ELFies).
+Error writeFileAtomic(const std::string &Path, const void *Data, size_t Size,
+                      bool Executable = false);
+
+/// Atomically renames \p From over \p To (same filesystem).
+Error renamePath(const std::string &From, const std::string &To);
+
+/// Atomic directory publication: renames staged directory \p StageDir over
+/// \p FinalDir. A previous FinalDir is moved aside and removed only after
+/// the rename succeeds, so consumers see the old complete tree or the new
+/// one, never a mix.
+Error publishDirAtomic(const std::string &StageDir,
+                       const std::string &FinalDir);
 
 /// Creates directory \p Path (and parents). Succeeds if it already exists.
 Error createDirectories(const std::string &Path);

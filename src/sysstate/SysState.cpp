@@ -11,6 +11,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <unistd.h>
 
 using namespace elfie;
 using namespace elfie::sysstate;
@@ -154,9 +155,18 @@ std::string SysState::report() const {
 
 Error sysstate::writeSysstateDir(const SysState &State,
                                  const std::string &Dir) {
-  std::string WorkDir = Dir + "/workdir";
+  // Staged emission: an interrupted pinball_sysstate must not leave a
+  // half-populated workdir that a later ELFie run would half-trust. Build
+  // under a temp sibling, then rename the whole tree into place.
+  std::string Stage = Dir + ".stage." + std::to_string(::getpid());
+  removeTree(Stage);
+  auto Fail = [&](Error E) {
+    removeTree(Stage);
+    return E.withContext("writing sysstate '" + Dir + "'");
+  };
+  std::string WorkDir = Stage + "/workdir";
   if (Error E = createDirectories(WorkDir))
-    return E;
+    return Fail(std::move(E));
   for (const FileProxy &F : State.Files) {
     std::string Path = WorkDir + "/" + F.ProxyName;
     // Real-named proxies may carry relative directories.
@@ -164,15 +174,23 @@ Error sysstate::writeSysstateDir(const SysState &State,
     if (Slash != std::string::npos)
       if (Error E =
               createDirectories(WorkDir + "/" + F.ProxyName.substr(0, Slash)))
-        return E;
-    if (Error E = writeFile(Path, F.Contents.data(), F.Contents.size()))
-      return E;
+        return Fail(std::move(E));
+    if (Error E =
+            writeFileAtomic(Path, F.Contents.data(), F.Contents.size()))
+      return Fail(std::move(E));
   }
   std::string BrkLog = formatString(
       "first_brk %#llx\nlast_brk %#llx\n",
       static_cast<unsigned long long>(State.BrkStart),
       static_cast<unsigned long long>(State.BrkEnd));
-  if (Error E = writeFileText(Dir + "/BRK.log", BrkLog))
-    return E;
-  return writeFileText(Dir + "/report.txt", State.report());
+  if (Error E =
+          writeFileAtomic(Stage + "/BRK.log", BrkLog.data(), BrkLog.size()))
+    return Fail(std::move(E));
+  std::string Report = State.report();
+  if (Error E = writeFileAtomic(Stage + "/report.txt", Report.data(),
+                                Report.size()))
+    return Fail(std::move(E));
+  if (Error E = publishDirAtomic(Stage, Dir))
+    return Fail(std::move(E));
+  return Error::success();
 }

@@ -20,7 +20,7 @@ int main(int Argc, char **Argv) {
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: easm [-o out] input.s\n");
-    return 1;
+    return ExitUsage;
   }
   const std::string &Input = CL.positional()[0];
   std::string Source = exitOnError(readFileText(Input));

@@ -19,7 +19,7 @@ int main(int Argc, char **Argv) {
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: edisasm file\n");
-    return 1;
+    return ExitUsage;
   }
   auto Reader = exitOnError(elf::ELFReader::open(CL.positional()[0]));
   for (const auto &S : Reader.sections()) {

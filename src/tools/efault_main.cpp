@@ -1,0 +1,307 @@
+//===- tools/efault_main.cpp - fault-injection corruption driver ----------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// efault: drives seeded corruptions of a pinball or ELFie through every
+/// consumer tool and asserts the pipeline fails *closed*: no consumer may
+/// crash on a signal, hang past the timeout, or reject the artifact without
+/// a stable diagnostic code. Each run's mutation is derived from
+/// `-seed + run`, so a reported failing seed reproduces bit-for-bit.
+///
+/// Exit codes: 0 all runs fail-closed, 1 violations found (or setup error),
+/// 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fault/Mutator.h"
+#include "support/CommandLine.h"
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace elfie;
+
+namespace {
+
+struct RunOutcome {
+  int ExitCode = -1;
+  bool Signaled = false;
+  int Sig = 0;
+  bool TimedOut = false;
+  std::string Output; // stdout + stderr, interleaved
+};
+
+/// Runs \p Argv with a hard timeout, capturing combined output. The child
+/// is SIGKILLed on timeout — a hung consumer is itself the bug we are
+/// hunting, so there is no graceful grace period.
+RunOutcome runConsumer(const std::vector<std::string> &Argv,
+                       unsigned TimeoutMs) {
+  RunOutcome R;
+  int Pipe[2];
+  if (::pipe(Pipe) != 0)
+    return R;
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Pipe[0]);
+    ::close(Pipe[1]);
+    return R;
+  }
+  if (Pid == 0) {
+    ::close(Pipe[0]);
+    ::dup2(Pipe[1], 1);
+    ::dup2(Pipe[1], 2);
+    ::close(Pipe[1]);
+    std::vector<char *> Args;
+    for (const std::string &A : Argv)
+      Args.push_back(const_cast<char *>(A.c_str()));
+    Args.push_back(nullptr);
+    ::execv(Args[0], Args.data());
+    std::fprintf(stderr, "efault: exec %s: %s\n", Args[0],
+                 std::strerror(errno));
+    ::_exit(124);
+  }
+  ::close(Pipe[1]);
+  ::fcntl(Pipe[0], F_SETFL, O_NONBLOCK);
+  unsigned ElapsedMs = 0;
+  bool Exited = false;
+  int Status = 0;
+  for (;;) {
+    char Buf[4096];
+    ssize_t N;
+    while ((N = ::read(Pipe[0], Buf, sizeof(Buf))) > 0)
+      R.Output.append(Buf, static_cast<size_t>(N));
+    if (!Exited) {
+      pid_t W = ::waitpid(Pid, &Status, WNOHANG);
+      if (W == Pid) {
+        Exited = true;
+        continue; // drain whatever remains in the pipe once more
+      }
+      if (ElapsedMs >= TimeoutMs) {
+        R.TimedOut = true;
+        ::kill(Pid, SIGKILL);
+        ::waitpid(Pid, &Status, 0);
+        Exited = true;
+        continue;
+      }
+      ::usleep(10000);
+      ElapsedMs += 10;
+      continue;
+    }
+    if (N == 0 || (N < 0 && errno != EAGAIN && errno != EINTR))
+      break;
+    if (N < 0)
+      ::usleep(1000);
+  }
+  ::close(Pipe[0]);
+  if (WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  else if (WIFSIGNALED(Status)) {
+    R.Signaled = true;
+    R.Sig = WTERMSIG(Status);
+  }
+  return R;
+}
+
+/// A nonzero-exit rejection must be attributable: either an EFAULT.* coded
+/// error, an everify-style dotted finding code, or a structured
+/// divergence/fault report.
+bool hasStableDiagnostic(const std::string &Out) {
+  if (Out.find("EFAULT.") != std::string::npos)
+    return true;
+  if (Out.find("DIVERGENCE") != std::string::npos)
+    return true;
+  if (Out.find("guest fault") != std::string::npos)
+    return true;
+  if (Out.find("elfie-fault:") != std::string::npos)
+    return true;
+  // A mutated-but-loadable guest program exiting nonzero is the artifact's
+  // own semantics, faithfully executed — attributed, not a silent failure.
+  if (Out.find("guest exited with code") != std::string::npos)
+    return true;
+  // "error CODE.SUBCODE[ @addr]: msg" finding lines from the pass verifier.
+  size_t Pos = Out.find("error ");
+  while (Pos != std::string::npos) {
+    size_t Tok = Pos + 6;
+    size_t End = Out.find_first_of(" :\n", Tok);
+    if (End != std::string::npos && Out.find('.', Tok) < End)
+      return true;
+    Pos = Out.find("error ", Tok);
+  }
+  return false;
+}
+
+std::string selfBinDir() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return ".";
+  Buf[N] = 0;
+  std::string Path(Buf);
+  size_t Slash = Path.rfind('/');
+  return Slash == std::string::npos ? std::string(".")
+                                    : Path.substr(0, Slash);
+}
+
+bool isDirectory(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL("efault",
+                 "mutates a pinball or ELFie with seeded corruptions and "
+                 "asserts every consumer tool fails closed (no crash, no "
+                 "hang, stable diagnostic codes)");
+  CL.addInt("runs", 20, "number of seeded mutations to drive");
+  CL.addInt("seed", 1, "first seed; run i uses seed+i");
+  CL.addInt("timeout", 10, "per-consumer timeout in seconds");
+  CL.addFlag("json", false, "print the summary as JSON on stdout");
+  CL.addFlag("verbose", false, "print every consumer invocation");
+  CL.addString("scratch", "", "scratch directory (default: /tmp/efault.<pid>)");
+  exitOnError(CL.parse(Argc, Argv));
+  if (CL.positional().size() != 1) {
+    std::fprintf(stderr, "usage: efault [options] pinball-dir|elfie\n");
+    return ExitUsage;
+  }
+
+  const std::string Artifact = CL.positional()[0];
+  const bool IsPinball = isDirectory(Artifact);
+  if (!IsPinball && !fileExists(Artifact))
+    exitOnError(makeCodedError("EFAULT.IO.OPEN", "no such artifact '%s'",
+                               Artifact.c_str()));
+  const std::string BinDir = selfBinDir();
+  const unsigned TimeoutMs =
+      static_cast<unsigned>(CL.getInt("timeout")) * 1000u;
+  std::string Scratch = CL.getString("scratch");
+  if (Scratch.empty())
+    Scratch = formatString("/tmp/efault.%d", static_cast<int>(::getpid()));
+
+  uint64_t Runs = static_cast<uint64_t>(CL.getInt("runs"));
+  uint64_t Seed0 = static_cast<uint64_t>(CL.getInt("seed"));
+  uint64_t Invocations = 0, Crashes = 0, Hangs = 0, Uncoded = 0,
+           Rejections = 0, Benign = 0;
+
+  for (uint64_t Run = 0; Run < Runs; ++Run) {
+    uint64_t Seed = Seed0 + Run;
+    removeTree(Scratch);
+    exitOnError(createDirectories(Scratch));
+
+    // Stage a pristine copy, then apply this seed's mutation to it.
+    std::string Mutated;
+    std::string What;
+    if (IsPinball) {
+      Mutated = Scratch + "/pb";
+      exitOnError(fault::copyTree(Artifact, Mutated));
+      What = exitOnError(fault::mutatePinballDir(Mutated, Seed));
+    } else {
+      Mutated = Scratch + "/a.elfie";
+      auto Bytes = exitOnError(readFileBytes(Artifact));
+      exitOnError(writeFile(Mutated, Bytes.data(), Bytes.size()));
+      What = exitOnError(fault::mutateElfFile(Mutated, Seed));
+    }
+
+    std::vector<std::vector<std::string>> Consumers;
+    if (IsPinball) {
+      Consumers.push_back(
+          {BinDir + "/ereplay", "-maxinsns", "500000", Mutated});
+      Consumers.push_back({BinDir + "/pinball_sysstate", "-o",
+                           Scratch + "/ss", Mutated});
+      Consumers.push_back({BinDir + "/pinball2elf", "-verify", "-o",
+                           Scratch + "/x.elfie", Mutated});
+      Consumers.push_back({BinDir + "/esim", "-config", "nehalem",
+                           "-maxinsns", "500000", "-pinball", Mutated});
+    } else {
+      Consumers.push_back({BinDir + "/everify", Mutated});
+      Consumers.push_back(
+          {BinDir + "/evm", "-maxinsns", "500000", Mutated});
+      Consumers.push_back({BinDir + "/esim", "-config", "nehalem",
+                           "-maxinsns", "500000", Mutated});
+    }
+
+    for (const auto &Cmd : Consumers) {
+      ++Invocations;
+      RunOutcome O = runConsumer(Cmd, TimeoutMs);
+      std::string Name = Cmd[0].substr(Cmd[0].rfind('/') + 1);
+      if (CL.getFlag("verbose"))
+        std::fprintf(stderr, "efault: seed %llu [%s] %s -> exit %d\n",
+                     static_cast<unsigned long long>(Seed), What.c_str(),
+                     Name.c_str(), O.ExitCode);
+      if (O.Signaled) {
+        ++Crashes;
+        std::fprintf(stderr,
+                     "efault: FAIL seed %llu: %s crashed with signal %d "
+                     "(mutation: %s)\n",
+                     static_cast<unsigned long long>(Seed), Name.c_str(),
+                     O.Sig, What.c_str());
+      } else if (O.TimedOut) {
+        ++Hangs;
+        std::fprintf(stderr,
+                     "efault: FAIL seed %llu: %s hung past %us "
+                     "(mutation: %s)\n",
+                     static_cast<unsigned long long>(Seed), Name.c_str(),
+                     CL.getInt("timeout") > 0
+                         ? static_cast<unsigned>(CL.getInt("timeout"))
+                         : 0u,
+                     What.c_str());
+      } else if (O.ExitCode != 0) {
+        if (hasStableDiagnostic(O.Output)) {
+          ++Rejections;
+        } else {
+          ++Uncoded;
+          std::fprintf(stderr,
+                       "efault: FAIL seed %llu: %s exited %d without a "
+                       "stable diagnostic (mutation: %s)\n%s",
+                       static_cast<unsigned long long>(Seed), Name.c_str(),
+                       O.ExitCode, What.c_str(), O.Output.c_str());
+        }
+      } else {
+        ++Benign; // the mutation did not reach anything this consumer checks
+      }
+    }
+  }
+  removeTree(Scratch);
+
+  uint64_t Failures = Crashes + Hangs + Uncoded;
+  if (CL.getFlag("json")) {
+    std::printf("{\"artifact\":\"%s\",\"kind\":\"%s\",\"runs\":%llu,"
+                "\"invocations\":%llu,\"crashes\":%llu,\"hangs\":%llu,"
+                "\"uncoded\":%llu,\"rejections\":%llu,\"benign\":%llu,"
+                "\"failures\":%llu}\n",
+                Artifact.c_str(), IsPinball ? "pinball" : "elfie",
+                static_cast<unsigned long long>(Runs),
+                static_cast<unsigned long long>(Invocations),
+                static_cast<unsigned long long>(Crashes),
+                static_cast<unsigned long long>(Hangs),
+                static_cast<unsigned long long>(Uncoded),
+                static_cast<unsigned long long>(Rejections),
+                static_cast<unsigned long long>(Benign),
+                static_cast<unsigned long long>(Failures));
+  } else {
+    std::fprintf(stderr,
+                 "efault: %llu runs, %llu invocations: %llu crashes, "
+                 "%llu hangs, %llu uncoded rejections, %llu coded "
+                 "rejections, %llu benign\n",
+                 static_cast<unsigned long long>(Runs),
+                 static_cast<unsigned long long>(Invocations),
+                 static_cast<unsigned long long>(Crashes),
+                 static_cast<unsigned long long>(Hangs),
+                 static_cast<unsigned long long>(Uncoded),
+                 static_cast<unsigned long long>(Rejections),
+                 static_cast<unsigned long long>(Benign));
+  }
+  return Failures ? ExitFailure : ExitSuccess;
+}

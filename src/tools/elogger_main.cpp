@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fault/FaultPlan.h"
 #include "pinball/Logger.h"
 #include "support/CommandLine.h"
 
@@ -13,6 +14,7 @@
 using namespace elfie;
 
 int main(int Argc, char **Argv) {
+  fault::installFaultHookFromEnv();
   CommandLine CL("elogger", "captures a region of a guest program's "
                             "execution as a pinball");
   CL.addInt("region:start", 0, "region start (global retired instructions)");
@@ -28,7 +30,7 @@ int main(int Argc, char **Argv) {
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().empty()) {
     std::fprintf(stderr, "usage: elogger [options] program [args...]\n");
-    return 1;
+    return ExitUsage;
   }
 
   pinball::CaptureRequest Req;

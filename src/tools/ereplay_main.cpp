@@ -26,7 +26,7 @@ int main(int Argc, char **Argv) {
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: ereplay [options] pinball-dir\n");
-    return 1;
+    return ExitUsage;
   }
 
   pinball::Pinball PB =
@@ -57,7 +57,17 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(R.VMStats.Invalidations));
   if (!R.Divergence.empty()) {
     std::fprintf(stderr, "ereplay: DIVERGENCE: %s\n", R.Divergence.c_str());
-    return 2;
+    const replay::DivergenceInfo &D = R.Diverge;
+    if (D.diverged())
+      std::fprintf(stderr,
+                   "ereplay: DIVERGENCE: record %llu expected tid %u "
+                   "nr %llu, observed tid %u nr %llu\n",
+                   static_cast<unsigned long long>(D.RecordIndex),
+                   D.ExpectedTid,
+                   static_cast<unsigned long long>(D.ExpectedNr),
+                   D.ObservedTid,
+                   static_cast<unsigned long long>(D.ObservedNr));
+    return ExitDivergence;
   }
-  return 0;
+  return ExitSuccess;
 }

@@ -30,7 +30,7 @@ int main(int Argc, char **Argv) {
   if (CL.positional().empty()) {
     std::fprintf(stderr, "usage: esim [options] binary|pinball-dir "
                          "[args...]\n");
-    return 1;
+    return ExitUsage;
   }
 
   sim::MachineConfig Machine;

@@ -28,7 +28,7 @@ int main(int Argc, char **Argv) {
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().empty()) {
     std::fprintf(stderr, "usage: esimpoint [options] program [args...]\n");
-    return 1;
+    return ExitUsage;
   }
 
   simpoint::PinPointsOptions Opts;

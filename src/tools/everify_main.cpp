@@ -29,7 +29,7 @@ int main(int Argc, char **Argv) {
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: everify [options] elfie\n");
-    return 2;
+    return ExitUsage;
   }
 
   elf::ELFReader Elf = exitOnError(elf::ELFReader::open(CL.positional()[0]));

@@ -27,7 +27,7 @@ int main(int Argc, char **Argv) {
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().empty()) {
     std::fprintf(stderr, "usage: evm [options] program [args...]\n");
-    return 1;
+    return ExitUsage;
   }
 
   auto Reader = exitOnError(elf::ELFReader::open(CL.positional()[0]));
@@ -66,6 +66,12 @@ int main(int Argc, char **Argv) {
   }
   switch (R.Reason) {
   case vm::StopReason::AllExited:
+    // The guest's own exit code passes through; announce nonzero ones so
+    // a failing evm run is always attributable (guest semantics vs. a
+    // rejected artifact, which prints an EFAULT.* code instead).
+    if ((R.ExitCode & 0xff) != 0)
+      std::fprintf(stderr, "evm: guest exited with code %llu\n",
+                   static_cast<unsigned long long>(R.ExitCode & 0xff));
     return static_cast<int>(R.ExitCode & 0xff);
   case vm::StopReason::Halted:
     return 0;
@@ -77,7 +83,7 @@ int main(int Argc, char **Argv) {
                  R.FaultInfo.Tid,
                  static_cast<unsigned long long>(R.FaultInfo.PC),
                  R.FaultInfo.Message.c_str());
-    return 139;
+    return ExitDivergence;
   case vm::StopReason::Stopped:
     return 0;
   }

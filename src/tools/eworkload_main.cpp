@@ -35,7 +35,7 @@ int main(int Argc, char **Argv) {
   if (CL.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: eworkload [-input train] [-o out] name | -list\n");
-    return 1;
+    return ExitUsage;
   }
   const std::string &Name = CL.positional()[0];
   InputSet Input = CL.getString("input") == "test"  ? InputSet::Test

@@ -8,6 +8,7 @@
 #include "analyze/Passes.h"
 #include "core/Pinball2Elf.h"
 #include "elf/ELFReader.h"
+#include "fault/FaultPlan.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 
@@ -16,6 +17,7 @@
 using namespace elfie;
 
 int main(int Argc, char **Argv) {
+  fault::installFaultHookFromEnv();
   CommandLine CL("pinball2elf",
                  "converts a fat pinball into a stand-alone ELFie "
                  "executable (native x86-64 or guest EG64)");
@@ -33,13 +35,16 @@ int main(int Argc, char **Argv) {
                "ROI marker: [sniper|ssc|simics]:TAG, or 'none'");
   CL.addFlag("layout", false, "print the linker-script-style layout and "
                               "exit");
+  CL.addInt("watchdog", 0,
+            "native ELFie alarm(2) watchdog seconds (0 scales from the "
+            "region budget)");
   CL.addFlag("verify", false,
              "run the everify static-analysis passes on the emitted file "
              "and fail on error-severity findings");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: pinball2elf [options] pinball-dir\n");
-    return 1;
+    return ExitUsage;
   }
 
   pinball::Pinball PB =
@@ -57,6 +62,8 @@ int main(int Argc, char **Argv) {
   Opts.Perfle = CL.getFlag("perfle");
   Opts.Verbose = CL.getFlag("verbose");
   Opts.EmbedSysstate = CL.getFlag("sysstate");
+  if (CL.getInt("watchdog") > 0)
+    Opts.WatchdogSecs = static_cast<uint64_t>(CL.getInt("watchdog"));
 
   std::string Roi = CL.getString("roi-start");
   if (Roi == "none") {

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fault/FaultPlan.h"
 #include "support/CommandLine.h"
 #include "sysstate/SysState.h"
 
@@ -13,6 +14,7 @@
 using namespace elfie;
 
 int main(int Argc, char **Argv) {
+  fault::installFaultHookFromEnv();
   CommandLine CL("pinball_sysstate",
                  "reconstructs the file/heap OS state a pinball region "
                  "depends on (paper §II-C2)");
@@ -21,7 +23,7 @@ int main(int Argc, char **Argv) {
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: pinball_sysstate [-o dir] pinball-dir\n");
-    return 1;
+    return ExitUsage;
   }
   const std::string &PBDir = CL.positional()[0];
   pinball::Pinball PB = exitOnError(pinball::Pinball::load(PBDir));

@@ -27,6 +27,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <unistd.h>
 
 using namespace elfie;
 using namespace elfie::test;
@@ -35,7 +36,11 @@ using pinball::LoggerOptions;
 namespace {
 
 std::string tempDir(const std::string &Name) {
-  std::string D = testing::TempDir() + "/elfie_analyze_" + Name;
+  // ctest runs each test case as its own parallel process, and corpus() is
+  // rebuilt in every one of them — the path must be per-process or sibling
+  // processes race on removeTree/capture in the same directory.
+  std::string D = testing::TempDir() + "/elfie_analyze_" + Name + "_" +
+                  std::to_string(getpid());
   removeTree(D);
   createDirectories(D);
   return D;
@@ -445,6 +450,48 @@ TEST(Analyze, DetectsMissingCapturedJump) {
 
   analyze::Report R = runOn(B, &C.PB);
   EXPECT_TRUE(hasFinding(R, "REACH.NO_JUMP")) << R.renderText();
+}
+
+TEST(Analyze, DetectsCorruptFaultReport) {
+  const Corpus &C = corpus();
+  ASSERT_TRUE(C.OK);
+  auto Elf = elf::ELFReader::parse(C.Native);
+  ASSERT_TRUE(Elf.hasValue());
+  const auto *Rpt = Elf->findSymbol("elfie_fault_report");
+  ASSERT_NE(Rpt, nullptr);
+  EXPECT_GE(Rpt->Size, 64u);
+
+  // A patched magic breaks the divergence-containment contract.
+  {
+    std::vector<uint8_t> B = C.Native;
+    uint8_t Bad = 'X';
+    patchAtVAddr(B, ".elfie.data", Rpt->Value, &Bad, 1);
+    analyze::Report R = runOn(B, &C.PB, "", 1);
+    EXPECT_TRUE(hasFinding(R, "REACH.FAULT_REPORT")) << R.renderText();
+  }
+  // A nonzero kind at rest means the emitter shipped a "pre-faulted"
+  // report block.
+  {
+    std::vector<uint8_t> B = C.Native;
+    uint64_t Kind = 2;
+    patchAtVAddr(B, ".elfie.data", Rpt->Value + 8, &Kind, 8);
+    analyze::Report R = runOn(B, &C.PB, "", 1);
+    EXPECT_TRUE(hasFinding(R, "REACH.FAULT_REPORT")) << R.renderText();
+  }
+}
+
+TEST(Analyze, UnknownKindRejected) {
+  // A corrupted e_machine must be an error finding, not a silent pass of
+  // every kind-gated check (this exact corruption once SIGSEGVed the
+  // context pass).
+  const Corpus &C = corpus();
+  ASSERT_TRUE(C.OK);
+  std::vector<uint8_t> B = C.Native;
+  elf::Elf64_Ehdr E = readEhdr(B);
+  E.e_machine = 0x7d02;
+  std::memcpy(B.data(), &E, sizeof(E));
+  analyze::Report R = runOn(B, nullptr);
+  EXPECT_TRUE(hasFinding(R, "LAYOUT.KIND")) << R.renderText();
 }
 
 //===--------------------------------------------------------------------===//

@@ -449,9 +449,43 @@ TEST(NativeElfie, MissingPageIsUngracefulExit) {
       pinballToElfFile(*PB, Pinball2ElfOptions(), Exe).isError());
   auto R = runProcess(Exe);
   ASSERT_TRUE(R.Started);
-  // Accessing the missing page is an ungraceful exit: SIGSEGV.
-  EXPECT_FALSE(R.Exited);
-  EXPECT_EQ(R.TermSignal, SIGSEGV);
+  // Accessing the missing page is an ungraceful exit — but a *contained*
+  // one: the runtime's SIGSEGV handler turns the raw signal into the
+  // documented exit code and a structured elfie-fault report on stderr.
+  EXPECT_TRUE(R.Exited);
+  EXPECT_EQ(R.ExitCode, 126);
+  EXPECT_NE(R.Stderr.find("elfie-fault: signal 11"), std::string::npos)
+      << R.Stderr;
+  EXPECT_NE(R.Stderr.find(" addr "), std::string::npos) << R.Stderr;
+  EXPECT_NE(R.Stderr.find(" slot "), std::string::npos) << R.Stderr;
+  removeTree(Dir);
+}
+
+TEST(NativeElfie, WatchdogContainsRunawayRegion) {
+  std::string Dir = tempDir("watchdog");
+  // A region that spins forever once the graceful-exit countdown is
+  // disabled: only the alarm(2) watchdog can end it.
+  std::string Src = R"(
+_start:
+  ldi  r9, 0
+spin:
+  addi r9, r9, 1
+  jmp  spin
+)";
+  auto PB = capture(Dir, Src, 100, 9000, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+
+  Pinball2ElfOptions Opts;
+  Opts.EmitICountChecks = false; // nothing ends the region gracefully
+  Opts.WatchdogSecs = 1;
+  std::string Exe = Dir + "/region.elfie";
+  ASSERT_FALSE(pinballToElfFile(*PB, Opts, Exe).isError());
+  auto R = runProcess(Exe);
+  ASSERT_TRUE(R.Started);
+  ASSERT_TRUE(R.Exited) << "signal " << R.TermSignal;
+  EXPECT_EQ(R.ExitCode, 125);
+  EXPECT_NE(R.Stderr.find("elfie-fault: signal 14"), std::string::npos)
+      << R.Stderr;
   removeTree(Dir);
 }
 

@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace elfie;
 using namespace elfie::replay;
 using pinball::LoggerOptions;
@@ -288,6 +290,89 @@ TEST(Replay, SparseTidsRejectedWithError) {
   ASSERT_FALSE(R.hasValue());
   EXPECT_NE(R.message().find("not dense"), std::string::npos)
       << R.message();
+  removeTree(Dir);
+}
+
+TEST(Replay, TruncatedSyscallLogRejectedWithCode) {
+  // On-disk corruption of the syscall log: a chopped tail must be refused
+  // by the loader with a stable EFAULT.PINBALL.* code, never replayed.
+  std::string Dir = tempDir("trunc_sel");
+  auto PB = capture(Dir + "/cap", test::clockProgram(), 3000, 10000,
+                    LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  ASSERT_FALSE(PB->save(Dir + "/r.pb").isError());
+  auto Bytes = readFileBytes(Dir + "/r.pb/sel.log");
+  ASSERT_TRUE(Bytes.hasValue()) << Bytes.message();
+  ASSERT_GT(Bytes->size(), 40u);
+  // Chop mid-record: past the header, short of a whole syscall record.
+  ASSERT_FALSE(writeFile(Dir + "/r.pb/sel.log", Bytes->data(),
+                         Bytes->size() - (Bytes->size() % 72) - 30)
+                   .isError());
+  auto MPB = pinball::Pinball::load(Dir + "/r.pb");
+  ASSERT_FALSE(MPB.hasValue());
+  EXPECT_EQ(MPB.error().code().rfind("EFAULT.PINBALL.", 0), 0u)
+      << MPB.error().str();
+  removeTree(Dir);
+}
+
+TEST(Replay, TruncatedRaceLogRejectedWithCode) {
+  std::string Dir = tempDir("trunc_race");
+  auto PB = capture(Dir + "/cap", test::multiThreadProgram(4, 2, 500),
+                    2000, 20000, LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  ASSERT_FALSE(PB->save(Dir + "/r.pb").isError());
+  auto Bytes = readFileBytes(Dir + "/r.pb/race.log");
+  ASSERT_TRUE(Bytes.hasValue()) << Bytes.message();
+  ASSERT_GT(Bytes->size(), 30u);
+  ASSERT_FALSE(writeFile(Dir + "/r.pb/race.log", Bytes->data(),
+                         Bytes->size() - 7)
+                   .isError());
+  auto MPB = pinball::Pinball::load(Dir + "/r.pb");
+  ASSERT_FALSE(MPB.hasValue());
+  EXPECT_EQ(MPB.error().code().rfind("EFAULT.PINBALL.", 0), 0u)
+      << MPB.error().str();
+  removeTree(Dir);
+}
+
+TEST(Replay, HugeCountFieldRejectedNotAllocated) {
+  // A hostile count field must be rejected by the range check against the
+  // remaining file size — not handed to vector::reserve.
+  std::string Dir = tempDir("huge_count");
+  auto PB = capture(Dir + "/cap", test::clockProgram(), 3000, 10000,
+                    LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  ASSERT_FALSE(PB->save(Dir + "/r.pb").isError());
+  auto Bytes = readFileBytes(Dir + "/r.pb/sel.log");
+  ASSERT_TRUE(Bytes.hasValue());
+  // The record-count word sits right after the 12-byte header.
+  ASSERT_GT(Bytes->size(), 16u);
+  uint32_t Huge = 0xFFFFFFF0u;
+  std::memcpy(Bytes->data() + 12, &Huge, 4);
+  ASSERT_FALSE(
+      writeFile(Dir + "/r.pb/sel.log", Bytes->data(), Bytes->size())
+          .isError());
+  auto MPB = pinball::Pinball::load(Dir + "/r.pb");
+  ASSERT_FALSE(MPB.hasValue());
+  EXPECT_EQ(MPB.error().code(), "EFAULT.PINBALL.COUNT")
+      << MPB.error().str();
+  removeTree(Dir);
+}
+
+TEST(Replay, DivergenceInfoIsStructured) {
+  // Mis-order the recorded schedule so constrained replay observes a
+  // syscall from the wrong thread: the result must carry the machine-
+  // checkable DivergenceInfo, not only prose.
+  std::string Dir = tempDir("div_info");
+  auto PB = capture(Dir, test::clockProgram(), 3000, 10000,
+                    LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  ASSERT_FALSE(PB->Syscalls.empty());
+  PB->Syscalls[0].Tid = 7; // no such thread in this pinball
+  auto R = replayPinball(*PB);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  ASSERT_FALSE(R->Divergence.empty());
+  EXPECT_TRUE(R->Diverge.diverged());
+  EXPECT_NE(R->Diverge.K, DivergenceInfo::Kind::None);
   removeTree(Dir);
 }
 

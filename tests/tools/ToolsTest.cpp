@@ -34,8 +34,10 @@ struct CmdResult {
   std::string Output; // stdout + stderr
 };
 
-CmdResult runTool(const std::string &CmdLine) {
-  std::string Full = std::string(ELFIE_BIN_DIR) + "/" + CmdLine + " 2>&1";
+CmdResult runToolEnv(const std::string &Env, const std::string &CmdLine) {
+  std::string Full =
+      Env + (Env.empty() ? "" : " ") + std::string(ELFIE_BIN_DIR) + "/" +
+      CmdLine + " 2>&1";
   FILE *P = popen(Full.c_str(), "r");
   CmdResult R;
   if (!P)
@@ -49,10 +51,17 @@ CmdResult runTool(const std::string &CmdLine) {
   return R;
 }
 
+CmdResult runTool(const std::string &CmdLine) {
+  return runToolEnv("", CmdLine);
+}
+
 class ToolPipeline : public testing::Test {
 protected:
   void SetUp() override {
-    Dir = testing::TempDir() + "/elfie_tools";
+    // Unique per test: ctest runs the cases as parallel processes, and a
+    // shared scratch directory makes them stomp each other's artifacts.
+    Dir = testing::TempDir() + "/elfie_tools_" +
+          testing::UnitTest::GetInstance()->current_test_info()->name();
     removeTree(Dir);
     createDirectories(Dir);
   }
@@ -200,17 +209,97 @@ TEST_F(ToolPipeline, WorkloadTool) {
 
 TEST_F(ToolPipeline, ErrorPaths) {
   auto R = runTool("evm /nonexistent/file.elf");
-  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("EFAULT."), std::string::npos) << R.Output;
   R = runTool("ereplay /nonexistent/pinball");
-  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("EFAULT."), std::string::npos) << R.Output;
   R = runTool(formatString("pinball2elf -target bogus %s", Dir.c_str()));
   EXPECT_NE(R.ExitCode, 0);
   R = runTool("everify /nonexistent/file.elfie");
-  EXPECT_NE(R.ExitCode, 0);
-  R = runTool("everify");
-  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_EQ(R.ExitCode, 1);
   R = runTool("esim -config unknown-config whatever");
   EXPECT_NE(R.ExitCode, 0);
+
+  // The documented exit-code contract: 2 = usage, everywhere.
+  for (const char *Usage :
+       {"everify", "evm", "ereplay", "elogger", "pinball2elf",
+        "pinball_sysstate", "esim", "easm", "efault"}) {
+    R = runTool(Usage);
+    EXPECT_EQ(R.ExitCode, 2) << Usage << ": " << R.Output;
+  }
+}
+
+TEST_F(ToolPipeline, FaultInjectionAndFailClosedPipeline) {
+  // Build a small pinball to corrupt.
+  std::string Src = R"(
+_start:
+  ldi r9, 0
+loop:
+  addi r9, r9, 1
+  slti r3, r9, 30000
+  bnez r3, loop
+  ldi r7, 1
+  ldi r1, 0
+  syscall
+)";
+  ASSERT_FALSE(writeFileText(Dir + "/p.s", Src).isError());
+  auto R = runTool(formatString("easm -o %s/p.elf %s/p.s", Dir.c_str(),
+                                Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString("elogger -region:start 5000 -region:length "
+                           "20000 -log:fat 1 -o %s/r.pb %s/p.elf",
+                           Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+
+  // ELFIE_FAULT_SPEC kill: a logger killed mid-write must leave nothing
+  // at the destination (the staged save never published).
+  R = runToolEnv("ELFIE_FAULT_SPEC=write:3:kill",
+                 formatString("elogger -region:start 5000 -region:length "
+                              "20000 -log:fat 1 -o %s/k.pb %s/p.elf",
+                              Dir.c_str(), Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 97) << R.Output;
+  EXPECT_FALSE(fileExists(Dir + "/k.pb/meta"));
+
+  // ELFIE_FAULT_SPEC enospc: a failed write surfaces as a coded error.
+  R = runToolEnv("ELFIE_FAULT_SPEC=write:1:enospc",
+                 formatString("elogger -region:start 5000 -region:length "
+                              "20000 -log:fat 1 -o %s/e.pb %s/p.elf",
+                              Dir.c_str(), Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("EFAULT.IO.WRITE"), std::string::npos)
+      << R.Output;
+  EXPECT_FALSE(fileExists(Dir + "/e.pb/meta"));
+
+  // A malformed spec is a usage error, not a silent no-op.
+  R = runToolEnv("ELFIE_FAULT_SPEC=write:1:melt",
+                 formatString("elogger -o %s/x.pb %s/p.elf", Dir.c_str(),
+                              Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("EFAULT.SPEC.KIND"), std::string::npos)
+      << R.Output;
+
+  // efault drives seeded corruptions through every consumer and reports
+  // a fail-closed verdict in JSON.
+  R = runTool(formatString("efault -runs 6 -seed 11 -json -scratch "
+                           "%s/scratch %s/r.pb",
+                           Dir.c_str(), Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"crashes\":0"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"hangs\":0"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"failures\":0"), std::string::npos)
+      << R.Output;
+
+  // And against an emitted ELFie.
+  R = runTool(formatString("pinball2elf -o %s/r.elfie %s/r.pb",
+                           Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString("efault -runs 6 -seed 21 -json -scratch "
+                           "%s/scratch %s/r.elfie",
+                           Dir.c_str(), Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"failures\":0"), std::string::npos)
+      << R.Output;
 }
 
 } // namespace
