@@ -1,0 +1,51 @@
+#!/bin/sh
+# fleet-smoke: drive a small efleet campaign over the quickstart example's
+# outputs. Exercises every manifest action (replay, emit, verify, sim,
+# native), one injected-transient job that must succeed under retry, and
+# asserts the journal seals with every job complete.
+#
+# Usage: fleet_smoke.sh <bin-dir> <examples-dir>
+set -eu
+
+BIN="$1"
+EXAMPLES="$2"
+WORK="${TMPDIR:-/tmp}/elfie_fleet_smoke"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+echo "== quickstart pipeline =="
+"$EXAMPLES/quickstart" > "$WORK/quickstart.log" 2>&1
+PB=/tmp/elfie_quickstart/region.pb
+ELFIE=/tmp/elfie_quickstart/region.elfie
+
+echo "== efleet campaign =="
+cat > "$WORK/manifest.txt" <<EOF
+replay0 replay $PB
+emit0 emit $PB
+verify0 verify $ELFIE -pinball $PB
+sim0 sim $PB
+native0 native /bin/true
+flaky0 emit $PB !env:ELFIE_FAULT_SPEC=write:{attempt}:enospc
+EOF
+
+SUMMARY=$("$BIN/efleet" -bindir "$BIN" -out "$WORK/out" -json \
+  "$WORK/manifest.txt")
+echo "$SUMMARY"
+
+fail() {
+  echo "fleet-smoke: FAILED: $1" >&2
+  cat "$WORK/out/journal.jsonl" >&2 || true
+  exit 1
+}
+
+echo "$SUMMARY" | grep -q '"jobs":6' || fail "expected 6 jobs"
+echo "$SUMMARY" | grep -q '"succeeded":6' || fail "expected 6 successes"
+echo "$SUMMARY" | grep -q '"quarantined":0' || fail "expected no quarantine"
+# The injected ENOSPC on flaky0's first attempt must show up as a retry.
+echo "$SUMMARY" | grep -q '"retries":0' && fail "expected at least one retry"
+grep -q '"rec":"seal".*"reason":"complete"' "$WORK/out/journal.jsonl" \
+  || fail "journal not sealed complete"
+test -s "$WORK/out/artifacts/emit0.elfie" || fail "emit0 artifact missing"
+test -s "$WORK/out/artifacts/flaky0.elfie" || fail "flaky0 artifact missing"
+
+echo "fleet-smoke: campaign complete, all jobs succeeded"

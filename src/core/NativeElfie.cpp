@@ -17,6 +17,7 @@
 
 #include "elf/ELFWriter.h"
 #include "support/Format.h"
+#include "support/Watchdog.h"
 #include "x86/Encoder.h"
 #include "x86/Translator.h"
 
@@ -315,11 +316,11 @@ void NativeEmitter::emitTableLookupAndJump() {
 uint64_t NativeEmitter::watchdogSeconds() const {
   if (Opts.WatchdogSecs)
     return Opts.WatchdogSecs;
-  // Budget-scaled: generous headroom over any plausible execution rate
-  // (50M retired/s is far below real hardware), bounded so a corrupt
-  // region length cannot disable the guard.
-  uint64_t Secs = 10 + PB.Meta.RegionLength / 50000000ull;
-  return std::min<uint64_t>(Secs, 600);
+  // Budget-scaled via the shared rule (support/Watchdog.h): generous
+  // headroom over any plausible execution rate (50M retired/s is far below
+  // real hardware), bounded so a corrupt region length cannot disable the
+  // guard. ereplay/evm and efleet derive their timeouts from the same rule.
+  return scaledWatchdogSeconds(PB.Meta.RegionLength);
 }
 
 void NativeEmitter::emitStartup() {

@@ -231,6 +231,37 @@ Error Pinball::save(const std::string &Dir) const {
   return Error::success();
 }
 
+Expected<PinballMeta> Pinball::loadMeta(const std::string &Dir,
+                                        uint32_t *NumThreads) {
+  auto Bytes = readFileBytes(Dir + "/meta");
+  if (!Bytes)
+    return Bytes.takeError();
+  BinaryReader R(*Bytes);
+  if (Error E = checkHeader(R, KindMeta, "meta"))
+    return E;
+  PinballMeta Meta;
+  Meta.ProgramName = R.readString();
+  Meta.RegionStart = R.readU64();
+  Meta.RegionLength = R.readU64();
+  Meta.WholeImage = R.readU8();
+  Meta.PagesEarly = R.readU8();
+  Meta.StackBase = R.readU64();
+  Meta.StackTop = R.readU64();
+  Meta.BrkAtStart = R.readU64();
+  Meta.BrkAtEnd = R.readU64();
+  uint32_t Threads = R.readU32();
+  if (R.hadError())
+    return makeCodedError("EFAULT.PINBALL.TRUNCATED", "'meta' is truncated");
+  // A pinball names one t<N>.reg file per thread; a count beyond any
+  // plausible directory is a corrupt header, not a real checkpoint.
+  if (Threads > (1u << 16))
+    return makeCodedError("EFAULT.PINBALL.COUNT",
+                          "'meta' claims an implausible %u threads", Threads);
+  if (NumThreads)
+    *NumThreads = Threads;
+  return Meta;
+}
+
 Expected<Pinball> Pinball::load(const std::string &Dir) {
   Pinball PB;
   auto ReadAll = [&](const std::string &Name)
@@ -241,31 +272,10 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
   // meta (read first: gives the thread count)
   uint32_t NumThreads = 0;
   {
-    auto Bytes = ReadAll("meta");
-    if (!Bytes)
-      return Bytes.takeError();
-    BinaryReader R(*Bytes);
-    if (Error E = checkHeader(R, KindMeta, "meta"))
-      return E;
-    PB.Meta.ProgramName = R.readString();
-    PB.Meta.RegionStart = R.readU64();
-    PB.Meta.RegionLength = R.readU64();
-    PB.Meta.WholeImage = R.readU8();
-    PB.Meta.PagesEarly = R.readU8();
-    PB.Meta.StackBase = R.readU64();
-    PB.Meta.StackTop = R.readU64();
-    PB.Meta.BrkAtStart = R.readU64();
-    PB.Meta.BrkAtEnd = R.readU64();
-    NumThreads = R.readU32();
-    if (R.hadError())
-      return makeCodedError("EFAULT.PINBALL.TRUNCATED",
-                            "'meta' is truncated");
-    // A pinball names one t<N>.reg file per thread; a count beyond any
-    // plausible directory is a corrupt header, not a real checkpoint.
-    if (NumThreads > (1u << 16))
-      return makeCodedError("EFAULT.PINBALL.COUNT",
-                            "'meta' claims an implausible %u threads",
-                            NumThreads);
+    auto Meta = loadMeta(Dir, &NumThreads);
+    if (!Meta)
+      return Meta.takeError();
+    PB.Meta = Meta.takeValue();
   }
 
   {

@@ -136,6 +136,13 @@ public:
   /// Loads a pinball from directory \p Dir. Validates record framing and
   /// reports corrupt/truncated files with the offending file name.
   static Expected<Pinball> load(const std::string &Dir);
+
+  /// Reads and validates only the 'meta' file of \p Dir — cheap (no pages,
+  /// no logs), for consumers that need region bounds without the payload,
+  /// e.g. the campaign runner's budget-scaled job timeouts. \p NumThreads
+  /// (optional) receives the recorded thread count.
+  static Expected<PinballMeta> loadMeta(const std::string &Dir,
+                                        uint32_t *NumThreads = nullptr);
 };
 
 } // namespace pinball

@@ -1,0 +1,38 @@
+//===- sched/Backoff.cpp --------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Backoff.h"
+
+#include "support/Hashing.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+
+using namespace elfie;
+
+uint64_t elfie::sched::backoffDelayMs(uint64_t Seed,
+                                      const std::string &JobId,
+                                      uint32_t Attempt, uint64_t BaseMs,
+                                      uint64_t CapMs) {
+  if (BaseMs == 0)
+    BaseMs = 1;
+  if (CapMs == 0)
+    CapMs = 1;
+  // The cap wins: it is the operator's bound on how long a campaign can
+  // stall between retries.
+  if (BaseMs > CapMs)
+    BaseMs = CapMs;
+  uint32_t Step = Attempt >= 2 ? Attempt - 2 : 0;
+  // Saturating doubling: stop as soon as the cap is reached.
+  uint64_t Exp = BaseMs;
+  for (uint32_t I = 0; I < Step && Exp < CapMs; ++I)
+    Exp = std::min(Exp * 2, CapMs);
+  Exp = std::min(Exp, CapMs);
+  RNG Rand(hashU64(Attempt, fnv1a(JobId.data(), JobId.size(), Seed)));
+  uint64_t Lo = Exp / 2;
+  return Lo + Rand.nextBelow(Exp - Lo + 1);
+}

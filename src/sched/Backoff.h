@@ -1,0 +1,37 @@
+//===- sched/Backoff.h - Seeded exponential backoff ------------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Retry delays for transient job failures: exponential growth with
+/// half-window jitter, fully deterministic under support/RNG. The delay for
+/// (seed, job, attempt) is a pure function, so a resumed campaign with the
+/// same seed reproduces the schedule it would have run — and tests can
+/// assert exact delays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SCHED_BACKOFF_H
+#define ELFIE_SCHED_BACKOFF_H
+
+#include <cstdint>
+#include <string>
+
+namespace elfie {
+namespace sched {
+
+/// Delay before retry number \p Attempt (2 = first retry) of \p JobId:
+/// uniformly drawn from [E/2, E] where E = min(BaseMs << (Attempt-2),
+/// CapMs). The jitter decorrelates jobs that failed together (e.g. a full
+/// disk failing a whole worker pool at once) without sacrificing
+/// reproducibility: the draw is seeded from (Seed, JobId, Attempt) only.
+uint64_t backoffDelayMs(uint64_t Seed, const std::string &JobId,
+                        uint32_t Attempt, uint64_t BaseMs, uint64_t CapMs);
+
+} // namespace sched
+} // namespace elfie
+
+#endif // ELFIE_SCHED_BACKOFF_H

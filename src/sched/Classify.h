@@ -1,0 +1,58 @@
+//===- sched/Classify.h - Job outcome classification -----------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps the raw outcome of one job attempt (wait status + stderr) onto the
+/// retry/quarantine decision, consuming the exit-code taxonomy every tool
+/// implements (DESIGN.md §8): 0/1/2/3 tool codes, 127/126/125 native-ELFie
+/// fault codes, 124 exec failure, plus signal deaths and runner-imposed
+/// timeouts. The full decision table lives in DESIGN.md §9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SCHED_CLASSIFY_H
+#define ELFIE_SCHED_CLASSIFY_H
+
+#include <string>
+
+namespace elfie {
+namespace sched {
+
+/// What one attempt's outcome means for the campaign.
+enum class JobClass {
+  Success,       ///< terminal: job done
+  Transient,     ///< retry with backoff (I/O weather, kills, timeouts)
+  Deterministic, ///< terminal: quarantine, never retry
+};
+
+/// Raw observation of one finished attempt.
+struct AttemptOutcome {
+  bool TimedOut = false; ///< the runner killed it past its budget timeout
+  bool Exited = false;   ///< normal exit (vs. signal death)
+  int ExitCode = -1;     ///< when Exited
+  int Signal = 0;        ///< terminating signal when !Exited
+};
+
+/// Classifies one attempt. \p StderrText disambiguates exit 1: transient
+/// I/O failures (EIO/ENOSPC surfaced as EFAULT.IO.READ/WRITE/FSYNC) retry,
+/// every other coded rejection is deterministic.
+JobClass classifyOutcome(const AttemptOutcome &O,
+                         const std::string &StderrText);
+
+/// One-word reason for the classification ("divergence", "elfie-fault",
+/// "transient-io", "timeout", "signal", "usage", "rejected", "exec-failure",
+/// "ok") — journaled and shown in quarantine reports.
+const char *classifyDetail(const AttemptOutcome &O,
+                           const std::string &StderrText);
+
+/// The stable name of \p C ("success", "transient", "deterministic").
+const char *jobClassName(JobClass C);
+
+} // namespace sched
+} // namespace elfie
+
+#endif // ELFIE_SCHED_CLASSIFY_H

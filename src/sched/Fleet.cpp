@@ -1,0 +1,486 @@
+//===- sched/Fleet.cpp ----------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Fleet.h"
+
+#include "pinball/Pinball.h"
+#include "sched/Backoff.h"
+#include "sched/Classify.h"
+#include "sched/Journal.h"
+#include "sched/Quarantine.h"
+#include "support/FileIO.h"
+#include "support/Format.h"
+#include "support/Subprocess.h"
+#include "support/Watchdog.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace elfie;
+using namespace elfie::sched;
+
+static volatile sig_atomic_t DrainFlag = 0;
+
+void elfie::sched::requestDrain() { DrainFlag = 1; }
+bool elfie::sched::drainRequested() { return DrainFlag != 0; }
+void elfie::sched::resetDrain() { DrainFlag = 0; }
+
+namespace {
+
+bool isDirectory(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+/// Runtime state of one manifest job.
+struct JobState {
+  const Job *J = nullptr;
+  enum class Phase { Pending, Running, Done, Quarantined } Ph = Phase::Pending;
+  uint32_t Attempt = 0;       ///< attempts launched so far
+  uint64_t ReadyAtMs = 0;     ///< backoff deadline for the next attempt
+  pid_t Pid = -1;
+  uint64_t StartMs = 0;
+  uint64_t TimeoutMs = 0;
+  bool TimedOut = false;      ///< the runner killed it past its budget
+  std::string OutPath, ErrPath, CommandLine;
+};
+
+class FleetRun {
+public:
+  FleetRun(const CampaignPlan &Plan, const FleetOptions &Opts)
+      : Plan(Plan), Opts(Opts) {}
+
+  Expected<FleetSummary> run();
+
+private:
+  Error journalAppend(JournalRecord Rec);
+  std::vector<std::string> buildArgv(const JobState &JS) const;
+  uint64_t jobTimeoutSecs(const Job &J) const;
+  uint32_t jobRetries(const Job &J) const {
+    return J.Retries ? J.Retries : Opts.Retries;
+  }
+  Error launch(JobState &JS);
+  Error finishAttempt(JobState &JS, const AttemptOutcome &O);
+  Error quarantine(JobState &JS, const std::string &Reason,
+                   const AttemptOutcome &O);
+  void verbose(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  const CampaignPlan &Plan;
+  const FleetOptions &Opts;
+  JournalWriter Writer;
+  std::vector<JobState> Jobs;
+  FleetSummary Sum;
+};
+
+void FleetRun::verbose(const char *Fmt, ...) {
+  if (!Opts.Verbose)
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  std::fprintf(stderr, "efleet: ");
+  std::vfprintf(stderr, Fmt, Args);
+  std::fprintf(stderr, "\n");
+  va_end(Args);
+}
+
+Error FleetRun::journalAppend(JournalRecord Rec) {
+  return Writer.append(Rec).withContext("journal");
+}
+
+std::vector<std::string> FleetRun::buildArgv(const JobState &JS) const {
+  const Job &J = *JS.J;
+  std::vector<std::string> Argv;
+  switch (J.A) {
+  case Action::Replay:
+    Argv = {Opts.BinDir + "/ereplay"};
+    break;
+  case Action::Emit:
+    Argv = {Opts.BinDir + "/pinball2elf", "-verify", "-o",
+            Opts.OutDir + "/artifacts/" + J.Id + ".elfie"};
+    break;
+  case Action::Native:
+    Argv = {J.Target};
+    break;
+  case Action::Verify:
+    Argv = {Opts.BinDir + "/everify"};
+    break;
+  case Action::Sim:
+    Argv = {Opts.BinDir + "/esim", "-config", "nehalem"};
+    break;
+  }
+  for (const std::string &A : J.ExtraArgs)
+    Argv.push_back(expandPlaceholders(A, JS.Attempt));
+  switch (J.A) {
+  case Action::Native:
+    break; // target IS the program, already argv[0]
+  case Action::Sim:
+    if (isDirectory(J.Target))
+      Argv.push_back("-pinball");
+    Argv.push_back(J.Target);
+    break;
+  default:
+    Argv.push_back(J.Target);
+  }
+  return Argv;
+}
+
+uint64_t FleetRun::jobTimeoutSecs(const Job &J) const {
+  if (J.TimeoutSecs)
+    return J.TimeoutSecs;
+  if (Opts.TimeoutSecs)
+    return Opts.TimeoutSecs;
+  // Budget-scaled (the NativeElfie watchdog rule): read only the pinball
+  // meta. Interpreting consumers get a pessimistic 2M instr/s; native-rate
+  // consumers the emitted guard's 50M/s.
+  if (isDirectory(J.Target)) {
+    auto Meta = pinball::Pinball::loadMeta(J.Target);
+    if (Meta) {
+      uint64_t Rate = (J.A == Action::Replay || J.A == Action::Sim)
+                          ? 2000000ull
+                          : 50000000ull;
+      return scaledWatchdogSeconds(Meta->RegionLength, Rate);
+    }
+  }
+  return Opts.DefaultTimeoutSecs;
+}
+
+Error FleetRun::launch(JobState &JS) {
+  const Job &J = *JS.J;
+  ++JS.Attempt;
+  ++Sum.Attempts;
+  JS.TimedOut = false;
+  JS.OutPath = formatString("%s/logs/%s.a%u.out", Opts.OutDir.c_str(),
+                            J.Id.c_str(), JS.Attempt);
+  JS.ErrPath = formatString("%s/logs/%s.a%u.err", Opts.OutDir.c_str(),
+                            J.Id.c_str(), JS.Attempt);
+
+  SpawnSpec Spec;
+  Spec.Argv = buildArgv(JS);
+  Spec.StdoutPath = JS.OutPath;
+  Spec.StderrPath = JS.ErrPath;
+  // The runner consumed any ambient fault spec itself; children only see
+  // faults the manifest asks for.
+  Spec.UnsetEnv.push_back("ELFIE_FAULT_SPEC");
+  for (const auto &[K, V] : J.Env)
+    Spec.ExtraEnv.emplace_back(K, expandPlaceholders(V, JS.Attempt));
+
+  JS.CommandLine.clear();
+  for (const std::string &A : Spec.Argv)
+    JS.CommandLine += (JS.CommandLine.empty() ? "" : " ") + A;
+
+  if (Error E = journalAppend({{"rec", "start"},
+                               {"job", J.Id},
+                               {"attempt", formatString("%u", JS.Attempt)}}))
+    return E;
+
+  auto Pid = spawnProcess(Spec);
+  if (!Pid) {
+    // Spawn failure (fork/redirect): treat like an exec failure — the
+    // environment, not the artifact, but not retryable either.
+    std::fprintf(stderr, "efleet: %s: %s\n", J.Id.c_str(),
+                 Pid.error().str().c_str());
+    AttemptOutcome O;
+    O.Exited = true;
+    O.ExitCode = ExitExecFailure;
+    return finishAttempt(JS, O);
+  }
+  JS.Pid = *Pid;
+  JS.StartMs = monotonicMillis();
+  JS.TimeoutMs = jobTimeoutSecs(J) * 1000u;
+  JS.Ph = JobState::Phase::Running;
+  verbose("%s attempt %u: %s (timeout %llus)", J.Id.c_str(), JS.Attempt,
+          JS.CommandLine.c_str(),
+          static_cast<unsigned long long>(JS.TimeoutMs / 1000));
+  return Error::success();
+}
+
+Error FleetRun::quarantine(JobState &JS, const std::string &Reason,
+                           const AttemptOutcome &O) {
+  QuarantineReport R;
+  R.JobId = JS.J->Id;
+  R.Reason = Reason;
+  R.CommandLine = JS.CommandLine;
+  R.Attempts = JS.Attempt;
+  R.ExitCode = O.ExitCode;
+  R.Signal = O.Signal;
+  R.StdoutPath = JS.OutPath;
+  R.StderrPath = JS.ErrPath;
+  auto Dir = quarantineJob(Opts.OutDir + "/quarantine", R);
+  if (!Dir)
+    return Dir.takeError();
+  JS.Ph = JobState::Phase::Quarantined;
+  ++Sum.Quarantined;
+  std::fprintf(stderr, "efleet: QUARANTINE %s (%s) after %u attempt%s -> %s\n",
+               JS.J->Id.c_str(), Reason.c_str(), JS.Attempt,
+               JS.Attempt == 1 ? "" : "s", Dir->c_str());
+  return journalAppend({{"rec", "quarantine"},
+                        {"job", JS.J->Id},
+                        {"attempts", formatString("%u", JS.Attempt)},
+                        {"reason", Reason},
+                        {"dir", "quarantine/" + JS.J->Id}});
+}
+
+Error FleetRun::finishAttempt(JobState &JS, const AttemptOutcome &O) {
+  std::string StderrText;
+  if (auto Text = readFileText(JS.ErrPath))
+    StderrText = Text.takeValue();
+  JobClass C = classifyOutcome(O, StderrText);
+  std::string Detail = classifyDetail(O, StderrText);
+  uint64_t Ms = JS.StartMs ? monotonicMillis() - JS.StartMs : 0;
+  JS.Pid = -1;
+
+  if (Error E = journalAppend(
+          {{"rec", "exit"},
+           {"job", JS.J->Id},
+           {"attempt", formatString("%u", JS.Attempt)},
+           {"class", jobClassName(C)},
+           {"detail", Detail},
+           {"code", formatString("%d", O.Exited ? O.ExitCode : -1)},
+           {"signal", formatString("%d", O.Signal)},
+           {"timeout", O.TimedOut ? "1" : "0"},
+           {"ms", formatString("%llu", static_cast<unsigned long long>(Ms))}}))
+    return E;
+
+  switch (C) {
+  case JobClass::Success:
+    JS.Ph = JobState::Phase::Done;
+    ++Sum.Succeeded;
+    verbose("%s done (attempt %u, %llums)", JS.J->Id.c_str(), JS.Attempt,
+            static_cast<unsigned long long>(Ms));
+    return journalAppend({{"rec", "done"},
+                          {"job", JS.J->Id},
+                          {"attempts", formatString("%u", JS.Attempt)}});
+  case JobClass::Deterministic:
+    return quarantine(JS, Detail, O);
+  case JobClass::Transient: {
+    if (JS.Attempt >= jobRetries(*JS.J))
+      return quarantine(JS, "retries-exhausted", O);
+    uint64_t Delay = backoffDelayMs(Opts.Seed, JS.J->Id, JS.Attempt + 1,
+                                    Opts.BackoffBaseMs, Opts.BackoffCapMs);
+    JS.ReadyAtMs = monotonicMillis() + Delay;
+    JS.Ph = JobState::Phase::Pending;
+    ++Sum.Retries;
+    verbose("%s transient (%s), retry %u in %llums", JS.J->Id.c_str(),
+            Detail.c_str(), JS.Attempt + 1,
+            static_cast<unsigned long long>(Delay));
+    return Error::success();
+  }
+  }
+  return Error::success();
+}
+
+Expected<FleetSummary> FleetRun::run() {
+  uint64_t T0 = monotonicMillis();
+  Sum.Total = Plan.Jobs.size();
+  for (const char *Sub : {"", "/logs", "/quarantine", "/artifacts"})
+    if (Error E = createDirectories(Opts.OutDir + Sub))
+      return E;
+
+  // Resume: journaled-terminal jobs are skipped; in-flight jobs re-run.
+  std::string JournalPath = Opts.OutDir + "/journal.jsonl";
+  JournalState Prior;
+  if (fileExists(JournalPath)) {
+    auto St = scanJournal(JournalPath);
+    if (!St)
+      return St.takeError();
+    Prior = St.takeValue();
+    Sum.Resumed = Prior.Records > 0;
+  }
+
+  if (Error E = Writer.open(JournalPath))
+    return E;
+  if (!Sum.Resumed) {
+    if (Error E = journalAppend(
+            {{"rec", "plan"},
+             {"jobs", formatString("%zu", Plan.Jobs.size())},
+             {"seed", formatString("%llu",
+                                   static_cast<unsigned long long>(Opts.Seed))}}))
+      return E;
+  } else {
+    if (Error E = journalAppend(
+            {{"rec", "resume"},
+             {"completed",
+              formatString("%zu", Prior.Done.size() +
+                                      Prior.Quarantined.size())}}))
+      return E;
+  }
+
+  Jobs.reserve(Plan.Jobs.size());
+  for (const Job &J : Plan.Jobs) {
+    JobState JS;
+    JS.J = &J;
+    if (Prior.Done.count(J.Id)) {
+      JS.Ph = JobState::Phase::Done;
+      ++Sum.Succeeded;
+      ++Sum.SkippedComplete;
+    } else if (Prior.Quarantined.count(J.Id)) {
+      JS.Ph = JobState::Phase::Quarantined;
+      ++Sum.Quarantined;
+      ++Sum.SkippedComplete;
+    }
+    Jobs.push_back(JS);
+  }
+  if (Sum.Resumed)
+    verbose("resuming: %llu of %llu jobs already terminal",
+            static_cast<unsigned long long>(Sum.SkippedComplete),
+            static_cast<unsigned long long>(Sum.Total));
+
+  bool Draining = false;
+  uint64_t DrainStartMs = 0;
+  bool GraceKilled = false;
+
+  for (;;) {
+    uint64_t Now = monotonicMillis();
+
+    if (!Draining && drainRequested()) {
+      Draining = true;
+      DrainStartMs = Now;
+      std::fprintf(stderr,
+                   "efleet: drain requested: finishing running jobs "
+                   "(grace %llus)\n",
+                   static_cast<unsigned long long>(Opts.GraceSecs));
+    }
+
+    // Launch phase (skipped while draining).
+    if (!Draining) {
+      uint32_t Running = 0;
+      for (const JobState &JS : Jobs)
+        if (JS.Ph == JobState::Phase::Running)
+          ++Running;
+      for (JobState &JS : Jobs) {
+        if (Running >= Opts.Workers)
+          break;
+        if (JS.Ph != JobState::Phase::Pending || JS.ReadyAtMs > Now)
+          continue;
+        if (Error E = launch(JS))
+          return E;
+        if (JS.Ph == JobState::Phase::Running)
+          ++Running;
+      }
+    }
+
+    // Reap phase. Re-read the clock: jobs launched above have StartMs
+    // later than the Now captured at the top of the iteration.
+    uint64_t ReapNow = monotonicMillis();
+    bool AnyRunning = false;
+    for (JobState &JS : Jobs) {
+      if (JS.Ph != JobState::Phase::Running)
+        continue;
+      auto W = pollProcess(JS.Pid);
+      if (!W)
+        return W.takeError();
+      if (W->Running) {
+        // Budget timeout: SIGKILL the job's process group; the death is
+        // reaped (and classified as a transient timeout) next poll.
+        uint64_t RanMs = ReapNow > JS.StartMs ? ReapNow - JS.StartMs : 0;
+        if (!JS.TimedOut && JS.TimeoutMs && RanMs > JS.TimeoutMs) {
+          JS.TimedOut = true;
+          std::fprintf(stderr, "efleet: %s: timeout after %llums, killing\n",
+                       JS.J->Id.c_str(),
+                       static_cast<unsigned long long>(RanMs));
+          killProcessTree(JS.Pid, SIGKILL);
+        }
+        AnyRunning = true;
+        continue;
+      }
+      AttemptOutcome O;
+      O.TimedOut = JS.TimedOut;
+      O.Exited = W->Exited;
+      O.ExitCode = W->ExitCode;
+      O.Signal = W->Signal;
+      if (Error E = finishAttempt(JS, O))
+        return E;
+      if (JS.Ph == JobState::Phase::Running)
+        AnyRunning = true;
+    }
+
+    // Completion / drain checks.
+    bool AnyPending = false;
+    for (const JobState &JS : Jobs)
+      if (JS.Ph == JobState::Phase::Pending)
+        AnyPending = true;
+
+    if (Draining) {
+      if (!AnyRunning)
+        break;
+      if (!GraceKilled &&
+          monotonicMillis() - DrainStartMs > Opts.GraceSecs * 1000u) {
+        GraceKilled = true;
+        for (JobState &JS : Jobs)
+          if (JS.Ph == JobState::Phase::Running) {
+            std::fprintf(stderr, "efleet: %s: grace expired, killing\n",
+                         JS.J->Id.c_str());
+            JS.TimedOut = true; // classified transient: re-run on resume
+            killProcessTree(JS.Pid, SIGKILL);
+          }
+      }
+    } else if (!AnyRunning && !AnyPending) {
+      break;
+    }
+
+    ::usleep(static_cast<useconds_t>(Opts.PollMs * 1000));
+  }
+
+  for (const JobState &JS : Jobs)
+    if (JS.Ph == JobState::Phase::Pending ||
+        JS.Ph == JobState::Phase::Running)
+      ++Sum.Incomplete;
+  Sum.Drained = Draining;
+  Sum.WallMs = monotonicMillis() - T0;
+
+  if (Error E = journalAppend(
+          {{"rec", "seal"}, {"reason", Draining ? "drain" : "complete"}}))
+    return E;
+  Writer.close();
+  return Sum;
+}
+
+} // namespace
+
+std::string FleetSummary::renderText() const {
+  std::string Out = formatString(
+      "efleet: %llu job%s: %llu succeeded, %llu quarantined, %llu "
+      "incomplete\n",
+      static_cast<unsigned long long>(Total), Total == 1 ? "" : "s",
+      static_cast<unsigned long long>(Succeeded),
+      static_cast<unsigned long long>(Quarantined),
+      static_cast<unsigned long long>(Incomplete));
+  Out += formatString(
+      "efleet: %llu attempt%s this run (%llu transient retr%s), "
+      "%llu skipped as already complete%s%s\n",
+      static_cast<unsigned long long>(Attempts), Attempts == 1 ? "" : "s",
+      static_cast<unsigned long long>(Retries), Retries == 1 ? "y" : "ies",
+      static_cast<unsigned long long>(SkippedComplete),
+      Resumed ? ", resumed" : "", Drained ? ", drained" : "");
+  return Out;
+}
+
+std::string FleetSummary::renderJSON() const {
+  return formatString(
+      "{\"jobs\":%llu,\"succeeded\":%llu,\"quarantined\":%llu,"
+      "\"incomplete\":%llu,\"attempts\":%llu,\"retries\":%llu,"
+      "\"skipped_complete\":%llu,\"resumed\":%s,\"drained\":%s,"
+      "\"wall_ms\":%llu}\n",
+      static_cast<unsigned long long>(Total),
+      static_cast<unsigned long long>(Succeeded),
+      static_cast<unsigned long long>(Quarantined),
+      static_cast<unsigned long long>(Incomplete),
+      static_cast<unsigned long long>(Attempts),
+      static_cast<unsigned long long>(Retries),
+      static_cast<unsigned long long>(SkippedComplete),
+      Resumed ? "true" : "false", Drained ? "true" : "false",
+      static_cast<unsigned long long>(WallMs));
+}
+
+Expected<FleetSummary> elfie::sched::runFleet(const CampaignPlan &Plan,
+                                              const FleetOptions &Opts) {
+  FleetRun Run(Plan, Opts);
+  return Run.run();
+}

@@ -1,0 +1,100 @@
+//===- sched/Fleet.h - Crash-recoverable campaign runner -------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign runner behind efleet: executes a CampaignPlan through a
+/// bounded pool of subprocess workers, classifying every attempt via
+/// sched/Classify, retrying transient failures with seeded backoff,
+/// quarantining deterministic ones, and journaling every transition so a
+/// SIGKILL mid-campaign resumes exactly where it left off. SIGINT/SIGTERM
+/// (delivered as requestDrain()) trigger a graceful drain: no new jobs
+/// start, running jobs get a grace period before SIGKILL, the journal is
+/// sealed, and the summary is still emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SCHED_FLEET_H
+#define ELFIE_SCHED_FLEET_H
+
+#include "sched/Campaign.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace elfie {
+namespace sched {
+
+/// Campaign-wide knobs (per-job manifest attributes override some).
+struct FleetOptions {
+  /// Directory holding the driven tools (ereplay, everify, ...).
+  std::string BinDir;
+  /// Campaign state root: journal.jsonl, logs/, quarantine/, artifacts/.
+  std::string OutDir;
+  uint32_t Workers = 4;
+  /// Max attempts per job (first run + retries). Manifest !retries=
+  /// overrides per job.
+  uint32_t Retries = 5;
+  uint64_t BackoffBaseMs = 200;
+  uint64_t BackoffCapMs = 5000;
+  /// Seed for the deterministic backoff jitter.
+  uint64_t Seed = 0;
+  /// Per-job timeout override in seconds; 0 = budget-scaled from the
+  /// target pinball's region length (watchdog scaling), falling back to
+  /// DefaultTimeoutSecs for non-pinball targets.
+  uint64_t TimeoutSecs = 0;
+  uint64_t DefaultTimeoutSecs = 120;
+  /// Drain grace period before running jobs are SIGKILLed.
+  uint64_t GraceSecs = 5;
+  /// Poll cadence of the worker loop.
+  uint64_t PollMs = 20;
+  bool Verbose = false;
+};
+
+/// End-of-run accounting (also derivable from the journal).
+struct FleetSummary {
+  uint64_t Total = 0;       ///< jobs in the manifest
+  uint64_t Succeeded = 0;   ///< terminal success (this run or journaled)
+  uint64_t Quarantined = 0; ///< terminal deterministic failure
+  uint64_t Incomplete = 0;  ///< not terminal (drained campaigns)
+  uint64_t Attempts = 0;    ///< attempts launched this run
+  uint64_t Retries = 0;     ///< transient retries scheduled this run
+  uint64_t SkippedComplete = 0; ///< skipped: already terminal in journal
+  bool Drained = false;
+  bool Resumed = false;
+  uint64_t WallMs = 0;
+
+  /// Human summary (multi-line, "efleet: " prefixed).
+  std::string renderText() const;
+  /// One-line JSON summary.
+  std::string renderJSON() const;
+  /// Campaign succeeded iff every job reached terminal success.
+  bool allSucceeded() const {
+    return Quarantined == 0 && Incomplete == 0 && Succeeded == Total;
+  }
+};
+
+/// Requests a graceful drain (async-signal-safe; called from the SIGINT/
+/// SIGTERM handlers in efleet_main).
+void requestDrain();
+
+/// True once a drain has been requested.
+bool drainRequested();
+
+/// Clears the drain flag (tests).
+void resetDrain();
+
+/// Runs \p Plan to completion (or drain) under \p Opts. Hard failures —
+/// unwritable out dir, unreadable journal — error out; job failures are
+/// accounting, not errors.
+Expected<FleetSummary> runFleet(const CampaignPlan &Plan,
+                                const FleetOptions &Opts);
+
+} // namespace sched
+} // namespace elfie
+
+#endif // ELFIE_SCHED_FLEET_H

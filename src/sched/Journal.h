@@ -1,0 +1,101 @@
+//===- sched/Journal.h - Crash-recoverable campaign journal ----*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign journal: an fsync'd append-only JSONL file that makes a
+/// campaign survive SIGKILL. Every state transition is one flat JSON object
+/// per line (record grammar in DESIGN.md §9):
+///
+///   {"rec":"plan","jobs":N,"seed":S,"manifest":"..."}
+///   {"rec":"resume","completed":N}
+///   {"rec":"start","job":"id","attempt":A}
+///   {"rec":"exit","job":"id","attempt":A,"class":"transient","detail":
+///     "timeout","code":C,"signal":S,"timeout":0|1,"ms":T}
+///   {"rec":"done","job":"id","attempts":A}
+///   {"rec":"quarantine","job":"id","attempts":A,"reason":"divergence",
+///     "dir":"quarantine/id"}
+///   {"rec":"seal","reason":"complete"|"drain"}
+///
+/// Recovery scans the journal front to back: jobs with a terminal record
+/// (done/quarantine) are complete and skipped on resume; jobs with only
+/// start records were in flight when the process died and re-run from
+/// scratch. A torn final line (killed mid-append) is tolerated and counted,
+/// never fatal — the record it would have carried is simply re-earned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SCHED_JOURNAL_H
+#define ELFIE_SCHED_JOURNAL_H
+
+#include "support/Error.h"
+#include "support/FileIO.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace sched {
+
+/// One parsed journal line: flat string->string map ("rec" selects the
+/// kind; numeric fields arrive as decimal strings).
+using JournalRecord = std::map<std::string, std::string>;
+
+/// Serializes a flat record as one JSON line (keys sorted, strings
+/// escaped).
+std::string renderJournalRecord(const JournalRecord &Rec);
+
+/// Parses one JSON journal line into a flat record. Returns false on any
+/// syntax violation (torn writes, corruption) — the caller skips the line.
+bool parseJournalRecord(const std::string &Line, JournalRecord &Out);
+
+/// Append-side handle. Records go through AppendLog (write + fsync per
+/// record, IOFaultHook consulted) so a record observed as written is
+/// durable, and the fault harness can kill the runner at an exact record.
+class JournalWriter {
+public:
+  Error open(const std::string &Path) { return Log.open(Path); }
+  Error append(const JournalRecord &Rec) {
+    return Log.append(renderJournalRecord(Rec));
+  }
+  void close() { Log.close(); }
+  bool isOpen() const { return Log.isOpen(); }
+
+private:
+  AppendLog Log;
+};
+
+/// What a journal scan recovers.
+struct JournalState {
+  std::set<std::string> Done;        ///< jobs with a done record
+  std::set<std::string> Quarantined; ///< jobs with a quarantine record
+  /// Jobs with a start but no terminal record (in flight at the kill).
+  std::set<std::string> InFlight;
+  /// Highest attempt number journaled per job.
+  std::map<std::string, uint32_t> Attempts;
+  bool Sealed = false;      ///< a seal record is present
+  std::string SealReason;   ///< "complete" or "drain" when sealed
+  uint64_t Records = 0;     ///< well-formed records seen
+  uint64_t TornLines = 0;   ///< unparseable lines skipped
+  uint64_t PlanJobs = 0;    ///< job count from the plan record (0 if none)
+
+  bool terminal(const std::string &JobId) const {
+    return Done.count(JobId) || Quarantined.count(JobId);
+  }
+};
+
+/// Scans the journal at \p Path. A missing file errors (callers check
+/// fileExists first when resume is optional); a corrupt or torn tail does
+/// not.
+Expected<JournalState> scanJournal(const std::string &Path);
+
+} // namespace sched
+} // namespace elfie
+
+#endif // ELFIE_SCHED_JOURNAL_H

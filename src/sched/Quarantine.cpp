@@ -1,0 +1,83 @@
+//===- sched/Quarantine.cpp -----------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Quarantine.h"
+
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+using namespace elfie;
+using namespace elfie::sched;
+
+std::vector<std::string>
+elfie::sched::extractFaultLines(const std::string &StderrText) {
+  std::vector<std::string> Out;
+  for (const std::string &RawLine : splitString(StderrText, '\n')) {
+    std::string Line = trimString(RawLine);
+    if (Line.empty())
+      continue;
+    bool Attributable = Line.find("elfie-fault:") != std::string::npos ||
+                        Line.find("DIVERGENCE") != std::string::npos ||
+                        Line.find("EFAULT.") != std::string::npos ||
+                        Line.find("guest fault") != std::string::npos;
+    if (!Attributable && startsWith(Line, "error ")) {
+      // "error CODE.SUBCODE[ @addr]: msg" verifier findings.
+      size_t End = Line.find_first_of(" :\n", 6);
+      Attributable =
+          End != std::string::npos && Line.find('.', 6) < End;
+    }
+    if (Attributable)
+      Out.push_back(Line);
+  }
+  return Out;
+}
+
+Expected<std::string>
+elfie::sched::quarantineJob(const std::string &QuarantineRoot,
+                            const QuarantineReport &Report) {
+  std::string Dir = QuarantineRoot + "/" + Report.JobId;
+  if (Error E = createDirectories(Dir))
+    return E.withContext("quarantining job '" + Report.JobId + "'");
+
+  std::string StderrText;
+  if (!Report.StderrPath.empty() && fileExists(Report.StderrPath)) {
+    auto Text = readFileText(Report.StderrPath);
+    if (Text)
+      StderrText = Text.takeValue();
+    if (Error E = writeFileAtomic(Dir + "/stderr.txt", StderrText.data(),
+                                  StderrText.size()))
+      return E;
+  }
+  if (!Report.StdoutPath.empty() && fileExists(Report.StdoutPath)) {
+    auto Text = readFileText(Report.StdoutPath);
+    if (Text) {
+      if (Error E = writeFileAtomic(Dir + "/stdout.txt", Text->data(),
+                                    Text->size()))
+        return E;
+    }
+  }
+
+  std::string Cause;
+  Cause += formatString("job: %s\n", Report.JobId.c_str());
+  Cause += formatString("reason: %s\n", Report.Reason.c_str());
+  Cause += formatString("attempts: %u\n", Report.Attempts);
+  if (Report.Signal)
+    Cause += formatString("signal: %d\n", Report.Signal);
+  else
+    Cause += formatString("exit-code: %d\n", Report.ExitCode);
+  Cause += formatString("command: %s\n", Report.CommandLine.c_str());
+  std::vector<std::string> FaultLines = extractFaultLines(StderrText);
+  if (!FaultLines.empty()) {
+    Cause += "fault-report:\n";
+    for (const std::string &Line : FaultLines)
+      Cause += "  " + Line + "\n";
+  }
+  if (Error E = writeFileAtomic(Dir + "/cause.txt", Cause.data(),
+                                Cause.size()))
+    return E;
+  return Dir;
+}

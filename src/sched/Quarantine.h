@@ -1,0 +1,61 @@
+//===- sched/Quarantine.h - Deterministic-failure quarantine ---*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quarantine directory: where deterministically failing jobs land,
+/// with enough evidence attached to debug them offline. One directory per
+/// job under <out>/quarantine/:
+///
+///   cause.txt   one-paragraph verdict: reason, exit code/signal, attempt
+///               count, the command line, and any elfie-fault:/DIVERGENCE
+///               lines extracted from stderr
+///   stderr.txt  the final attempt's full stderr
+///   stdout.txt  the final attempt's full stdout
+///
+/// Quarantined jobs are terminal: resume skips them, the summary counts
+/// them, and re-running the campaign does not retry them unless the
+/// quarantine directory is removed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SCHED_QUARANTINE_H
+#define ELFIE_SCHED_QUARANTINE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace sched {
+
+/// Evidence for one quarantined job.
+struct QuarantineReport {
+  std::string JobId;
+  std::string Reason;      ///< classifyDetail() word, or "retries-exhausted"
+  std::string CommandLine; ///< the attempted command, for reproduction
+  uint32_t Attempts = 0;
+  int ExitCode = -1;
+  int Signal = 0;
+  std::string StdoutPath; ///< last attempt's captured stdout (may be "")
+  std::string StderrPath; ///< last attempt's captured stderr (may be "")
+};
+
+/// Writes <quarantineRoot>/<job>/ with cause.txt and the stdout/stderr
+/// copies. Returns the job's quarantine directory.
+Expected<std::string> quarantineJob(const std::string &QuarantineRoot,
+                                    const QuarantineReport &Report);
+
+/// Pulls the attributable lines (elfie-fault:, DIVERGENCE, EFAULT.*,
+/// "error CODE.SUB" findings) out of captured stderr for cause.txt.
+std::vector<std::string> extractFaultLines(const std::string &StderrText);
+
+} // namespace sched
+} // namespace elfie
+
+#endif // ELFIE_SCHED_QUARANTINE_H

@@ -92,6 +92,35 @@ Error elfie::writeFileText(const std::string &Path, const std::string &Text) {
   return writeFile(Path, Text.data(), Text.size());
 }
 
+namespace {
+/// Owns the temp sibling of an atomic write: any return before release()
+/// (success) closes the descriptor and unlinks the file, so no error path
+/// can leave "*.tmp" litter behind.
+class TmpFileGuard {
+public:
+  TmpFileGuard(std::string Path, int Fd) : Path(std::move(Path)), Fd(Fd) {}
+  ~TmpFileGuard() {
+    closeFd();
+    if (!Released)
+      ::unlink(Path.c_str());
+  }
+  int closeFd() {
+    int R = 0;
+    if (Fd >= 0)
+      R = ::close(Fd);
+    Fd = -1;
+    return R;
+  }
+  void release() { Released = true; }
+  int fd() const { return Fd; }
+
+private:
+  std::string Path;
+  int Fd = -1;
+  bool Released = false;
+};
+} // namespace
+
 Error elfie::writeFileAtomic(const std::string &Path, const void *Data,
                              size_t Size, bool Executable) {
   std::vector<uint8_t> Hooked;
@@ -103,42 +132,31 @@ Error elfie::writeFileAtomic(const std::string &Path, const void *Data,
   if (Fd < 0)
     return makeCodedError("EFAULT.IO.OPEN", "cannot create '%s': %s",
                           Tmp.c_str(), std::strerror(errno));
+  TmpFileGuard Guard(Tmp, Fd);
   const uint8_t *P = static_cast<const uint8_t *>(Data);
   size_t Left = Size;
   while (Left > 0) {
-    ssize_t N = ::write(Fd, P, Left);
+    ssize_t N = ::write(Guard.fd(), P, Left);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      int E = errno;
-      ::close(Fd);
-      ::unlink(Tmp.c_str());
       return makeCodedError("EFAULT.IO.WRITE", "write error on '%s': %s",
-                            Tmp.c_str(), std::strerror(E));
+                            Tmp.c_str(), std::strerror(errno));
     }
     P += N;
     Left -= static_cast<size_t>(N);
   }
-  if (::fsync(Fd) != 0) {
-    int E = errno;
-    ::close(Fd);
-    ::unlink(Tmp.c_str());
+  if (::fsync(Guard.fd()) != 0)
     return makeCodedError("EFAULT.IO.FSYNC", "fsync failed on '%s': %s",
-                          Tmp.c_str(), std::strerror(E));
-  }
-  if (::close(Fd) != 0) {
-    int E = errno;
-    ::unlink(Tmp.c_str());
+                          Tmp.c_str(), std::strerror(errno));
+  if (Guard.closeFd() != 0)
     return makeCodedError("EFAULT.IO.WRITE", "close failed on '%s': %s",
-                          Tmp.c_str(), std::strerror(E));
-  }
-  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    int E = errno;
-    ::unlink(Tmp.c_str());
+                          Tmp.c_str(), std::strerror(errno));
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0)
     return makeCodedError("EFAULT.IO.RENAME",
                           "cannot rename '%s' to '%s': %s", Tmp.c_str(),
-                          Path.c_str(), std::strerror(E));
-  }
+                          Path.c_str(), std::strerror(errno));
+  Guard.release();
   return Error::success();
 }
 
@@ -211,6 +229,52 @@ Error elfie::makeExecutable(const std::string &Path) {
     return makeCodedError("EFAULT.IO.CHMOD", "chmod failed on '%s': %s",
                           Path.c_str(), std::strerror(errno));
   return Error::success();
+}
+
+Error AppendLog::open(const std::string &Path) {
+  close();
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (Fd < 0)
+    return makeCodedError("EFAULT.IO.OPEN", "cannot open log '%s': %s",
+                          Path.c_str(), std::strerror(errno));
+  LogPath = Path;
+  return Error::success();
+}
+
+Error AppendLog::append(const std::string &Line) {
+  if (Fd < 0)
+    return makeCodedError("EFAULT.IO.WRITE", "append to closed log '%s'",
+                          LogPath.c_str());
+  std::vector<uint8_t> Bytes(Line.begin(), Line.end());
+  if (Bytes.empty() || Bytes.back() != '\n')
+    Bytes.push_back('\n');
+  if (TheIOFaultHook) {
+    if (Error E = TheIOFaultHook->onWrite(LogPath, Bytes))
+      return E;
+  }
+  const uint8_t *P = Bytes.data();
+  size_t Left = Bytes.size();
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return makeCodedError("EFAULT.IO.WRITE", "write error on '%s': %s",
+                            LogPath.c_str(), std::strerror(errno));
+    }
+    P += N;
+    Left -= static_cast<size_t>(N);
+  }
+  if (::fsync(Fd) != 0)
+    return makeCodedError("EFAULT.IO.FSYNC", "fsync failed on '%s': %s",
+                          LogPath.c_str(), std::strerror(errno));
+  return Error::success();
+}
+
+void AppendLog::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
 }
 
 void BinaryWriter::writeLE(const void *P, size_t N) {

@@ -98,6 +98,35 @@ Expected<std::vector<std::string>> listDirectory(const std::string &Path);
 /// Marks \p Path executable (chmod 0755). Used on emitted ELFies.
 Error makeExecutable(const std::string &Path);
 
+/// Durable append-only line log: the journal primitive under the campaign
+/// runner. Each append() writes one newline-terminated record and fsyncs
+/// before returning, so a record the caller saw succeed survives SIGKILL.
+/// Appends consult the IOFaultHook (like writeFileAtomic does), which lets
+/// the fault harness kill or fail a process at an exact journal record.
+class AppendLog {
+public:
+  AppendLog() = default;
+  ~AppendLog() { close(); }
+  AppendLog(const AppendLog &) = delete;
+  AppendLog &operator=(const AppendLog &) = delete;
+
+  /// Opens (creating if needed) \p Path for appending.
+  Error open(const std::string &Path);
+
+  /// Appends \p Line (a trailing newline is added when missing) and fsyncs.
+  Error append(const std::string &Line);
+
+  /// Closes the underlying descriptor; append() after close errors.
+  void close();
+
+  bool isOpen() const { return Fd >= 0; }
+  const std::string &path() const { return LogPath; }
+
+private:
+  int Fd = -1;
+  std::string LogPath;
+};
+
 /// An in-memory little-endian binary writer used to build on-disk records.
 class BinaryWriter {
 public:

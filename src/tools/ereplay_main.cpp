@@ -6,7 +6,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "replay/Replayer.h"
+#include "sched/Campaign.h"
 #include "support/CommandLine.h"
+#include "support/Watchdog.h"
 
 #include <cstdio>
 
@@ -23,14 +25,39 @@ int main(int Argc, char **Argv) {
   CL.addFlag("vm:cache", true, "use the decoded-block cache");
   CL.addFlag("vm:stats", false,
              "print decoded-block cache statistics after replay");
+  CL.addFlag("watchdog", true,
+             "arm a budget-scaled SIGALRM guard around the replay (fires "
+             "as exit 125, like the native ELFie watchdog)");
+  CL.addString("manifest", "",
+               "append this replay as a job line to the given efleet "
+               "manifest instead of replaying");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: ereplay [options] pinball-dir\n");
     return ExitUsage;
   }
 
+  if (!CL.getString("manifest").empty()) {
+    sched::Job J;
+    J.Id = sched::jobIdForTarget("replay", CL.positional()[0]);
+    J.A = sched::Action::Replay;
+    J.Target = CL.positional()[0];
+    if (!CL.getFlag("replay:injection"))
+      J.ExtraArgs = {"-replay:injection", "0"};
+    exitOnError(sched::appendManifestLine(CL.getString("manifest"), J),
+                "ereplay");
+    std::fprintf(stderr, "ereplay: appended job %s to %s\n", J.Id.c_str(),
+                 CL.getString("manifest").c_str());
+    return ExitSuccess;
+  }
+
   pinball::Pinball PB =
       exitOnError(pinball::Pinball::load(CL.positional()[0]));
+  // Interpreted replay is far slower than native execution: scale the
+  // guard from the region budget at a pessimistic 2M instr/s.
+  if (CL.getFlag("watchdog"))
+    armBudgetWatchdog("ereplay",
+                      scaledWatchdogSeconds(PB.Meta.RegionLength, 2000000ull));
   replay::ReplayOptions Opts;
   Opts.Injection = CL.getFlag("replay:injection");
   Opts.Config.FsRoot = CL.getString("fsroot");
@@ -39,6 +66,9 @@ int main(int Argc, char **Argv) {
     Opts.MaxInstructions = static_cast<uint64_t>(CL.getInt("maxinsns"));
 
   auto R = exitOnError(replay::replayPinball(PB, Opts));
+  // Replay finished within budget: cancel the pending alarm and restore
+  // the default SIGALRM disposition before reporting.
+  disarmBudgetWatchdog();
   std::fprintf(stderr, "ereplay: retired %llu instructions (region %llu)\n",
                static_cast<unsigned long long>(R.Retired),
                static_cast<unsigned long long>(PB.Meta.RegionLength));

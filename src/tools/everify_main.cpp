@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyze/Passes.h"
+#include "sched/Campaign.h"
 #include "support/CommandLine.h"
 
 #include <cstdio>
@@ -26,10 +27,27 @@ int main(int Argc, char **Argv) {
   CL.addInt("markers", -1,
             "1 if the ELFie was emitted with ROI markers, 0 if not, "
             "-1 unknown (skips the marker check)");
+  CL.addString("manifest", "",
+               "append this verification as a job line to the given efleet "
+               "manifest instead of verifying");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: everify [options] elfie\n");
     return ExitUsage;
+  }
+
+  if (!CL.getString("manifest").empty()) {
+    sched::Job J;
+    J.Id = sched::jobIdForTarget("verify", CL.positional()[0]);
+    J.A = sched::Action::Verify;
+    J.Target = CL.positional()[0];
+    if (!CL.getString("pinball").empty())
+      J.ExtraArgs = {"-pinball", CL.getString("pinball")};
+    exitOnError(sched::appendManifestLine(CL.getString("manifest"), J),
+                "everify");
+    std::fprintf(stderr, "everify: appended job %s to %s\n", J.Id.c_str(),
+                 CL.getString("manifest").c_str());
+    return ExitSuccess;
   }
 
   elf::ELFReader Elf = exitOnError(elf::ELFReader::open(CL.positional()[0]));

@@ -7,6 +7,7 @@
 
 #include "elf/ELFReader.h"
 #include "support/CommandLine.h"
+#include "support/Watchdog.h"
 #include "vm/VM.h"
 
 #include <cstdio>
@@ -24,6 +25,9 @@ int main(int Argc, char **Argv) {
   CL.addFlag("raw-entry", false,
              "start a bare thread at the entry point (ELFie-style; "
              "auto-detected for ELFies)");
+  CL.addFlag("watchdog", true,
+             "arm a SIGALRM guard scaled from -maxinsns (fires as exit "
+             "125; no-op when -maxinsns is unset)");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().empty()) {
     std::fprintf(stderr, "usage: evm [options] program [args...]\n");
@@ -53,7 +57,15 @@ int main(int Argc, char **Argv) {
   uint64_t Budget = CL.getInt("maxinsns") < 0
                         ? UINT64_MAX
                         : static_cast<uint64_t>(CL.getInt("maxinsns"));
+  // With a bounded budget, a hang is a bug: arm the guard scaled from the
+  // budget at the interpreter's pessimistic rate. An unbounded run has no
+  // budget to scale from, so the guard stays off.
+  if (CL.getFlag("watchdog") && Budget != UINT64_MAX)
+    armBudgetWatchdog("evm", scaledWatchdogSeconds(Budget, 2000000ull));
   vm::RunResult R = M.run(Budget);
+  // Run finished within budget: cancel the alarm and restore SIG_DFL so a
+  // harness embedding evm never inherits a pending watchdog.
+  disarmBudgetWatchdog();
 
   if (CL.getFlag("stats")) {
     std::fprintf(stderr, "evm: retired %llu instructions, %zu threads\n",

@@ -42,6 +42,54 @@ TEST(FileIO, CreateDirectories) {
   removeTree(tempPath("a"));
 }
 
+TEST(FileIO, AtomicWriteLeavesNoTmpLitterOnRenameFailure) {
+  // Target an existing non-empty directory: the data writes fine but the
+  // final rename must fail (EISDIR/ENOTEMPTY) — and the temp sibling must
+  // be cleaned up, not littered for the next campaign to trip over.
+  std::string Dir = tempPath("atomic_litter");
+  removeTree(Dir);
+  ASSERT_FALSE(createDirectories(Dir + "/target/inner").isError());
+  Error E = writeFileAtomic(Dir + "/target", "x", 1);
+  ASSERT_TRUE(E.isError());
+  EXPECT_EQ(E.code(), "EFAULT.IO.RENAME");
+  auto Entries = listDirectory(Dir);
+  ASSERT_TRUE(Entries.hasValue());
+  for (const std::string &Name : *Entries)
+    EXPECT_EQ(Name.find(".tmp"), std::string::npos) << Name;
+  removeTree(Dir);
+}
+
+TEST(AppendLog, AppendsAreDurableAcrossReopen) {
+  std::string Path = tempPath("appendlog");
+  removeFile(Path);
+  {
+    AppendLog Log;
+    ASSERT_FALSE(Log.open(Path).isError());
+    EXPECT_TRUE(Log.isOpen());
+    ASSERT_FALSE(Log.append("first").isError());
+    ASSERT_FALSE(Log.append("second\n").isError()); // newline not doubled
+  }
+  {
+    AppendLog Log;
+    ASSERT_FALSE(Log.open(Path).isError());
+    ASSERT_FALSE(Log.append("third").isError());
+  }
+  auto Text = readFileText(Path);
+  ASSERT_TRUE(Text.hasValue());
+  EXPECT_EQ(*Text, "first\nsecond\nthird\n");
+  removeFile(Path);
+}
+
+TEST(AppendLog, AppendAfterCloseFails) {
+  std::string Path = tempPath("appendlog_closed");
+  AppendLog Log;
+  ASSERT_FALSE(Log.open(Path).isError());
+  Log.close();
+  EXPECT_FALSE(Log.isOpen());
+  EXPECT_TRUE(Log.append("late").isError());
+  removeFile(Path);
+}
+
 TEST(BinaryIO, WriterReaderRoundTrip) {
   BinaryWriter W;
   W.writeU8(0xab);
