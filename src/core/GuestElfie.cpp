@@ -127,10 +127,10 @@ core::emitGuestElfie(const Pinball &PB, const Pinball2ElfOptions &Opts) {
            Sorted[J]->Addr == Sorted[J - 1]->Addr + vm::GuestPageSize &&
            Sorted[J]->Perm == Sorted[I]->Perm)
       ++J;
-    std::vector<uint8_t> Run;
+    std::vector<std::span<const uint8_t>> Run;
+    Run.reserve(J - I);
     for (size_t K = I; K < J; ++K)
-      Run.insert(Run.end(), Sorted[K]->Bytes.begin(),
-                 Sorted[K]->Bytes.end());
+      Run.push_back({Sorted[K]->Bytes.data(), Sorted[K]->Bytes.size()});
     uint64_t Flags = elf::SHF_ALLOC;
     if (Sorted[I]->Perm & vm::PermWrite)
       Flags |= elf::SHF_WRITE;
@@ -138,7 +138,7 @@ core::emitGuestElfie(const Pinball &PB, const Pinball2ElfOptions &Opts) {
       Flags |= elf::SHF_EXECINSTR;
     const char *Prefix =
         (Sorted[I]->Perm & vm::PermExec) ? ".text" : ".data";
-    unsigned Sec = W.addSection(
+    unsigned Sec = W.addSectionChunks(
         formatString("%s.0x%llx", Prefix,
                      static_cast<unsigned long long>(Sorted[I]->Addr)),
         Flags, Sorted[I]->Addr, std::move(Run), vm::GuestPageSize);

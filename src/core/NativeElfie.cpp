@@ -1031,11 +1031,10 @@ Expected<std::vector<uint8_t>> NativeEmitter::emit() {
              Sorted[J]->Addr == Sorted[J - 1]->Addr + vm::GuestPageSize &&
              Sorted[J]->Perm == Sorted[I]->Perm)
         ++J;
-      std::vector<uint8_t> Run;
-      Run.reserve((J - I) * vm::GuestPageSize);
+      std::vector<std::span<const uint8_t>> Run;
+      Run.reserve(J - I);
       for (size_t K = I; K < J; ++K)
-        Run.insert(Run.end(), Sorted[K]->Bytes.begin(),
-                   Sorted[K]->Bytes.end());
+        Run.push_back({Sorted[K]->Bytes.data(), Sorted[K]->Bytes.size()});
       uint64_t Flags = elf::SHF_ALLOC;
       if (Sorted[I]->Perm & vm::PermWrite)
         Flags |= elf::SHF_WRITE;
@@ -1043,7 +1042,7 @@ Expected<std::vector<uint8_t>> NativeEmitter::emit() {
         Flags |= elf::SHF_EXECINSTR;
       const char *Prefix =
           (Sorted[I]->Perm & vm::PermExec) ? ".text" : ".data";
-      W.addSection(
+      W.addSectionChunks(
           formatString("%s.0x%llx", Prefix,
                        static_cast<unsigned long long>(Sorted[I]->Addr)),
           Flags, Sorted[I]->Addr, std::move(Run), vm::GuestPageSize);
@@ -1053,12 +1052,13 @@ Expected<std::vector<uint8_t>> NativeEmitter::emit() {
   // Stashed stack pages, loaded at the stash address, never at the real
   // stack address (the loader must not map them there: §II-B3).
   if (!StackPages.empty()) {
-    std::vector<uint8_t> Stash;
-    Stash.reserve(StackPages.size() * vm::GuestPageSize);
+    std::vector<std::span<const uint8_t>> Stash;
+    Stash.reserve(StackPages.size());
     for (const PageRecord *P : StackPages)
-      Stash.insert(Stash.end(), P->Bytes.begin(), P->Bytes.end());
-    W.addSection(".elfie.stash", elf::SHF_ALLOC, NativeLayout::StashBase,
-                 std::move(Stash), vm::GuestPageSize);
+      Stash.push_back({P->Bytes.data(), P->Bytes.size()});
+    W.addSectionChunks(".elfie.stash", elf::SHF_ALLOC,
+                       NativeLayout::StashBase, std::move(Stash),
+                       vm::GuestPageSize);
   }
   // Runtime code + data.
   unsigned CodeSec =

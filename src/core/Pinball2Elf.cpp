@@ -48,9 +48,12 @@ core::emitElfieObject(const pinball::Pinball &PB,
            Pages[J]->Addr == Pages[J - 1]->Addr + vm::GuestPageSize &&
            Pages[J]->Perm == Pages[I]->Perm)
       ++J;
-    std::vector<uint8_t> Run;
+    // Borrowed page views; the pinball stays alive through finalize(), so
+    // emission writes pages straight from the (typically mmap'd) image.
+    std::vector<std::span<const uint8_t>> Run;
+    Run.reserve(J - I);
     for (size_t K = I; K < J; ++K)
-      Run.insert(Run.end(), Pages[K]->Bytes.begin(), Pages[K]->Bytes.end());
+      Run.push_back({Pages[K]->Bytes.data(), Pages[K]->Bytes.size()});
     uint64_t Flags = elf::SHF_ALLOC;
     if (Pages[I]->Perm & vm::PermWrite)
       Flags |= elf::SHF_WRITE;
@@ -58,10 +61,11 @@ core::emitElfieObject(const pinball::Pinball &PB,
       Flags |= elf::SHF_EXECINSTR;
     const char *Prefix =
         (Pages[I]->Perm & vm::PermExec) ? ".text" : ".data";
-    W.addSection(formatString("%s.0x%llx", Prefix,
-                              static_cast<unsigned long long>(
-                                  Pages[I]->Addr)),
-                 Flags, Pages[I]->Addr, std::move(Run), vm::GuestPageSize);
+    W.addSectionChunks(formatString("%s.0x%llx", Prefix,
+                                    static_cast<unsigned long long>(
+                                        Pages[I]->Addr)),
+                       Flags, Pages[I]->Addr, std::move(Run),
+                       vm::GuestPageSize);
     I = J;
   }
 

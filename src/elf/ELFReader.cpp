@@ -8,14 +8,26 @@
 #include "elf/ELFReader.h"
 
 #include "support/FileIO.h"
+#include "support/MappedFile.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace elfie;
 using namespace elfie::elf;
 
 Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
+  // Move the bytes into a shared buffer the reader retains; all views
+  // below borrow from it.
+  auto Owned = std::make_shared<std::vector<uint8_t>>(std::move(Bytes));
+  return parseView(std::span<const uint8_t>(Owned->data(), Owned->size()),
+                   Owned);
+}
+
+Expected<ELFReader> ELFReader::parseView(std::span<const uint8_t> Bytes,
+                                         std::shared_ptr<const void> Keep) {
   ELFReader R;
+  R.Keepalive = std::move(Keep);
   if (Bytes.size() < sizeof(Elf64_Ehdr))
     return makeError("ELF file is truncated: %zu bytes, need at least %zu",
                      Bytes.size(), sizeof(Elf64_Ehdr));
@@ -56,8 +68,7 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
       if (P.p_filesz) {
         if (!InRange(P.p_offset, P.p_filesz))
           return makeError("segment %u payload overruns the file", I);
-        V.Data.assign(Bytes.begin() + P.p_offset,
-                      Bytes.begin() + P.p_offset + P.p_filesz);
+        V.Data = Bytes.subspan(P.p_offset, P.p_filesz);
       }
       R.Segments.push_back(std::move(V));
     }
@@ -77,7 +88,7 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
   }
 
   // Section name string table.
-  std::vector<uint8_t> ShStrTab;
+  std::span<const uint8_t> ShStrTab;
   if (H.e_shstrndx != SHN_UNDEF) {
     if (H.e_shstrndx >= Shdrs.size())
       return makeError("e_shstrndx is %u but the file has only %zu section "
@@ -86,8 +97,7 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
     const Elf64_Shdr &S = Shdrs[H.e_shstrndx];
     if (!InRange(S.sh_offset, S.sh_size))
       return makeError(".shstrtab overruns the file");
-    ShStrTab.assign(Bytes.begin() + S.sh_offset,
-                    Bytes.begin() + S.sh_offset + S.sh_size);
+    ShStrTab = Bytes.subspan(S.sh_offset, S.sh_size);
     if (!ShStrTab.empty() && ShStrTab.back() != 0)
       return makeError(".shstrtab is not NUL-terminated");
   }
@@ -116,8 +126,7 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
                          I, V.Name.c_str(),
                          static_cast<unsigned long long>(S.sh_size),
                          static_cast<unsigned long long>(S.sh_offset));
-      V.Data.assign(Bytes.begin() + S.sh_offset,
-                    Bytes.begin() + S.sh_offset + S.sh_size);
+      V.Data = Bytes.subspan(S.sh_offset, S.sh_size);
     }
     if (S.sh_type == SHT_SYMTAB)
       SymTabIdx = static_cast<int>(I);
@@ -132,7 +141,7 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
       return makeError(".symtab sh_link is %u but the file has only %zu "
                        "sections",
                        StrIdx, R.Sections.size());
-    const std::vector<uint8_t> &StrTab = R.Sections[StrIdx].Data;
+    std::span<const uint8_t> StrTab = R.Sections[StrIdx].Data;
     if (!StrTab.empty() && StrTab.back() != 0)
       return makeError(".symtab string table is not NUL-terminated");
     if (R.Sections[SymTabIdx].Data.size() % sizeof(Elf64_Sym) != 0)
@@ -145,7 +154,7 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
       const char *P = reinterpret_cast<const char *>(StrTab.data()) + Off;
       return std::string(P, strnlen(P, StrTab.size() - Off));
     };
-    const std::vector<uint8_t> &Payload = R.Sections[SymTabIdx].Data;
+    std::span<const uint8_t> Payload = R.Sections[SymTabIdx].Data;
     size_t Count = Payload.size() / sizeof(Elf64_Sym);
     for (size_t I = 1; I < Count; ++I) { // skip the null symbol
       Elf64_Sym E;
@@ -164,10 +173,11 @@ Expected<ELFReader> ELFReader::parse(std::vector<uint8_t> Bytes) {
 }
 
 Expected<ELFReader> ELFReader::open(const std::string &Path) {
-  auto Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.takeError();
-  return parse(Bytes.takeValue());
+  auto MF = MappedFile::open(Path);
+  if (!MF)
+    return MF.takeError();
+  auto File = std::make_shared<const MappedFile>(MF.takeValue());
+  return parseView(File->span(), File);
 }
 
 const ELFReader::SectionView *
@@ -213,21 +223,56 @@ bool ELFReader::readAtVAddr(uint64_t VAddr, void *Out, size_t Size) const {
   uint64_t Off = VAddr - Seg->VAddr;
   uint8_t *Dst = static_cast<uint8_t *>(Out);
   // Bytes past p_filesz are zero-filled by the loader.
-  for (size_t I = 0; I < Size; ++I)
-    Dst[I] = (Off + I < Seg->Data.size()) ? Seg->Data[Off + I] : 0;
+  size_t FromFile =
+      Off < Seg->Data.size()
+          ? std::min<size_t>(Size, Seg->Data.size() - static_cast<size_t>(Off))
+          : 0;
+  if (FromFile)
+    std::memcpy(Dst, Seg->Data.data() + Off, FromFile);
+  if (Size > FromFile)
+    std::memset(Dst + FromFile, 0, Size - FromFile);
   return true;
+}
+
+std::span<const uint8_t> ELFReader::viewAtVAddr(uint64_t VAddr,
+                                                size_t Size) const {
+  const SegmentView *Seg = segmentContaining(VAddr);
+  if (!Seg)
+    return {};
+  uint64_t Off = VAddr - Seg->VAddr;
+  if (Size > Seg->Data.size() || Off > Seg->Data.size() - Size)
+    return {}; // reaches into the zero-filled tail (or past the segment)
+  return Seg->Data.subspan(Off, Size);
 }
 
 bool ELFReader::stringAtVAddr(uint64_t VAddr, std::string &Out,
                               size_t MaxLen) const {
   Out.clear();
-  for (size_t I = 0; I < MaxLen; ++I) {
-    char C;
-    if (!readAtVAddr(VAddr + I, &C, 1))
+  while (true) {
+    const SegmentView *Seg = segmentContaining(VAddr);
+    if (!Seg)
       return false;
-    if (C == 0)
-      return true;
-    Out.push_back(C);
+    uint64_t Off = VAddr - Seg->VAddr;
+    uint64_t InSeg = Seg->MemSize - Off;
+    uint64_t InFile = Off < Seg->Data.size() ? Seg->Data.size() - Off : 0;
+    // Scan the file-backed bytes for the terminator in one pass.
+    if (InFile > 0) {
+      size_t Scan = static_cast<size_t>(
+          std::min<uint64_t>(MaxLen - Out.size(), InFile));
+      const uint8_t *P = Seg->Data.data() + Off;
+      if (const void *Nul = std::memchr(P, 0, Scan)) {
+        Out.append(reinterpret_cast<const char *>(P),
+                   static_cast<const uint8_t *>(Nul) - P);
+        return true;
+      }
+      Out.append(reinterpret_cast<const char *>(P), Scan);
+    }
+    if (Out.size() >= MaxLen)
+      return false; // no terminator within MaxLen
+    if (InSeg > InFile)
+      return true; // the zero-filled memsz tail terminates the string
+    // The string runs to the segment's exact end; continue into whatever
+    // segment (if any) maps the next address.
+    VAddr += InSeg;
   }
-  return false;
 }

@@ -19,13 +19,19 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace elfie {
 namespace elf {
 
-/// A parsed view of an ELF64 file. Owns a copy of the file bytes.
+/// A parsed view of an ELF64 file. Sections, segments, and vaddr queries
+/// are zero-copy views into the underlying bytes — an mmap'd file for
+/// open(), a shared buffer for parse() — kept alive by the reader (see
+/// backing()). parseView() callers may instead manage the lifetime
+/// themselves.
 class ELFReader {
 public:
   struct SectionView {
@@ -35,8 +41,8 @@ public:
     uint64_t Addr = 0;
     uint64_t Offset = 0;
     uint64_t Size = 0;
-    /// Section payload (empty for NOBITS).
-    std::vector<uint8_t> Data;
+    /// Section payload, a view into the file bytes (empty for NOBITS).
+    std::span<const uint8_t> Data;
   };
 
   struct SegmentView {
@@ -45,8 +51,9 @@ public:
     uint64_t VAddr = 0;
     uint64_t FileSize = 0;
     uint64_t MemSize = 0;
-    /// File payload for the segment (FileSize bytes).
-    std::vector<uint8_t> Data;
+    /// File payload for the segment, a view into the file bytes
+    /// (FileSize bytes).
+    std::span<const uint8_t> Data;
   };
 
   struct SymbolView {
@@ -57,12 +64,27 @@ public:
     uint16_t SectionIndex = 0;
   };
 
-  /// Parses \p Bytes; fails with a section-header-style diagnostic on
-  /// malformed input (wrong magic/class, truncated tables, bad offsets).
+  /// Parses \p Bytes (taking ownership); fails with a section-header-style
+  /// diagnostic on malformed input (wrong magic/class, truncated tables,
+  /// bad offsets).
   static Expected<ELFReader> parse(std::vector<uint8_t> Bytes);
 
-  /// Convenience: read + parse a file.
+  /// Parses a borrowed view of the file bytes. When \p Keepalive is null
+  /// the caller must keep \p Bytes valid for the reader's whole lifetime;
+  /// otherwise the reader retains \p Keepalive (e.g. the MappedFile the
+  /// span points into) and is self-contained.
+  static Expected<ELFReader>
+  parseView(std::span<const uint8_t> Bytes,
+            std::shared_ptr<const void> Keepalive = nullptr);
+
+  /// Convenience: mmap + parse a file (zero-copy; the mapping is retained
+  /// by the reader).
   static Expected<ELFReader> open(const std::string &Path);
+
+  /// The object keeping the viewed bytes alive; null for parseView()
+  /// without a keepalive (caller-managed lifetime). Consumers that outlive
+  /// the reader (e.g. the VM loader) retain this.
+  std::shared_ptr<const void> backing() const { return Keepalive; }
 
   uint16_t fileType() const { return Header.e_type; }
   uint16_t machine() const { return Header.e_machine; }
@@ -91,6 +113,12 @@ public:
   /// Returns false when the range is not fully covered by one segment.
   bool readAtVAddr(uint64_t VAddr, void *Out, size_t Size) const;
 
+  /// Zero-copy variant of readAtVAddr: a view of the file bytes backing
+  /// [VAddr, VAddr + Size). Empty when the range is not fully inside one
+  /// segment's *file* payload (ranges reaching into the zero-filled memsz
+  /// tail need readAtVAddr).
+  std::span<const uint8_t> viewAtVAddr(uint64_t VAddr, size_t Size) const;
+
   /// Reads a NUL-terminated string from loaded memory at \p VAddr. Returns
   /// false when the address is unmapped or no terminator appears within
   /// \p MaxLen bytes of mapped memory.
@@ -102,6 +130,7 @@ private:
   std::vector<SectionView> Sections;
   std::vector<SegmentView> Segments;
   std::vector<SymbolView> Syms;
+  std::shared_ptr<const void> Keepalive;
 };
 
 } // namespace elf

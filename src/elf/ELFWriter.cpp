@@ -32,6 +32,24 @@ unsigned ELFWriter::addSection(const std::string &Name, uint64_t Flags,
   return static_cast<unsigned>(Sections.size());
 }
 
+unsigned ELFWriter::addSectionChunks(
+    const std::string &Name, uint64_t Flags, uint64_t VAddr,
+    std::vector<std::span<const uint8_t>> Chunks, uint64_t Align) {
+  Section S;
+  S.Name = Name;
+  S.ShType = SHT_PROGBITS;
+  S.Flags = Flags;
+  S.VAddr = VAddr;
+  S.Align = Align;
+  uint64_t Total = 0;
+  for (const auto &C : Chunks)
+    Total += C.size();
+  S.Size = Total;
+  S.Chunks = std::move(Chunks);
+  Sections.push_back(std::move(S));
+  return static_cast<unsigned>(Sections.size());
+}
+
 unsigned ELFWriter::addNoBitsSection(const std::string &Name, uint64_t Flags,
                                      uint64_t VAddr, uint64_t Size,
                                      uint64_t Align) {
@@ -291,11 +309,21 @@ Expected<std::vector<uint8_t>> ELFWriter::finalize() {
     }
   }
 
-  // Section bodies.
+  // Section bodies. Chunked sections (page runs borrowed from a pinball
+  // MemImage) are written view by view — no staging concatenation ever
+  // exists; the result is byte-identical to an owned-payload section.
   for (const OutSection &O : Out) {
     if (O.ShType == SHT_NOBITS || O.Size == 0)
       continue;
-    std::memcpy(Image.data() + O.FileOffset, O.Data->data(), O.Size);
+    uint8_t *W = Image.data() + O.FileOffset;
+    if (O.Src && !O.Src->Chunks.empty()) {
+      for (const auto &C : O.Src->Chunks) {
+        std::memcpy(W, C.data(), C.size());
+        W += C.size();
+      }
+    } else {
+      std::memcpy(W, O.Data->data(), O.Size);
+    }
   }
 
   // Section header table. Recompute name offsets against the emitted

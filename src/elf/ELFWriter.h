@@ -24,6 +24,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,17 @@ public:
   /// also covered by a PT_LOAD segment at \p VAddr. Returns section index.
   unsigned addSection(const std::string &Name, uint64_t Flags, uint64_t VAddr,
                       std::vector<uint8_t> Data, uint64_t Align = 8);
+
+  /// Zero-copy variant of addSection: the payload is the concatenation of
+  /// \p Chunks, which are *borrowed* views (typically page runs of a
+  /// pinball MemImage). The caller must keep the viewed bytes alive until
+  /// finalize()/writeToFile(); emission writes them straight into the file
+  /// image with no staging copy. Emitted bytes are identical to an
+  /// addSection call with the concatenated payload.
+  unsigned addSectionChunks(const std::string &Name, uint64_t Flags,
+                            uint64_t VAddr,
+                            std::vector<std::span<const uint8_t>> Chunks,
+                            uint64_t Align = 8);
 
   /// Adds a NOBITS (.bss-like) section of \p Size zero bytes at \p VAddr.
   unsigned addNoBitsSection(const std::string &Name, uint64_t Flags,
@@ -71,9 +83,11 @@ private:
     uint32_t ShType;
     uint64_t Flags;
     uint64_t VAddr;
-    uint64_t Size; // for NOBITS; == Data.size() otherwise
+    uint64_t Size; // NOBITS: zero bytes; else Data.size() or sum of Chunks
     uint64_t Align;
-    std::vector<uint8_t> Data;
+    std::vector<uint8_t> Data; // owned payload (addSection)
+    /// Borrowed payload views (addSectionChunks); emitted in order.
+    std::vector<std::span<const uint8_t>> Chunks;
   };
   struct Symbol {
     std::string Name;

@@ -9,6 +9,7 @@
 
 #include "support/FileIO.h"
 #include "support/Format.h"
+#include "support/MappedFile.h"
 #include "support/RNG.h"
 
 #include <algorithm>
@@ -43,18 +44,22 @@ enum class ByteMut {
 
 constexpr int NumByteMuts = 6;
 
-/// Applies \p M to \p Bytes; returns a description fragment.
-std::string applyByteMut(ByteMut M, std::vector<uint8_t> &Bytes, RNG &Rand) {
-  size_t N = Bytes.size();
+/// Applies \p M in place to the \p Size bytes at \p Bytes (the private-COW
+/// view of the target file); returns a description fragment. Truncating
+/// kinds only shrink \p Size — the buffer itself is never reallocated, so
+/// it can live inside a MAP_PRIVATE mapping.
+std::string applyByteMut(ByteMut M, uint8_t *Bytes, size_t &Size,
+                         RNG &Rand) {
+  size_t N = Size;
   switch (M) {
   case ByteMut::TruncatePrefix: {
     size_t Keep = N ? Rand.nextBelow(N) : 0;
-    Bytes.resize(Keep);
+    Size = Keep;
     return formatString("truncate %zu -> %zu", N, Keep);
   }
   case ByteMut::ChopTail: {
     size_t Drop = std::min<size_t>(N, 1 + Rand.nextBelow(16));
-    Bytes.resize(N - Drop);
+    Size = N - Drop;
     return formatString("chop %zu tail bytes", Drop);
   }
   case ByteMut::FlipBit: {
@@ -70,7 +75,7 @@ std::string applyByteMut(ByteMut M, std::vector<uint8_t> &Bytes, RNG &Rand) {
       return "huge-field on tiny file (noop)";
     size_t At = Rand.nextBelow(N / 4) * 4;
     uint32_t V = 0x7FFFFFF0u + static_cast<uint32_t>(Rand.nextBelow(16));
-    std::memcpy(Bytes.data() + At, &V, 4);
+    std::memcpy(Bytes + At, &V, 4);
     return formatString("huge u32 0x%08x at offset %zu", V, At);
   }
   case ByteMut::ZeroRange: {
@@ -78,7 +83,7 @@ std::string applyByteMut(ByteMut M, std::vector<uint8_t> &Bytes, RNG &Rand) {
       return "zero on empty (noop)";
     size_t At = Rand.nextBelow(N);
     size_t Len = std::min<size_t>(N - At, 1 + Rand.nextBelow(64));
-    std::memset(Bytes.data() + At, 0, Len);
+    std::memset(Bytes + At, 0, Len);
     return formatString("zero %zu bytes at offset %zu", Len, At);
   }
   case ByteMut::PatchHeader: {
@@ -91,6 +96,24 @@ std::string applyByteMut(ByteMut M, std::vector<uint8_t> &Bytes, RNG &Rand) {
   }
   }
   return "noop";
+}
+
+/// Maps \p Path private-COW, mutates the view in place, and writes the
+/// (possibly shortened) result back. The kernel's private pages absorb the
+/// scribbles; only the final writeFile touches the disk.
+Expected<std::string> mutateFileInPlace(const std::string &Path,
+                                        ByteMut Kind, RNG &Rand) {
+  auto File = MappedFile::open(Path, MappedFile::Mode::PrivateCow);
+  if (!File)
+    return File.takeError();
+  size_t Size = File->size();
+  std::string What = applyByteMut(Kind, File->mutableData(), Size, Rand);
+  // Atomic write-back: the rename retires the old inode while the mapping
+  // still references it (a plain truncating rewrite of the mapped file
+  // would SIGBUS the not-yet-copied pages we are writing from).
+  if (Error E = writeFileAtomic(Path, File->data(), Size))
+    return E;
+  return What;
 }
 
 } // namespace
@@ -120,25 +143,15 @@ elfie::fault::mutatePinballDir(const std::string &Dir, uint64_t Seed) {
     return "delete " + Name;
   }
 
-  auto Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.takeError();
-  std::string What =
-      applyByteMut(static_cast<ByteMut>(Kind), *Bytes, Rand);
-  if (Error E = writeFile(Path, Bytes->data(), Bytes->size()))
-    return E;
-  return Name + ": " + What;
+  auto What = mutateFileInPlace(Path, static_cast<ByteMut>(Kind), Rand);
+  if (!What)
+    return What.takeError();
+  return Name + ": " + *What;
 }
 
 Expected<std::string> elfie::fault::mutateElfFile(const std::string &Path,
                                                  uint64_t Seed) {
-  auto Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.takeError();
   RNG Rand(Seed);
-  std::string What = applyByteMut(
-      static_cast<ByteMut>(Rand.nextBelow(NumByteMuts)), *Bytes, Rand);
-  if (Error E = writeFile(Path, Bytes->data(), Bytes->size()))
-    return E;
-  return What;
+  return mutateFileInPlace(
+      Path, static_cast<ByteMut>(Rand.nextBelow(NumByteMuts)), Rand);
 }

@@ -47,11 +47,12 @@ void RegionLogger::beginRegion() {
 
   // -log:whole_image: capture every mapped page now.
   if (Opts.WholeImage) {
-    M.mem().forEachPage([&](uint64_t Addr, const vm::AddressSpace::Page &P) {
+    M.mem().forEachPage([&](uint64_t Addr, uint8_t Perm,
+                            const uint8_t *Bytes) {
       PageRecord Rec;
       Rec.Addr = Addr;
-      Rec.Perm = P.Perm;
-      Rec.Bytes.assign(P.Bytes, P.Bytes + vm::GuestPageSize);
+      Rec.Perm = Perm;
+      Rec.Bytes.assign(Bytes, Bytes + vm::GuestPageSize);
       PB.Image.push_back(std::move(Rec));
       CapturedPages.insert(Addr);
     });
@@ -70,11 +71,11 @@ void RegionLogger::capturePage(uint64_t Addr, const uint8_t *Bytes) {
   if (CapturedPages.count(Addr))
     return;
   CapturedPages.insert(Addr);
-  const vm::AddressSpace::Page *P = M.mem().getPage(Addr);
+  int Perm = M.mem().pagePerm(Addr);
   InjectRecord Rec;
   Rec.FirstUseIcount = M.globalRetired() - RegionStartRetired;
   Rec.Page.Addr = Addr;
-  Rec.Page.Perm = P ? P->Perm : vm::PermRW;
+  Rec.Page.Perm = Perm < 0 ? vm::PermRW : static_cast<uint8_t>(Perm);
   Rec.Page.Bytes.assign(Bytes, Bytes + vm::GuestPageSize);
   PB.Injects.push_back(std::move(Rec));
 }

@@ -80,25 +80,29 @@ void writePage(BinaryWriter &W, const PageRecord &P) {
   W.writeBlob(P.Bytes.data(), P.Bytes.size());
 }
 
+/// Parses one page record. The page bytes are *borrowed* from the reader's
+/// underlying buffer (zero-copy); the caller keeps that buffer alive — for
+/// Pinball::load, by retaining the mapped file in Pinball::Backing.
 Error readPage(BinaryReader &R, PageRecord &P, const std::string &File) {
   P.Addr = R.readU64();
   P.Perm = R.readU8();
-  P.Bytes = R.readBlob();
+  std::span<const uint8_t> Blob = R.readBlobView();
   if (R.hadError())
     return makeCodedError("EFAULT.PINBALL.TRUNCATED",
                           "'%s' is truncated inside a page record",
                           File.c_str());
-  if (P.Bytes.size() != vm::GuestPageSize)
+  if (Blob.size() != vm::GuestPageSize)
     return makeCodedError(
         "EFAULT.PINBALL.PAGE",
         "'%s': page record at %#llx has %zu bytes, expected %llu",
-        File.c_str(), static_cast<unsigned long long>(P.Addr),
-        P.Bytes.size(), static_cast<unsigned long long>(vm::GuestPageSize));
+        File.c_str(), static_cast<unsigned long long>(P.Addr), Blob.size(),
+        static_cast<unsigned long long>(vm::GuestPageSize));
   if (P.Addr & vm::GuestPageMask)
     return makeCodedError(
         "EFAULT.PINBALL.PAGE",
         "'%s': page record address %#llx is not page aligned", File.c_str(),
         static_cast<unsigned long long>(P.Addr));
+  P.Bytes.borrow(Blob.data(), Blob.size());
   return Error::success();
 }
 
@@ -123,6 +127,25 @@ const ThreadRegs *Pinball::threadRegs(uint32_t Tid) const {
 
 uint64_t Pinball::imageBytes() const {
   return (Image.size() + Injects.size()) * vm::GuestPageSize;
+}
+
+MemImage Pinball::buildMemImage(bool IncludeInjects) const {
+  MemImage Img;
+  auto AddPage = [&](const PageRecord &P) {
+    Img.addRun(P.Addr, P.Perm, P.Bytes.data(), P.Bytes.size());
+    // Owned page buffers (captured or mutated pages) need their own
+    // keepalive; borrowed pages are covered by the Backing files below.
+    if (auto O = P.Bytes.owner())
+      Img.retain(std::move(O));
+  };
+  for (const PageRecord &P : Image)
+    AddPage(P);
+  if (IncludeInjects)
+    for (const InjectRecord &I : Injects)
+      AddPage(I.Page);
+  for (const auto &B : Backing)
+    Img.retain(B);
+  return Img;
 }
 
 Error Pinball::save(const std::string &Dir) const {
@@ -278,11 +301,23 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     PB.Meta = Meta.takeValue();
   }
 
+  // The page-bearing files are mmap'd, not slurped: page records borrow
+  // their bytes straight out of the mapping (retained in PB.Backing), so
+  // loading a fat pinball allocates no per-page copies at all.
+  auto MapFile = [&](const std::string &Name)
+      -> Expected<std::shared_ptr<const MappedFile>> {
+    auto MF = MappedFile::open(Dir + "/" + Name);
+    if (!MF)
+      return MF.takeError();
+    auto File = std::make_shared<const MappedFile>(MF.takeValue());
+    PB.Backing.push_back(File);
+    return File;
+  };
   {
-    auto Bytes = ReadAll("image.text");
-    if (!Bytes)
-      return Bytes.takeError();
-    BinaryReader R(*Bytes);
+    auto File = MapFile("image.text");
+    if (!File)
+      return File.takeError();
+    BinaryReader R((*File)->data(), (*File)->size());
     if (Error E = checkHeader(R, KindImage, "image.text"))
       return E;
     uint32_t N = R.readU32();
@@ -299,10 +334,10 @@ Expected<Pinball> Pinball::load(const std::string &Dir) {
     }
   }
   {
-    auto Bytes = ReadAll("inject.pages");
-    if (!Bytes)
-      return Bytes.takeError();
-    BinaryReader R(*Bytes);
+    auto File = MapFile("inject.pages");
+    if (!File)
+      return File.takeError();
+    BinaryReader R((*File)->data(), (*File)->size());
     if (Error E = checkHeader(R, KindInject, "inject.pages"))
       return E;
     uint32_t N = R.readU32();

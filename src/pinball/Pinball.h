@@ -34,20 +34,86 @@
 #define ELFIE_PINBALL_PINBALL_H
 
 #include "support/Error.h"
+#include "support/MappedFile.h"
+#include "support/MemImage.h"
 #include "vm/VM.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace elfie {
 namespace pinball {
 
+/// The bytes of one captured page: either an owned (shared) heap buffer or
+/// a zero-copy borrow into backing storage someone else keeps alive — for
+/// loaded pinballs, the mmap'd image.text/inject.pages retained in
+/// Pinball::Backing. Copies are cheap (they share the buffer); the mutating
+/// accessors materialize a private copy first (copy-on-write), so borrowed
+/// backing is never written through and copies never alias mutations.
+class PageBytes {
+public:
+  PageBytes() = default;
+
+  /// Owned copy of [First, Last).
+  void assign(const uint8_t *First, const uint8_t *Last) {
+    size_t N = static_cast<size_t>(Last - First);
+    std::shared_ptr<uint8_t[]> Buf(new uint8_t[N]);
+    std::memcpy(Buf.get(), First, N);
+    Ptr = Buf.get();
+    Len = N;
+    Owned = std::move(Buf);
+  }
+
+  /// Zero-copy borrow; the caller guarantees [Data, Data + Size) outlives
+  /// every copy of this object (see Pinball::Backing).
+  void borrow(const uint8_t *Data, size_t Size) {
+    Ptr = Data;
+    Len = Size;
+    Owned.reset();
+  }
+
+  const uint8_t *data() const { return Ptr; }
+  size_t size() const { return Len; }
+  bool empty() const { return Len == 0; }
+  const uint8_t *begin() const { return Ptr; }
+  const uint8_t *end() const { return Ptr + Len; }
+  uint8_t operator[](size_t I) const { return Ptr[I]; }
+  uint8_t &operator[](size_t I) { return mutableData()[I]; }
+
+  /// Writable access; materializes a private owned copy when the bytes are
+  /// borrowed or shared with another PageBytes.
+  uint8_t *mutableData() {
+    if (!Owned || Owned.use_count() > 1)
+      assign(Ptr, Ptr + Len);
+    return Owned.get();
+  }
+
+  /// True when the bytes are a borrow (no owned buffer).
+  bool borrowed() const { return Ptr && !Owned; }
+
+  /// The shared owning buffer, if any (keepalive for MemImage borrows).
+  std::shared_ptr<const uint8_t[]> owner() const { return Owned; }
+
+  friend bool operator==(const PageBytes &A, const PageBytes &B) {
+    return A.Len == B.Len &&
+           (A.Ptr == B.Ptr || std::equal(A.begin(), A.end(), B.begin()));
+  }
+
+private:
+  const uint8_t *Ptr = nullptr;
+  size_t Len = 0;
+  std::shared_ptr<uint8_t[]> Owned;
+};
+
 /// One captured page.
 struct PageRecord {
   uint64_t Addr = 0; ///< page-aligned guest address
   uint8_t Perm = 0;  ///< vm::PagePerm bits
-  std::vector<uint8_t> Bytes; ///< exactly GuestPageSize bytes
+  PageBytes Bytes;   ///< exactly GuestPageSize bytes
 };
 
 /// A page inserted lazily at replay time (regular pinballs).
@@ -118,11 +184,22 @@ public:
   std::vector<ScheduleSlice> Schedule;
   std::string OutputLog;
 
+  /// Backing storage (the mmap'd pinball files) that page records may
+  /// borrow bytes from. Shared so Pinball copies and MemImages built with
+  /// buildMemImage() stay valid independently of this object's lifetime.
+  std::vector<std::shared_ptr<const MappedFile>> Backing;
+
   /// True when every page needed by the region is in the initial image.
   bool isFat() const { return Meta.WholeImage && Meta.PagesEarly; }
 
   /// All pages the region can touch: Image plus Injects.
   std::vector<const PageRecord *> allPages() const;
+
+  /// Builds an extent index over the captured pages without copying them:
+  /// runs borrow the page bytes, and the image retains Backing plus any
+  /// owned page buffers, so the result may outlive this Pinball. Image
+  /// pages always; inject pages too when \p IncludeInjects (fat replay).
+  MemImage buildMemImage(bool IncludeInjects = false) const;
 
   /// Finds the initial registers for \p Tid; null when absent.
   const ThreadRegs *threadRegs(uint32_t Tid) const;

@@ -20,15 +20,11 @@ Expected<std::unique_ptr<vm::VM>>
 replay::makeReplayVM(const Pinball &PB, const vm::VMConfig &Config,
                      bool LoadAllPages) {
   auto M = std::make_unique<vm::VM>(Config);
-  auto LoadPage = [&](const pinball::PageRecord &P) {
-    M->mem().map(P.Addr, vm::GuestPageSize, P.Perm);
-    M->mem().poke(P.Addr, P.Bytes.data(), P.Bytes.size());
-  };
-  for (const pinball::PageRecord &P : PB.Image)
-    LoadPage(P);
-  if (LoadAllPages)
-    for (const pinball::InjectRecord &I : PB.Injects)
-      LoadPage(I.Page);
+  // Zero-copy page load: the pinball's (typically mmap-backed) image pages
+  // attach as borrowed extents; the VM only allocates private copies for
+  // pages the replayed code actually writes. The returned VM borrows the
+  // pinball's bytes, so PB must outlive it.
+  M->mem().attachImage(PB.buildMemImage(/*IncludeInjects=*/LoadAllPages));
 
   // Restore the heap break so brk() growth behaves as in the logging run.
   if (PB.Meta.BrkAtStart)
@@ -87,6 +83,7 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
     }
     Result.Stdout = *Captured;
     Result.VMStats = RR.CacheStats;
+    Result.MemStats = RR.MemoryStats;
     return Result;
   }
 
@@ -222,5 +219,6 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
   Result.Divergence = Divergence;
   Result.Diverge = Diverge;
   Result.VMStats = M->decodeCacheStats();
+  Result.MemStats = M->mem().memStats();
   return Result;
 }

@@ -98,6 +98,11 @@ struct ReplayResult {
   /// Decoded-block cache counters from the replay VM (hits, misses,
   /// invalidations). All zero when the cache is disabled.
   vm::DecodeCacheStats VMStats;
+  /// Memory-substrate counters from the replay VM: attached image extents,
+  /// copy-on-write faults, and private (dirty) bytes. With the zero-copy
+  /// pinball substrate, DirtyBytes stays well below the image size for
+  /// read-mostly regions.
+  vm::MemStats MemStats;
 };
 
 /// Builds a VM primed with the pinball's state: pages mapped (image only —

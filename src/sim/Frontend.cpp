@@ -9,7 +9,7 @@
 
 #include "elf/ELFReader.h"
 #include "replay/Replayer.h"
-#include "support/FileIO.h"
+#include "support/MappedFile.h"
 
 using namespace elfie;
 using namespace elfie::sim;
@@ -95,11 +95,13 @@ private:
 } // namespace
 
 Expected<SimResult>
-sim::simulateBinaryImage(const std::vector<uint8_t> &Image,
+sim::simulateBinaryImage(std::span<const uint8_t> Image,
                          const MachineConfig &Machine, RunControls Controls,
                          vm::VMConfig VMConfig,
                          std::vector<std::string> Args) {
-  auto Reader = elf::ELFReader::parse(Image);
+  // Zero-copy parse: the reader's views (and the VM's attached image
+  // extents) borrow from the caller's bytes, which outlive this call.
+  auto Reader = elf::ELFReader::parseView(Image);
   if (!Reader)
     return Reader.takeError();
 
@@ -180,6 +182,7 @@ sim::simulateBinaryImage(const std::vector<uint8_t> &Image,
   Out.MarkerSeen = Obs.markerSeen();
   Out.WasElfie = IsElfie;
   Out.VMStats = M.decodeCacheStats();
+  Out.MemStats = M.mem().memStats();
   return Out;
 }
 
@@ -188,10 +191,12 @@ Expected<SimResult> sim::simulateBinaryFile(const std::string &Path,
                                             RunControls Controls,
                                             vm::VMConfig VMConfig,
                                             std::vector<std::string> Args) {
-  auto Bytes = readFileBytes(Path);
-  if (!Bytes)
-    return Bytes.takeError();
-  return simulateBinaryImage(*Bytes, Machine, Controls,
+  // mmap the binary; the mapping stays alive across the whole simulation,
+  // so the VM executes code straight from the page cache.
+  auto File = MappedFile::open(Path);
+  if (!File)
+    return File.takeError();
+  return simulateBinaryImage(File->span(), Machine, Controls,
                              std::move(VMConfig), std::move(Args));
 }
 
@@ -250,5 +255,6 @@ Expected<SimResult> sim::simulatePinball(const pinball::Pinball &PB,
   Out.Reason = R->Reason;
   Out.RoiRetired = R->Retired;
   Out.VMStats = R->VMStats;
+  Out.MemStats = R->MemStats;
   return Out;
 }

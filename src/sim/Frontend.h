@@ -30,6 +30,7 @@
 #include "support/Error.h"
 #include "vm/VM.h"
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,16 +62,20 @@ struct SimResult {
   /// Decoded-block cache counters from the functional VM underneath the
   /// timing model. All zero when the cache is disabled.
   vm::DecodeCacheStats VMStats;
+  /// Memory-substrate counters from the functional VM: attached image
+  /// extents, copy-on-write faults, and private (dirty) bytes.
+  vm::MemStats MemStats;
 };
 
-/// Simulates a guest ELF image (program or guest-target ELFie).
-Expected<SimResult> simulateBinaryImage(const std::vector<uint8_t> &Image,
+/// Simulates a guest ELF image (program or guest-target ELFie). The image
+/// bytes are borrowed for the duration of the call (zero-copy load).
+Expected<SimResult> simulateBinaryImage(std::span<const uint8_t> Image,
                                         const MachineConfig &Machine,
                                         RunControls Controls = {},
                                         vm::VMConfig VMConfig = {},
                                         std::vector<std::string> Args = {});
 
-/// Convenience: read + simulate a file.
+/// Convenience: mmap + simulate a file.
 Expected<SimResult> simulateBinaryFile(const std::string &Path,
                                        const MachineConfig &Machine,
                                        RunControls Controls = {},

@@ -343,6 +343,15 @@ std::vector<uint8_t> BinaryReader::readBlob() {
   return Out;
 }
 
+std::span<const uint8_t> BinaryReader::readBlobView() {
+  uint32_t N = readU32();
+  if (!take(N))
+    return {};
+  std::span<const uint8_t> Out(Data + Pos, N);
+  Pos += N;
+  return Out;
+}
+
 std::string BinaryReader::readString() {
   auto Blob = readBlob();
   return std::string(Blob.begin(), Blob.end());

@@ -18,6 +18,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,11 @@ public:
 
   /// Reads a length-prefixed (u32) blob.
   std::vector<uint8_t> readBlob();
+
+  /// Reads a length-prefixed (u32) blob as a zero-copy view into the
+  /// underlying buffer; the view is valid as long as the buffer is. Returns
+  /// an empty span on overrun (check hadError()).
+  std::span<const uint8_t> readBlobView();
 
   /// Reads a length-prefixed (u32) string.
   std::string readString();

@@ -1,0 +1,105 @@
+//===- support/MappedFile.cpp ---------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MappedFile.h"
+
+#include "support/FileIO.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace elfie;
+
+MappedFile &MappedFile::operator=(MappedFile &&O) noexcept {
+  if (this != &O) {
+    reset();
+    Map = O.Map;
+    MapLen = O.MapLen;
+    OwnedBytes = std::move(O.OwnedBytes);
+    Writable = O.Writable;
+    FilePath = std::move(O.FilePath);
+    O.Map = nullptr;
+    O.MapLen = 0;
+    O.Writable = false;
+  }
+  return *this;
+}
+
+void MappedFile::reset() {
+  if (Map)
+    ::munmap(Map, MapLen);
+  Map = nullptr;
+  MapLen = 0;
+  OwnedBytes.clear();
+  Writable = false;
+}
+
+Expected<MappedFile> MappedFile::open(const std::string &Path, Mode M) {
+  MappedFile F;
+  F.FilePath = Path;
+  F.Writable = (M == Mode::PrivateCow);
+
+  // Fault seam: an installed hook must observe (and may mutate or fail)
+  // every read, so bypass mmap and go through the hooked reader. The owned
+  // buffer is always writable, which is safe for ReadOnly callers too --
+  // they only use the const accessors.
+  if (ioFaultHook()) {
+    auto Bytes = readFileBytes(Path);
+    if (!Bytes)
+      return Bytes.takeError();
+    F.OwnedBytes = Bytes.takeValue();
+    F.Writable = true;
+    return F;
+  }
+
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return makeCodedError("EFAULT.IO.OPEN", "cannot open '%s': %s",
+                          Path.c_str(), std::strerror(errno));
+
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return makeCodedError("EFAULT.IO.READ", "cannot stat '%s': %s",
+                          Path.c_str(), std::strerror(E));
+  }
+  if (!S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return makeCodedError("EFAULT.IO.READ", "'%s' is not a regular file",
+                          Path.c_str());
+  }
+
+  size_t Len = static_cast<size_t>(St.st_size);
+  if (Len == 0) {
+    // mmap of length 0 is invalid; an empty owned buffer is equivalent.
+    ::close(Fd);
+    F.Writable = true;
+    return F;
+  }
+
+  int Prot = PROT_READ | (M == Mode::PrivateCow ? PROT_WRITE : 0);
+  void *P = ::mmap(nullptr, Len, Prot, MAP_PRIVATE, Fd, 0);
+  ::close(Fd);
+  if (P == MAP_FAILED) {
+    // Degrade to an owned copy (e.g. exotic filesystems without mmap).
+    auto Bytes = readFileBytes(Path);
+    if (!Bytes)
+      return Bytes.takeError();
+    F.OwnedBytes = Bytes.takeValue();
+    F.Writable = true;
+    return F;
+  }
+
+  F.Map = P;
+  F.MapLen = Len;
+  return F;
+}

@@ -1,0 +1,86 @@
+//===- support/MappedFile.h -----------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// RAII mmap views of whole files: the zero-copy substrate under pinball
+// loading, ELF reading, and the fault mutator. Two view modes:
+//
+//   ReadOnly   - PROT_READ, MAP_PRIVATE: an immutable borrow of the file.
+//   PrivateCow - PROT_READ|PROT_WRITE, MAP_PRIVATE: a writable view whose
+//                stores copy-on-write in the kernel and never reach the file.
+//
+// The fault-injection seam is preserved: when an IOFaultHook is installed
+// (ELFIE_FAULT_SPEC campaigns), open() routes through readFileBytes() so the
+// hook still sees -- and can corrupt or fail -- every read, at the cost of an
+// owned in-memory copy. Empty files and mmap() failures take the same owned
+// fallback, so callers never need to care which substrate they got.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_MAPPEDFILE_H
+#define ELFIE_SUPPORT_MAPPEDFILE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace elfie {
+
+/// A move-only whole-file view, mmap-backed when possible.
+class MappedFile {
+public:
+  enum class Mode {
+    ReadOnly,   ///< immutable view of the file bytes
+    PrivateCow, ///< writable private view; stores never reach the file
+  };
+
+  MappedFile() = default;
+  ~MappedFile() { reset(); }
+  MappedFile(MappedFile &&O) noexcept { *this = std::move(O); }
+  MappedFile &operator=(MappedFile &&O) noexcept;
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+
+  /// Maps \p Path in its entirety. Errors carry the same EFAULT.IO.* codes
+  /// as readFileBytes() so callers switching substrate keep their taxonomy.
+  static Expected<MappedFile> open(const std::string &Path,
+                                   Mode M = Mode::ReadOnly);
+
+  const uint8_t *data() const {
+    return Map ? static_cast<const uint8_t *>(Map) : OwnedBytes.data();
+  }
+  size_t size() const { return Map ? MapLen : OwnedBytes.size(); }
+  std::span<const uint8_t> span() const { return {data(), size()}; }
+
+  /// Writable access; only valid for PrivateCow views (mapped or fallback).
+  /// Returns nullptr for ReadOnly mappings.
+  uint8_t *mutableData() {
+    if (!Writable)
+      return nullptr;
+    return Map ? static_cast<uint8_t *>(Map) : OwnedBytes.data();
+  }
+
+  /// True when the bytes are a live mmap (false on the owned-buffer
+  /// fallbacks: fault hook installed, empty file, or mmap failure).
+  bool isMapped() const { return Map != nullptr; }
+  const std::string &path() const { return FilePath; }
+
+private:
+  void reset();
+
+  void *Map = nullptr;
+  size_t MapLen = 0;
+  std::vector<uint8_t> OwnedBytes;
+  bool Writable = false;
+  std::string FilePath;
+};
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_MAPPEDFILE_H

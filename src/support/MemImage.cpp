@@ -1,0 +1,204 @@
+//===- support/MemImage.cpp -----------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemImage.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace elfie;
+
+/// Clamps [VAddr, VAddr + Size) at the top of the 64-bit space. Returns the
+/// clamped size (0 means "nothing to insert").
+static uint64_t clampSize(uint64_t VAddr, uint64_t Size) {
+  if (Size == 0)
+    return 0;
+  uint64_t Last = VAddr + Size - 1;
+  if (Last < VAddr) // wrapped past 2^64 - 1
+    return UINT64_MAX - VAddr + 1;
+  return Size;
+}
+
+size_t MemImage::lowerBound(uint64_t VAddr) const {
+  auto It = std::lower_bound(
+      Extents.begin(), Extents.end(), VAddr,
+      [](const Extent &E, uint64_t A) { return lastByte(E) < A; });
+  return static_cast<size_t>(It - Extents.begin());
+}
+
+void MemImage::carve(uint64_t VAddr, uint64_t Last) {
+  size_t I = lowerBound(VAddr);
+  while (I < Extents.size() && Extents[I].R.VAddr <= Last) {
+    Extent &E = Extents[I];
+    uint64_t ELast = lastByte(E);
+    uint64_t CutFirst = std::max(E.R.VAddr, VAddr);
+    uint64_t CutLast = std::min(ELast, Last);
+    if (E.Dirty)
+      Stats.DirtyBytes -= CutLast - CutFirst + 1;
+
+    bool KeepLeft = E.R.VAddr < VAddr;
+    bool KeepRight = ELast > Last;
+    if (KeepLeft && KeepRight) {
+      // Split: the left half keeps E in place, the right half becomes a
+      // fresh extent sharing the same backing buffer.
+      Extent Right = E;
+      Right.R.VAddr = Last + 1;
+      Right.R.Size = ELast - Last;
+      Right.R.Data = E.R.Data + (Last + 1 - E.R.VAddr);
+      E.R.Size = VAddr - E.R.VAddr;
+      Extents.insert(Extents.begin() + I + 1, std::move(Right));
+      return; // the carved range was interior to a single extent
+    }
+    if (KeepLeft) {
+      E.R.Size = VAddr - E.R.VAddr;
+      ++I;
+      continue;
+    }
+    if (KeepRight) {
+      E.R.Data += Last + 1 - E.R.VAddr;
+      E.R.Size = ELast - Last;
+      E.R.VAddr = Last + 1;
+      return; // extents are sorted; nothing further can overlap
+    }
+    Extents.erase(Extents.begin() + I);
+  }
+}
+
+void MemImage::insertRun(uint64_t VAddr, uint8_t Perm, const uint8_t *Data,
+                         uint64_t Size, std::shared_ptr<uint8_t[]> Owned) {
+  Size = clampSize(VAddr, Size);
+  if (Size == 0)
+    return;
+  uint64_t Last = VAddr + Size - 1;
+  carve(VAddr, Last);
+  auto It = std::lower_bound(
+      Extents.begin(), Extents.end(), VAddr,
+      [](const Extent &E, uint64_t A) { return E.R.VAddr < A; });
+  Extent E;
+  E.R = Run{VAddr, Size, Perm, Data};
+  E.Owned = std::move(Owned);
+  Extents.insert(It, std::move(E));
+}
+
+void MemImage::addRun(uint64_t VAddr, uint8_t Perm, const uint8_t *Data,
+                      uint64_t Size) {
+  insertRun(VAddr, Perm, Data, Size, nullptr);
+}
+
+void MemImage::addOwnedRun(uint64_t VAddr, uint8_t Perm, const uint8_t *Data,
+                           uint64_t Size) {
+  Size = clampSize(VAddr, Size);
+  if (Size == 0)
+    return;
+  std::shared_ptr<uint8_t[]> Buf(new uint8_t[Size]);
+  std::memcpy(Buf.get(), Data, Size);
+  const uint8_t *P = Buf.get();
+  insertRun(VAddr, Perm, P, Size, std::move(Buf));
+}
+
+const MemImage::Run *MemImage::findRun(uint64_t VAddr) const {
+  size_t I = lowerBound(VAddr);
+  if (I >= Extents.size() || Extents[I].R.VAddr > VAddr)
+    return nullptr;
+  return &Extents[I].R;
+}
+
+bool MemImage::read(uint64_t VAddr, void *Out, uint64_t Size) const {
+  if (Size == 0)
+    return true;
+  uint64_t Last = VAddr + Size - 1;
+  if (Last < VAddr)
+    return false; // a wrapped range cannot be contiguously covered
+  uint8_t *Dst = static_cast<uint8_t *>(Out);
+  uint64_t Cur = VAddr;
+  for (size_t I = lowerBound(VAddr); I < Extents.size(); ++I) {
+    const Extent &E = Extents[I];
+    if (E.R.VAddr > Cur)
+      return false; // gap
+    uint64_t Off = Cur - E.R.VAddr;
+    uint64_t Chunk = std::min(E.R.Size - Off, Last - Cur + 1);
+    std::memcpy(Dst, E.R.Data + Off, Chunk);
+    Dst += Chunk;
+    if (Last - Cur + 1 == Chunk)
+      return true;
+    Cur += Chunk;
+  }
+  return false;
+}
+
+bool MemImage::write(uint64_t VAddr, const void *Bytes, uint64_t Size) {
+  if (Size == 0)
+    return true;
+  uint64_t Last = VAddr + Size - 1;
+  if (Last < VAddr)
+    return false;
+  // First pass: verify full coverage so a failed write mutates nothing.
+  {
+    uint64_t Cur = VAddr;
+    size_t I = lowerBound(VAddr);
+    while (true) {
+      if (I >= Extents.size() || Extents[I].R.VAddr > Cur)
+        return false;
+      uint64_t Chunk = std::min(Extents[I].R.Size - (Cur - Extents[I].R.VAddr),
+                                Last - Cur + 1);
+      if (Last - Cur + 1 == Chunk)
+        break;
+      Cur += Chunk;
+      ++I;
+    }
+  }
+  const uint8_t *Src = static_cast<const uint8_t *>(Bytes);
+  uint64_t Cur = VAddr;
+  for (size_t I = lowerBound(VAddr);; ++I) {
+    materialize(I);
+    Extent &E = Extents[I];
+    uint64_t Off = Cur - E.R.VAddr;
+    uint64_t Chunk = std::min(E.R.Size - Off, Last - Cur + 1);
+    std::memcpy(const_cast<uint8_t *>(E.R.Data) + Off, Src, Chunk);
+    Src += Chunk;
+    if (Last - Cur + 1 == Chunk)
+      return true;
+    Cur += Chunk;
+  }
+}
+
+void MemImage::materialize(size_t I) {
+  Extent &E = Extents[I];
+  if (E.Owned && E.Owned.use_count() == 1)
+    return; // already exclusively ours
+  std::shared_ptr<uint8_t[]> Buf(new uint8_t[E.R.Size]);
+  std::memcpy(Buf.get(), E.R.Data, E.R.Size);
+  E.R.Data = Buf.get();
+  E.Owned = std::move(Buf);
+  ++Stats.CowFaults;
+  if (!E.Dirty) {
+    E.Dirty = true;
+    Stats.DirtyBytes += E.R.Size;
+  }
+}
+
+uint64_t MemImage::totalBytes() const {
+  uint64_t N = 0;
+  for (const Extent &E : Extents)
+    N += E.R.Size;
+  return N;
+}
+
+void MemImage::retain(std::shared_ptr<const void> Backing) {
+  if (!Backing)
+    return;
+  if (!Keepalives.empty() && Keepalives.back() == Backing)
+    return; // common case: one keepalive per page of the same mapping
+  Keepalives.push_back(std::move(Backing));
+}
+
+void MemImage::adopt(const MemImage &Other) {
+  for (const Extent &E : Other.Extents)
+    insertRun(E.R.VAddr, E.R.Perm, E.R.Data, E.R.Size, E.Owned);
+  for (const auto &K : Other.Keepalives)
+    retain(K);
+}

@@ -1,0 +1,132 @@
+//===- support/MemImage.h -------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// A sorted, extent-based index over a guest memory image. Each extent is a
+// contiguous run of bytes at a guest virtual address, either *borrowed*
+// (a pointer into backing storage someone else keeps alive -- typically an
+// mmap'd pinball image or ELF file, registered with retain()) or *owned*
+// (a shared heap buffer). Extents never overlap; inserting over an existing
+// range splits/trims the older extents, so the later insertion wins --
+// matching the "last store wins" semantics of replay page loading.
+//
+// Ownership/borrowing contract:
+//   - addRun() borrows: the caller guarantees the bytes outlive the image,
+//     usually by handing the backing object to retain().
+//   - addOwnedRun() copies into a shared buffer owned by the image.
+//   - Copying a MemImage is cheap: extents share buffers/keepalives, and
+//     write() re-materializes an extent privately before the first store
+//     (copy-on-write), so copies never observe each other's mutations.
+//
+// Lookup is O(log n) over the sorted extent vector; iteration is in vaddr
+// order. Zero-length runs are ignored; runs reaching past the top of the
+// 64-bit space are clamped at 2^64 - 1.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_MEMIMAGE_H
+#define ELFIE_SUPPORT_MEMIMAGE_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace elfie {
+
+class MemImage {
+public:
+  /// A caller-visible extent: \p Data points at \p Size readable bytes
+  /// backing guest addresses [VAddr, VAddr + Size).
+  struct Run {
+    uint64_t VAddr = 0;
+    uint64_t Size = 0;
+    uint8_t Perm = 0;
+    const uint8_t *Data = nullptr;
+  };
+
+  struct Counters {
+    uint64_t CowFaults = 0;  ///< extents privately materialized by write()
+    uint64_t DirtyBytes = 0; ///< total bytes of privately materialized extents
+  };
+
+  /// Inserts a borrowed run. The bytes must stay valid for the lifetime of
+  /// this image and all copies (see retain()). Overlapped older extents are
+  /// split/trimmed; zero-length runs are ignored; runs that would wrap past
+  /// the top of the address space are clamped.
+  void addRun(uint64_t VAddr, uint8_t Perm, const uint8_t *Data,
+              uint64_t Size);
+
+  /// Inserts a run backed by a private copy of \p Data.
+  void addOwnedRun(uint64_t VAddr, uint8_t Perm, const uint8_t *Data,
+                   uint64_t Size);
+
+  /// O(log n): the run containing \p VAddr, or nullptr. The returned Run is
+  /// invalidated by any mutation of the image.
+  const Run *findRun(uint64_t VAddr) const;
+
+  /// Reads \p Size bytes at \p VAddr. Returns false (leaving \p Out
+  /// unspecified) if any byte of the range is not covered by an extent.
+  bool read(uint64_t VAddr, void *Out, uint64_t Size) const;
+
+  /// Writes \p Size bytes at \p VAddr, materializing private copies of the
+  /// touched extents first (copy-on-write). Returns false without writing
+  /// if any byte of the range is not covered.
+  bool write(uint64_t VAddr, const void *Bytes, uint64_t Size);
+
+  /// Calls \p Fn for every extent in ascending vaddr order.
+  template <typename FnT> void forEachRun(FnT Fn) const {
+    for (const Extent &E : Extents)
+      Fn(E.R);
+  }
+
+  size_t runCount() const { return Extents.size(); }
+  uint64_t totalBytes() const;
+  bool empty() const { return Extents.empty(); }
+  const Counters &counters() const { return Stats; }
+
+  /// Keeps \p Backing alive as long as this image (or any copy of it)
+  /// lives. Used for the mmap'd files borrowed runs point into.
+  void retain(std::shared_ptr<const void> Backing);
+
+  /// Appends all runs and keepalives of \p Other into this image (later
+  /// insertions still win on overlap).
+  void adopt(const MemImage &Other);
+
+private:
+  struct Extent {
+    Run R; ///< caller-visible view (VAddr/Size/Perm/Data)
+    /// Non-null when the image owns the bytes; shared across copies and
+    /// across the halves of a split extent.
+    std::shared_ptr<uint8_t[]> Owned;
+    /// True once this extent's bytes were privately materialized (counted
+    /// in DirtyBytes); preserved across splits so totals stay consistent.
+    bool Dirty = false;
+  };
+
+  /// [First, Last] inclusive guest range of an extent (Size >= 1 always).
+  static uint64_t lastByte(const Extent &E) { return E.R.VAddr + E.R.Size - 1; }
+
+  /// Index of the first extent whose last byte is >= \p VAddr.
+  size_t lowerBound(uint64_t VAddr) const;
+
+  /// Carves [VAddr, Last] out of existing extents (split/trim).
+  void carve(uint64_t VAddr, uint64_t Last);
+
+  void insertRun(uint64_t VAddr, uint8_t Perm, const uint8_t *Data,
+                 uint64_t Size, std::shared_ptr<uint8_t[]> Owned);
+
+  /// Gives extent \p I a private buffer if it does not exclusively own one.
+  void materialize(size_t I);
+
+  std::vector<Extent> Extents; // sorted by VAddr, non-overlapping
+  std::vector<std::shared_ptr<const void>> Keepalives;
+  Counters Stats;
+};
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_MEMIMAGE_H

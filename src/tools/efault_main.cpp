@@ -20,6 +20,7 @@
 #include "support/CommandLine.h"
 #include "support/FileIO.h"
 #include "support/Format.h"
+#include "support/MappedFile.h"
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -209,7 +210,9 @@ int main(int Argc, char **Argv) {
       What = exitOnError(fault::mutatePinballDir(Mutated, Seed));
     } else {
       Mutated = Scratch + "/a.elfie";
-      auto Bytes = exitOnError(readFileBytes(Artifact));
+      // Stage via a read-only mapping: no heap copy of the (possibly
+      // large) ELFie, just page-cache -> file.
+      auto Bytes = exitOnError(MappedFile::open(Artifact));
       exitOnError(writeFile(Mutated, Bytes.data(), Bytes.size()));
       What = exitOnError(fault::mutateElfFile(Mutated, Seed));
     }

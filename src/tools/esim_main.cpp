@@ -62,10 +62,16 @@ int main(int Argc, char **Argv) {
     std::printf("input recognized as an ELFie (ROI from marker, budget "
                 "from elfie_region_length)\n");
   std::fputs(Result.Stats.summary().c_str(), stdout);
-  if (CL.getFlag("vm:stats"))
+  if (CL.getFlag("vm:stats")) {
     std::printf("decode cache: %llu hits, %llu misses, %llu invalidations\n",
                 static_cast<unsigned long long>(Result.VMStats.Hits),
                 static_cast<unsigned long long>(Result.VMStats.Misses),
                 static_cast<unsigned long long>(Result.VMStats.Invalidations));
+    std::printf("memory: %llu image extents, %llu cow faults, "
+                "%llu dirty bytes\n",
+                static_cast<unsigned long long>(Result.MemStats.ImageExtents),
+                static_cast<unsigned long long>(Result.MemStats.CowFaults),
+                static_cast<unsigned long long>(Result.MemStats.DirtyBytes));
+  }
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include "vm/Memory.h"
 
+#include <algorithm>
+
 using namespace elfie;
 using namespace elfie::vm;
 
@@ -22,7 +24,33 @@ uint64_t clampedLastPage(uint64_t Addr, uint64_t Size) {
   return pageBase(End);
 }
 
+/// Shared backing for every never-written, never-image-covered page.
+alignas(GuestPageSize) const uint8_t ZeroPage[GuestPageSize] = {};
+
 } // namespace
+
+const uint8_t *AddressSpace::readable(const PageMeta &M) {
+  if (M.Dirty)
+    return M.Dirty.get();
+  if (M.Image)
+    return M.Image;
+  return ZeroPage;
+}
+
+uint8_t *AddressSpace::writable(PageMeta &M) {
+  if (!M.Dirty) {
+    M.Dirty = std::make_unique<uint8_t[]>(GuestPageSize);
+    if (M.Image) {
+      std::memcpy(M.Dirty.get(), M.Image, GuestPageSize);
+      M.Image = nullptr; // the private copy supersedes the image bytes
+      ++MStats.CowFaults;
+    } else {
+      std::memset(M.Dirty.get(), 0, GuestPageSize);
+    }
+    MStats.DirtyBytes += GuestPageSize;
+  }
+  return M.Dirty.get();
+}
 
 void AddressSpace::map(uint64_t Addr, uint64_t Size, uint8_t Perm) {
   if (Size == 0)
@@ -30,15 +58,9 @@ void AddressSpace::map(uint64_t Addr, uint64_t Size, uint8_t Perm) {
   uint64_t First = pageBase(Addr);
   uint64_t Last = clampedLastPage(Addr, Size);
   for (uint64_t P = First;; P += GuestPageSize) {
-    auto It = Pages.find(P);
-    if (It == Pages.end()) {
-      auto Page = std::make_unique<AddressSpace::Page>();
-      std::memset(Page->Bytes, 0, GuestPageSize);
-      Page->Perm = Perm;
-      Pages.emplace(P, std::move(Page));
-    } else {
-      It->second->Perm |= Perm;
-    }
+    // New pages are metadata-only: reads see the shared zero page until an
+    // image is attached or the first store allocates a private buffer.
+    Pages[P].Perm |= Perm;
     if (P == Last)
       break;
   }
@@ -52,8 +74,10 @@ void AddressSpace::unmap(uint64_t Addr, uint64_t Size) {
   for (uint64_t P = First;; P += GuestPageSize) {
     auto It = Pages.find(P);
     if (It != Pages.end()) {
-      if (It->second->Perm & PermExec)
+      if (It->second.Perm & PermExec)
         notifyCodeChange(P);
+      if (It->second.Dirty)
+        MStats.DirtyBytes -= GuestPageSize;
       Pages.erase(It);
     }
     if (P == Last)
@@ -61,14 +85,47 @@ void AddressSpace::unmap(uint64_t Addr, uint64_t Size) {
   }
 }
 
-AddressSpace::Page *AddressSpace::touch(uint64_t PageAddr) {
+void AddressSpace::attachImage(MemImage Img) {
+  Img.forEachRun([&](const MemImage::Run &R) {
+    uint64_t First = pageBase(R.VAddr);
+    uint64_t LastByte = R.VAddr + R.Size - 1; // MemImage clamps at 2^64-1
+    uint64_t Last = pageBase(LastByte);
+    for (uint64_t P = First;; P += GuestPageSize) {
+      PageMeta &M = Pages[P];
+      M.Perm |= R.Perm;
+      bool FullPage = P >= R.VAddr && LastByte - P >= GuestPageSize - 1;
+      if (FullPage && !M.Dirty) {
+        M.Image = R.Data + (P - R.VAddr);
+      } else {
+        // Partially covered edge page (unaligned run) or a page already
+        // privately written: merge the covered bytes into a private copy.
+        uint8_t *D = writable(M);
+        uint64_t CopyFirst = std::max(P, R.VAddr);
+        uint64_t CopyLast = std::min(LastByte, P + (GuestPageSize - 1));
+        std::memcpy(D + (CopyFirst - P), R.Data + (CopyFirst - R.VAddr),
+                    CopyLast - CopyFirst + 1);
+      }
+      if (R.Perm & PermExec)
+        notifyCodeChange(P);
+      if (P == Last)
+        break;
+    }
+  });
+  MStats.ImageExtents += Img.runCount();
+  // Keep the image (and its mmap keepalives) alive: PageMeta::Image
+  // pointers reference its extent bytes. Moving the image only moves its
+  // extent vector; the extent buffers themselves stay put.
+  Attached.push_back(std::move(Img));
+}
+
+AddressSpace::PageMeta *AddressSpace::touch(uint64_t PageAddr) {
   auto It = Pages.find(PageAddr);
   if (It == Pages.end())
     return nullptr;
-  Page *P = It->second.get();
+  PageMeta *P = &It->second;
   if (!P->AccessedSinceMark) {
     if (Hook)
-      Hook(PageAddr, P->Bytes);
+      Hook(PageAddr, readable(*P));
     P->AccessedSinceMark = true;
   }
   return P;
@@ -78,14 +135,14 @@ MemFault AddressSpace::read(uint64_t Addr, void *Out, uint64_t Size) {
   uint8_t *Dst = static_cast<uint8_t *>(Out);
   while (Size > 0) {
     uint64_t Base = pageBase(Addr);
-    Page *P = touch(Base);
+    PageMeta *P = touch(Base);
     if (!P)
       return MemFault::Unmapped;
     if (!(P->Perm & PermRead))
       return MemFault::NoPermission;
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
-    std::memcpy(Dst, P->Bytes + Off, Chunk);
+    std::memcpy(Dst, readable(*P) + Off, Chunk);
     Dst += Chunk;
     Addr += Chunk;
     Size -= Chunk;
@@ -97,7 +154,7 @@ MemFault AddressSpace::write(uint64_t Addr, const void *Data, uint64_t Size) {
   const uint8_t *Src = static_cast<const uint8_t *>(Data);
   while (Size > 0) {
     uint64_t Base = pageBase(Addr);
-    Page *P = touch(Base);
+    PageMeta *P = touch(Base);
     if (!P)
       return MemFault::Unmapped;
     if (!(P->Perm & PermWrite))
@@ -106,7 +163,7 @@ MemFault AddressSpace::write(uint64_t Addr, const void *Data, uint64_t Size) {
       notifyCodeChange(Base);
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
-    std::memcpy(P->Bytes + Off, Src, Chunk);
+    std::memcpy(writable(*P) + Off, Src, Chunk);
     Src += Chunk;
     Addr += Chunk;
     Size -= Chunk;
@@ -118,14 +175,14 @@ MemFault AddressSpace::fetch(uint64_t Addr, void *Out, uint64_t Size) {
   uint8_t *Dst = static_cast<uint8_t *>(Out);
   while (Size > 0) {
     uint64_t Base = pageBase(Addr);
-    Page *P = touch(Base);
+    PageMeta *P = touch(Base);
     if (!P)
       return MemFault::Unmapped;
     if (!(P->Perm & PermExec))
       return MemFault::NoPermission;
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
-    std::memcpy(Dst, P->Bytes + Off, Chunk);
+    std::memcpy(Dst, readable(*P) + Off, Chunk);
     Dst += Chunk;
     Addr += Chunk;
     Size -= Chunk;
@@ -140,11 +197,11 @@ MemFault AddressSpace::poke(uint64_t Addr, const void *Data, uint64_t Size) {
     auto It = Pages.find(Base);
     if (It == Pages.end())
       return MemFault::Unmapped;
-    if (It->second->Perm & PermExec)
+    if (It->second.Perm & PermExec)
       notifyCodeChange(Base);
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
-    std::memcpy(It->second->Bytes + Off, Src, Chunk);
+    std::memcpy(writable(It->second) + Off, Src, Chunk);
     Src += Chunk;
     Addr += Chunk;
     Size -= Chunk;
@@ -161,7 +218,7 @@ MemFault AddressSpace::peek(uint64_t Addr, void *Out, uint64_t Size) const {
       return MemFault::Unmapped;
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
-    std::memcpy(Dst, It->second->Bytes + Off, Chunk);
+    std::memcpy(Dst, readable(It->second) + Off, Chunk);
     Dst += Chunk;
     Addr += Chunk;
     Size -= Chunk;
@@ -187,7 +244,7 @@ Expected<std::string> AddressSpace::readCString(uint64_t Addr,
 
 void AddressSpace::clearAccessTracking() {
   for (auto &[Addr, P] : Pages)
-    P->AccessedSinceMark = false;
+    P.AccessedSinceMark = false;
   // Cached decoded code must be dropped: lazy page capture relies on the
   // first post-reset *fetch* of each code page firing the first-touch hook,
   // which cached blocks would otherwise skip.
@@ -195,7 +252,7 @@ void AddressSpace::clearAccessTracking() {
 }
 
 void AddressSpace::forEachPage(
-    const std::function<void(uint64_t, const Page &)> &Fn) const {
+    const std::function<void(uint64_t, uint8_t, const uint8_t *)> &Fn) const {
   for (const auto &[Addr, P] : Pages)
-    Fn(Addr, *P);
+    Fn(Addr, P.Perm, readable(P));
 }

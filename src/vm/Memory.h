@@ -12,12 +12,21 @@
 /// records") and `-log:pages_early`; the pinball memory image is produced
 /// by walking mapped pages.
 ///
+/// Pages are an overlay over an attached MemImage: a mapped page holds only
+/// metadata plus an *optional* private 4 KiB buffer. Reads resolve, in
+/// order, to the page's dirty buffer, the attached image bytes (typically
+/// an mmap'd pinball or ELF file), or a shared zero page; the dirty buffer
+/// is allocated copy-on-write at the first store. Loading a fat pinball
+/// therefore costs no per-page copies, and replay RSS grows only with the
+/// pages the region actually writes (see DESIGN.md "Memory substrate").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ELFIE_VM_MEMORY_H
 #define ELFIE_VM_MEMORY_H
 
 #include "support/Error.h"
+#include "support/MemImage.h"
 
 #include <cstdint>
 #include <cstring>
@@ -52,17 +61,17 @@ enum class MemFault {
   NoPermission,  ///< read of non-R, write of non-W, execute of non-X page
 };
 
+/// Memory-substrate counters (surfaced through RunResult/ReplayResult and
+/// `-vm:stats` in ereplay/esim).
+struct MemStats {
+  uint64_t ImageExtents = 0; ///< extents across all attached MemImages
+  uint64_t CowFaults = 0;    ///< private copies taken of image-backed pages
+  uint64_t DirtyBytes = 0;   ///< bytes of privately allocated page buffers
+};
+
 /// Sparse guest memory.
 class AddressSpace {
 public:
-  struct Page {
-    uint8_t Bytes[GuestPageSize];
-    uint8_t Perm = PermNone;
-    /// Set once any byte of the page has been read/written/executed since
-    /// the last clearAccessTracking(). Drives lazy pinball page capture.
-    bool AccessedSinceMark = false;
-  };
-
   /// Maps [Addr, Addr+Size) zero-filled with permission \p Perm. Addr and
   /// Size are rounded out to page boundaries. Existing pages keep their
   /// contents but get their permissions widened. Ranges that would wrap
@@ -132,26 +141,60 @@ public:
     CodeHook = std::move(Hook);
   }
 
-  /// Walks all mapped pages in address order.
-  void
-  forEachPage(const std::function<void(uint64_t Addr, const Page &)> &Fn)
-      const;
+  /// Attaches a memory image: every page covered by one of its runs is
+  /// mapped (permissions widened) with its readable bytes pointing straight
+  /// into the run — no copy. Later runs/attaches win over earlier ones;
+  /// partially covered edge pages are materialized privately. The image
+  /// (with its keepalives) is retained for the address space's lifetime,
+  /// so the backing may be an mmap the caller drops after this call.
+  void attachImage(MemImage Img);
+
+  /// Walks all mapped pages in address order, handing each page's base
+  /// address, permission bits, and current readable contents.
+  void forEachPage(const std::function<void(uint64_t Addr, uint8_t Perm,
+                                            const uint8_t *Bytes)> &Fn) const;
 
   /// Number of mapped pages.
   size_t pageCount() const { return Pages.size(); }
 
-  /// Direct page lookup (null when unmapped). For loaders and checkpoints.
-  Page *getPage(uint64_t Addr) {
+  /// Readable contents of the page containing \p Addr (null when
+  /// unmapped). For loaders and checkpoints; bypasses access tracking. The
+  /// pointer is invalidated by writes to the page and by unmap.
+  const uint8_t *pageData(uint64_t Addr) const {
     auto It = Pages.find(pageBase(Addr));
-    return It == Pages.end() ? nullptr : It->second.get();
-  }
-  const Page *getPage(uint64_t Addr) const {
-    auto It = Pages.find(pageBase(Addr));
-    return It == Pages.end() ? nullptr : It->second.get();
+    return It == Pages.end() ? nullptr : readable(It->second);
   }
 
+  /// Permission bits of the page containing \p Addr, or -1 when unmapped.
+  int pagePerm(uint64_t Addr) const {
+    auto It = Pages.find(pageBase(Addr));
+    return It == Pages.end() ? -1 : It->second.Perm;
+  }
+
+  const MemStats &memStats() const { return MStats; }
+
 private:
-  Page *touch(uint64_t PageAddr);
+  struct PageMeta {
+    uint8_t Perm = PermNone;
+    /// Set once any byte of the page has been read/written/executed since
+    /// the last clearAccessTracking(). Drives lazy pinball page capture.
+    bool AccessedSinceMark = false;
+    /// Borrowed image bytes backing this page (null when zero-filled or
+    /// superseded by Dirty). Owned by an entry of Attached.
+    const uint8_t *Image = nullptr;
+    /// Private copy, allocated on first store (copy-on-write).
+    std::unique_ptr<uint8_t[]> Dirty;
+  };
+
+  PageMeta *touch(uint64_t PageAddr);
+
+  /// Current readable bytes of a page: dirty copy, image bytes, or the
+  /// shared zero page.
+  static const uint8_t *readable(const PageMeta &M);
+
+  /// The page's private buffer, allocated (and seeded from its image bytes
+  /// or zeros) on first use.
+  uint8_t *writable(PageMeta &M);
 
   void notifyCodeChange(uint64_t PageAddr) {
     if (CodeHook)
@@ -159,7 +202,12 @@ private:
   }
 
   // Ordered map so that forEachPage and pinball images are deterministic.
-  std::map<uint64_t, std::unique_ptr<Page>> Pages;
+  // (std::map: node stability keeps pageData()/Image pointers valid across
+  // unrelated map/unmap traffic.)
+  std::map<uint64_t, PageMeta> Pages;
+  /// Attached images; extents referenced by PageMeta::Image live here.
+  std::vector<MemImage> Attached;
+  MemStats MStats;
   FirstTouchHook Hook;
   CodeInvalidateHook CodeHook;
 };

@@ -52,6 +52,10 @@ Error VM::loadELF(const elf::ELFReader &Reader) {
                      Reader.machine());
   if (Reader.fileType() != elf::ET_EXEC)
     return makeError("guest binary is not an executable");
+  // Segments are attached as borrowed extents over the reader's bytes
+  // (typically an mmap of the ELFie): no per-segment copies. map() covers
+  // the zero-filled memsz tail beyond the file bytes.
+  MemImage Img;
   for (const auto &Seg : Reader.segments()) {
     if (Seg.Type != elf::PT_LOAD)
       continue;
@@ -63,12 +67,14 @@ Error VM::loadELF(const elf::ELFReader &Reader) {
     if (Seg.Flags & elf::PF_X)
       Perm |= PermExec;
     Mem.map(Seg.VAddr, Seg.MemSize, Perm);
-    if (!Seg.Data.empty())
-      if (Mem.poke(Seg.VAddr, Seg.Data.data(), Seg.Data.size()) !=
-          MemFault::None)
-        return makeError("failed to populate segment at %#llx",
-                         static_cast<unsigned long long>(Seg.VAddr));
+    // Clamp to memsz so a malformed segment with excess file bytes cannot
+    // smuggle pages past the mapped range (the old poke() faulted there).
+    uint64_t InMem = std::min<uint64_t>(Seg.Data.size(), Seg.MemSize);
+    if (InMem > 0)
+      Img.addRun(Seg.VAddr, Perm, Seg.Data.data(), InMem);
   }
+  Img.retain(Reader.backing());
+  Mem.attachImage(std::move(Img));
   Entry = Reader.entry();
   return Error::success();
 }
@@ -208,6 +214,7 @@ RunResult VM::run(uint64_t MaxInstructions) {
   auto Done = [&](StopReason Reason) {
     R.Reason = Reason;
     R.CacheStats = DC.stats();
+    R.MemoryStats = Mem.memStats();
     return R;
   };
 

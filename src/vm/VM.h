@@ -88,6 +88,8 @@ struct RunResult {
   int64_t ExitCode = 0;
   /// Cumulative decode-cache counters at the time run() returned.
   DecodeCacheStats CacheStats;
+  /// Memory-substrate counters (image extents, COW faults, dirty bytes).
+  MemStats MemoryStats;
 };
 
 /// Instrumentation interface (the Pin "analysis routine" analogue).

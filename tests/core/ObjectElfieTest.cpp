@@ -65,6 +65,37 @@ TEST(ObjectElfie, EmitsRelocatableWithContextsAndSymbols) {
   removeTree(Dir);
 }
 
+TEST(ObjectElfie, EmissionByteIdenticalAcrossSaveAndMmapLoad) {
+  // The zero-copy substrate must not change a single emitted byte: an
+  // ELFie emitted from the freshly captured (heap-backed) pinball and one
+  // emitted from the same pinball after save + mmap-backed load must match
+  // bit for bit, for every target kind.
+  std::string Dir = testing::TempDir() + "/elfie_obj_ident";
+  removeTree(Dir);
+  createDirectories(Dir);
+  auto PB = test::capture(Dir, test::computeProgram(), 4000, 6000,
+                          pinball::LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+
+  ASSERT_FALSE(PB->save(Dir + "/pb").isError());
+  auto Loaded = pinball::Pinball::load(Dir + "/pb");
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+
+  for (auto Target : {Pinball2ElfOptions::Target::Object,
+                      Pinball2ElfOptions::Target::Guest}) {
+    Pinball2ElfOptions Opts;
+    Opts.TargetKind = Target;
+    auto FromCapture = pinballToElf(*PB, Opts);
+    ASSERT_TRUE(FromCapture.hasValue()) << FromCapture.message();
+    auto FromLoad = pinballToElf(*Loaded, Opts);
+    ASSERT_TRUE(FromLoad.hasValue()) << FromLoad.message();
+    EXPECT_EQ(*FromCapture, *FromLoad)
+        << "emitted bytes differ for target "
+        << static_cast<int>(Target);
+  }
+  removeTree(Dir);
+}
+
 TEST(ObjectElfie, ToolAcceptsObjectTarget) {
   // Covered end-to-end in tests/tools; here just the library dispatch.
   std::string Dir = testing::TempDir() + "/elfie_obj2";

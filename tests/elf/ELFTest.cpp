@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 using namespace elfie;
@@ -43,7 +44,7 @@ TEST(ELFWriter, MinimalExecutableRoundTrip) {
   const auto *S = R->findSection(".text");
   ASSERT_NE(S, nullptr);
   EXPECT_EQ(S->Addr, 0x10000u);
-  EXPECT_EQ(S->Data, bytesOf("CODECODE"));
+  EXPECT_TRUE(std::ranges::equal(S->Data, bytesOf("CODECODE")));
   EXPECT_TRUE(S->Flags & SHF_EXECINSTR);
 
   const auto *Sym = R->findSymbol("_start");
@@ -70,7 +71,7 @@ TEST(ELFWriter, SegmentsCoverAllocSectionsOnly) {
   // The stash section's data still round-trips through the file.
   const auto *Stash = R->findSection(".data.stack.stash");
   ASSERT_NE(Stash, nullptr);
-  EXPECT_EQ(Stash->Data, bytesOf("SSSS"));
+  EXPECT_TRUE(std::ranges::equal(Stash->Data, bytesOf("SSSS")));
 }
 
 TEST(ELFWriter, LoadSegmentOffsetCongruentToVaddr) {

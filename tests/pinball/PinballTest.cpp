@@ -103,10 +103,10 @@ TEST(Logger, CapturedPagesHoldRegionStartContents) {
   ASSERT_NE(Ref, nullptr);
   ASSERT_EQ(Ref->run(Start).Reason, vm::StopReason::BudgetReached);
   for (const PageRecord &P : PB->Image) {
-    const vm::AddressSpace::Page *Page = Ref->mem().getPage(P.Addr);
+    const uint8_t *Page = Ref->mem().pageData(P.Addr);
     ASSERT_NE(Page, nullptr) << "page " << std::hex << P.Addr;
     EXPECT_EQ(fnv1a(P.Bytes.data(), P.Bytes.size()),
-              fnv1a(Page->Bytes, vm::GuestPageSize))
+              fnv1a(Page, vm::GuestPageSize))
         << "page contents differ at " << std::hex << P.Addr;
   }
   removeTree(Dir);

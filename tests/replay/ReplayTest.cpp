@@ -398,4 +398,51 @@ TEST(Replay, DecodeCacheStatsReported) {
   removeTree(Dir);
 }
 
+TEST(Replay, MemStatsShowZeroCopyImageLoad) {
+  std::string Dir = tempDir("memstats");
+  // Region inside the fill loop, so replay stores into image-backed pages.
+  auto Saved = capture(Dir, computeProgram(), 1000, 5000,
+                       LoggerOptions::fat());
+  ASSERT_TRUE(Saved.hasValue());
+  ASSERT_FALSE(Saved->save(Dir + "/pb").isError());
+  // Load from disk so the image pages really are mmap-borrowed.
+  auto PB = pinball::Pinball::load(Dir + "/pb");
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+
+  auto R = replayPinball(*PB);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_TRUE(R->Divergence.empty()) << R->Divergence;
+  // The image attached as extents; replay wrote some pages (COW) but a
+  // read-mostly region must dirty less than the whole image.
+  EXPECT_GT(R->MemStats.ImageExtents, 0u);
+  EXPECT_GT(R->MemStats.CowFaults, 0u);
+  EXPECT_GT(R->MemStats.DirtyBytes, 0u);
+  EXPECT_LT(R->MemStats.DirtyBytes, PB->imageBytes());
+  removeTree(Dir);
+}
+
+TEST(Replay, TwoVMsSharingOnePinballStayIsolated) {
+  std::string Dir = tempDir("shared");
+  auto Saved = capture(Dir, computeProgram(), 4000, 5000,
+                       LoggerOptions::fat());
+  ASSERT_TRUE(Saved.hasValue());
+  ASSERT_FALSE(Saved->save(Dir + "/pb").isError());
+  auto PB = pinball::Pinball::load(Dir + "/pb");
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+
+  // Two replay VMs over the same loaded pinball: each COWs privately, so
+  // back-to-back replays of one Pinball object are bit-identical.
+  auto A = replayPinball(*PB);
+  auto B = replayPinball(*PB);
+  ASSERT_TRUE(A.hasValue()) << A.message();
+  ASSERT_TRUE(B.hasValue()) << B.message();
+  EXPECT_TRUE(A->Divergence.empty()) << A->Divergence;
+  EXPECT_TRUE(B->Divergence.empty()) << B->Divergence;
+  EXPECT_EQ(A->Retired, B->Retired);
+  ASSERT_TRUE(A->FinalThreads.count(0) && B->FinalThreads.count(0));
+  expectSameRegs(A->FinalThreads.at(0), B->FinalThreads.at(0));
+  EXPECT_EQ(A->MemStats.DirtyBytes, B->MemStats.DirtyBytes);
+  removeTree(Dir);
+}
+
 } // namespace

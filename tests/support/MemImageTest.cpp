@@ -1,0 +1,296 @@
+//===- tests/support/MemImageTest.cpp -------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+#include "support/MappedFile.h"
+#include "support/MemImage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+using namespace elfie;
+
+namespace {
+
+std::vector<uint8_t> pattern(size_t N, uint8_t Seed) {
+  std::vector<uint8_t> V(N);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = static_cast<uint8_t>(Seed + I);
+  return V;
+}
+
+TEST(MemImage, EmptyAndZeroLengthRuns) {
+  MemImage Img;
+  EXPECT_TRUE(Img.empty());
+  EXPECT_EQ(Img.runCount(), 0u);
+  EXPECT_EQ(Img.totalBytes(), 0u);
+
+  uint8_t B = 7;
+  Img.addRun(0x1000, 7, &B, 0); // zero-length: ignored
+  EXPECT_TRUE(Img.empty());
+  EXPECT_EQ(Img.findRun(0x1000), nullptr);
+
+  uint8_t Out;
+  EXPECT_TRUE(Img.read(0x1000, &Out, 0)); // empty read always succeeds
+  EXPECT_FALSE(Img.read(0x1000, &Out, 1));
+}
+
+TEST(MemImage, AdjacentRunsStayDistinct) {
+  MemImage Img;
+  auto A = pattern(16, 0x10);
+  auto B = pattern(16, 0x40);
+  Img.addOwnedRun(0x1000, 5, A.data(), A.size());
+  Img.addOwnedRun(0x1010, 7, B.data(), B.size()); // exactly adjacent
+  EXPECT_EQ(Img.runCount(), 2u);
+  EXPECT_EQ(Img.totalBytes(), 32u);
+
+  // A read spanning the seam sees both extents' bytes.
+  uint8_t Out[32];
+  ASSERT_TRUE(Img.read(0x1000, Out, sizeof(Out)));
+  EXPECT_EQ(0, std::memcmp(Out, A.data(), 16));
+  EXPECT_EQ(0, std::memcmp(Out + 16, B.data(), 16));
+
+  const MemImage::Run *R = Img.findRun(0x100f);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->VAddr, 0x1000u);
+  R = Img.findRun(0x1010);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->VAddr, 0x1010u);
+  EXPECT_EQ(R->Perm, 7);
+  EXPECT_EQ(Img.findRun(0x1020), nullptr);
+  EXPECT_EQ(Img.findRun(0xfff), nullptr);
+}
+
+TEST(MemImage, OverlappingLaterInsertionWins) {
+  MemImage Img;
+  auto Base = pattern(0x100, 0);
+  auto Mid = pattern(0x10, 0x80);
+  Img.addOwnedRun(0x2000, 5, Base.data(), Base.size());
+  // Overwrite the middle: the old extent splits into two around the new one.
+  Img.addOwnedRun(0x2040, 7, Mid.data(), Mid.size());
+  EXPECT_EQ(Img.runCount(), 3u);
+  EXPECT_EQ(Img.totalBytes(), 0x100u);
+
+  uint8_t Out[0x100];
+  ASSERT_TRUE(Img.read(0x2000, Out, sizeof(Out)));
+  EXPECT_EQ(0, std::memcmp(Out, Base.data(), 0x40));
+  EXPECT_EQ(0, std::memcmp(Out + 0x40, Mid.data(), 0x10));
+  EXPECT_EQ(0, std::memcmp(Out + 0x50, Base.data() + 0x50, 0xb0));
+
+  // Runs come back in vaddr order with the overlap carved out.
+  std::vector<std::pair<uint64_t, uint64_t>> Got;
+  Img.forEachRun([&](const MemImage::Run &R) {
+    Got.push_back({R.VAddr, R.Size});
+  });
+  ASSERT_EQ(Got.size(), 3u);
+  std::pair<uint64_t, uint64_t> Want[] = {
+      {0x2000, 0x40}, {0x2040, 0x10}, {0x2050, 0xb0}};
+  EXPECT_EQ(Got[0], Want[0]);
+  EXPECT_EQ(Got[1], Want[1]);
+  EXPECT_EQ(Got[2], Want[2]);
+
+  // Full overwrite replaces everything.
+  auto Full = pattern(0x100, 0x33);
+  Img.addOwnedRun(0x2000, 5, Full.data(), Full.size());
+  EXPECT_EQ(Img.runCount(), 1u);
+  ASSERT_TRUE(Img.read(0x2000, Out, sizeof(Out)));
+  EXPECT_EQ(0, std::memcmp(Out, Full.data(), 0x100));
+}
+
+TEST(MemImage, TopOfAddressSpaceClamps) {
+  MemImage Img;
+  auto Bytes = pattern(0x20, 1);
+  // A run that would wrap past 2^64 is clamped at the top byte.
+  Img.addOwnedRun(UINT64_MAX - 0xf, 5, Bytes.data(), Bytes.size());
+  const MemImage::Run *R = Img.findRun(UINT64_MAX);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->VAddr, UINT64_MAX - 0xf);
+  EXPECT_EQ(R->Size, 0x10u);
+
+  uint8_t Out[0x10];
+  ASSERT_TRUE(Img.read(UINT64_MAX - 0xf, Out, 0x10));
+  EXPECT_EQ(0, std::memcmp(Out, Bytes.data(), 0x10));
+  // Reads that would themselves wrap fail instead of wrapping.
+  EXPECT_FALSE(Img.read(UINT64_MAX, Out, 2));
+}
+
+TEST(MemImage, UnalignedExtentsAndGapDetection) {
+  MemImage Img;
+  auto A = pattern(5, 0xa0); // deliberately not page- or word-sized
+  auto B = pattern(3, 0xb0);
+  Img.addOwnedRun(0x1003, 5, A.data(), A.size()); // [0x1003, 0x1008)
+  Img.addOwnedRun(0x100a, 5, B.data(), B.size()); // [0x100a, 0x100d)
+
+  uint8_t Out[8];
+  ASSERT_TRUE(Img.read(0x1003, Out, 5));
+  EXPECT_EQ(0, std::memcmp(Out, A.data(), 5));
+  // The two-byte hole at [0x1008, 0x100a) fails any crossing access.
+  EXPECT_FALSE(Img.read(0x1003, Out, 8));
+  EXPECT_FALSE(Img.read(0x1008, Out, 1));
+  uint8_t W = 0xff;
+  EXPECT_FALSE(Img.write(0x1007, &W, 4));
+  // The failed write must not have mutated the covered prefix.
+  ASSERT_TRUE(Img.read(0x1007, Out, 1));
+  EXPECT_EQ(Out[0], A[4]);
+}
+
+TEST(MemImage, CowIsolatesCopies) {
+  MemImage A;
+  auto Bytes = pattern(0x40, 0x11);
+  A.addOwnedRun(0x3000, 5, Bytes.data(), Bytes.size());
+
+  MemImage B = A; // shares the buffer
+  uint8_t V = 0xee;
+  ASSERT_TRUE(B.write(0x3010, &V, 1));
+
+  uint8_t FromA = 0, FromB = 0;
+  ASSERT_TRUE(A.read(0x3010, &FromA, 1));
+  ASSERT_TRUE(B.read(0x3010, &FromB, 1));
+  EXPECT_EQ(FromA, Bytes[0x10]); // A never sees B's store
+  EXPECT_EQ(FromB, 0xee);
+
+  EXPECT_EQ(A.counters().CowFaults, 0u);
+  EXPECT_EQ(B.counters().CowFaults, 1u);
+  EXPECT_EQ(B.counters().DirtyBytes, 0x40u);
+
+  // A second write to the now-private extent must not fault again.
+  ASSERT_TRUE(B.write(0x3011, &V, 1));
+  EXPECT_EQ(B.counters().CowFaults, 1u);
+  EXPECT_EQ(B.counters().DirtyBytes, 0x40u);
+}
+
+TEST(MemImage, BorrowedRunsCowOnWrite) {
+  auto Bytes = pattern(0x20, 0x50);
+  MemImage Img;
+  Img.addRun(0x4000, 5, Bytes.data(), Bytes.size()); // borrowed
+  uint8_t V = 0x99;
+  ASSERT_TRUE(Img.write(0x4005, &V, 1));
+  // The borrowed backing stays untouched; the image sees the new byte.
+  EXPECT_EQ(Bytes[5], 0x55);
+  uint8_t Out = 0;
+  ASSERT_TRUE(Img.read(0x4005, &Out, 1));
+  EXPECT_EQ(Out, 0x99);
+  EXPECT_EQ(Img.counters().CowFaults, 1u);
+}
+
+TEST(MemImage, AdoptMergesRunsAndOwnership) {
+  MemImage A, B;
+  auto X = pattern(8, 1);
+  auto Y = pattern(8, 9);
+  A.addOwnedRun(0x100, 5, X.data(), X.size());
+  B.addOwnedRun(0x108, 5, Y.data(), Y.size());
+  A.adopt(B);
+  EXPECT_EQ(A.runCount(), 2u);
+  uint8_t Out[16];
+  ASSERT_TRUE(A.read(0x100, Out, 16));
+  EXPECT_EQ(0, std::memcmp(Out, X.data(), 8));
+  EXPECT_EQ(0, std::memcmp(Out + 8, Y.data(), 8));
+}
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "/elfie_mmap_" + Name;
+}
+
+TEST(MappedFile, ReadOnlyMapsFileBytes) {
+  std::string Path = tempPath("ro");
+  auto Bytes = pattern(8192, 0x42);
+  ASSERT_FALSE(writeFile(Path, Bytes.data(), Bytes.size()).isError());
+
+  auto MF = MappedFile::open(Path);
+  ASSERT_TRUE(MF.hasValue()) << MF.message();
+  EXPECT_TRUE(MF->isMapped());
+  ASSERT_EQ(MF->size(), Bytes.size());
+  EXPECT_EQ(0, std::memcmp(MF->data(), Bytes.data(), Bytes.size()));
+  EXPECT_EQ(MF->mutableData(), nullptr); // read-only view
+  EXPECT_EQ(MF->path(), Path);
+  removeFile(Path);
+}
+
+TEST(MappedFile, PrivateCowWritesNeverReachTheFile) {
+  std::string Path = tempPath("cow");
+  auto Bytes = pattern(4096, 0x10);
+  ASSERT_FALSE(writeFile(Path, Bytes.data(), Bytes.size()).isError());
+
+  auto MF = MappedFile::open(Path, MappedFile::Mode::PrivateCow);
+  ASSERT_TRUE(MF.hasValue()) << MF.message();
+  ASSERT_NE(MF->mutableData(), nullptr);
+  MF->mutableData()[0] = 0xff;
+  EXPECT_EQ(MF->data()[0], 0xff);
+
+  auto After = readFileBytes(Path);
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_EQ((*After)[0], Bytes[0]); // the store stayed private
+  removeFile(Path);
+}
+
+TEST(MappedFile, MissingFileKeepsErrorTaxonomy) {
+  auto MF = MappedFile::open(tempPath("does_not_exist"));
+  ASSERT_FALSE(MF.hasValue());
+  EXPECT_NE(MF.message().find("cannot open"), std::string::npos);
+  EXPECT_EQ(MF.takeError().code(), "EFAULT.IO.OPEN");
+}
+
+TEST(MappedFile, EmptyFileFallsBackToOwnedBuffer) {
+  std::string Path = tempPath("empty");
+  ASSERT_FALSE(writeFile(Path, nullptr, 0).isError());
+  auto MF = MappedFile::open(Path);
+  ASSERT_TRUE(MF.hasValue()) << MF.message();
+  EXPECT_FALSE(MF->isMapped());
+  EXPECT_EQ(MF->size(), 0u);
+  removeFile(Path);
+}
+
+TEST(MappedFile, MoveTransfersTheMapping) {
+  std::string Path = tempPath("move");
+  auto Bytes = pattern(4096, 3);
+  ASSERT_FALSE(writeFile(Path, Bytes.data(), Bytes.size()).isError());
+  auto MF = MappedFile::open(Path);
+  ASSERT_TRUE(MF.hasValue());
+  const uint8_t *P = MF->data();
+  MappedFile Moved = MF.takeValue();
+  EXPECT_EQ(Moved.data(), P); // the mapping itself moved, not the bytes
+  EXPECT_EQ(Moved.size(), Bytes.size());
+  removeFile(Path);
+}
+
+/// The fault seam: with a hook installed, open() must route through
+/// readFileBytes so campaigns still see every load.
+class CountingHook : public IOFaultHook {
+public:
+  int Reads = 0;
+  Error onWrite(const std::string &, std::vector<uint8_t> &) override {
+    return Error::success();
+  }
+  Error onRead(const std::string &, std::vector<uint8_t> &Data) override {
+    ++Reads;
+    if (!Data.empty())
+      Data[0] = 0xcc; // prove the hook's mutation is visible to the caller
+    return Error::success();
+  }
+};
+
+TEST(MappedFile, FaultHookSeesOpensAndCanMutate) {
+  std::string Path = tempPath("hook");
+  auto Bytes = pattern(64, 0);
+  ASSERT_FALSE(writeFile(Path, Bytes.data(), Bytes.size()).isError());
+
+  CountingHook Hook;
+  setIOFaultHook(&Hook);
+  auto MF = MappedFile::open(Path);
+  setIOFaultHook(nullptr);
+
+  ASSERT_TRUE(MF.hasValue()) << MF.message();
+  EXPECT_EQ(Hook.Reads, 1);
+  EXPECT_FALSE(MF->isMapped()); // owned fallback under the hook
+  ASSERT_EQ(MF->size(), Bytes.size());
+  EXPECT_EQ(MF->data()[0], 0xcc);
+  removeFile(Path);
+}
+
+} // namespace

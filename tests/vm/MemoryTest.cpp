@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace elfie;
 using namespace elfie::vm;
 
@@ -102,6 +104,122 @@ TEST(AddressSpace, CodeInvalidateHookFiresOnExecPageWrite) {
   AS.clearAccessTracking();
   ASSERT_EQ(Invalidated.size(), 4u);
   EXPECT_EQ(Invalidated[3], AddressSpace::AllPages);
+}
+
+MemImage pageImage(const std::vector<uint8_t> &Bytes, uint64_t At,
+                   uint8_t Perm) {
+  MemImage Img;
+  Img.addRun(At, Perm, Bytes.data(), Bytes.size());
+  return Img;
+}
+
+TEST(AddressSpace, AttachImageBacksReadsWithoutDirtyPages) {
+  std::vector<uint8_t> Backing(2 * GuestPageSize);
+  for (size_t I = 0; I < Backing.size(); ++I)
+    Backing[I] = static_cast<uint8_t>(I * 7);
+
+  AddressSpace AS;
+  AS.attachImage(pageImage(Backing, Base, PermRead));
+
+  const MemStats &S = AS.memStats();
+  EXPECT_EQ(S.ImageExtents, 1u);
+  EXPECT_EQ(S.CowFaults, 0u);
+  EXPECT_EQ(S.DirtyBytes, 0u);
+
+  // Reads come straight off the backing bytes (no copy was made: the page
+  // data pointer aims into the backing buffer itself).
+  uint64_t V = 0;
+  EXPECT_EQ(AS.read(Base + 8, &V, 8), MemFault::None);
+  EXPECT_EQ(0, std::memcmp(&V, Backing.data() + 8, 8));
+  EXPECT_EQ(AS.pageData(Base), Backing.data());
+  EXPECT_EQ(AS.pageData(Base + GuestPageSize),
+            Backing.data() + GuestPageSize);
+  EXPECT_EQ(AS.pagePerm(Base), PermRead);
+  EXPECT_EQ(AS.memStats().DirtyBytes, 0u); // reads never allocate
+}
+
+TEST(AddressSpace, WriteToImagePageCowFaultsOnce) {
+  std::vector<uint8_t> Backing(GuestPageSize, 0xab);
+  AddressSpace AS;
+  AS.attachImage(pageImage(Backing, Base, PermRW));
+
+  uint64_t V = 0x1122334455667788ull;
+  EXPECT_EQ(AS.write(Base + 64, &V, 8), MemFault::None);
+  EXPECT_EQ(AS.memStats().CowFaults, 1u);
+  EXPECT_EQ(AS.memStats().DirtyBytes, GuestPageSize);
+
+  // The backing bytes are untouched; the page's private copy has the store
+  // plus the original image bytes around it.
+  EXPECT_EQ(Backing[64], 0xab);
+  uint64_t Got = 0;
+  EXPECT_EQ(AS.read(Base + 64, &Got, 8), MemFault::None);
+  EXPECT_EQ(Got, V);
+  uint8_t Edge = 0;
+  EXPECT_EQ(AS.read(Base + 63, &Edge, 1), MemFault::None);
+  EXPECT_EQ(Edge, 0xab);
+
+  // Second store to the same page: no new fault, no new dirty bytes.
+  EXPECT_EQ(AS.write(Base + 128, &V, 8), MemFault::None);
+  EXPECT_EQ(AS.memStats().CowFaults, 1u);
+  EXPECT_EQ(AS.memStats().DirtyBytes, GuestPageSize);
+}
+
+TEST(AddressSpace, TwoSpacesSharingOneImageStayIsolated) {
+  std::vector<uint8_t> Backing(GuestPageSize, 0x5a);
+  MemImage Img;
+  Img.addRun(Base, PermRW, Backing.data(), Backing.size());
+
+  // Two replay VMs over the same pinball image: each attaches a copy of
+  // the (cheap, buffer-sharing) image.
+  AddressSpace A, B;
+  A.attachImage(Img);
+  B.attachImage(Img);
+
+  uint64_t V = 0xdeadbeef;
+  EXPECT_EQ(A.write(Base, &V, 8), MemFault::None);
+
+  uint64_t FromA = 0, FromB = 0;
+  EXPECT_EQ(A.read(Base, &FromA, 8), MemFault::None);
+  EXPECT_EQ(B.read(Base, &FromB, 8), MemFault::None);
+  EXPECT_EQ(FromA, V);
+  EXPECT_EQ(0, std::memcmp(&FromB, Backing.data(), 8)); // B unaffected
+  EXPECT_EQ(B.memStats().CowFaults, 0u);
+  EXPECT_EQ(Backing[0], 0x5a); // and so is the shared backing
+}
+
+TEST(AddressSpace, AttachImageUnalignedRunMaterializesEdgePages) {
+  // A run that starts mid-page cannot be borrowed page-wise; the edge page
+  // gets a private copy with the covered range filled in.
+  std::vector<uint8_t> Backing(GuestPageSize, 0x77);
+  AddressSpace AS;
+  MemImage Img;
+  Img.addRun(Base + 16, PermRead, Backing.data(), 32);
+  AS.attachImage(std::move(Img));
+
+  uint8_t Out[32];
+  EXPECT_EQ(AS.read(Base + 16, Out, 32), MemFault::None);
+  EXPECT_EQ(0, std::memcmp(Out, Backing.data(), 32));
+  // Bytes outside the run on the same page read as zero.
+  uint8_t Z = 0xff;
+  EXPECT_EQ(AS.read(Base, &Z, 1), MemFault::None);
+  EXPECT_EQ(Z, 0);
+  EXPECT_EQ(AS.memStats().DirtyBytes, GuestPageSize);
+}
+
+TEST(AddressSpace, AttachedExecImageInvalidatesCode) {
+  std::vector<uint8_t> Backing(GuestPageSize, 0x90);
+  AddressSpace AS;
+  std::vector<uint64_t> Invalidated;
+  AS.setCodeInvalidateHook(
+      [&](uint64_t Page) { Invalidated.push_back(Page); });
+  AS.attachImage(pageImage(Backing, Base, PermRX));
+  ASSERT_FALSE(Invalidated.empty());
+  EXPECT_EQ(Invalidated[0], Base);
+
+  // Fetch executes straight from the borrowed image bytes.
+  uint8_t Insn[4];
+  EXPECT_EQ(AS.fetch(Base, Insn, 4), MemFault::None);
+  EXPECT_EQ(Insn[0], 0x90);
 }
 
 } // namespace
