@@ -138,6 +138,7 @@ double timeOf(const std::function<void()> &Fn, unsigned Reps = 5) {
 }
 
 void printDecodeCacheComparison();
+void printJitComparison();
 
 void printMatrixAndOverhead() {
   printHeader("Table I: pinball vs. ELFie differences");
@@ -177,6 +178,7 @@ void printMatrixAndOverhead() {
                   : "");
 
   printDecodeCacheComparison();
+  printJitComparison();
 }
 
 /// Decoded-block cache before/after: single-threaded constrained replay
@@ -222,6 +224,62 @@ void printDecodeCacheComparison() {
               static_cast<unsigned long long>(ROff->Retired),
               static_cast<unsigned long long>(ROn->Retired));
 }
+
+/// Template-JIT before/after on the hot-loop region: single-threaded
+/// constrained replay with interpreter + decode cache vs. compiled
+/// dispatch (`ereplay -jit`). Checks the >= 2x throughput target and that
+/// both configurations retire the identical instruction stream.
+void printJitComparison() {
+  printHeader("Replay VM template JIT: interpreter+cache vs. -jit");
+
+  replay::ReplayOptions Interp; // decode cache on by default
+  replay::ReplayOptions Jit;
+  Jit.Config.EnableJit = true;
+
+  auto RInterp = replay::replayPinball(G->ST, Interp);
+  auto RJit = replay::replayPinball(G->ST, Jit);
+  if (!RInterp || !RJit) {
+    std::fprintf(stderr, "jit comparison replay failed\n");
+    return;
+  }
+  bool Identical = RInterp->Retired == RJit->Retired &&
+                   RInterp->RetiredPerThread == RJit->RetiredPerThread &&
+                   RInterp->Stdout == RJit->Stdout &&
+                   RInterp->Reason == RJit->Reason &&
+                   RInterp->Divergence == RJit->Divergence;
+
+  double TInterp =
+      timeOf([&] { (void)replay::replayPinball(G->ST, Interp); }, 5);
+  double TJit =
+      timeOf([&] { (void)replay::replayPinball(G->ST, Jit); }, 5);
+  double InstInterp = RInterp->Retired / TInterp / 1e6;
+  double InstJit = RJit->Retired / TJit / 1e6;
+
+  std::printf("  interp+cache: %.2f ms  (%.1f Minst/s)\n", TInterp * 1e3,
+              InstInterp);
+  std::printf("  -jit:         %.2f ms  (%.1f Minst/s)  blocks %llu  "
+              "hits %llu  bailouts %llu  flushes %llu\n",
+              TJit * 1e3, InstJit,
+              static_cast<unsigned long long>(RJit->JitStats.Blocks),
+              static_cast<unsigned long long>(RJit->JitStats.Hits),
+              static_cast<unsigned long long>(RJit->JitStats.Bailouts),
+              static_cast<unsigned long long>(RJit->JitStats.Flushes));
+  std::printf("  speedup: %.2fx (target >= 2x), behavior %s (retired "
+              "%llu vs %llu)\n",
+              TInterp / TJit, Identical ? "IDENTICAL" : "DIVERGED!",
+              static_cast<unsigned long long>(RInterp->Retired),
+              static_cast<unsigned long long>(RJit->Retired));
+}
+
+void BM_JitReplay_ST(benchmark::State &S) {
+  replay::ReplayOptions Opts;
+  Opts.Config.EnableJit = true;
+  for (auto _ : S) {
+    auto R = replay::replayPinball(G->ST, Opts);
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+}
+BENCHMARK(BM_JitReplay_ST)->Unit(benchmark::kMillisecond);
 
 /// Peak-RSS probe: VmRSS from /proc/self/status, in bytes.
 uint64_t currentRssBytes() {

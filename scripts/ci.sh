@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+#===- scripts/ci.sh - tier-1 verification, twice ---------------------------===#
+#
+# Part of the ELFies reproduction project.
+# SPDX-License-Identifier: MIT
+#
+# Runs the tier-1 verify in two configurations:
+#   1. default build        -> full ctest suite
+#   2. sanitized build      -> full ctest suite under ELFIE_SANITIZE
+# then invokes the JIT lockstep acceptance suite standalone via its ctest
+# label (`ctest -L jit`), so a JIT regression is called out by name even
+# when the full suites already covered it.
+#
+# Usage: scripts/ci.sh [jobs]
+#   ELFIE_SANITIZE   sanitizer list for pass 2 (default: address,undefined)
+#   ELFIE_CI_DIR     build root (default: <repo>/build-ci)
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+SAN="${ELFIE_SANITIZE:-address,undefined}"
+ROOT="${ELFIE_CI_DIR:-$REPO/build-ci}"
+
+run_pass() { # <name> <build-dir> <timeout> [extra cmake args...]
+  local Name="$1" Dir="$2" Timeout="$3"
+  shift 3
+  echo "==== [$Name] configure + build ===="
+  cmake -B "$Dir" -S "$REPO" "$@"
+  cmake --build "$Dir" -j "$JOBS"
+  echo "==== [$Name] ctest ===="
+  ctest --test-dir "$Dir" -j "$JOBS" --timeout "$Timeout" \
+    --output-on-failure
+}
+
+# Pass 1: tier-1 verify, default configuration.
+run_pass default "$ROOT/default" 120
+
+# Pass 2: tier-1 verify, sanitized. Separate tree so object files never
+# mix; sanitized tests run slower, hence the larger per-test timeout.
+run_pass "sanitize=$SAN" "$ROOT/sanitize" 240 "-DELFIE_SANITIZE=$SAN"
+
+# JIT acceptance suite standalone (both trees carry the label).
+echo "==== [jit label] lockstep differential suite ===="
+ctest --test-dir "$ROOT/default" -L jit --timeout 120 --output-on-failure
+ctest --test-dir "$ROOT/sanitize" -L jit --timeout 240 --output-on-failure
+
+echo "==== ci.sh: all passes green ===="

@@ -84,6 +84,7 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
     Result.Stdout = *Captured;
     Result.VMStats = RR.CacheStats;
     Result.MemStats = RR.MemoryStats;
+    Result.JitStats = RR.Jit;
     return Result;
   }
 
@@ -156,14 +157,20 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
     }
   };
 
-  // Drive the recorded schedule.
+  // Drive the recorded schedule. Each slice runs as few runThread batches
+  // as the pending injections allow: a batch never crosses the next
+  // injection record's first-use icount, so pages still land exactly
+  // before the instruction that first needs them — bit-identical to the
+  // old per-instruction stepThread loop, but eligible for the VM's native
+  // (JIT) dispatch inside a batch.
   uint64_t Executed = 0;
   Result.Reason = vm::StopReason::BudgetReached;
   for (const pinball::ScheduleSlice &Slice : PB.Schedule) {
     if (Executed >= Budget)
       break;
     uint64_t Steps = std::min(Slice.NumInsts, Budget - Executed);
-    for (uint64_t I = 0; I < Steps; ++I) {
+    uint64_t Done = 0;
+    while (Done < Steps) {
       InjectDue(Executed);
       const vm::ThreadState *T = M->thread(Slice.Tid);
       if (!T) {
@@ -181,9 +188,14 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
         Diverge.ExpectedTid = Slice.Tid;
         break;
       }
-      vm::StopReason SR = M->stepThread(Slice.Tid);
-      ++Executed;
-      if (SR == vm::StopReason::Faulted) {
+      uint64_t Batch = Steps - Done;
+      if (InjectCursor < Pending.size())
+        Batch = std::min(Batch,
+                         Pending[InjectCursor]->FirstUseIcount - Executed);
+      vm::VM::ThreadRunResult TR = M->runThread(Slice.Tid, Batch);
+      Executed += TR.Executed;
+      Done += TR.Executed;
+      if (TR.Reason == vm::StopReason::Faulted) {
         Result.Reason = vm::StopReason::Faulted;
         Result.FaultInfo = M->lastFault();
         Divergence = "replay faulted: " + Result.FaultInfo.Message;
@@ -191,12 +203,15 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
         Diverge.ObservedTid = Slice.Tid;
         break;
       }
-      if (SR == vm::StopReason::Halted || SR == vm::StopReason::AllExited) {
-        Result.Reason = SR;
+      if (TR.Reason == vm::StopReason::Halted ||
+          TR.Reason == vm::StopReason::AllExited) {
+        Result.Reason = TR.Reason;
         break;
       }
-      if (SR == vm::StopReason::Stopped)
+      if (TR.Reason == vm::StopReason::Stopped)
         break; // interceptor detected divergence
+      // BudgetReached: the batch ran fine (a thread that exited mid-batch
+      // is caught by the Exited check on the next pass).
     }
     if (!Divergence.empty() || Result.Reason == vm::StopReason::Halted ||
         Result.Reason == vm::StopReason::AllExited ||
@@ -220,5 +235,6 @@ Expected<ReplayResult> replay::replayPinball(const Pinball &PB,
   Result.Diverge = Diverge;
   Result.VMStats = M->decodeCacheStats();
   Result.MemStats = M->mem().memStats();
+  Result.JitStats = M->jitStats();
   return Result;
 }

@@ -103,6 +103,10 @@ struct ReplayResult {
   /// pinball substrate, DirtyBytes stays well below the image size for
   /// read-mostly regions.
   vm::MemStats MemStats;
+  /// JIT counters from the replay VM (all zero unless the config enabled
+  /// `-jit`): blocks compiled, instructions retired natively, flushes,
+  /// bailouts.
+  vm::JitStats JitStats;
 };
 
 /// Builds a VM primed with the pinball's state: pages mapped (image only —

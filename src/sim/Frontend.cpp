@@ -129,11 +129,46 @@ sim::simulateBinaryImage(std::span<const uint8_t> Image,
   }
 
   TimingModel Model(Machine);
+
+  // Pre-ROI fast-forward: until the first marker retires, nothing is
+  // measured, so a JIT-enabled VM may run that stretch natively under a
+  // marker watcher (wantsPerInstruction() == false keeps the JIT active).
+  // Single-core only — the multicore path is timing-driven from the start.
+  bool FastForwardedMarker = false;
+  bool Finished = false;
+  vm::RunResult R;
+  if (Controls.WaitForMarker && VMConfig.EnableJit && Machine.NumCores <= 1) {
+    class MarkerWatch : public vm::Observer {
+    public:
+      explicit MarkerWatch(vm::VM &M) : M(M) {}
+      bool wantsPerInstruction() const override { return false; }
+      void onMarker(uint32_t, isa::MarkerKind, int32_t) override {
+        Seen = true;
+        M.requestStop();
+      }
+      vm::VM &M;
+      bool Seen = false;
+    } FF(M);
+    M.setObserver(&FF);
+    R = M.run(UINT64_MAX);
+    M.setObserver(nullptr);
+    FastForwardedMarker = FF.Seen;
+    if (R.Reason == vm::StopReason::Stopped && FF.Seen) {
+      // The marker retired; start the detailed phase already active. The
+      // per-core LastOp tracking the fast-forward skipped is harmless:
+      // every ROI control transfer is preceded by its own onInstruction.
+      Controls.WaitForMarker = false;
+    } else {
+      Finished = true; // exited / halted / faulted before any ROI marker
+    }
+  }
+
   SimObserver Obs(M, Model, Controls, Machine.NumCores);
   M.setObserver(&Obs);
 
-  vm::RunResult R;
-  if (Machine.NumCores <= 1) {
+  if (Finished) {
+    // Nothing left to simulate; R already holds the outcome.
+  } else if (Machine.NumCores <= 1) {
     // The functional budget is unbounded; the observer stops the run when
     // the ROI budget is consumed.
     R = M.run(UINT64_MAX);
@@ -179,10 +214,11 @@ sim::simulateBinaryImage(std::span<const uint8_t> Image,
   Out.Stats = Model.stats();
   Out.Reason = R.Reason;
   Out.RoiRetired = Obs.roiRetired();
-  Out.MarkerSeen = Obs.markerSeen();
+  Out.MarkerSeen = Obs.markerSeen() || FastForwardedMarker;
   Out.WasElfie = IsElfie;
   Out.VMStats = M.decodeCacheStats();
   Out.MemStats = M.mem().memStats();
+  Out.JitStats = M.jitStats();
   return Out;
 }
 
@@ -203,7 +239,8 @@ Expected<SimResult> sim::simulateBinaryFile(const std::string &Path,
 Expected<SimResult> sim::simulatePinball(const pinball::Pinball &PB,
                                          const MachineConfig &Machine,
                                          bool Constrained,
-                                         RunControls Controls) {
+                                         RunControls Controls,
+                                         vm::VMConfig VMConfig) {
   // Build the model and wire it through a replay observer. The replayer
   // owns the VM, so the observer's requestStop routes through a proxy.
   TimingModel Model(Machine);
@@ -243,6 +280,7 @@ Expected<SimResult> sim::simulatePinball(const pinball::Pinball &PB,
 
   replay::ReplayOptions Opts;
   Opts.Injection = Constrained;
+  Opts.Config = std::move(VMConfig);
   Opts.Obs = &Obs;
   if (Controls.MaxInstructions != UINT64_MAX)
     Opts.MaxInstructions = Controls.MaxInstructions;
@@ -256,5 +294,6 @@ Expected<SimResult> sim::simulatePinball(const pinball::Pinball &PB,
   Out.RoiRetired = R->Retired;
   Out.VMStats = R->VMStats;
   Out.MemStats = R->MemStats;
+  Out.JitStats = R->JitStats;
   return Out;
 }

@@ -65,6 +65,11 @@ struct SimResult {
   /// Memory-substrate counters from the functional VM: attached image
   /// extents, copy-on-write faults, and private (dirty) bytes.
   vm::MemStats MemStats;
+  /// JIT counters from the functional VM. Non-zero only with
+  /// VMConfig::EnableJit; in binary mode the JIT accelerates the pre-ROI
+  /// fast-forward (the detailed phase needs per-instruction callbacks and
+  /// runs interpreted).
+  vm::JitStats JitStats;
 };
 
 /// Simulates a guest ELF image (program or guest-target ELFie). The image
@@ -84,10 +89,12 @@ Expected<SimResult> simulateBinaryFile(const std::string &Path,
 
 /// Simulates a pinball region: constrained (schedule + injection enforced)
 /// or unconstrained (ELFie-like free run of the same checkpoint).
+/// \p VMConfig seeds the replay VM's configuration (FsRoot, EnableJit...).
 Expected<SimResult> simulatePinball(const pinball::Pinball &PB,
                                     const MachineConfig &Machine,
                                     bool Constrained,
-                                    RunControls Controls = {});
+                                    RunControls Controls = {},
+                                    vm::VMConfig VMConfig = {});
 
 } // namespace sim
 } // namespace elfie

@@ -23,6 +23,9 @@ int main(int Argc, char **Argv) {
   CL.addInt("maxinsns", -1, "stop after N instructions");
   CL.addString("fsroot", ".", "guest filesystem root (injection=0 mode)");
   CL.addFlag("vm:cache", true, "use the decoded-block cache");
+  CL.addFlag("jit", false,
+             "compile hot blocks to host code and dispatch them natively "
+             "(x86-64 hosts; implies -vm:cache)");
   CL.addFlag("vm:stats", false,
              "print decoded-block cache statistics after replay");
   CL.addFlag("watchdog", true,
@@ -62,6 +65,9 @@ int main(int Argc, char **Argv) {
   Opts.Injection = CL.getFlag("replay:injection");
   Opts.Config.FsRoot = CL.getString("fsroot");
   Opts.Config.EnableDecodeCache = CL.getFlag("vm:cache");
+  Opts.Config.EnableJit = CL.getFlag("jit");
+  if (Opts.Config.EnableJit)
+    Opts.Config.EnableDecodeCache = true; // the JIT promotes from the cache
   if (CL.getInt("maxinsns") >= 0)
     Opts.MaxInstructions = static_cast<uint64_t>(CL.getInt("maxinsns"));
 
@@ -91,6 +97,13 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(R.MemStats.ImageExtents),
                  static_cast<unsigned long long>(R.MemStats.CowFaults),
                  static_cast<unsigned long long>(R.MemStats.DirtyBytes));
+    std::fprintf(stderr,
+                 "ereplay: jit: %llu blocks, %llu hits, %llu flushes, "
+                 "%llu bailouts\n",
+                 static_cast<unsigned long long>(R.JitStats.Blocks),
+                 static_cast<unsigned long long>(R.JitStats.Hits),
+                 static_cast<unsigned long long>(R.JitStats.Flushes),
+                 static_cast<unsigned long long>(R.JitStats.Bailouts));
   }
   if (!R.Divergence.empty()) {
     std::fprintf(stderr, "ereplay: DIVERGENCE: %s\n", R.Divergence.c_str());

@@ -24,6 +24,9 @@ int main(int Argc, char **Argv) {
              "pinball mode: enforce the recorded schedule + injection");
   CL.addInt("maxinsns", -1, "ROI instruction budget");
   CL.addString("fsroot", ".", "guest filesystem root");
+  CL.addFlag("jit", false,
+             "JIT the functional VM (x86-64 hosts); accelerates the "
+             "pre-ROI fast-forward of ELFie inputs");
   CL.addFlag("vm:stats", false,
              "print the functional VM's decoded-block cache statistics");
   exitOnError(CL.parse(Argc, Argv));
@@ -43,14 +46,15 @@ int main(int Argc, char **Argv) {
     Controls.MaxInstructions = static_cast<uint64_t>(CL.getInt("maxinsns"));
 
   Expected<sim::SimResult> R = makeError("unreachable");
+  vm::VMConfig VMC;
+  VMC.FsRoot = CL.getString("fsroot");
+  VMC.EnableJit = CL.getFlag("jit");
   if (CL.getFlag("pinball")) {
     pinball::Pinball PB =
         exitOnError(pinball::Pinball::load(CL.positional()[0]));
     R = sim::simulatePinball(PB, Machine, CL.getFlag("constrained"),
-                             Controls);
+                             Controls, VMC);
   } else {
-    vm::VMConfig VMC;
-    VMC.FsRoot = CL.getString("fsroot");
     std::vector<std::string> Args(CL.positional().begin(),
                                   CL.positional().end());
     R = sim::simulateBinaryFile(CL.positional()[0], Machine, Controls, VMC,
@@ -72,6 +76,11 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Result.MemStats.ImageExtents),
                 static_cast<unsigned long long>(Result.MemStats.CowFaults),
                 static_cast<unsigned long long>(Result.MemStats.DirtyBytes));
+    std::printf("jit: %llu blocks, %llu hits, %llu flushes, %llu bailouts\n",
+                static_cast<unsigned long long>(Result.JitStats.Blocks),
+                static_cast<unsigned long long>(Result.JitStats.Hits),
+                static_cast<unsigned long long>(Result.JitStats.Flushes),
+                static_cast<unsigned long long>(Result.JitStats.Bailouts));
   }
   return 0;
 }

@@ -17,12 +17,24 @@ using namespace elfie::vm;
 const DecodedBlock *DecodeCache::insert(std::unique_ptr<DecodedBlock> B) {
   ++Stats.Misses;
   uint64_t PC = B->StartPC;
+  if (Blocks.size() >= MaxBlocks && !Blocks.count(PC)) {
+    // Bounded residency: long campaigns touch unbounded code (JITed guests,
+    // region sweeps); dropping everything is cheap next to re-decoding.
+    flush();
+    ++Stats.CapFlushes;
+  }
   DecodedBlock *Raw = B.get();
   auto It = Blocks.find(PC);
   if (It != Blocks.end()) {
     // Rebuild of a PC whose stale block was not yet invalidated: keep the
-    // fresh decode.
+    // fresh decode. The old block dies here, so any per-thread cursor still
+    // holding it must fail its generation check — bump it, and drop the
+    // slot entry that points at the dying block.
+    size_t Slot = slotOf(PC);
+    if (Slots[Slot] == It->second.get())
+      Slots[Slot] = nullptr;
     It->second = std::move(B);
+    ++Generation;
   } else {
     Blocks.emplace(PC, std::move(B));
     PageIndex[pageBase(PC)].push_back(PC);

@@ -43,7 +43,7 @@ namespace elfie {
 namespace vm {
 
 /// Decode-cache counters, exposed through RunResult/ReplayResult and the
-/// tools' --vm-stats switch.
+/// tools' -vm:stats switch (ereplay/esim).
 struct DecodeCacheStats {
   /// Instructions dispatched from a cached block.
   uint64_t Hits = 0;
@@ -54,6 +54,9 @@ struct DecodeCacheStats {
   /// Full-cache flushes (unmap of exec pages en masse, access-tracking
   /// resets).
   uint64_t Flushes = 0;
+  /// Full flushes forced by the block-count cap (long campaigns would
+  /// otherwise grow Blocks/PageIndex without bound).
+  uint64_t CapFlushes = 0;
 };
 
 /// A run of instructions decoded once, executed many times. Blocks never
@@ -62,6 +65,9 @@ struct DecodeCacheStats {
 struct DecodedBlock {
   uint64_t StartPC = 0;
   std::vector<isa::Inst> Insts;
+  /// Entries through lookup() — the JIT's promotion counter. Mutable so the
+  /// read path can count on the const block the cache hands out.
+  mutable uint32_t HitCount = 0;
 
   uint64_t pcAt(size_t Idx) const { return StartPC + Idx * isa::InstSize; }
 };
@@ -74,16 +80,22 @@ public:
   static constexpr size_t NumSlots = 4096;
   /// Blocks are capped at this many instructions.
   static constexpr size_t MaxBlockInsts = 256;
+  /// Default bound on resident blocks before a cap flush.
+  static constexpr size_t DefaultMaxBlocks = 1 << 16;
 
-  DecodeCache() { Slots.assign(NumSlots, nullptr); }
+  explicit DecodeCache(size_t MaxBlocks = DefaultMaxBlocks)
+      : MaxBlocks(MaxBlocks ? MaxBlocks : DefaultMaxBlocks) {
+    Slots.assign(NumSlots, nullptr);
+  }
 
   /// Finds the block starting exactly at \p PC; null on miss. Counts a hit
-  /// when found.
+  /// (and bumps the block's promotion counter) when found.
   const DecodedBlock *lookup(uint64_t PC) {
     size_t Slot = slotOf(PC);
     DecodedBlock *B = Slots[Slot];
     if (B && B->StartPC == PC) {
       ++Stats.Hits;
+      ++B->HitCount;
       return B;
     }
     auto It = Blocks.find(PC);
@@ -91,6 +103,7 @@ public:
       return nullptr;
     Slots[Slot] = It->second.get();
     ++Stats.Hits;
+    ++It->second->HitCount;
     return It->second.get();
   }
 
@@ -123,6 +136,7 @@ private:
   std::unordered_map<uint64_t, std::unique_ptr<DecodedBlock>> Blocks;
   /// Page base -> start PCs of blocks on that page.
   std::unordered_map<uint64_t, std::vector<uint64_t>> PageIndex;
+  size_t MaxBlocks;
   uint64_t Generation = 0;
   DecodeCacheStats Stats;
 };

@@ -37,7 +37,7 @@ const uint8_t *AddressSpace::readable(const PageMeta &M) {
   return ZeroPage;
 }
 
-uint8_t *AddressSpace::writable(PageMeta &M) {
+uint8_t *AddressSpace::writable(uint64_t PageAddr, PageMeta &M) {
   if (!M.Dirty) {
     M.Dirty = std::make_unique<uint8_t[]>(GuestPageSize);
     if (M.Image) {
@@ -48,6 +48,9 @@ uint8_t *AddressSpace::writable(PageMeta &M) {
       std::memset(M.Dirty.get(), 0, GuestPageSize);
     }
     MStats.DirtyBytes += GuestPageSize;
+    // The readable pointer just moved to the private copy: anything that
+    // cached the image/zero bytes must drop them.
+    notifyPageMutation(PageAddr);
   }
   return M.Dirty.get();
 }
@@ -76,6 +79,7 @@ void AddressSpace::unmap(uint64_t Addr, uint64_t Size) {
     if (It != Pages.end()) {
       if (It->second.Perm & PermExec)
         notifyCodeChange(P);
+      notifyPageMutation(P);
       if (It->second.Dirty)
         MStats.DirtyBytes -= GuestPageSize;
       Pages.erase(It);
@@ -99,7 +103,7 @@ void AddressSpace::attachImage(MemImage Img) {
       } else {
         // Partially covered edge page (unaligned run) or a page already
         // privately written: merge the covered bytes into a private copy.
-        uint8_t *D = writable(M);
+        uint8_t *D = writable(P, M);
         uint64_t CopyFirst = std::max(P, R.VAddr);
         uint64_t CopyLast = std::min(LastByte, P + (GuestPageSize - 1));
         std::memcpy(D + (CopyFirst - P), R.Data + (CopyFirst - R.VAddr),
@@ -112,6 +116,8 @@ void AddressSpace::attachImage(MemImage Img) {
     }
   });
   MStats.ImageExtents += Img.runCount();
+  // Image pointers changed under any cached host pointers.
+  notifyPageMutation(AllPages);
   // Keep the image (and its mmap keepalives) alive: PageMeta::Image
   // pointers reference its extent bytes. Moving the image only moves its
   // extent vector; the extent buffers themselves stay put.
@@ -163,7 +169,7 @@ MemFault AddressSpace::write(uint64_t Addr, const void *Data, uint64_t Size) {
       notifyCodeChange(Base);
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
-    std::memcpy(writable(*P) + Off, Src, Chunk);
+    std::memcpy(writable(Base, *P) + Off, Src, Chunk);
     Src += Chunk;
     Addr += Chunk;
     Size -= Chunk;
@@ -201,7 +207,7 @@ MemFault AddressSpace::poke(uint64_t Addr, const void *Data, uint64_t Size) {
       notifyCodeChange(Base);
     uint64_t Off = Addr - Base;
     uint64_t Chunk = std::min<uint64_t>(Size, GuestPageSize - Off);
-    std::memcpy(writable(It->second) + Off, Src, Chunk);
+    std::memcpy(writable(Base, It->second) + Off, Src, Chunk);
     Src += Chunk;
     Addr += Chunk;
     Size -= Chunk;
@@ -247,8 +253,10 @@ void AddressSpace::clearAccessTracking() {
     P.AccessedSinceMark = false;
   // Cached decoded code must be dropped: lazy page capture relies on the
   // first post-reset *fetch* of each code page firing the first-touch hook,
-  // which cached blocks would otherwise skip.
+  // which cached blocks would otherwise skip. Cached host pointers (the
+  // JIT TLB) bypass touch() the same way, so they drop too.
   notifyCodeChange(AllPages);
+  notifyPageMutation(AllPages);
 }
 
 void AddressSpace::forEachPage(

@@ -141,6 +141,45 @@ public:
     CodeHook = std::move(Hook);
   }
 
+  /// Installs a hook invoked whenever a page's backing-store pointer may
+  /// change or stop existing: copy-on-write materialization (the readable
+  /// pointer moves from image/zero bytes to the private buffer), unmap of
+  /// any page, attachImage (reported as AllPages), and access-tracking
+  /// resets (AllPages — cached host pointers would skip the touch() that
+  /// re-arms first-touch capture). The JIT's software TLB flushes on this
+  /// seam; see jitReadablePage()/jitWritablePage().
+  using PageMutationHook = std::function<void(uint64_t PageAddr)>;
+  void setPageMutationHook(PageMutationHook Hook) {
+    MutationHook = std::move(Hook);
+  }
+
+  /// Host pointer to the readable bytes of the (page-aligned) page at
+  /// \p PageAddr, or null when unmapped or unreadable. For the JIT's TLB:
+  /// bypasses access tracking, so callers may only cache it after a
+  /// slow-path access to the page succeeded (first-touch has fired), and
+  /// must drop it on the page-mutation hook.
+  const uint8_t *jitReadablePage(uint64_t PageAddr) const {
+    auto It = Pages.find(PageAddr);
+    if (It == Pages.end() || !(It->second.Perm & PermRead))
+      return nullptr;
+    return readable(It->second);
+  }
+
+  /// Host pointer to the private (dirty) buffer of the page at \p PageAddr,
+  /// or null when the page is unmapped, not writable, executable (stores to
+  /// exec pages must keep hitting the slow path so the code-invalidate hook
+  /// fires), or not yet materialized. Same caching contract as
+  /// jitReadablePage().
+  uint8_t *jitWritablePage(uint64_t PageAddr) {
+    auto It = Pages.find(PageAddr);
+    if (It == Pages.end())
+      return nullptr;
+    PageMeta &M = It->second;
+    if (!(M.Perm & PermWrite) || (M.Perm & PermExec) || !M.Dirty)
+      return nullptr;
+    return M.Dirty.get();
+  }
+
   /// Attaches a memory image: every page covered by one of its runs is
   /// mapped (permissions widened) with its readable bytes pointing straight
   /// into the run — no copy. Later runs/attaches win over earlier ones;
@@ -193,12 +232,17 @@ private:
   static const uint8_t *readable(const PageMeta &M);
 
   /// The page's private buffer, allocated (and seeded from its image bytes
-  /// or zeros) on first use.
-  uint8_t *writable(PageMeta &M);
+  /// or zeros) on first use; materialization fires the page-mutation hook.
+  uint8_t *writable(uint64_t PageAddr, PageMeta &M);
 
   void notifyCodeChange(uint64_t PageAddr) {
     if (CodeHook)
       CodeHook(PageAddr);
+  }
+
+  void notifyPageMutation(uint64_t PageAddr) {
+    if (MutationHook)
+      MutationHook(PageAddr);
   }
 
   // Ordered map so that forEachPage and pinball images are deterministic.
@@ -210,6 +254,7 @@ private:
   MemStats MStats;
   FirstTouchHook Hook;
   CodeInvalidateHook CodeHook;
+  PageMutationHook MutationHook;
 };
 
 } // namespace vm

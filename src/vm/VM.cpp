@@ -10,9 +10,11 @@
 #include "elf/ELFReader.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdarg>
+#include <cstddef>
 #include <cstring>
 #include <ctime>
 #include <fcntl.h>
@@ -25,19 +27,108 @@ using isa::Opcode;
 
 Observer::~Observer() = default;
 
-VM::VM(VMConfig Config) : Config(std::move(Config)) {
+/// The JIT runtime: compiled-code cache, the execution context emitted code
+/// addresses through %r15, and software TLBs for the memory helpers. One
+/// per VM, created only when Config.EnableJit on an x86-64 host.
+struct VM::JitRuntime {
+  static constexpr size_t TlbEntries = 64;
+  JitCache JC;
+  JitExecContext Ctx;
+  /// True while the host call stack is inside the code buffer; the
+  /// code-invalidate hook then sets Ctx.Pending so the emitted post-store
+  /// check stops the current block before any stale code can run.
+  bool InJit = false;
+  // TLB slots: page base + host pointer, valid while the pointer is
+  // non-null. Filled only after a slow-path access to the page succeeded
+  // (so access tracking / first-touch has fired) and flushed by the
+  // address-space page-mutation hook.
+  uint64_t RTag[TlbEntries] = {};
+  const uint8_t *RPtr[TlbEntries] = {};
+  uint64_t WTag[TlbEntries] = {};
+  uint8_t *WPtr[TlbEntries] = {};
+
+  JitRuntime(const x86::JitLayout &L, size_t BufferBytes)
+      : JC(L, BufferBytes) {}
+
+  static unsigned slot(uint64_t Addr) {
+    return (Addr >> 12) & (TlbEntries - 1);
+  }
+  void flushTlbPage(uint64_t PageAddr) {
+    unsigned S = slot(PageAddr);
+    if (RTag[S] == PageAddr)
+      RPtr[S] = nullptr;
+    if (WTag[S] == PageAddr)
+      WPtr[S] = nullptr;
+  }
+  void flushTlbAll() {
+    std::memset(RPtr, 0, sizeof(RPtr));
+    std::memset(WPtr, 0, sizeof(WPtr));
+  }
+};
+
+#if defined(__x86_64__)
+static x86::JitLayout jitLayout() {
+  x86::JitLayout L;
+  L.CountdownOff = offsetof(JitExecContext, Countdown);
+  L.NextPCOff = offsetof(JitExecContext, NextPC);
+  L.MemOkOff = offsetof(JitExecContext, MemOk);
+  L.PendingOff = offsetof(JitExecContext, Pending);
+  L.CookieOff = offsetof(JitExecContext, Cookie);
+  L.LoadFnOff = offsetof(JitExecContext, LoadFn);
+  L.StoreFnOff = offsetof(JitExecContext, StoreFn);
+  L.ThreadOff = offsetof(JitExecContext, Thread);
+  L.GprOff = offsetof(ThreadState, GPR);
+  L.FprOff = offsetof(ThreadState, FPR);
+  return L;
+}
+#endif
+
+VM::VM(VMConfig Config)
+    : Config(std::move(Config)), DC(this->Config.DecodeCacheMaxBlocks) {
   BrkTop = isa::HeapBase;
   SchedRNG.reseed(this->Config.ScheduleSeed ? this->Config.ScheduleSeed
                                             : 0x5eed);
-  // Keep the decoded-block cache coherent with the address space: stores
-  // and pokes into executable pages (self-modifying code, replay page
-  // injection), unmaps, and access-tracking resets all invalidate.
+  // Keep the decoded-block cache — and the JIT's compiled blocks, which
+  // share the invalidation contract — coherent with the address space:
+  // stores and pokes into executable pages (self-modifying code, replay
+  // page injection), unmaps, and access-tracking resets all invalidate.
   Mem.setCodeInvalidateHook([this](uint64_t PageAddr) {
     if (PageAddr == AddressSpace::AllPages)
       DC.flush();
     else
       DC.invalidatePage(PageAddr);
+    if (Jit) {
+      if (PageAddr == AddressSpace::AllPages)
+        Jit->JC.invalidateAll();
+      else
+        Jit->JC.invalidatePage(PageAddr);
+      if (Jit->InJit)
+        Jit->Ctx.Pending = 1;
+    }
   });
+  // The JIT's TLBs cache per-page host pointers; drop them whenever a
+  // page's backing store may move (COW materialization, unmap, attach) or
+  // tracking re-arms.
+  Mem.setPageMutationHook([this](uint64_t PageAddr) {
+    if (!Jit)
+      return;
+    if (PageAddr == AddressSpace::AllPages)
+      Jit->flushTlbAll();
+    else
+      Jit->flushTlbPage(PageAddr);
+  });
+#if defined(__x86_64__)
+  if (this->Config.EnableJit && this->Config.EnableDecodeCache) {
+    auto J = std::make_unique<JitRuntime>(jitLayout(),
+                                          this->Config.JitBufferBytes);
+    if (J->JC.ready()) {
+      J->Ctx.Cookie = this;
+      J->Ctx.LoadFn = &VM::jitLoad;
+      J->Ctx.StoreFn = &VM::jitStore;
+      Jit = std::move(J);
+    }
+  }
+#endif
 }
 
 VM::~VM() {
@@ -208,6 +299,7 @@ RunResult VM::run(uint64_t MaxInstructions) {
   RunResult R;
   StopRequested = false;
   uint64_t Budget = MaxInstructions;
+  const bool JitOn = jitActive();
   // Hot-loop state: the current thread is looked up only on reschedule
   // (std::map nodes are stable across clone-driven insertions).
   ThreadState *Cur = nullptr;
@@ -215,6 +307,7 @@ RunResult VM::run(uint64_t MaxInstructions) {
     R.Reason = Reason;
     R.CacheStats = DC.stats();
     R.MemoryStats = Mem.memStats();
+    R.Jit = jitStats();
     return R;
   };
 
@@ -230,6 +323,33 @@ RunResult VM::run(uint64_t MaxInstructions) {
         return Done(StopReason::AllExited);
       }
       Cur = &Threads.at(CurTid);
+    }
+    if (JitOn) {
+      // Native dispatch only from a block boundary; mid-block (the cursor
+      // fast path below would hit) the interpreter finishes the block.
+      bool MidBlock = Cur->CurBlock && Cur->CurGen == DC.generation() &&
+                      Cur->CurIdx + 1 < Cur->CurBlock->Insts.size() &&
+                      Cur->PC == Cur->CurBlock->pcAt(Cur->CurIdx + 1);
+      if (!MidBlock) {
+        // A single unseeded thread may ignore quantum boundaries (they
+        // are unobservable and draw no schedule randomness); otherwise
+        // the dispatch is capped at the quantum so the interleaving — and
+        // the seeded RNG draw sequence — matches interpretation exactly.
+        uint64_t Quota = (LiveCount == 1 && !Config.ScheduleSeed)
+                             ? Budget
+                             : std::min(Budget, QuantumLeft);
+        uint64_t Exec = 0;
+        if (jitDispatch(*Cur, Quota, Exec)) {
+          Budget -= Exec;
+          QuantumLeft -= std::min(Exec, QuantumLeft);
+          if (StopRequested)
+            return Done(StopReason::Stopped);
+          if (Exec > 0)
+            continue;
+          // Exec == 0 (a memory-retry on the first instruction): fall
+          // through and interpret one step so the canonical fault fires.
+        }
+      }
     }
     StepStatus S = stepOne(*Cur);
     switch (S) {
@@ -280,6 +400,186 @@ StopReason VM::stepThread(uint32_t Tid) {
   elfieUnreachable("bad step status");
 }
 
+VM::ThreadRunResult VM::runThread(uint32_t Tid, uint64_t MaxInstructions) {
+  ThreadRunResult R;
+  auto It = Threads.find(Tid);
+  assert(It != Threads.end() && "running unknown thread");
+  ThreadState &T = It->second;
+  StopRequested = false;
+  const bool JitOn = jitActive();
+  uint64_t Budget = MaxInstructions;
+  while (Budget > 0) {
+    if (T.Exited) {
+      R.Reason = (GroupExited || LiveCount == 0) ? StopReason::AllExited
+                                                 : StopReason::BudgetReached;
+      return R;
+    }
+    if (JitOn) {
+      bool MidBlock = T.CurBlock && T.CurGen == DC.generation() &&
+                      T.CurIdx + 1 < T.CurBlock->Insts.size() &&
+                      T.PC == T.CurBlock->pcAt(T.CurIdx + 1);
+      if (!MidBlock) {
+        // The caller owns the interleaving, so the whole remaining budget
+        // is the dispatch quota — no scheduler quantum applies here.
+        uint64_t Exec = 0;
+        if (jitDispatch(T, Budget, Exec)) {
+          Budget -= Exec;
+          R.Executed += Exec;
+          if (StopRequested) {
+            R.Reason = StopReason::Stopped;
+            return R;
+          }
+          if (Exec > 0)
+            continue;
+        }
+      }
+    }
+    StepStatus S = stepOne(T);
+    switch (S) {
+    case StepStatus::Ok:
+      ++R.Executed;
+      --Budget;
+      break;
+    case StepStatus::Exited:
+      ++R.Executed; // the exiting syscall retired
+      R.Reason = (GroupExited || LiveCount == 0) ? StopReason::AllExited
+                                                 : StopReason::BudgetReached;
+      return R;
+    case StepStatus::Halted:
+      ++R.Executed;
+      R.Reason = StopReason::Halted;
+      return R;
+    case StepStatus::Faulted:
+      R.Reason = StopReason::Faulted;
+      return R;
+    case StepStatus::Stopped:
+      R.Reason = StopReason::Stopped;
+      return R;
+    }
+    if (StopRequested) {
+      R.Reason = StopReason::Stopped;
+      return R;
+    }
+  }
+  R.Reason = StopReason::BudgetReached;
+  return R;
+}
+
+// ---------------------------------------------------------------------------
+// JIT dispatch (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+bool VM::jitActive() const {
+  return Jit != nullptr && (!Obs || !Obs->wantsPerInstruction());
+}
+
+JitStats VM::jitStats() const { return Jit ? Jit->JC.Stats : JitStats(); }
+
+bool VM::jitDispatch(ThreadState &T, uint64_t Quota, uint64_t &Exec) {
+  Exec = 0;
+  JitRuntime &J = *Jit;
+  const JitCache::CompiledBlock *CB = J.JC.find(T.PC);
+  if (!CB)
+    return false;
+  if (Quota > uint64_t(INT64_MAX))
+    Quota = INT64_MAX; // the emitted entry check compares signed
+  if (Quota < CB->NumInsts)
+    return false; // entry check would fail; interpret the quantum tail
+  // Drain deferred chain un-patching before entering the buffer — after
+  // this, every patched chain exit targets live code.
+  J.JC.maintenance();
+  J.Ctx.Countdown = static_cast<int64_t>(Quota);
+  J.Ctx.NextPC = T.PC;
+  J.Ctx.MemOk = 1;
+  J.Ctx.Pending = 0;
+  J.Ctx.Thread = &T;
+  J.InJit = true;
+  uint32_t Kind = J.JC.run(J.Ctx, *CB);
+  J.InJit = false;
+  Exec = Quota - static_cast<uint64_t>(J.Ctx.Countdown);
+  T.PC = J.Ctx.NextPC;
+  T.Retired += Exec;
+  GlobalRetired += Exec;
+  // Compiled code never writes GPR slot 0 and jumped arbitrarily, so the
+  // decode-cache cursor is stale.
+  T.CurBlock = nullptr;
+  J.JC.Stats.Hits += Exec;
+  ++J.JC.Stats.Dispatches;
+  if (Kind == x86::JitExitBail || Kind == x86::JitExitMemRetry ||
+      Kind == x86::JitExitInvalidate)
+    ++J.JC.Stats.Bailouts;
+  return true;
+}
+
+uint64_t VM::jitLoad(void *Cookie, uint64_t Addr, uint64_t Kind) {
+  VM *V = static_cast<VM *>(Cookie);
+  JitRuntime &J = *V->Jit;
+  static const uint32_t Sizes[7] = {1, 2, 4, 8, 1, 2, 4};
+  uint32_t Size = Sizes[Kind];
+  uint64_t Off = Addr & GuestPageMask;
+  uint64_t Raw = 0;
+  if (Off + Size <= GuestPageSize) {
+    unsigned S = JitRuntime::slot(Addr);
+    uint64_t Page = Addr - Off;
+    const uint8_t *P = J.RPtr[S];
+    if (P && J.RTag[S] == Page) {
+      std::memcpy(&Raw, P + Off, Size);
+    } else {
+      if (V->Mem.read(Addr, &Raw, Size) != MemFault::None) {
+        J.Ctx.MemOk = 0;
+        return 0;
+      }
+      if (const uint8_t *NP = V->Mem.jitReadablePage(Page)) {
+        J.RTag[S] = Page;
+        J.RPtr[S] = NP;
+      }
+    }
+  } else if (V->Mem.read(Addr, &Raw, Size) != MemFault::None) {
+    J.Ctx.MemOk = 0;
+    return 0;
+  }
+  switch (Kind) {
+  case x86::JitLoadS8:
+    return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int8_t>(Raw)));
+  case x86::JitLoadS16:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int16_t>(Raw)));
+  case x86::JitLoadS32:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(Raw)));
+  default:
+    return Raw;
+  }
+}
+
+void VM::jitStore(void *Cookie, uint64_t Addr, uint64_t Value, uint64_t Size) {
+  VM *V = static_cast<VM *>(Cookie);
+  JitRuntime &J = *V->Jit;
+  uint64_t Off = Addr & GuestPageMask;
+  if (Off + Size <= GuestPageSize) {
+    unsigned S = JitRuntime::slot(Addr);
+    uint64_t Page = Addr - Off;
+    uint8_t *P = J.WPtr[S];
+    if (P && J.WTag[S] == Page) {
+      // TLB write hit: the page is known dirty (materialized), writable,
+      // and non-executable, so no tracking or invalidation can fire.
+      std::memcpy(P + Off, &Value, Size);
+      return;
+    }
+    if (V->Mem.write(Addr, &Value, Size) != MemFault::None) {
+      J.Ctx.MemOk = 0;
+      return;
+    }
+    if (uint8_t *NP = V->Mem.jitWritablePage(Page)) {
+      J.WTag[S] = Page;
+      J.WPtr[S] = NP;
+    }
+    return;
+  }
+  if (V->Mem.write(Addr, &Value, Size) != MemFault::None)
+    J.Ctx.MemOk = 0;
+}
+
 const Inst *VM::cachedInst(ThreadState &T) {
   // Cursor fast path: the thread is still walking the block it dispatched
   // from last step. Generation must match before the pointer is touched —
@@ -295,6 +595,10 @@ const Inst *VM::cachedInst(ThreadState &T) {
   const DecodedBlock *B = DC.lookup(T.PC);
   if (!B)
     return nullptr;
+  // JIT promotion: a block entered often enough gets compiled (compile()
+  // dedups, so re-crossing the threshold after a flush re-promotes).
+  if (Jit && B->HitCount >= Config.JitThreshold && jitActive())
+    Jit->JC.compile(*B);
   T.CurBlock = B;
   T.CurIdx = 0;
   T.CurGen = DC.generation();

@@ -30,11 +30,13 @@
 #include "support/Error.h"
 #include "support/RNG.h"
 #include "vm/DecodeCache.h"
+#include "vm/JitCache.h"
 #include "vm/Memory.h"
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -90,6 +92,8 @@ struct RunResult {
   DecodeCacheStats CacheStats;
   /// Memory-substrate counters (image extents, COW faults, dirty bytes).
   MemStats MemoryStats;
+  /// JIT counters (all zero unless VMConfig::EnableJit).
+  JitStats Jit;
 };
 
 /// Instrumentation interface (the Pin "analysis routine" analogue).
@@ -97,6 +101,12 @@ struct RunResult {
 class Observer {
 public:
   virtual ~Observer();
+  /// Return false when this observer can tolerate compiled-code dispatch:
+  /// the JIT retires whole blocks without firing onInstruction /
+  /// onMemoryAccess / onControlTransfer (syscalls, markers, and thread
+  /// events still fire — those bail to the interpreter). The default
+  /// (true) disables JIT dispatch while the observer is attached.
+  virtual bool wantsPerInstruction() const { return true; }
   /// Before executing the instruction at \p PC.
   virtual void onInstruction(const ThreadState &T, uint64_t PC,
                              const isa::Inst &I) {}
@@ -135,6 +145,18 @@ struct VMConfig {
   /// fetch + decode on every step (the pre-cache interpreter, kept for
   /// differential testing and the overhead benchmarks).
   bool EnableDecodeCache = true;
+  /// Bound on resident decoded blocks before the cache takes a full flush
+  /// (0 = DecodeCache::DefaultMaxBlocks).
+  size_t DecodeCacheMaxBlocks = 0;
+  /// Translate hot blocks to host x86-64 and dispatch them natively
+  /// (`ereplay -jit` / `esim -jit`). Requires EnableDecodeCache; silently
+  /// inert on non-x86-64 hosts and while an observer that wants
+  /// per-instruction callbacks is attached.
+  bool EnableJit = false;
+  /// Decode-cache entries crossing this hit count get compiled.
+  uint32_t JitThreshold = 32;
+  /// Size of the JIT's executable code buffer.
+  size_t JitBufferBytes = 16u << 20;
   /// Directory guest open() paths resolve against.
   std::string FsRoot = ".";
   /// Sinks for guest stdout/stderr; when unset, bytes go to host stdout /
@@ -177,6 +199,17 @@ public:
   /// Returns the observed stop condition; StopReason::BudgetReached means
   /// "stepped fine, more to run".
   StopReason stepThread(uint32_t Tid);
+
+  /// Batched stepThread: runs \p Tid alone for up to \p MaxInstructions
+  /// retired instructions (the caller owns the interleaving — the
+  /// scheduler quantum does not apply). Executed reports the instructions
+  /// actually retired; BudgetReached means "ran fine, more to run". With
+  /// EnableJit this is the replayer's native-dispatch fast path.
+  struct ThreadRunResult {
+    StopReason Reason = StopReason::BudgetReached;
+    uint64_t Executed = 0;
+  };
+  ThreadRunResult runThread(uint32_t Tid, uint64_t MaxInstructions);
 
   /// Observer management (one active observer; null to detach).
   void setObserver(Observer *O) { Obs = O; }
@@ -232,9 +265,29 @@ public:
   const DecodeCacheStats &decodeCacheStats() const { return DC.stats(); }
   const DecodeCache &decodeCache() const { return DC; }
 
+  /// JIT counters (also reported through RunResult::Jit). All zero when
+  /// the JIT is disabled or unavailable on this host.
+  JitStats jitStats() const;
+
 private:
   enum class StepStatus { Ok, Exited, Halted, Faulted, Stopped };
   StepStatus stepOne(ThreadState &T);
+  /// JIT plumbing (all defined in VM.cpp; JitRuntime bundles the code
+  /// cache, the execution context, and the software TLBs).
+  struct JitRuntime;
+  /// True when compiled dispatch may run right now (JIT configured, host
+  /// supported, and no per-instruction observer attached).
+  bool jitActive() const;
+  /// One native dispatch of the compiled block at T.PC, bounded by
+  /// \p Quota retired instructions. Returns false when no compiled block
+  /// starts there or the quota is too small for its entry check; true when
+  /// compiled code ran, with \p Exec set to the instructions retired.
+  /// After a true return with Exec == 0 the caller must interpret at least
+  /// one step before re-dispatching (memory-retry exits make no progress).
+  bool jitDispatch(ThreadState &T, uint64_t Quota, uint64_t &Exec);
+  static uint64_t jitLoad(void *Cookie, uint64_t Addr, uint64_t Kind);
+  static void jitStore(void *Cookie, uint64_t Addr, uint64_t Value,
+                       uint64_t Size);
   /// Executes one already-decoded instruction at T.PC. Takes the
   /// instruction by value: executing a store into the current code page
   /// invalidates the block that owns the cached copy.
@@ -271,6 +324,7 @@ private:
   VMConfig Config;
   AddressSpace Mem;
   DecodeCache DC;
+  std::unique_ptr<JitRuntime> Jit; ///< null unless EnableJit on x86-64
   uint64_t Entry = 0;
 
   std::map<uint32_t, ThreadState> Threads;

@@ -404,6 +404,12 @@ void Encoder::cmpMemImm32(Reg Base, int32_t Disp, int32_t Imm) {
   modrmMem(7, Base, Disp);
   dword(static_cast<uint32_t>(Imm));
 }
+void Encoder::addMemImm32(Reg Base, int32_t Disp, int32_t Imm) {
+  rex(true, 0, Base);
+  byte(0x81);
+  modrmMem(0, Base, Disp);
+  dword(static_cast<uint32_t>(Imm));
+}
 
 void Encoder::testRegReg(Reg A, Reg B) {
   rex(true, B, A);

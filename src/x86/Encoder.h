@@ -160,6 +160,7 @@ public:
   void cmpRegImm32(Reg A, int32_t Imm);
   void cmpRegMem(Reg A, Reg Base, int32_t Disp);
   void cmpMemImm32(Reg Base, int32_t Disp, int32_t Imm); ///< cmp qword
+  void addMemImm32(Reg Base, int32_t Disp, int32_t Imm); ///< add qword
   void testRegReg(Reg A, Reg B);
   void testRegImm32(Reg A, int32_t Imm);
   void setcc(Cond C, Reg Dst); ///< set byte + movzx to 64-bit

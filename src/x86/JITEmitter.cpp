@@ -1,0 +1,600 @@
+//===- x86/JITEmitter.cpp -------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/JITEmitter.h"
+
+#include <cstring>
+#include <deque>
+
+#include <sys/mman.h>
+
+using namespace elfie;
+using namespace elfie::x86;
+using isa::Inst;
+using isa::Opcode;
+
+namespace {
+
+/// Per-block emission state. Register conventions inside a block:
+///   %r14 ThreadState base   %r15 JitExecContext base (both callee-saved)
+///   %rax/%rcx/%rdx          scratch (never live across a helper call)
+///   %rsi/%rdi               helper arguments
+class BlockEmitter {
+public:
+  BlockEmitter(uint64_t StartPC, const JitLayout &L, JitBlockCode &Out)
+      : StartPC(StartPC), L(L), Out(Out) {}
+
+  bool emit(const Inst *Insts, size_t N);
+
+private:
+  // A cold exit stub: subtract the retired prefix, set NextPC, return Kind.
+  struct Stub {
+    Label Target;
+    uint32_t Sub;
+    uint64_t NextPC;
+    uint32_t Kind;
+  };
+
+  Label &stub(uint32_t Sub, uint64_t NextPC, uint32_t Kind) {
+    Stubs.push_back(Stub{Label(), Sub, NextPC, Kind});
+    return Stubs.back().Target;
+  }
+
+  void loadGpr(Reg Dst, unsigned R) { E.movRegMem(Dst, R14, L.gpr(R)); }
+  void storeGpr(unsigned R, Reg Src) {
+    if (R == isa::RegZero)
+      return; // r0 stays zero: its slot is never written
+    E.movMemReg(R14, L.gpr(R), Src);
+  }
+  void loadFprBits(Reg Dst, unsigned R) { E.movRegMem(Dst, R14, L.fpr(R)); }
+  void storeFprBits(unsigned R, Reg Src) { E.movMemReg(R14, L.fpr(R), Src); }
+
+  void setNextPC(uint64_t V) {
+    if (V <= 0x7fffffffull) {
+      E.movMemImm32(R15, L.NextPCOff, static_cast<int32_t>(V));
+    } else {
+      E.movRegImm64(RCX, V);
+      E.movMemReg(R15, L.NextPCOff, RCX);
+    }
+  }
+
+  void subCountdown(uint32_t N) {
+    if (N)
+      E.addMemImm32(R15, L.CountdownOff, -static_cast<int32_t>(N));
+  }
+
+  /// Retires \p N instructions and leaves through a patchable chain jmp to
+  /// guest address \p Target (falls through to a Chain return until the
+  /// block cache patches it).
+  void chainExit(uint32_t N, uint64_t Target) {
+    subCountdown(N);
+    Out.Exits.push_back({E.here(), Target});
+    E.emitBytes({0xE9, 0, 0, 0, 0});
+    setNextPC(Target);
+    E.movRegImm32(RAX, JitExitChain);
+    E.ret();
+  }
+
+  /// Calls the load helper for Addr = r[Rs1] + Imm; result in RAX. Emits
+  /// the fault check (exit with instruction \p Idx not retired).
+  void emitLoadCall(size_t Idx, const Inst &I, JitLoadKind Kind) {
+    loadGpr(RSI, I.Rs1);
+    if (I.Imm != 0)
+      E.leaRegMem(RSI, RSI, I.Imm);
+    E.movRegMem(RDI, R15, L.CookieOff);
+    E.movRegImm32(RDX, Kind);
+    E.movRegMem(RAX, R15, L.LoadFnOff);
+    E.callReg(RAX);
+    E.cmpMemImm32(R15, L.MemOkOff, 0);
+    E.jcc(CondE, stub(static_cast<uint32_t>(Idx), StartPC + 8 * Idx,
+                      JitExitMemRetry));
+  }
+
+  /// Calls the store helper with the value in RDX. Emits the fault check
+  /// and the invalidation-pending check (the store may have clobbered
+  /// compiled code, including this block).
+  void emitStoreCall(size_t Idx, const Inst &I, uint32_t Size) {
+    E.movRegMem(RDI, R15, L.CookieOff);
+    E.movRegImm32(RCX, Size);
+    E.movRegMem(RAX, R15, L.StoreFnOff);
+    E.callReg(RAX);
+    E.cmpMemImm32(R15, L.MemOkOff, 0);
+    E.jcc(CondE, stub(static_cast<uint32_t>(Idx), StartPC + 8 * Idx,
+                      JitExitMemRetry));
+    E.cmpMemImm32(R15, L.PendingOff, 0);
+    E.jcc(CondNE, stub(static_cast<uint32_t>(Idx) + 1,
+                       StartPC + 8 * (Idx + 1), JitExitInvalidate));
+  }
+
+  void emitInst(size_t Idx, const Inst &I, uint32_t Prefix);
+
+  uint64_t StartPC;
+  const JitLayout &L;
+  JitBlockCode &Out;
+  Encoder E;
+  std::deque<Stub> Stubs; // deque: stable Label addresses across growth
+};
+
+/// Instructions the JIT hands back to the interpreter. Atomics bail so the
+/// EVM's sequential-consistency bookkeeping (and exec-page invalidation on
+/// atomic stores) stays in one place; syscalls/markers keep observer and
+/// interceptor callbacks working; pause must end the scheduler quantum.
+bool needsInterpreter(Opcode Op) {
+  switch (Op) {
+  case Opcode::Syscall:
+  case Opcode::Marker:
+  case Opcode::Halt:
+  case Opcode::Pause:
+  case Opcode::AmoAdd:
+  case Opcode::AmoSwap:
+  case Opcode::Cas:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool BlockEmitter::emit(const Inst *Insts, size_t N) {
+  // Compilable prefix: everything up to (exclusive) the first instruction
+  // that needs the interpreter. Terminators other than those end the block
+  // anyway, so the prefix is the whole block in the common case.
+  uint32_t Prefix = 0;
+  while (Prefix < N && !needsInterpreter(Insts[Prefix].Op))
+    ++Prefix;
+  if (Prefix == 0)
+    return false;
+  Out.NumInsts = Prefix;
+
+  // Entry countdown check: every path below retires at most Prefix
+  // instructions, so one signed compare up front replaces the AOT
+  // translator's per-instruction dec/js pair.
+  E.cmpMemImm32(R15, L.CountdownOff, static_cast<int32_t>(Prefix));
+  E.jcc(CondL, stub(0, StartPC, JitExitCountdown));
+
+  bool Terminated = false;
+  for (size_t Idx = 0; Idx < Prefix; ++Idx) {
+    emitInst(Idx, Insts[Idx], Prefix);
+    if (isa::isControlFlow(Insts[Idx].Op)) {
+      Terminated = true;
+      break; // control flow is last in a decoded block by construction
+    }
+  }
+
+  if (!Terminated) {
+    if (Prefix < N) {
+      // Bail: the next instruction (syscall/marker/halt/pause/atomic) runs
+      // in the interpreter; the prefix has retired.
+      subCountdown(Prefix);
+      setNextPC(StartPC + 8 * Prefix);
+      E.movRegImm32(RAX, JitExitBail);
+      E.ret();
+    } else {
+      // Page-end / max-length block: plain fallthrough.
+      chainExit(Prefix, StartPC + 8 * Prefix);
+    }
+  }
+
+  for (Stub &S : Stubs) {
+    E.bind(S.Target);
+    subCountdown(S.Sub);
+    setNextPC(S.NextPC);
+    E.movRegImm32(RAX, S.Kind);
+    E.ret();
+  }
+
+  Out.Code = E.code();
+  return true;
+}
+
+void BlockEmitter::emitInst(size_t Idx, const Inst &I, uint32_t Prefix) {
+  uint64_t PC = StartPC + 8 * Idx;
+  auto Imm64 = [&]() { return static_cast<int64_t>(I.Imm); };
+
+  auto BinOp = [&](void (Encoder::*Op)(Reg, Reg, int32_t)) {
+    loadGpr(RAX, I.Rs1);
+    (E.*Op)(RAX, R14, L.gpr(I.Rs2));
+    storeGpr(I.Rd, RAX);
+  };
+  auto BinOpImm = [&](void (Encoder::*Op)(Reg, int32_t)) {
+    loadGpr(RAX, I.Rs1);
+    (E.*Op)(RAX, I.Imm);
+    storeGpr(I.Rd, RAX);
+  };
+  auto ShiftOp = [&](void (Encoder::*Op)(Reg)) {
+    loadGpr(RAX, I.Rs1);
+    loadGpr(RCX, I.Rs2);
+    (E.*Op)(RAX);
+    storeGpr(I.Rd, RAX);
+  };
+  auto ShiftOpImm = [&](void (Encoder::*Op)(Reg, uint8_t)) {
+    loadGpr(RAX, I.Rs1);
+    (E.*Op)(RAX, static_cast<uint8_t>(I.Imm & 63));
+    storeGpr(I.Rd, RAX);
+  };
+  auto CmpSet = [&](Cond C) {
+    loadGpr(RAX, I.Rs1);
+    E.cmpRegMem(RAX, R14, L.gpr(I.Rs2));
+    E.setcc(C, RAX);
+    storeGpr(I.Rd, RAX);
+  };
+  // Branches are the block's last instruction: both outcomes leave through
+  // chain exits, each retiring the whole prefix.
+  auto Branch = [&](Cond C) {
+    loadGpr(RAX, I.Rs1);
+    E.cmpRegMem(RAX, R14, L.gpr(I.Rs2));
+    Label Taken;
+    E.jcc(C, Taken);
+    chainExit(Prefix, PC + 8);
+    E.bind(Taken);
+    chainExit(Prefix, PC + Imm64());
+  };
+  auto StoreLink = [&](unsigned Rd) {
+    if (Rd == isa::RegZero)
+      return;
+    E.movRegImm64(RAX, PC + 8);
+    E.movMemReg(R14, L.gpr(Rd), RAX);
+  };
+  auto FBinOp = [&](void (Encoder::*Op)(XmmReg, XmmReg)) {
+    E.movsdXmmMem(XMM0, R14, L.fpr(I.Rs1));
+    E.movsdXmmMem(XMM1, R14, L.fpr(I.Rs2));
+    (E.*Op)(XMM0, XMM1);
+    E.movsdMemXmm(R14, L.fpr(I.Rd), XMM0);
+  };
+  // Effective address of a load/store into RSI (helper argument).
+  auto LoadEA = [&]() {
+    loadGpr(RSI, I.Rs1);
+    if (I.Imm != 0)
+      E.leaRegMem(RSI, RSI, I.Imm);
+  };
+  auto Load = [&](JitLoadKind Kind) {
+    emitLoadCall(Idx, I, Kind);
+    storeGpr(I.Rd, RAX);
+  };
+  auto Store = [&](uint32_t Size) {
+    LoadEA();
+    loadGpr(RDX, I.Rd);
+    emitStoreCall(Idx, I, Size);
+  };
+
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::Fence:
+    // Fence: the EVM runs on one host thread, so like the interpreter the
+    // fence only retires.
+    break;
+
+  case Opcode::Add: BinOp(&Encoder::addRegMem); break;
+  case Opcode::Sub: BinOp(&Encoder::subRegMem); break;
+  case Opcode::Mul: BinOp(&Encoder::imulRegMem); break;
+  case Opcode::Mulh:
+    loadGpr(RAX, I.Rs1);
+    E.imulMem(R14, L.gpr(I.Rs2)); // rdx:rax = rax * m64
+    storeGpr(I.Rd, RDX);
+    break;
+  case Opcode::Div:
+  case Opcode::Rem: {
+    bool IsRem = I.Op == Opcode::Rem;
+    Label Done, DoDiv, ZeroDiv;
+    loadGpr(RAX, I.Rs1);
+    loadGpr(RCX, I.Rs2);
+    E.testRegReg(RCX, RCX);
+    E.jcc(CondE, ZeroDiv);
+    E.cmpRegImm32(RCX, -1);
+    E.jcc(CondNE, DoDiv);
+    E.movRegImm64(RDX, 0x8000000000000000ull);
+    E.cmpRegReg(RAX, RDX);
+    E.jcc(CondNE, DoDiv);
+    if (IsRem)
+      E.xorRegReg(RAX, RAX); // INT64_MIN % -1 == 0
+    E.jmp(Done);             // div: rax already INT64_MIN
+    E.bind(DoDiv);
+    E.cqo();
+    E.idivReg(RCX);
+    if (IsRem)
+      E.movRegReg(RAX, RDX);
+    E.jmp(Done);
+    E.bind(ZeroDiv);
+    if (!IsRem)
+      E.movRegImm64(RAX, UINT64_MAX); // div by zero -> all ones
+    E.bind(Done);                     // rem by zero -> dividend (in rax)
+    storeGpr(I.Rd, RAX);
+    break;
+  }
+  case Opcode::Divu:
+  case Opcode::Remu: {
+    bool IsRem = I.Op == Opcode::Remu;
+    Label Done, ZeroDiv;
+    loadGpr(RAX, I.Rs1);
+    loadGpr(RCX, I.Rs2);
+    E.testRegReg(RCX, RCX);
+    E.jcc(CondE, ZeroDiv);
+    E.xorRegReg(RDX, RDX);
+    E.divReg(RCX);
+    if (IsRem)
+      E.movRegReg(RAX, RDX);
+    E.jmp(Done);
+    E.bind(ZeroDiv);
+    if (!IsRem)
+      E.movRegImm64(RAX, UINT64_MAX);
+    E.bind(Done);
+    storeGpr(I.Rd, RAX);
+    break;
+  }
+  case Opcode::And: BinOp(&Encoder::andRegMem); break;
+  case Opcode::Or: BinOp(&Encoder::orRegMem); break;
+  case Opcode::Xor: BinOp(&Encoder::xorRegMem); break;
+  case Opcode::Shl: ShiftOp(&Encoder::shlRegCl); break;
+  case Opcode::Shr: ShiftOp(&Encoder::shrRegCl); break;
+  case Opcode::Sar: ShiftOp(&Encoder::sarRegCl); break;
+  case Opcode::Slt: CmpSet(CondL); break;
+  case Opcode::Sltu: CmpSet(CondB); break;
+  case Opcode::Seq: CmpSet(CondE); break;
+  case Opcode::Mov:
+    loadGpr(RAX, I.Rs1);
+    storeGpr(I.Rd, RAX);
+    break;
+
+  case Opcode::Addi: BinOpImm(&Encoder::addRegImm32); break;
+  case Opcode::Muli:
+    loadGpr(RAX, I.Rs1);
+    E.movRegImm64(RCX, static_cast<uint64_t>(Imm64()));
+    E.imulRegReg(RAX, RCX);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Andi: BinOpImm(&Encoder::andRegImm32); break;
+  case Opcode::Ori:
+    loadGpr(RAX, I.Rs1);
+    E.movRegImm64(RCX, static_cast<uint64_t>(Imm64()));
+    E.orRegReg(RAX, RCX);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Xori:
+    loadGpr(RAX, I.Rs1);
+    E.movRegImm64(RCX, static_cast<uint64_t>(Imm64()));
+    E.xorRegReg(RAX, RCX);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Shli: ShiftOpImm(&Encoder::shlRegImm); break;
+  case Opcode::Shri: ShiftOpImm(&Encoder::shrRegImm); break;
+  case Opcode::Sari: ShiftOpImm(&Encoder::sarRegImm); break;
+  case Opcode::Slti:
+    loadGpr(RAX, I.Rs1);
+    E.cmpRegImm32(RAX, I.Imm);
+    E.setcc(CondL, RAX);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Sltui:
+    loadGpr(RAX, I.Rs1);
+    E.cmpRegImm32(RAX, I.Imm);
+    E.setcc(CondB, RAX);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Ldi:
+    E.movRegImm64(RAX, static_cast<uint64_t>(Imm64()));
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Ldih:
+    loadGpr(RAX, I.Rd);
+    E.movRegImm64(RDX, 0xffffffffull);
+    E.andRegReg(RAX, RDX);
+    E.movRegImm64(RDX, static_cast<uint64_t>(static_cast<uint32_t>(I.Imm))
+                           << 32);
+    E.orRegReg(RAX, RDX);
+    storeGpr(I.Rd, RAX);
+    break;
+
+  case Opcode::Ld1: Load(JitLoadU8); break;
+  case Opcode::Ld2: Load(JitLoadU16); break;
+  case Opcode::Ld4: Load(JitLoadU32); break;
+  case Opcode::Ld8: Load(JitLoadU64); break;
+  case Opcode::Ld1s: Load(JitLoadS8); break;
+  case Opcode::Ld2s: Load(JitLoadS16); break;
+  case Opcode::Ld4s: Load(JitLoadS32); break;
+  case Opcode::St1: Store(1); break;
+  case Opcode::St2: Store(2); break;
+  case Opcode::St4: Store(4); break;
+  case Opcode::St8: Store(8); break;
+
+  case Opcode::Beq: Branch(CondE); break;
+  case Opcode::Bne: Branch(CondNE); break;
+  case Opcode::Blt: Branch(CondL); break;
+  case Opcode::Bge: Branch(CondGE); break;
+  case Opcode::Bltu: Branch(CondB); break;
+  case Opcode::Bgeu: Branch(CondAE); break;
+  case Opcode::Jmp:
+    chainExit(Prefix, PC + Imm64());
+    break;
+  case Opcode::Jal:
+    StoreLink(I.Rd);
+    chainExit(Prefix, PC + Imm64());
+    break;
+  case Opcode::Jalr:
+    // Target from the *pre-link* register file; alignment check before the
+    // link write (a misaligned jalr faults without writing rd).
+    loadGpr(RCX, I.Rs1);
+    if (I.Imm != 0)
+      E.leaRegMem(RCX, RCX, I.Imm);
+    E.testRegImm32(RCX, 7);
+    E.jcc(CondNE, stub(static_cast<uint32_t>(Idx), PC, JitExitBail));
+    StoreLink(I.Rd);
+    E.movMemReg(R15, L.NextPCOff, RCX);
+    subCountdown(Prefix);
+    E.movRegImm32(RAX, JitExitIndirect);
+    E.ret();
+    break;
+
+  case Opcode::Fadd: FBinOp(&Encoder::addsd); break;
+  case Opcode::Fsub: FBinOp(&Encoder::subsd); break;
+  case Opcode::Fmul: FBinOp(&Encoder::mulsd); break;
+  case Opcode::Fdiv: FBinOp(&Encoder::divsd); break;
+  case Opcode::Fmin: FBinOp(&Encoder::minsd); break;
+  case Opcode::Fmax: FBinOp(&Encoder::maxsd); break;
+  case Opcode::Fsqrt:
+    E.movsdXmmMem(XMM0, R14, L.fpr(I.Rs1));
+    E.sqrtsd(XMM0, XMM0);
+    E.movsdMemXmm(R14, L.fpr(I.Rd), XMM0);
+    break;
+  case Opcode::Fneg:
+    loadFprBits(RAX, I.Rs1);
+    E.movRegImm64(RDX, 0x8000000000000000ull);
+    E.xorRegReg(RAX, RDX);
+    storeFprBits(I.Rd, RAX);
+    break;
+  case Opcode::Fabs:
+    loadFprBits(RAX, I.Rs1);
+    E.movRegImm64(RDX, 0x7fffffffffffffffull);
+    E.andRegReg(RAX, RDX);
+    storeFprBits(I.Rd, RAX);
+    break;
+  case Opcode::Fmov:
+    loadFprBits(RAX, I.Rs1);
+    storeFprBits(I.Rd, RAX);
+    break;
+  case Opcode::Feq:
+    E.movsdXmmMem(XMM0, R14, L.fpr(I.Rs1));
+    E.movsdXmmMem(XMM1, R14, L.fpr(I.Rs2));
+    E.ucomisd(XMM0, XMM1);
+    E.setcc(CondE, RAX);
+    E.setcc(CondNP, RDX);
+    E.andRegReg(RAX, RDX);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Flt:
+    // a < b  <=>  ucomisd(b, a) sets "above" (NaN-safe).
+    E.movsdXmmMem(XMM0, R14, L.fpr(I.Rs2));
+    E.movsdXmmMem(XMM1, R14, L.fpr(I.Rs1));
+    E.ucomisd(XMM0, XMM1);
+    E.setcc(CondA, RAX);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Fle:
+    E.movsdXmmMem(XMM0, R14, L.fpr(I.Rs2));
+    E.movsdXmmMem(XMM1, R14, L.fpr(I.Rs1));
+    E.ucomisd(XMM0, XMM1);
+    E.setcc(CondAE, RAX);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::Fld:
+    emitLoadCall(Idx, I, JitLoadU64);
+    storeFprBits(I.Rd, RAX);
+    break;
+  case Opcode::Fst:
+    LoadEA();
+    loadFprBits(RDX, I.Rd);
+    emitStoreCall(Idx, I, 8);
+    break;
+  case Opcode::Fcvtid:
+    loadGpr(RAX, I.Rs1);
+    E.cvtsi2sd(XMM0, RAX);
+    E.movsdMemXmm(R14, L.fpr(I.Rd), XMM0);
+    break;
+  case Opcode::Fcvtdi:
+    E.movsdXmmMem(XMM0, R14, L.fpr(I.Rs1));
+    E.cvttsd2si(RAX, XMM0);
+    storeGpr(I.Rd, RAX);
+    break;
+  case Opcode::FmvToF:
+    loadGpr(RAX, I.Rs1);
+    storeFprBits(I.Rd, RAX);
+    break;
+  case Opcode::FmvToI:
+    loadFprBits(RAX, I.Rs1);
+    storeGpr(I.Rd, RAX);
+    break;
+
+  case Opcode::Syscall:
+  case Opcode::Marker:
+  case Opcode::Halt:
+  case Opcode::Pause:
+  case Opcode::AmoAdd:
+  case Opcode::AmoSwap:
+  case Opcode::Cas:
+    // Unreachable: needsInterpreter() keeps these out of the prefix.
+    break;
+  }
+}
+
+} // namespace
+
+bool x86::emitJitBlock(uint64_t StartPC, const Inst *Insts, size_t N,
+                       const JitLayout &L, JitBlockCode &Out) {
+  Out = JitBlockCode{};
+  BlockEmitter BE(StartPC, L, Out);
+  return BE.emit(Insts, N);
+}
+
+void x86::emitJitTrampoline(Encoder &E, const JitLayout &L) {
+  // uint64_t trampoline(void *Ctx /*rdi*/, const void *Entry /*rsi*/)
+  E.pushReg(RBP);
+  E.pushReg(RBX);
+  E.pushReg(R12);
+  E.pushReg(R13);
+  E.pushReg(R14);
+  E.pushReg(R15);
+  E.movRegReg(R15, RDI);
+  E.movRegMem(R14, R15, L.ThreadOff);
+  E.callReg(RSI); // blocks chain among themselves and ret here when done
+  E.popReg(R15);
+  E.popReg(R14);
+  E.popReg(R13);
+  E.popReg(R12);
+  E.popReg(RBX);
+  E.popReg(RBP);
+  E.ret();
+}
+
+// ---------------------------------------------------------------------------
+// ExecBuffer: one mmap'd region, RW only inside begin/endWrite (W^X).
+// ---------------------------------------------------------------------------
+
+ExecBuffer::~ExecBuffer() {
+  if (Base)
+    ::munmap(Base, Cap);
+}
+
+bool ExecBuffer::init(size_t Bytes) {
+  void *P = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  Base = static_cast<uint8_t *>(P);
+  Cap = Bytes;
+  Used = 0;
+  Writable = true;
+  return true;
+}
+
+void ExecBuffer::beginWrite() {
+  if (!Writable) {
+    ::mprotect(Base, Cap, PROT_READ | PROT_WRITE);
+    Writable = true;
+  }
+}
+
+void ExecBuffer::endWrite() {
+  if (Writable) {
+    ::mprotect(Base, Cap, PROT_READ | PROT_EXEC);
+    Writable = false;
+  }
+}
+
+size_t ExecBuffer::append(const uint8_t *Bytes, size_t N) {
+  size_t Off = (Used + 15) & ~size_t(15);
+  if (Off + N > Cap)
+    return SIZE_MAX;
+  std::memcpy(Base + Off, Bytes, N);
+  Used = Off + N;
+  return Off;
+}
+
+void ExecBuffer::patchJmp(size_t JmpOff, size_t Target) {
+  // rel32 of `E9 rel32` is relative to the end of the 5-byte jmp.
+  int64_t Rel = static_cast<int64_t>(Target) -
+                (static_cast<int64_t>(JmpOff) + 5);
+  uint32_t V = static_cast<uint32_t>(static_cast<int32_t>(Rel));
+  std::memcpy(Base + JmpOff + 1, &V, 4);
+}

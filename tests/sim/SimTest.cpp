@@ -274,6 +274,42 @@ TEST(Frontend, ElfieAutoDetection) {
   removeTree(Dir);
 }
 
+TEST(Frontend, JitDoesNotPerturbSimulation) {
+  // `esim -jit`: the JIT may only run the pre-ROI fast-forward (the
+  // detailed phase needs per-instruction callbacks, so the VM gates
+  // compiled dispatch off under the timing observer). Every simulated
+  // statistic must be identical with the JIT on and off, and the
+  // SimResult must surface the JIT counters either way.
+  std::string Dir = tempDir("jitsim");
+  auto PB = test::capture(Dir, test::computeProgram(), 5000, 8000,
+                          pinball::LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  core::Pinball2ElfOptions Opts;
+  Opts.TargetKind = core::Pinball2ElfOptions::Target::Guest;
+  auto Image = core::pinballToElf(*PB, Opts);
+  ASSERT_TRUE(Image.hasValue()) << Image.message();
+
+  vm::VMConfig JitCfg;
+  JitCfg.EnableJit = true;
+  JitCfg.JitThreshold = 1;
+  auto RJit = simulateBinaryImage(*Image, makeNehalemLike(), {}, JitCfg);
+  auto RInt = simulateBinaryImage(*Image, makeNehalemLike());
+  ASSERT_TRUE(RJit.hasValue()) << RJit.message();
+  ASSERT_TRUE(RInt.hasValue()) << RInt.message();
+  EXPECT_EQ(RJit->RoiRetired, RInt->RoiRetired);
+  EXPECT_EQ(RJit->MarkerSeen, RInt->MarkerSeen);
+  EXPECT_EQ(RJit->Stats.totalInstructions(), RInt->Stats.totalInstructions());
+  EXPECT_EQ(RJit->Stats.totalCycles(), RInt->Stats.totalCycles());
+  EXPECT_EQ(RJit->Stats.dataFootprintBytes(),
+            RInt->Stats.dataFootprintBytes());
+  // The detailed phase never retires inside compiled code.
+  EXPECT_EQ(RInt->JitStats.Hits, 0u);
+  EXPECT_LE(RJit->JitStats.Hits + RJit->RoiRetired,
+            RJit->RoiRetired + 200u)
+      << "JIT hits must come only from the short pre-ROI startup stub";
+  removeTree(Dir);
+}
+
 TEST(Frontend, ElfieSimulationSkipsStartupCode) {
   std::string Dir = tempDir("skip");
   auto PB = test::capture(Dir, test::computeProgram(), 5000, 5000,

@@ -197,6 +197,72 @@ TEST(DecodeCache, StepThreadUsesCacheToo) {
   EXPECT_GT(S.Hits, S.Misses);
 }
 
+TEST(DecodeCache, RebuildAtLivePCBumpsGeneration) {
+  // Regression: insert() replacing a resident block at the same start PC
+  // frees the old block. A per-thread cursor still holding the old pointer
+  // must fail its generation check — before the fix the generation stayed
+  // put and the cursor dereferenced freed memory (and the direct-mapped
+  // slot kept serving the dangling pointer).
+  DecodeCache DC;
+  auto B1 = std::make_unique<DecodedBlock>();
+  B1->StartPC = 0x1000;
+  B1->Insts = {I3(isa::Opcode::Nop, 0, 0, 0, 0)};
+  const DecodedBlock *Stale = DC.insert(std::move(B1));
+  ASSERT_EQ(DC.lookup(0x1000), Stale); // cursor holds Stale at generation G
+  uint64_t Gen = DC.generation();
+
+  auto B2 = std::make_unique<DecodedBlock>();
+  B2->StartPC = 0x1000;
+  B2->Insts = {I3(isa::Opcode::Addi, 1, 1, 0, 1),
+               I3(isa::Opcode::Halt, 0, 0, 0, 0)};
+  const DecodedBlock *Fresh = DC.insert(std::move(B2));
+
+  // The stale cursor's generation check must now fail...
+  EXPECT_NE(DC.generation(), Gen);
+  // ...and both lookup paths (slot and map) must serve the fresh decode,
+  // never the freed block.
+  const DecodedBlock *L = DC.lookup(0x1000);
+  EXPECT_EQ(L, Fresh);
+  EXPECT_EQ(L->Insts.size(), 2u);
+  EXPECT_EQ(DC.blockCount(), 1u);
+}
+
+TEST(DecodeCache, BlockCapForcesFullFlush) {
+  // Unit level: the 5th distinct block crosses MaxBlocks=4 and triggers a
+  // cap flush — residency stays bounded and the new block survives.
+  DecodeCache DC(4);
+  for (uint64_t K = 0; K < 5; ++K) {
+    auto B = std::make_unique<DecodedBlock>();
+    B->StartPC = 0x1000 + K * 64;
+    B->Insts = {I3(isa::Opcode::Nop, 0, 0, 0, 0)};
+    DC.insert(std::move(B));
+  }
+  EXPECT_EQ(DC.stats().CapFlushes, 1u);
+  EXPECT_EQ(DC.blockCount(), 1u);
+  EXPECT_NE(DC.lookup(0x1000 + 4 * 64), nullptr);
+  EXPECT_EQ(DC.lookup(0x1000), nullptr); // flushed
+}
+
+TEST(DecodeCache, CappedCacheBehaviourIdentical) {
+  // VM level: an absurdly small cap thrashes the cache constantly but must
+  // not change the executed stream.
+  auto Run = [](size_t Cap) {
+    VMConfig C;
+    C.DecodeCacheMaxBlocks = Cap;
+    auto Out = std::make_shared<std::string>();
+    auto M = makeVM(computeProgram(), Out, C);
+    RunResult R = M->run();
+    if (Cap && Cap < 8) {
+      EXPECT_GE(R.CacheStats.CapFlushes, 1u) << "cap " << Cap;
+    }
+    return std::tuple(R.Reason, R.ExitCode, M->globalRetired(), *Out,
+                      M->thread(0)->GPR[6]);
+  };
+  auto Reference = Run(0); // 0 = default (effectively unbounded here)
+  EXPECT_EQ(Run(2), Reference);
+  EXPECT_EQ(Run(7), Reference);
+}
+
 TEST(DecodeCache, UnmapOfExecutablePageInvalidates) {
   auto M = rawVM({I3(isa::Opcode::Halt, 0, 0, 0, 0)});
   RunResult R = M->run();
