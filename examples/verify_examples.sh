@@ -39,10 +39,32 @@ check "$BIN/everify" -json -markers 1 -pinball "$PB" "$ELFIE"
 check "$BIN/everify" -json -markers 1 -pinball "$PB" "$WORK/r.gelfie"
 check "$BIN/everify" -json -pinball "$PB" "$WORK/r.o"
 
+# The CFG analyzer over the pinball and both executable ELFie flavours:
+# zero CODE.* errors, and every reachable syscall family provisioned.
+check_cfg() {
+  OUT=$("$@")
+  if ! echo "$OUT" | grep -q '"errors":0'; then
+    echo "verify-examples: FAILED (errors): $*" >&2
+    echo "$OUT" >&2
+    exit 1
+  fi
+  if ! echo "$OUT" | grep -q '"unprovisioned":\[\]'; then
+    echo "verify-examples: FAILED (unprovisioned syscalls): $*" >&2
+    echo "$OUT" >&2
+    exit 1
+  fi
+}
+check_cfg "$BIN/ecfg" -json "$PB"
+check_cfg "$BIN/ecfg" -json -pinball "$PB" "$ELFIE"
+check_cfg "$BIN/ecfg" -json -pinball "$PB" "$WORK/r.gelfie"
+
 echo "== sysstate_files pipeline =="
 "$EXAMPLES/sysstate_files" > "$WORK/sysstate.log" 2>&1
 check "$BIN/everify" -json \
   -sysstate /tmp/elfie_example_sysstate/region.pb.sysstate \
   /tmp/elfie_example_sysstate/region.elfie
+# This pipeline keeps only the ELFie (the pinball is transient): ecfg
+# recovers the seeds from the packed thread contexts instead.
+check_cfg "$BIN/ecfg" -json /tmp/elfie_example_sysstate/region.elfie
 
 echo "verify-examples: all example ELFies verified clean"

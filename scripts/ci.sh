@@ -4,12 +4,16 @@
 # Part of the ELFies reproduction project.
 # SPDX-License-Identifier: MIT
 #
-# Runs the tier-1 verify in two configurations:
+# Runs the tier-1 verify in three configurations:
 #   1. default build        -> full ctest suite
 #   2. sanitized build      -> full ctest suite under ELFIE_SANITIZE
+#   3. TSan build           -> the multi-threaded replay/JIT suites under
+#                              -fsanitize=thread (data-race detection)
 # then invokes the JIT lockstep acceptance suite standalone via its ctest
 # label (`ctest -L jit`), so a JIT regression is called out by name even
-# when the full suites already covered it.
+# when the full suites already covered it, and finishes with a non-fatal
+# clang-tidy lane (scripts/lint.sh) over the default tree's compile
+# database.
 #
 # Usage: scripts/ci.sh [jobs]
 #   ELFIE_SANITIZE   sanitizer list for pass 2 (default: address,undefined)
@@ -35,16 +39,40 @@ run_pass() { # <name> <build-dir> <timeout> [extra cmake args...]
     --output-on-failure
 }
 
-# Pass 1: tier-1 verify, default configuration.
-run_pass default "$ROOT/default" 120
+# Pass 1: tier-1 verify, default configuration (with the compile database
+# the lint lane consumes).
+run_pass default "$ROOT/default" 120 -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
 # Pass 2: tier-1 verify, sanitized. Separate tree so object files never
 # mix; sanitized tests run slower, hence the larger per-test timeout.
 run_pass "sanitize=$SAN" "$ROOT/sanitize" 240 "-DELFIE_SANITIZE=$SAN"
 
-# JIT acceptance suite standalone (both trees carry the label).
+# Pass 3: data-race detection. TSan cannot combine with ASan, so it gets
+# its own tree; the race surface is the multi-threaded capture/replay/JIT
+# machinery, so run those suites rather than the full matrix.
+echo "==== [tsan] configure + build ===="
+cmake -B "$ROOT/tsan" -S "$REPO" -DELFIE_SANITIZE=thread
+cmake --build "$ROOT/tsan" -j "$JOBS"
+echo "==== [tsan] MT replay/JIT suites ===="
+ctest --test-dir "$ROOT/tsan" -j "$JOBS" --timeout 360 \
+  -R 'Jit|Replay|DecodeCache|MultiThread|Thread|Clone|Atomic' \
+  --output-on-failure
+
+# JIT acceptance suite standalone (all trees carry the label).
 echo "==== [jit label] lockstep differential suite ===="
 ctest --test-dir "$ROOT/default" -L jit --timeout 120 --output-on-failure
 ctest --test-dir "$ROOT/sanitize" -L jit --timeout 240 --output-on-failure
+ctest --test-dir "$ROOT/tsan" -L jit --timeout 360 --output-on-failure
+
+# Analysis suite standalone, mirroring the jit lane: the CFG/dataflow
+# subsystem carries the `analyze` label.
+echo "==== [analyze label] CFG recovery + dataflow suite ===="
+ctest --test-dir "$ROOT/default" -L analyze --timeout 120 \
+  --output-on-failure
+
+# Lint lane: clang-tidy findings are reported but do not fail CI (and the
+# lane is skipped entirely when clang-tidy is not installed).
+echo "==== [lint] clang-tidy (non-fatal) ===="
+"$REPO/scripts/lint.sh" "$ROOT/default" || true
 
 echo "==== ci.sh: all passes green ===="

@@ -71,7 +71,7 @@ std::string Report::renderText() const {
   return Out;
 }
 
-static void appendJSONString(std::string &Out, const std::string &S) {
+void analyze::appendJSONString(std::string &Out, const std::string &S) {
   Out += '"';
   for (char C : S) {
     switch (C) {
@@ -97,10 +97,13 @@ static void appendJSONString(std::string &Out, const std::string &S) {
   Out += '"';
 }
 
-std::string Report::renderJSON() const {
-  std::string Out = "{\"findings\":[";
-  for (size_t I = 0; I < Findings.size(); ++I) {
-    const Finding &F = Findings[I];
+void analyze::appendFindingsJSON(std::string &Out,
+                                 const std::vector<Finding> &Fs) {
+  unsigned Counts[3] = {0, 0, 0};
+  Out += "\"findings\":[";
+  for (size_t I = 0; I < Fs.size(); ++I) {
+    const Finding &F = Fs[I];
+    ++Counts[static_cast<unsigned>(F.Sev)];
     if (I)
       Out += ',';
     Out += "{\"severity\":";
@@ -112,9 +115,16 @@ std::string Report::renderJSON() const {
     appendJSONString(Out, F.Message);
     Out += '}';
   }
-  Out += formatString("],\"errors\":%u,\"warnings\":%u,\"notes\":%u}\n",
-                      count(Severity::Error), count(Severity::Warning),
-                      count(Severity::Note));
+  Out += formatString("],\"errors\":%u,\"warnings\":%u,\"notes\":%u",
+                      Counts[static_cast<unsigned>(Severity::Error)],
+                      Counts[static_cast<unsigned>(Severity::Warning)],
+                      Counts[static_cast<unsigned>(Severity::Note)]);
+}
+
+std::string Report::renderJSON() const {
+  std::string Out = formatString("{\"schema\":%u,", ReportSchemaVersion);
+  appendFindingsJSON(Out, Findings);
+  Out += "}\n";
   return Out;
 }
 
@@ -150,4 +160,5 @@ void analyze::addStandardPasses(PassManager &PM) {
   PM.add(makePermPass());
   PM.add(makeReachPass());
   PM.add(makeSysstatePass());
+  PM.add(makeCodePass());
 }

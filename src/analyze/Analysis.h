@@ -50,6 +50,19 @@ struct Finding {
   std::string Message;
 };
 
+/// Version of the machine-readable report shape (the `schema` field every
+/// -json report leads with). Bump when a field changes meaning or moves;
+/// consumers (efleet, campaign tooling) key parsing off it. The shape
+/// itself is locked by the golden-file test in tests/analyze.
+constexpr unsigned ReportSchemaVersion = 1;
+
+/// Appends \p S as a JSON string literal (quotes + escapes).
+void appendJSONString(std::string &Out, const std::string &S);
+
+/// Appends `"findings":[...],"errors":N,"warnings":N,"notes":N` — the
+/// common tail of every report object (everify's and ecfg's).
+void appendFindingsJSON(std::string &Out, const std::vector<Finding> &Fs);
+
 /// Accumulates findings across passes and renders them.
 class Report {
 public:
@@ -62,7 +75,8 @@ public:
   /// One finding per line: "error LAYOUT.OVERLAP @0x10000: ...".
   std::string renderText() const;
 
-  /// {"findings":[{"severity":...,"code":...,"addr":...,"message":...}],
+  /// {"schema":1,
+  ///  "findings":[{"severity":...,"code":...,"addr":...,"message":...}],
   ///  "errors":N,"warnings":N,"notes":N}
   std::string renderJSON() const;
 

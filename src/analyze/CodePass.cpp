@@ -1,0 +1,106 @@
+//===- analyze/CodePass.cpp - CODE.*: static analysis of region code ------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// CODE.*: the first whole-program pass — instead of checking container
+/// records, it recovers a conservative CFG from every captured thread PC
+/// (and the guest startup entry) and runs the dataflow passes of
+/// src/analyze/cfg over it: reachable-code integrity, syscall footprint
+/// vs. SYSSTATE provisioning, static memory footprint, self-modifying-code
+/// detection, and JIT translatability. DESIGN.md §13 documents the
+/// recovery strategy, the soundness caveats, and every finding code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Passes.h"
+#include "analyze/cfg/CodePasses.h"
+
+#include "support/Format.h"
+#include "x86/Translator.h"
+
+using namespace elfie;
+using namespace elfie::analyze;
+
+std::vector<uint64_t> cfg::elfieSeeds(const elf::ELFReader &Elf,
+                                      ElfKind Kind,
+                                      const pinball::Pinball *PB) {
+  std::vector<uint64_t> Seeds;
+  std::set<uint64_t> Seen;
+  auto Push = [&](uint64_t PC) {
+    if (Seen.insert(PC).second)
+      Seeds.push_back(PC);
+  };
+  if (PB)
+    for (const pinball::ThreadRegs &T : PB->Threads)
+      Push(T.PC);
+  if (Kind == ElfKind::NativeExec && !PB) {
+    // No pinball: recover the thread PCs from the packed contexts.
+    for (unsigned Tid = 0;; ++Tid) {
+      const auto *Sym = Elf.findSymbol(formatString(".t%u.ctx", Tid));
+      if (!Sym)
+        break;
+      uint64_t PC = 0;
+      if (Elf.readAtVAddr(Sym->Value + x86::CtxLayout::StartPCOff, &PC, 8))
+        Push(PC);
+    }
+  }
+  if (Kind == ElfKind::GuestExec)
+    // The startup is EG64 too, and its captured-PC jumps lead into the
+    // region code — entry alone covers everything even without a pinball.
+    Push(Elf.entry());
+  return Seeds;
+}
+
+namespace {
+
+class CodePass : public Pass {
+public:
+  const char *name() const override { return "code"; }
+  const char *description() const override {
+    return "region code statically verifies: CFG integrity, syscall/memory "
+           "footprint, SMC, JIT translatability";
+  }
+
+  bool applicable(const AnalysisInput &In, std::string &WhyNot) const override {
+    if (In.Kind == ElfKind::Object && !In.PB) {
+      WhyNot = "ET_REL objects carry no thread PCs; pass the source "
+               "pinball to seed the walk";
+      return false;
+    }
+    if (In.Kind == ElfKind::NativeExec || In.Kind == ElfKind::GuestExec ||
+        In.Kind == ElfKind::Object)
+      return true;
+    WhyNot = "unknown file kind";
+    return false;
+  }
+
+  void run(const AnalysisInput &In, Report &Out) const override {
+    cfg::ElfCodeSource CS(*In.Elf);
+    std::vector<uint64_t> Seeds =
+        cfg::elfieSeeds(*In.Elf, In.Kind, In.PB);
+    if (Seeds.empty()) {
+      Out.add(Severity::Warning, "CODE.NO_SEEDS", 0,
+              "no thread start PCs found; nothing to analyze");
+      return;
+    }
+    cfg::AnalyzeOptions Opts; // an emitted ELFie is a complete image
+    cfg::Provisioning Prov;
+    const cfg::Provisioning *ProvPtr = nullptr;
+    if (In.PB) {
+      Prov = cfg::provisioningFromPinball(*In.PB);
+      ProvPtr = &Prov;
+    }
+    cfg::CodeAnalysis A = cfg::analyzeCode(CS, Seeds, Opts, ProvPtr);
+    for (const Finding &F : A.Findings)
+      Out.add(F.Sev, F.Code, F.Addr, F.Message);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> analyze::makeCodePass() {
+  return std::make_unique<CodePass>();
+}

@@ -43,7 +43,12 @@ std::unique_ptr<Pass> makeReachPass();
 /// workdir (paper §II-C2, Fig. 8).
 std::unique_ptr<Pass> makeSysstatePass();
 
-/// Registers all six passes in the canonical order.
+/// CODE.*: whole-program static analysis of the region code — CFG
+/// recovery from the captured thread PCs plus dataflow passes (syscall/
+/// memory footprint, SMC, JIT translatability); see DESIGN.md §13.
+std::unique_ptr<Pass> makeCodePass();
+
+/// Registers all seven passes in the canonical order.
 void addStandardPasses(PassManager &PM);
 
 } // namespace analyze

@@ -20,13 +20,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyze/Passes.h"
+#include "analyze/cfg/CFG.h"
 
 #include "isa/ISA.h"
 #include "support/Format.h"
 #include "x86/Translator.h"
 
 #include <cstring>
-#include <set>
 #include <vector>
 
 using namespace elfie;
@@ -62,91 +62,75 @@ private:
   // Guest: exact EG64 CFG walk.
   //===------------------------------------------------------------------===//
 
-  /// Walks the CFG rooted at \p Seed inside the startup section. Returns
-  /// true when at least one `jalr` (the captured-PC jump) is reachable.
+  /// Walks the CFG rooted at \p Seed inside the startup section, on the
+  /// shared walker (analyze/cfg) over a single-section code source.
+  /// Returns true when at least one `jalr` (the captured-PC jump) is
+  /// reachable.
   bool walk(const AnalysisInput &In,
             const elf::ELFReader::SectionView &Text, uint64_t Seed,
             const char *SeedName, Report &Out) const {
-    bool SawJump = false;
-    std::set<uint64_t> Seen;
-    std::vector<uint64_t> Work{Seed};
-    auto Push = [&](uint64_t A) {
-      if (Seen.insert(A).second)
-        Work.push_back(A);
-    };
-    while (!Work.empty()) {
-      uint64_t PC = Work.back();
-      Work.pop_back();
-      if (PC % isa::InstSize != 0) {
-        Out.add(Severity::Error, "REACH.TARGET", PC,
+    cfg::SpanCodeSource CS(Text.Addr, Text.Data,
+                           vm::PermRead | vm::PermExec);
+    cfg::CFGOptions Opts;
+    Opts.PageSize = 0;         // the startup section is one flat span
+    Opts.FollowJalrImm = false; // the captured-PC jump ENDS startup
+    uint64_t Seeds[1] = {Seed};
+    cfg::CFG G = cfg::buildCFG(CS, Seeds, Opts);
+
+    for (const cfg::CFGIssue &I : G.Issues) {
+      switch (I.K) {
+      case cfg::CFGIssue::TargetMisaligned:
+        Out.add(Severity::Error, "REACH.TARGET", I.PC,
                 formatString("%s: control flow reaches misaligned address "
                              "%#llx",
                              SeedName,
-                             static_cast<unsigned long long>(PC)));
-        continue;
-      }
-      if (PC < Text.Addr || PC + isa::InstSize > Text.Addr + Text.Size) {
-        Out.add(Severity::Error, "REACH.FALLTHROUGH", PC,
+                             static_cast<unsigned long long>(I.PC)));
+        break;
+      case cfg::CFGIssue::TargetUnmapped:
+      case cfg::CFGIssue::TargetNotExec:
+      case cfg::CFGIssue::FetchFault:
+        // Out of the span (or a partial word at its very end): execution
+        // left the startup section before the captured-PC jump.
+        Out.add(Severity::Error, "REACH.FALLTHROUGH", I.PC,
                 formatString("%s: control flow leaves the startup section "
                              "at %#llx without reaching the captured-PC "
                              "jump",
                              SeedName,
-                             static_cast<unsigned long long>(PC)));
-        continue;
-      }
-      isa::Inst I;
-      if (!isa::decode(Text.Data.data() + (PC - Text.Addr), I)) {
-        Out.add(Severity::Error, "REACH.BADINST", PC,
+                             static_cast<unsigned long long>(I.PC)));
+        break;
+      case cfg::CFGIssue::BadInst:
+        Out.add(Severity::Error, "REACH.BADINST", I.PC,
                 formatString("%s: undecodable instruction at %#llx",
                              SeedName,
-                             static_cast<unsigned long long>(PC)));
-        continue;
+                             static_cast<unsigned long long>(I.PC)));
+        break;
       }
-      switch (I.Op) {
-      case isa::Opcode::Jalr: {
-        // The generated `jalr r0, r0, pc` ends startup: verify the target.
+    }
+
+    // The generated `jalr r0, r0, pc` ends startup: verify each target.
+    bool SawJump = false;
+    for (const auto &[StartPC, B] : G.Blocks) {
+      if (B.EndsInIndirect) {
         SawJump = true;
-        uint64_t Target =
-            I.Rs1 == 0 ? static_cast<uint64_t>(static_cast<int64_t>(I.Imm))
-                       : 0;
-        if (I.Rs1 != 0) {
-          Out.add(Severity::Note, "REACH.TARGET", PC,
-                  formatString("%s: register-indirect jalr at %#llx; "
-                               "target not statically known",
-                               SeedName,
-                               static_cast<unsigned long long>(PC)));
-          break;
-        }
-        const auto *S = In.Elf->sectionContaining(Target);
-        if (!S || !(S->Flags & elf::SHF_EXECINSTR))
-          Out.add(Severity::Error, "REACH.PC_UNMAPPED", Target,
-                  formatString("%s: captured-PC jump at %#llx targets "
-                               "%#llx which is %s",
-                               SeedName,
-                               static_cast<unsigned long long>(PC),
-                               static_cast<unsigned long long>(Target),
-                               S ? "not executable" : "not mapped"));
-        break;
+        Out.add(Severity::Note, "REACH.TARGET", B.lastPC(),
+                formatString("%s: register-indirect jalr at %#llx; "
+                             "target not statically known",
+                             SeedName,
+                             static_cast<unsigned long long>(B.lastPC())));
       }
-      case isa::Opcode::Jmp:
-      case isa::Opcode::Jal:
-        Push(PC + I.Imm);
-        break;
-      case isa::Opcode::Beq:
-      case isa::Opcode::Bne:
-      case isa::Opcode::Blt:
-      case isa::Opcode::Bge:
-      case isa::Opcode::Bltu:
-      case isa::Opcode::Bgeu:
-        Push(PC + I.Imm);
-        Push(PC + isa::InstSize);
-        break;
-      case isa::Opcode::Halt:
-        break;
-      default:
-        Push(PC + isa::InstSize);
-        break;
-      }
+      if (!B.HasJalrImmTarget)
+        continue;
+      SawJump = true;
+      uint64_t Target = B.JalrImmTarget;
+      const auto *S = In.Elf->sectionContaining(Target);
+      if (!S || !(S->Flags & elf::SHF_EXECINSTR))
+        Out.add(Severity::Error, "REACH.PC_UNMAPPED", Target,
+                formatString("%s: captured-PC jump at %#llx targets "
+                             "%#llx which is %s",
+                             SeedName,
+                             static_cast<unsigned long long>(B.lastPC()),
+                             static_cast<unsigned long long>(Target),
+                             S ? "not executable" : "not mapped"));
     }
     return SawJump;
   }

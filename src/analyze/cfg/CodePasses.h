@@ -1,0 +1,134 @@
+//===- analyze/cfg/CodePasses.h - dataflow passes over the CFG --*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program analyses ecfg and everify's `code` pass run over a
+/// recovered CFG (DESIGN.md §13): reachable-code accounting, syscall
+/// footprint (diffed against what the pinball's log — and therefore
+/// SYSSTATE — provisions), static memory footprint, self-modifying-code
+/// detection, and the JIT-translatability report. Results come back as a
+/// CodeReport plus CODE.* findings that reuse the everify Finding type,
+/// so both consumers render them identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_ANALYZE_CFG_CODEPASSES_H
+#define ELFIE_ANALYZE_CFG_CODEPASSES_H
+
+#include "analyze/Analysis.h"
+#include "analyze/cfg/CFG.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace pinball {
+class Pinball;
+}
+namespace analyze {
+namespace cfg {
+
+/// Syscall families, the granularity the footprint diff works at (the
+/// paper's SYSSTATE reconstructs per-family state classes, §II-C2).
+enum class SysFamily : uint8_t { Exit, FileIO, Heap, Clock, Thread };
+
+const char *sysFamilyName(SysFamily F);
+
+/// Family of a valid guest syscall number.
+SysFamily sysFamily(isa::Sys Nr);
+
+/// What the replay environment is known to provide. The EVM and the
+/// native ELFie runtime natively serve exits, thread management, heap
+/// growth, and the clock; file I/O needs SYSSTATE proxies, which exist
+/// exactly for the calls the pinball's syscall log saw.
+struct Provisioning {
+  std::set<uint64_t> RecordedNrs; ///< syscall numbers in the pinball log
+};
+
+Provisioning provisioningFromPinball(const pinball::Pinball &PB);
+
+/// Everything the passes measured.
+struct CodeReport {
+  uint64_t Seeds = 0;
+  uint64_t Blocks = 0;
+  uint64_t Insts = 0; ///< unique reachable instruction addresses
+  uint64_t IndirectSites = 0;
+  bool Truncated = false;
+
+  // Syscall footprint.
+  std::map<uint64_t, uint64_t> SyscallSites; ///< nr -> reachable sites
+  uint64_t UnknownSyscallSites = 0;
+  std::vector<std::string> Families;         ///< reachable, by name
+  std::vector<std::string> Unprovisioned;    ///< reachable minus provisioned
+  bool ProvisioningKnown = false;
+
+  // Static memory footprint.
+  uint64_t ResolvedLoads = 0;
+  uint64_t ResolvedStores = 0;
+  uint64_t UnknownLoads = 0;
+  uint64_t UnknownStores = 0;
+
+  // Self-modifying code.
+  uint64_t SmcSites = 0;          ///< known-target stores into exec pages
+  bool WritableExecPages = false; ///< source maps W+X memory at all
+
+  // JIT translatability (x86::jitNeedsInterpreter over reachable code).
+  uint64_t TranslatableInsts = 0;
+  std::map<std::string, uint64_t> BailoutOps; ///< mnemonic -> sites
+
+  double translatablePct() const {
+    return Insts ? 100.0 * static_cast<double>(TranslatableInsts) /
+                       static_cast<double>(Insts)
+                 : 100.0;
+  }
+};
+
+struct AnalyzeOptions {
+  CFGOptions Walk;
+  /// True when the source holds every page the code could reference (an
+  /// emitted ELFie, or a fat pinball). Unmapped direct targets and
+  /// unmapped known-address accesses are then errors; on a partial image
+  /// (thin pinball) they degrade to warnings, since the page may simply
+  /// not have been captured.
+  bool CompleteImage = true;
+};
+
+/// The full result: graph, measurements, findings.
+struct CodeAnalysis {
+  CFG Graph;
+  CodeReport Report;
+  std::vector<Finding> Findings;
+
+  unsigned count(Severity S) const;
+};
+
+/// Builds the CFG from \p Seeds over \p CS and runs every pass. \p Prov
+/// may be null (no pinball context: the footprint diff is skipped).
+CodeAnalysis analyzeCode(const CodeSource &CS,
+                         std::span<const uint64_t> Seeds,
+                         const AnalyzeOptions &Opts = {},
+                         const Provisioning *Prov = nullptr);
+
+/// Renderers. JSON carries the analyze::ReportSchemaVersion schema field
+/// and the same findings array shape as everify's renderJSON.
+std::string renderCodeText(const CodeAnalysis &A);
+std::string renderCodeJSON(const CodeAnalysis &A);
+std::string renderCodeDot(const CodeAnalysis &A);
+
+/// Analysis seeds for an emitted ELFie: the source pinball's captured
+/// thread PCs when available, otherwise the packed contexts' start PCs
+/// (native ELFie) — plus the startup entry point for guest ELFies, whose
+/// startup is itself EG64 code the walk covers.
+std::vector<uint64_t> elfieSeeds(const elf::ELFReader &Elf, ElfKind Kind,
+                                 const pinball::Pinball *PB);
+
+} // namespace cfg
+} // namespace analyze
+} // namespace elfie
+
+#endif // ELFIE_ANALYZE_CFG_CODEPASSES_H

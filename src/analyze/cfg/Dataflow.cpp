@@ -1,0 +1,264 @@
+//===- analyze/cfg/Dataflow.cpp -------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyze/cfg/Dataflow.h"
+
+using namespace elfie;
+using namespace elfie::analyze;
+using namespace elfie::analyze::cfg;
+using isa::Opcode;
+
+static uint64_t sext(int32_t Imm) {
+  return static_cast<uint64_t>(static_cast<int64_t>(Imm));
+}
+
+/// rd = A op B with the EVM's exact semantics (VM.cpp execDecoded).
+static uint64_t aluOp(Opcode Op, uint64_t A, uint64_t B) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Addi:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Mul:
+  case Opcode::Muli:
+    return A * B;
+  case Opcode::Mulh: {
+    __int128 P = static_cast<__int128>(static_cast<int64_t>(A)) *
+                 static_cast<int64_t>(B);
+    return static_cast<uint64_t>(P >> 64);
+  }
+  case Opcode::Div: {
+    int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+    if (SB == 0)
+      return UINT64_MAX;
+    if (SA == INT64_MIN && SB == -1)
+      return static_cast<uint64_t>(INT64_MIN);
+    return static_cast<uint64_t>(SA / SB);
+  }
+  case Opcode::Divu:
+    return B == 0 ? UINT64_MAX : A / B;
+  case Opcode::Rem: {
+    int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+    if (SB == 0)
+      return static_cast<uint64_t>(SA);
+    if (SA == INT64_MIN && SB == -1)
+      return 0;
+    return static_cast<uint64_t>(SA % SB);
+  }
+  case Opcode::Remu:
+    return B == 0 ? A : A % B;
+  case Opcode::And:
+  case Opcode::Andi:
+    return A & B;
+  case Opcode::Or:
+  case Opcode::Ori:
+    return A | B;
+  case Opcode::Xor:
+  case Opcode::Xori:
+    return A ^ B;
+  case Opcode::Shl:
+  case Opcode::Shli:
+    return A << (B & 63);
+  case Opcode::Shr:
+  case Opcode::Shri:
+    return A >> (B & 63);
+  case Opcode::Sar:
+  case Opcode::Sari:
+    return static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63));
+  case Opcode::Slt:
+  case Opcode::Slti:
+    return static_cast<int64_t>(A) < static_cast<int64_t>(B);
+  case Opcode::Sltu:
+  case Opcode::Sltui:
+    return A < B;
+  case Opcode::Seq:
+    return A == B;
+  default:
+    return 0;
+  }
+}
+
+void cfg::applyInst(const isa::Inst &I, uint64_t PC, RegState &S) {
+  switch (I.Op) {
+  // No GPR effect.
+  case Opcode::Nop:
+  case Opcode::Fence:
+  case Opcode::Pause:
+  case Opcode::Halt:
+  case Opcode::Marker:
+  case Opcode::St1:
+  case Opcode::St2:
+  case Opcode::St4:
+  case Opcode::St8:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+  case Opcode::Jmp:
+  // FPR-only effects (FPRs are not tracked).
+  case Opcode::Fadd:
+  case Opcode::Fsub:
+  case Opcode::Fmul:
+  case Opcode::Fdiv:
+  case Opcode::Fmin:
+  case Opcode::Fmax:
+  case Opcode::Fsqrt:
+  case Opcode::Fneg:
+  case Opcode::Fabs:
+  case Opcode::Fmov:
+  case Opcode::Fld:
+  case Opcode::Fst:
+  case Opcode::Fcvtid:
+  case Opcode::FmvToF:
+    return;
+
+  case Opcode::Syscall:
+    S.kill(isa::SysRetReg);
+    return;
+
+  // Register ALU.
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Mulh:
+  case Opcode::Div:
+  case Opcode::Divu:
+  case Opcode::Rem:
+  case Opcode::Remu:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sar:
+  case Opcode::Slt:
+  case Opcode::Sltu:
+  case Opcode::Seq:
+    if (S.known(I.Rs1) && S.known(I.Rs2))
+      S.set(I.Rd, aluOp(I.Op, S.get(I.Rs1), S.get(I.Rs2)));
+    else
+      S.kill(I.Rd);
+    return;
+  case Opcode::Mov:
+    if (S.known(I.Rs1))
+      S.set(I.Rd, S.get(I.Rs1));
+    else
+      S.kill(I.Rd);
+    return;
+
+  // Immediate ALU.
+  case Opcode::Addi:
+  case Opcode::Muli:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slti:
+  case Opcode::Sltui:
+    if (S.known(I.Rs1))
+      S.set(I.Rd, aluOp(I.Op, S.get(I.Rs1), sext(I.Imm)));
+    else
+      S.kill(I.Rd);
+    return;
+  case Opcode::Shli:
+  case Opcode::Shri:
+  case Opcode::Sari:
+    // The VM masks the raw immediate, not its sign extension; identical
+    // modulo 64 either way.
+    if (S.known(I.Rs1))
+      S.set(I.Rd, aluOp(I.Op, S.get(I.Rs1),
+                        static_cast<uint64_t>(static_cast<uint32_t>(I.Imm))));
+    else
+      S.kill(I.Rd);
+    return;
+  case Opcode::Ldi:
+    S.set(I.Rd, sext(I.Imm));
+    return;
+  case Opcode::Ldih:
+    if (S.known(I.Rd))
+      S.set(I.Rd,
+            (static_cast<uint64_t>(static_cast<uint32_t>(I.Imm)) << 32) |
+                (S.get(I.Rd) & 0xffffffffull));
+    else
+      S.kill(I.Rd);
+    return;
+
+  // Loads and atomics produce memory-dependent values.
+  case Opcode::Ld1:
+  case Opcode::Ld2:
+  case Opcode::Ld4:
+  case Opcode::Ld8:
+  case Opcode::Ld1s:
+  case Opcode::Ld2s:
+  case Opcode::Ld4s:
+  case Opcode::AmoAdd:
+  case Opcode::AmoSwap:
+  case Opcode::Cas:
+  // FP-to-GPR writes (FPRs are not tracked).
+  case Opcode::Feq:
+  case Opcode::Flt:
+  case Opcode::Fle:
+  case Opcode::Fcvtdi:
+  case Opcode::FmvToI:
+    S.kill(I.Rd);
+    return;
+
+  // Link writes: rd = PC + 8.
+  case Opcode::Jal:
+  case Opcode::Jalr:
+    S.set(I.Rd, PC + isa::InstSize);
+    return;
+  }
+}
+
+bool cfg::memRef(const isa::Inst &I, MemRef &Out) {
+  switch (I.Op) {
+  case Opcode::Ld1:
+  case Opcode::Ld1s:
+    Out = {true, false, I.Rs1, static_cast<int64_t>(I.Imm), 1};
+    return true;
+  case Opcode::Ld2:
+  case Opcode::Ld2s:
+    Out = {true, false, I.Rs1, static_cast<int64_t>(I.Imm), 2};
+    return true;
+  case Opcode::Ld4:
+  case Opcode::Ld4s:
+    Out = {true, false, I.Rs1, static_cast<int64_t>(I.Imm), 4};
+    return true;
+  case Opcode::Ld8:
+    Out = {true, false, I.Rs1, static_cast<int64_t>(I.Imm), 8};
+    return true;
+  case Opcode::St1:
+    Out = {false, true, I.Rs1, static_cast<int64_t>(I.Imm), 1};
+    return true;
+  case Opcode::St2:
+    Out = {false, true, I.Rs1, static_cast<int64_t>(I.Imm), 2};
+    return true;
+  case Opcode::St4:
+    Out = {false, true, I.Rs1, static_cast<int64_t>(I.Imm), 4};
+    return true;
+  case Opcode::St8:
+    Out = {false, true, I.Rs1, static_cast<int64_t>(I.Imm), 8};
+    return true;
+  case Opcode::Fld:
+    Out = {true, false, I.Rs1, static_cast<int64_t>(I.Imm), 8};
+    return true;
+  case Opcode::Fst:
+    Out = {false, true, I.Rs1, static_cast<int64_t>(I.Imm), 8};
+    return true;
+  // Atomics address mem[rs1] directly (no displacement), read + write.
+  case Opcode::AmoAdd:
+  case Opcode::AmoSwap:
+  case Opcode::Cas:
+    Out = {true, true, I.Rs1, 0, 8};
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,80 @@
+//===- isa/BlockDecode.h - shared straight-line block decoder ---*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one decode loop shared by every consumer that turns EG64 bytes into
+/// straight-line instruction runs: the EVM's DecodeCache (src/vm), the
+/// static CFG builder (src/analyze/cfg), and the startup-reachability pass.
+/// All of them must agree on where a block ends — control flow, syscalls
+/// and markers terminate it (isBlockTerminator), blocks never cross a page
+/// boundary (page-granular invalidation stays exact), and a length cap
+/// bounds pathological straight-line runs — so the rule lives here once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_ISA_BLOCKDECODE_H
+#define ELFIE_ISA_BLOCKDECODE_H
+
+#include "isa/ISA.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace elfie {
+namespace isa {
+
+/// Why decodeStraightLine() stopped extending the block.
+enum class BlockEnd : uint8_t {
+  Terminator,   ///< the last decoded instruction is a block terminator
+  PageBoundary, ///< the next instruction would cross the page limit
+  Cap,          ///< MaxInsts instructions decoded
+  FetchFault,   ///< Fetch failed at EndPC (any decoded prefix stays valid)
+  BadEncoding,  ///< the word at EndPC does not decode (prefix stays valid)
+};
+
+/// Decodes the straight-line instruction run starting at \p PC, appending
+/// to \p Out until a terminator, the page boundary, \p MaxInsts total
+/// instructions, or a fetch/decode failure. \p Fetch is
+/// `bool(uint64_t Addr, uint8_t *Word)` filling InstSize bytes; returning
+/// false stops the run with BlockEnd::FetchFault. \p EndPC receives the
+/// address of the failing word for FetchFault/BadEncoding, and the first
+/// not-decoded address for PageBoundary/Cap (the fall-through resume
+/// point); for Terminator it holds the terminator's own address.
+///
+/// \p PageSize of 0 disables the page-boundary rule. When it is nonzero
+/// the caller must not start a block in the last page of the address space
+/// (the limit computation would wrap); the EVM guards this before cached
+/// dispatch and the CFG builder rejects such seeds.
+template <typename FetchFn>
+BlockEnd decodeStraightLine(FetchFn &&Fetch, uint64_t PC, uint64_t PageSize,
+                            size_t MaxInsts, std::vector<Inst> &Out,
+                            uint64_t &EndPC) {
+  uint64_t Limit = PageSize ? (PC & ~(PageSize - 1)) + PageSize : 0;
+  for (uint64_t P = PC;; P += InstSize) {
+    EndPC = P;
+    if (PageSize && P + InstSize > Limit)
+      return BlockEnd::PageBoundary;
+    uint8_t Raw[InstSize];
+    if (!Fetch(P, Raw))
+      return BlockEnd::FetchFault;
+    Inst I;
+    if (!decode(Raw, I))
+      return BlockEnd::BadEncoding;
+    Out.push_back(I);
+    if (isBlockTerminator(I.Op))
+      return BlockEnd::Terminator;
+    if (Out.size() >= MaxInsts) {
+      EndPC = P + InstSize;
+      return BlockEnd::Cap;
+    }
+  }
+}
+
+} // namespace isa
+} // namespace elfie
+
+#endif // ELFIE_ISA_BLOCKDECODE_H

@@ -8,6 +8,7 @@
 #include "vm/VM.h"
 
 #include "elf/ELFReader.h"
+#include "isa/BlockDecode.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -611,31 +612,30 @@ const Inst *VM::buildAndEnterBlock(ThreadState &T, StepStatus &Status) {
   NB->StartPC = PC;
   NB->Insts.reserve(16);
   // Blocks never cross a page boundary, so page-granular invalidation is
-  // exact. The fetches here also drive access tracking / first-touch
-  // capture, exactly like pre-cache per-instruction fetches did (blocks
-  // live on one page, so the page is touched at block entry either way).
-  uint64_t PageEnd = pageBase(PC) + GuestPageSize;
-  for (uint64_t P = PC; P + isa::InstSize <= PageEnd; P += isa::InstSize) {
-    uint8_t Raw[8];
-    MemFault MF = Mem.fetch(P, Raw, 8);
-    Inst I;
-    if (MF != MemFault::None || !isa::decode(Raw, I)) {
-      if (!NB->Insts.empty())
-        break; // cache the valid prefix; the bad PC faults when reached
-      if (MF != MemFault::None)
-        Status = fault(T, P, "instruction fetch from %s page at %#llx",
-                       MF == MemFault::Unmapped ? "unmapped"
-                                                : "non-executable",
-                       static_cast<unsigned long long>(P));
-      else
-        Status = fault(T, P, "invalid instruction encoding at %#llx",
-                       static_cast<unsigned long long>(P));
-      return nullptr;
-    }
-    NB->Insts.push_back(I);
-    if (isa::isBlockTerminator(I.Op) ||
-        NB->Insts.size() >= DecodeCache::MaxBlockInsts)
-      break;
+  // exact (the shared walker enforces that rule). The fetches here also
+  // drive access tracking / first-touch capture, exactly like pre-cache
+  // per-instruction fetches did (blocks live on one page, so the page is
+  // touched at block entry either way).
+  uint64_t BadPC = 0;
+  MemFault LastMF = MemFault::None;
+  isa::BlockEnd End = isa::decodeStraightLine(
+      [&](uint64_t P, uint8_t *Raw) {
+        LastMF = Mem.fetch(P, Raw, isa::InstSize);
+        return LastMF == MemFault::None;
+      },
+      PC, GuestPageSize, DecodeCache::MaxBlockInsts, NB->Insts, BadPC);
+  if (NB->Insts.empty()) {
+    // The very first instruction failed; fault now. (A bad word after a
+    // valid prefix is left uncached and faults when actually reached.)
+    if (End == isa::BlockEnd::FetchFault)
+      Status = fault(T, BadPC, "instruction fetch from %s page at %#llx",
+                     LastMF == MemFault::Unmapped ? "unmapped"
+                                                  : "non-executable",
+                     static_cast<unsigned long long>(BadPC));
+    else
+      Status = fault(T, BadPC, "invalid instruction encoding at %#llx",
+                     static_cast<unsigned long long>(BadPC));
+    return nullptr;
   }
   const DecodedBlock *B = DC.insert(std::move(NB));
   T.CurBlock = B;

@@ -119,31 +119,12 @@ private:
   std::deque<Stub> Stubs; // deque: stable Label addresses across growth
 };
 
-/// Instructions the JIT hands back to the interpreter. Atomics bail so the
-/// EVM's sequential-consistency bookkeeping (and exec-page invalidation on
-/// atomic stores) stays in one place; syscalls/markers keep observer and
-/// interceptor callbacks working; pause must end the scheduler quantum.
-bool needsInterpreter(Opcode Op) {
-  switch (Op) {
-  case Opcode::Syscall:
-  case Opcode::Marker:
-  case Opcode::Halt:
-  case Opcode::Pause:
-  case Opcode::AmoAdd:
-  case Opcode::AmoSwap:
-  case Opcode::Cas:
-    return true;
-  default:
-    return false;
-  }
-}
-
 bool BlockEmitter::emit(const Inst *Insts, size_t N) {
   // Compilable prefix: everything up to (exclusive) the first instruction
   // that needs the interpreter. Terminators other than those end the block
   // anyway, so the prefix is the whole block in the common case.
   uint32_t Prefix = 0;
-  while (Prefix < N && !needsInterpreter(Insts[Prefix].Op))
+  while (Prefix < N && !jitNeedsInterpreter(Insts[Prefix].Op))
     ++Prefix;
   if (Prefix == 0)
     return false;
@@ -513,12 +494,31 @@ void BlockEmitter::emitInst(size_t Idx, const Inst &I, uint32_t Prefix) {
   case Opcode::AmoAdd:
   case Opcode::AmoSwap:
   case Opcode::Cas:
-    // Unreachable: needsInterpreter() keeps these out of the prefix.
+    // Unreachable: jitNeedsInterpreter() keeps these out of the prefix.
     break;
   }
 }
 
 } // namespace
+
+/// Atomics bail so the EVM's sequential-consistency bookkeeping (and
+/// exec-page invalidation on atomic stores) stays in one place; syscalls
+/// and markers keep observer and interceptor callbacks working; pause must
+/// end the scheduler quantum.
+bool x86::jitNeedsInterpreter(Opcode Op) {
+  switch (Op) {
+  case Opcode::Syscall:
+  case Opcode::Marker:
+  case Opcode::Halt:
+  case Opcode::Pause:
+  case Opcode::AmoAdd:
+  case Opcode::AmoSwap:
+  case Opcode::Cas:
+    return true;
+  default:
+    return false;
+  }
+}
 
 bool x86::emitJitBlock(uint64_t StartPC, const Inst *Insts, size_t N,
                        const JitLayout &L, JitBlockCode &Out) {

@@ -63,6 +63,13 @@ enum JitExitKind : uint32_t {
   JitExitInvalidate = 5 ///< a store invalidated compiled code; stop here
 };
 
+/// True when the JIT hands \p Op back to the interpreter instead of
+/// translating it (the bailout set: syscalls, markers, halt, pause, and
+/// atomics — DESIGN.md §12). Exported so the static JIT-translatability
+/// analysis (src/analyze/cfg) classifies instructions with the exact
+/// predicate the emitter compiles with; the two cannot drift.
+bool jitNeedsInterpreter(isa::Opcode Op);
+
 /// Kind selector passed to the load helper (sign/zero extension + width).
 enum JitLoadKind : uint32_t {
   JitLoadU8 = 0,

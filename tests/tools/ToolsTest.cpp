@@ -157,6 +157,26 @@ msg: .ascii "ok\n"
   EXPECT_NE(R.Output.find("\"errors\":0"), std::string::npos);
   EXPECT_NE(R.Output.find("\"findings\":"), std::string::npos);
 
+  // ecfg: static CFG + dataflow report over the same artifacts. The
+  // captured region is clean (zero CODE.* errors); the region ends
+  // mid-loop before the write executes, so the statically-reachable
+  // file-io syscall is reported as unprovisioned — a warning.
+  R = runTool(formatString("ecfg %s/r.pb", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("0 error(s)"), std::string::npos);
+  R = runTool(formatString("ecfg -json -pinball %s/r.pb %s/r.elfie",
+                           Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(R.Output.find("\"errors\":0"), std::string::npos);
+  EXPECT_NE(R.Output.find("\"provisioning_known\":true"),
+            std::string::npos);
+  EXPECT_NE(R.Output.find("\"unprovisioned\":[\"file-io\"]"),
+            std::string::npos);
+  R = runTool(formatString("ecfg -dot %s/r.gelfie", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("digraph cfg {"), std::string::npos);
+
   // The native ELFie runs on the hardware and reports its budget.
   {
     std::string Full = Dir + "/r.elfie 2>&1";
@@ -218,13 +238,15 @@ TEST_F(ToolPipeline, ErrorPaths) {
   EXPECT_NE(R.ExitCode, 0);
   R = runTool("everify /nonexistent/file.elfie");
   EXPECT_EQ(R.ExitCode, 1);
+  R = runTool("ecfg /nonexistent/file.elfie");
+  EXPECT_EQ(R.ExitCode, 1);
   R = runTool("esim -config unknown-config whatever");
   EXPECT_NE(R.ExitCode, 0);
 
   // The documented exit-code contract: 2 = usage, everywhere.
   for (const char *Usage :
        {"everify", "evm", "ereplay", "elogger", "pinball2elf",
-        "pinball_sysstate", "esim", "easm", "efault"}) {
+        "pinball_sysstate", "esim", "easm", "efault", "ecfg"}) {
     R = runTool(Usage);
     EXPECT_EQ(R.ExitCode, 2) << Usage << ": " << R.Output;
   }
