@@ -1,0 +1,205 @@
+//===- bench/service_throughput.cpp - efleetd service smoke bench ---------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// A seconds-scale throughput smoke over the campaign service (label
+/// `bench`): boots a real efleetd, then measures, over its Unix-domain
+/// socket, what an operator cares about —
+///
+///   * ping round-trip latency (protocol + event-loop overhead)
+///   * submit-ack latency (durable accept: mkdir + atomic manifest +
+///     journal plan record, all before the ok reply)
+///   * end-to-end jobs/second across concurrent campaigns of trivial
+///     native jobs (worker-pool multiplexing overhead, not job cost)
+///
+/// Fails (exit 1) when any campaign does not seal complete, so it guards
+/// the service path as a regression test while printing the numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sched/Protocol.h"
+#include "support/FileIO.h"
+#include "support/Format.h"
+#include "support/SocketIO.h"
+#include "support/Subprocess.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace elfie;
+using namespace elfie::sched;
+
+#ifndef ELFIE_BIN_DIR
+#define ELFIE_BIN_DIR ""
+#endif
+
+namespace {
+
+constexpr int Campaigns = 8;
+constexpr int JobsPer = 16;
+
+int Failures = 0;
+
+void check(bool Ok, const char *What) {
+  std::printf("  [%s] %s\n", Ok ? "ok" : "FAIL", What);
+  if (!Ok)
+    ++Failures;
+}
+
+/// One blocking request/terminal-reply exchange on a fresh connection
+/// (the `efleet -connect` pattern without the subprocess cost).
+Expected<proto::Reply> roundTrip(const std::string &Sock,
+                                 const std::string &Request) {
+  auto Fd = connectUnixSocket(Sock);
+  if (!Fd)
+    return Fd.takeError();
+  if (Error E = writeAllSocket(*Fd, Request)) {
+    ::close(*Fd);
+    return E;
+  }
+  std::string Buf;
+  char Chunk[4096];
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      auto R = proto::parseReply(Line);
+      if (!R) {
+        ::close(*Fd);
+        return R.takeError();
+      }
+      if (R->K != proto::Reply::Kind::Event) {
+        ::close(*Fd);
+        return *R;
+      }
+      continue;
+    }
+    auto R = readSocket(*Fd, Chunk, sizeof(Chunk));
+    if (!R || R->Closed || R->Bytes == 0) {
+      ::close(*Fd);
+      return makeCodedError("EFAULT.SOCK.CLOSED", "daemon closed");
+    }
+    Buf.append(Chunk, R->Bytes);
+  }
+}
+
+} // namespace
+
+int main() {
+  const char *Tmp = ::getenv("TMPDIR");
+  std::string Dir = std::string(Tmp && *Tmp ? Tmp : "/tmp") +
+                    "/elfie_service_bench." + std::to_string(::getpid());
+  removeTree(Dir);
+  if (Error E = createDirectories(Dir)) {
+    std::fprintf(stderr, "service_throughput: %s\n", E.str().c_str());
+    return 1;
+  }
+  std::string Sock = Dir + "/d.sock";
+
+  SpawnSpec Spec;
+  Spec.Argv = {std::string(ELFIE_BIN_DIR) + "/efleetd",
+               "-root", Dir + "/state",
+               "-socket", Sock,
+               "-bindir", ELFIE_BIN_DIR,
+               "-workers", "8",
+               "-poll-ms", "2",
+               "-max-campaigns", "64"};
+  Spec.StdoutPath = Dir + "/daemon.out";
+  Spec.StderrPath = Dir + "/daemon.err";
+  auto Pid = spawnProcess(Spec);
+  if (!Pid) {
+    std::fprintf(stderr, "service_throughput: %s\n", Pid.message().c_str());
+    return 1;
+  }
+  bool Up = false;
+  for (int I = 0; I < 400 && !Up; ++I) {
+    auto Fd = connectUnixSocket(Sock);
+    if (Fd.hasValue()) {
+      ::close(*Fd);
+      Up = true;
+    } else {
+      ::usleep(25000);
+    }
+  }
+
+  std::printf("service_throughput: efleetd over %s\n", Sock.c_str());
+  check(Up, "daemon socket came up");
+
+  // Ping latency: protocol + poll-loop overhead, connection included.
+  constexpr int Pings = 200;
+  uint64_t T0 = monotonicMillis();
+  int PingOk = 0;
+  for (int I = 0; I < Pings; ++I) {
+    auto R = roundTrip(Sock, "ping\n");
+    if (R && R->K == proto::Reply::Kind::Ok)
+      ++PingOk;
+  }
+  uint64_t PingMs = monotonicMillis() - T0;
+  check(PingOk == Pings, "all pings answered ok");
+  std::printf("  ping round-trip       : %.2f ms avg (%d pings, %llu ms)\n",
+              static_cast<double>(PingMs) / Pings, Pings,
+              static_cast<unsigned long long>(PingMs));
+
+  // Submit-ack latency: the ok reply is only sent after the campaign is
+  // durable on disk, so this measures the full accept path.
+  std::string Body;
+  for (int J = 0; J < JobsPer; ++J)
+    Body += formatString("j%d native /bin/true\n", J);
+  T0 = monotonicMillis();
+  int Accepted = 0;
+  for (int C = 0; C < Campaigns; ++C) {
+    std::string Req = formatString("submit bench c%d %d\n", C, JobsPer);
+    auto R = roundTrip(Sock, Req + Body);
+    if (R && R->K == proto::Reply::Kind::Ok)
+      ++Accepted;
+    else if (R)
+      std::fprintf(stderr, "  submit c%d: %s %s\n", C, R->Code.c_str(),
+                   R->Text.c_str());
+  }
+  uint64_t SubmitMs = monotonicMillis() - T0;
+  check(Accepted == Campaigns, "every submit acknowledged ok");
+  std::printf("  submit-ack (durable)  : %.2f ms avg (%d campaigns x %d "
+              "jobs)\n",
+              static_cast<double>(SubmitMs) / Campaigns, Campaigns, JobsPer);
+
+  // End-to-end drain: all campaigns sealed complete.
+  int Sealed = 0;
+  uint64_t RunT0 = monotonicMillis();
+  for (int Waited = 0; Waited < 120000; Waited += 50) {
+    auto R = roundTrip(Sock, "status\n");
+    if (R && R->Text.find("active=0") != std::string::npos)
+      break;
+    ::usleep(50000);
+  }
+  uint64_t RunMs = monotonicMillis() - RunT0;
+  for (int C = 0; C < Campaigns; ++C) {
+    auto R = roundTrip(Sock, formatString("status bench c%d\n", C));
+    if (R && R->Text.find("reason=complete") != std::string::npos)
+      ++Sealed;
+  }
+  check(Sealed == Campaigns, "every campaign sealed complete");
+  double Jobs = static_cast<double>(Campaigns) * JobsPer;
+  std::printf("  end-to-end throughput : %.0f jobs/s (%0.f jobs in %llu "
+              "ms)\n",
+              RunMs ? Jobs * 1000.0 / static_cast<double>(RunMs) : Jobs,
+              Jobs, static_cast<unsigned long long>(RunMs));
+
+  (void)roundTrip(Sock, "shutdown\n");
+  (void)waitProcess(*Pid);
+  removeTree(Dir);
+
+  if (Failures) {
+    std::fprintf(stderr, "service_throughput: %d failure%s\n", Failures,
+                 Failures == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("service_throughput: ok\n");
+  return 0;
+}

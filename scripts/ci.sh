@@ -64,6 +64,16 @@ ctest --test-dir "$ROOT/default" -L jit --timeout 120 --output-on-failure
 ctest --test-dir "$ROOT/sanitize" -L jit --timeout 240 --output-on-failure
 ctest --test-dir "$ROOT/tsan" -L jit --timeout 360 --output-on-failure
 
+# Campaign-service suite standalone (label `service`): the efleetd
+# protocol/daemon end-to-end tests plus the seeded chaos episodes, in the
+# default and sanitized trees. Chaos episodes spawn a real daemon and
+# worker subprocesses, hence the larger timeouts.
+echo "==== [service label] efleetd + chaos suite ===="
+ctest --test-dir "$ROOT/default" -L service --timeout 600 \
+  --output-on-failure
+ctest --test-dir "$ROOT/sanitize" -L service --timeout 900 \
+  --output-on-failure
+
 # Analysis suite standalone, mirroring the jit lane: the CFG/dataflow
 # subsystem carries the `analyze` label.
 echo "==== [analyze label] CFG recovery + dataflow suite ===="

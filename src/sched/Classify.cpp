@@ -20,9 +20,10 @@ using namespace elfie::sched;
 /// the input and retrying cannot change it.
 static bool stderrLooksTransient(const std::string &Text) {
   static const char *TransientMarks[] = {
-      "EFAULT.IO.READ",  "EFAULT.IO.WRITE",
-      "EFAULT.IO.FSYNC", "No space left on device",
-      "I/O error",       "Input/output error",
+      "EFAULT.IO.READ",   "EFAULT.IO.WRITE",
+      "EFAULT.IO.FSYNC",  "EFAULT.IO.ENOSPC",
+      "EFAULT.IO.EIO",    "No space left on device",
+      "I/O error",        "Input/output error",
       "Resource temporarily unavailable",
   };
   for (const char *Mark : TransientMarks)

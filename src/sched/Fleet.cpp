@@ -10,7 +10,6 @@
 #include "pinball/Pinball.h"
 #include "sched/Backoff.h"
 #include "sched/Classify.h"
-#include "sched/Journal.h"
 #include "sched/Quarantine.h"
 #include "support/FileIO.h"
 #include "support/Format.h"
@@ -32,19 +31,17 @@ void elfie::sched::requestDrain() { DrainFlag = 1; }
 bool elfie::sched::drainRequested() { return DrainFlag != 0; }
 void elfie::sched::resetDrain() { DrainFlag = 0; }
 
-namespace {
-
-bool isDirectory(const std::string &Path) {
+static bool isDirectory(const std::string &Path) {
   struct stat St;
   return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
 }
 
 /// Runtime state of one manifest job.
-struct JobState {
+struct FleetEngine::JobState {
   const Job *J = nullptr;
   enum class Phase { Pending, Running, Done, Quarantined } Ph = Phase::Pending;
   uint32_t Attempt = 0;       ///< attempts launched so far
-  uint64_t ReadyAtMs = 0;     ///< backoff deadline for the next attempt
+  uint64_t ReadyAtMs = 0;     ///< backoff deadline (UINT64_MAX = parked)
   pid_t Pid = -1;
   uint64_t StartMs = 0;
   uint64_t TimeoutMs = 0;
@@ -52,49 +49,44 @@ struct JobState {
   std::string OutPath, ErrPath, CommandLine;
 };
 
-class FleetRun {
-public:
-  FleetRun(const CampaignPlan &Plan, const FleetOptions &Opts)
-      : Plan(Plan), Opts(Opts) {}
+FleetEngine::FleetEngine(CampaignPlan Plan, FleetOptions Opts)
+    : Plan(std::move(Plan)), Opts(std::move(Opts)) {}
 
-  Expected<FleetSummary> run();
-
-private:
-  Error journalAppend(JournalRecord Rec);
-  std::vector<std::string> buildArgv(const JobState &JS) const;
-  uint64_t jobTimeoutSecs(const Job &J) const;
-  uint32_t jobRetries(const Job &J) const {
-    return J.Retries ? J.Retries : Opts.Retries;
+FleetEngine::~FleetEngine() {
+  // Error-path hygiene: a host abandoning an engine must not leak worker
+  // process groups (graceful paths drain and reap before destruction).
+  for (auto &JSp : Jobs) {
+    if (JSp->Ph == JobState::Phase::Running && JSp->Pid > 0) {
+      killProcessTree(JSp->Pid, SIGKILL);
+      (void)waitProcess(JSp->Pid);
+    }
   }
-  Error launch(JobState &JS);
-  Error finishAttempt(JobState &JS, const AttemptOutcome &O);
-  Error quarantine(JobState &JS, const std::string &Reason,
-                   const AttemptOutcome &O);
-  void verbose(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+}
 
-  const CampaignPlan &Plan;
-  const FleetOptions &Opts;
-  JournalWriter Writer;
-  std::vector<JobState> Jobs;
-  FleetSummary Sum;
-};
-
-void FleetRun::verbose(const char *Fmt, ...) {
+void FleetEngine::verbose(const char *Fmt, ...) {
   if (!Opts.Verbose)
     return;
   va_list Args;
   va_start(Args, Fmt);
-  std::fprintf(stderr, "efleet: ");
+  std::fprintf(stderr, "%s: ", Opts.Tag.c_str());
   std::vfprintf(stderr, Fmt, Args);
   std::fprintf(stderr, "\n");
   va_end(Args);
 }
 
-Error FleetRun::journalAppend(JournalRecord Rec) {
-  return Writer.append(Rec).withContext("journal");
+Error FleetEngine::journalAppend(JournalRecord Rec) {
+  if (Error E = Writer.append(Rec))
+    return E;
+  if (EventSink)
+    EventSink(Rec);
+  return Error::success();
 }
 
-std::vector<std::string> FleetRun::buildArgv(const JobState &JS) const {
+uint32_t FleetEngine::jobRetries(const Job &J) const {
+  return J.Retries ? J.Retries : Opts.Retries;
+}
+
+std::vector<std::string> FleetEngine::buildArgv(const JobState &JS) const {
   const Job &J = *JS.J;
   std::vector<std::string> Argv;
   switch (J.A) {
@@ -131,7 +123,7 @@ std::vector<std::string> FleetRun::buildArgv(const JobState &JS) const {
   return Argv;
 }
 
-uint64_t FleetRun::jobTimeoutSecs(const Job &J) const {
+uint64_t FleetEngine::jobTimeoutSecs(const Job &J) const {
   if (J.TimeoutSecs)
     return J.TimeoutSecs;
   if (Opts.TimeoutSecs)
@@ -151,8 +143,28 @@ uint64_t FleetRun::jobTimeoutSecs(const Job &J) const {
   return Opts.DefaultTimeoutSecs;
 }
 
-Error FleetRun::launch(JobState &JS) {
+/// Parks a job whose durable record could not be written: it stops
+/// launching in this process (never ready again) but stays non-terminal, so
+/// the next resume — when the disk recovered — re-runs it from its journal
+/// state. Exactly-once accounting is preserved: no terminal record was
+/// written, so none can be duplicated.
+void FleetEngine::park(JobState &JS) {
+  JS.Ph = JobState::Phase::Pending;
+  JS.ReadyAtMs = UINT64_MAX;
+  JS.Pid = -1;
+}
+
+Error FleetEngine::launch(JobState &JS) {
   const Job &J = *JS.J;
+  // Journal before mutating: a failed append leaves the job untouched and
+  // re-launchable after recovery.
+  if (Error E = journalAppend(
+          {{"rec", "start"},
+           {"job", J.Id},
+           {"attempt", formatString("%u", JS.Attempt + 1)}})) {
+    park(JS);
+    return E;
+  }
   ++JS.Attempt;
   ++Sum.Attempts;
   JS.TimedOut = false;
@@ -175,16 +187,11 @@ Error FleetRun::launch(JobState &JS) {
   for (const std::string &A : Spec.Argv)
     JS.CommandLine += (JS.CommandLine.empty() ? "" : " ") + A;
 
-  if (Error E = journalAppend({{"rec", "start"},
-                               {"job", J.Id},
-                               {"attempt", formatString("%u", JS.Attempt)}}))
-    return E;
-
   auto Pid = spawnProcess(Spec);
   if (!Pid) {
     // Spawn failure (fork/redirect): treat like an exec failure — the
     // environment, not the artifact, but not retryable either.
-    std::fprintf(stderr, "efleet: %s: %s\n", J.Id.c_str(),
+    std::fprintf(stderr, "%s: %s: %s\n", Opts.Tag.c_str(), J.Id.c_str(),
                  Pid.error().str().c_str());
     AttemptOutcome O;
     O.Exited = true;
@@ -201,8 +208,8 @@ Error FleetRun::launch(JobState &JS) {
   return Error::success();
 }
 
-Error FleetRun::quarantine(JobState &JS, const std::string &Reason,
-                           const AttemptOutcome &O) {
+Error FleetEngine::quarantine(JobState &JS, const std::string &Reason,
+                              const AttemptOutcome &O) {
   QuarantineReport R;
   R.JobId = JS.J->Id;
   R.Reason = Reason;
@@ -213,21 +220,29 @@ Error FleetRun::quarantine(JobState &JS, const std::string &Reason,
   R.StdoutPath = JS.OutPath;
   R.StderrPath = JS.ErrPath;
   auto Dir = quarantineJob(Opts.OutDir + "/quarantine", R);
-  if (!Dir)
+  if (!Dir) {
+    park(JS);
     return Dir.takeError();
+  }
   JS.Ph = JobState::Phase::Quarantined;
   ++Sum.Quarantined;
-  std::fprintf(stderr, "efleet: QUARANTINE %s (%s) after %u attempt%s -> %s\n",
-               JS.J->Id.c_str(), Reason.c_str(), JS.Attempt,
+  std::fprintf(stderr, "%s: QUARANTINE %s (%s) after %u attempt%s -> %s\n",
+               Opts.Tag.c_str(), JS.J->Id.c_str(), Reason.c_str(), JS.Attempt,
                JS.Attempt == 1 ? "" : "s", Dir->c_str());
-  return journalAppend({{"rec", "quarantine"},
-                        {"job", JS.J->Id},
-                        {"attempts", formatString("%u", JS.Attempt)},
-                        {"reason", Reason},
-                        {"dir", "quarantine/" + JS.J->Id}});
+  if (Error E = journalAppend({{"rec", "quarantine"},
+                               {"job", JS.J->Id},
+                               {"attempts", formatString("%u", JS.Attempt)},
+                               {"reason", Reason},
+                               {"dir", "quarantine/" + JS.J->Id}})) {
+    // The in-memory verdict stands for this process; without the terminal
+    // record the job re-runs on resume, which can only re-earn the same
+    // deterministic quarantine.
+    return E;
+  }
+  return Error::success();
 }
 
-Error FleetRun::finishAttempt(JobState &JS, const AttemptOutcome &O) {
+Error FleetEngine::finishAttempt(JobState &JS, const AttemptOutcome &O) {
   std::string StderrText;
   if (auto Text = readFileText(JS.ErrPath))
     StderrText = Text.takeValue();
@@ -245,8 +260,10 @@ Error FleetRun::finishAttempt(JobState &JS, const AttemptOutcome &O) {
            {"code", formatString("%d", O.Exited ? O.ExitCode : -1)},
            {"signal", formatString("%d", O.Signal)},
            {"timeout", O.TimedOut ? "1" : "0"},
-           {"ms", formatString("%llu", static_cast<unsigned long long>(Ms))}}))
+           {"ms", formatString("%llu", static_cast<unsigned long long>(Ms))}})) {
+    park(JS);
     return E;
+  }
 
   switch (C) {
   case JobClass::Success:
@@ -276,8 +293,8 @@ Error FleetRun::finishAttempt(JobState &JS, const AttemptOutcome &O) {
   return Error::success();
 }
 
-Expected<FleetSummary> FleetRun::run() {
-  uint64_t T0 = monotonicMillis();
+Error FleetEngine::start() {
+  StartWallMs = monotonicMillis();
   Sum.Total = Plan.Jobs.size();
   for (const char *Sub : {"", "/logs", "/quarantine", "/artifacts"})
     if (Error E = createDirectories(Opts.OutDir + Sub))
@@ -313,136 +330,174 @@ Expected<FleetSummary> FleetRun::run() {
   }
 
   Jobs.reserve(Plan.Jobs.size());
+  AnyPending = false;
   for (const Job &J : Plan.Jobs) {
-    JobState JS;
-    JS.J = &J;
+    auto JS = std::make_unique<JobState>();
+    JS->J = &J;
     if (Prior.Done.count(J.Id)) {
-      JS.Ph = JobState::Phase::Done;
+      JS->Ph = JobState::Phase::Done;
       ++Sum.Succeeded;
       ++Sum.SkippedComplete;
     } else if (Prior.Quarantined.count(J.Id)) {
-      JS.Ph = JobState::Phase::Quarantined;
+      JS->Ph = JobState::Phase::Quarantined;
       ++Sum.Quarantined;
       ++Sum.SkippedComplete;
+    } else {
+      AnyPending = true;
     }
-    Jobs.push_back(JS);
+    Jobs.push_back(std::move(JS));
   }
   if (Sum.Resumed)
     verbose("resuming: %llu of %llu jobs already terminal",
             static_cast<unsigned long long>(Sum.SkippedComplete),
             static_cast<unsigned long long>(Sum.Total));
-
-  bool Draining = false;
-  uint64_t DrainStartMs = 0;
-  bool GraceKilled = false;
-
-  for (;;) {
-    uint64_t Now = monotonicMillis();
-
-    if (!Draining && drainRequested()) {
-      Draining = true;
-      DrainStartMs = Now;
-      std::fprintf(stderr,
-                   "efleet: drain requested: finishing running jobs "
-                   "(grace %llus)\n",
-                   static_cast<unsigned long long>(Opts.GraceSecs));
-    }
-
-    // Launch phase (skipped while draining).
-    if (!Draining) {
-      uint32_t Running = 0;
-      for (const JobState &JS : Jobs)
-        if (JS.Ph == JobState::Phase::Running)
-          ++Running;
-      for (JobState &JS : Jobs) {
-        if (Running >= Opts.Workers)
-          break;
-        if (JS.Ph != JobState::Phase::Pending || JS.ReadyAtMs > Now)
-          continue;
-        if (Error E = launch(JS))
-          return E;
-        if (JS.Ph == JobState::Phase::Running)
-          ++Running;
-      }
-    }
-
-    // Reap phase. Re-read the clock: jobs launched above have StartMs
-    // later than the Now captured at the top of the iteration.
-    uint64_t ReapNow = monotonicMillis();
-    bool AnyRunning = false;
-    for (JobState &JS : Jobs) {
-      if (JS.Ph != JobState::Phase::Running)
-        continue;
-      auto W = pollProcess(JS.Pid);
-      if (!W)
-        return W.takeError();
-      if (W->Running) {
-        // Budget timeout: SIGKILL the job's process group; the death is
-        // reaped (and classified as a transient timeout) next poll.
-        uint64_t RanMs = ReapNow > JS.StartMs ? ReapNow - JS.StartMs : 0;
-        if (!JS.TimedOut && JS.TimeoutMs && RanMs > JS.TimeoutMs) {
-          JS.TimedOut = true;
-          std::fprintf(stderr, "efleet: %s: timeout after %llums, killing\n",
-                       JS.J->Id.c_str(),
-                       static_cast<unsigned long long>(RanMs));
-          killProcessTree(JS.Pid, SIGKILL);
-        }
-        AnyRunning = true;
-        continue;
-      }
-      AttemptOutcome O;
-      O.TimedOut = JS.TimedOut;
-      O.Exited = W->Exited;
-      O.ExitCode = W->ExitCode;
-      O.Signal = W->Signal;
-      if (Error E = finishAttempt(JS, O))
-        return E;
-      if (JS.Ph == JobState::Phase::Running)
-        AnyRunning = true;
-    }
-
-    // Completion / drain checks.
-    bool AnyPending = false;
-    for (const JobState &JS : Jobs)
-      if (JS.Ph == JobState::Phase::Pending)
-        AnyPending = true;
-
-    if (Draining) {
-      if (!AnyRunning)
-        break;
-      if (!GraceKilled &&
-          monotonicMillis() - DrainStartMs > Opts.GraceSecs * 1000u) {
-        GraceKilled = true;
-        for (JobState &JS : Jobs)
-          if (JS.Ph == JobState::Phase::Running) {
-            std::fprintf(stderr, "efleet: %s: grace expired, killing\n",
-                         JS.J->Id.c_str());
-            JS.TimedOut = true; // classified transient: re-run on resume
-            killProcessTree(JS.Pid, SIGKILL);
-          }
-      }
-    } else if (!AnyRunning && !AnyPending) {
-      break;
-    }
-
-    ::usleep(static_cast<useconds_t>(Opts.PollMs * 1000));
-  }
-
-  for (const JobState &JS : Jobs)
-    if (JS.Ph == JobState::Phase::Pending ||
-        JS.Ph == JobState::Phase::Running)
-      ++Sum.Incomplete;
-  Sum.Drained = Draining;
-  Sum.WallMs = monotonicMillis() - T0;
-
-  if (Error E = journalAppend(
-          {{"rec", "seal"}, {"reason", Draining ? "drain" : "complete"}}))
-    return E;
-  Writer.close();
-  return Sum;
+  Started = true;
+  return Error::success();
 }
 
-} // namespace
+uint32_t FleetEngine::runningCount() const {
+  uint32_t Running = 0;
+  for (const auto &JSp : Jobs)
+    if (JSp->Ph == JobState::Phase::Running)
+      ++Running;
+  return Running;
+}
+
+FleetEngine::Counts FleetEngine::counts() const {
+  Counts C;
+  C.Total = Jobs.size();
+  for (const auto &JSp : Jobs) {
+    switch (JSp->Ph) {
+    case JobState::Phase::Pending:
+      ++C.Pending;
+      break;
+    case JobState::Phase::Running:
+      ++C.Running;
+      break;
+    case JobState::Phase::Done:
+      ++C.Done;
+      break;
+    case JobState::Phase::Quarantined:
+      ++C.Quarantined;
+      break;
+    }
+  }
+  return C;
+}
+
+bool FleetEngine::finished() const {
+  if (!Started)
+    return false;
+  if (Draining || DrainWanted)
+    return !AnyRunning;
+  return !AnyRunning && !AnyPending;
+}
+
+Error FleetEngine::step(uint64_t NowMs, uint32_t LaunchBudget) {
+  if (!Started || Sealed)
+    return Error::success();
+
+  if (DrainWanted && !Draining) {
+    Draining = true;
+    DrainStartMs = NowMs;
+    std::fprintf(stderr,
+                 "%s: drain requested: finishing running jobs "
+                 "(grace %llus)\n",
+                 Opts.Tag.c_str(),
+                 static_cast<unsigned long long>(Opts.GraceSecs));
+  }
+
+  // Launch phase (skipped while draining).
+  if (!Draining) {
+    uint32_t Running = runningCount();
+    for (auto &JSp : Jobs) {
+      JobState &JS = *JSp;
+      if (Running >= Opts.Workers || LaunchBudget == 0)
+        break;
+      if (JS.Ph != JobState::Phase::Pending || JS.ReadyAtMs > NowMs)
+        continue;
+      if (Error E = launch(JS))
+        return E;
+      if (JS.Ph == JobState::Phase::Running) {
+        ++Running;
+        --LaunchBudget;
+      }
+    }
+  }
+
+  // Reap phase. Re-read the clock: jobs launched above have StartMs later
+  // than the NowMs the caller captured.
+  uint64_t ReapNow = monotonicMillis();
+  AnyRunning = false;
+  for (auto &JSp : Jobs) {
+    JobState &JS = *JSp;
+    if (JS.Ph != JobState::Phase::Running || JS.Pid <= 0)
+      continue;
+    auto W = pollProcess(JS.Pid);
+    if (!W)
+      return W.takeError();
+    if (W->Running) {
+      // Budget timeout: SIGKILL the job's process group; the death is
+      // reaped (and classified as a transient timeout) next poll.
+      uint64_t RanMs = ReapNow > JS.StartMs ? ReapNow - JS.StartMs : 0;
+      if (!JS.TimedOut && JS.TimeoutMs && RanMs > JS.TimeoutMs) {
+        JS.TimedOut = true;
+        std::fprintf(stderr, "%s: %s: timeout after %llums, killing\n",
+                     Opts.Tag.c_str(), JS.J->Id.c_str(),
+                     static_cast<unsigned long long>(RanMs));
+        killProcessTree(JS.Pid, SIGKILL);
+      }
+      AnyRunning = true;
+      continue;
+    }
+    AttemptOutcome O;
+    O.TimedOut = JS.TimedOut;
+    O.Exited = W->Exited;
+    O.ExitCode = W->ExitCode;
+    O.Signal = W->Signal;
+    if (Error E = finishAttempt(JS, O))
+      return E;
+    if (JS.Ph == JobState::Phase::Running)
+      AnyRunning = true;
+  }
+
+  AnyPending = false;
+  for (const auto &JSp : Jobs)
+    if (JSp->Ph == JobState::Phase::Pending)
+      AnyPending = true;
+
+  if (Draining && AnyRunning && !GraceKilled &&
+      monotonicMillis() - DrainStartMs > Opts.GraceSecs * 1000u) {
+    GraceKilled = true;
+    for (auto &JSp : Jobs)
+      if (JSp->Ph == JobState::Phase::Running) {
+        std::fprintf(stderr, "%s: %s: grace expired, killing\n",
+                     Opts.Tag.c_str(), JSp->J->Id.c_str());
+        JSp->TimedOut = true; // classified transient: re-run on resume
+        killProcessTree(JSp->Pid, SIGKILL);
+      }
+  }
+  return Error::success();
+}
+
+Error FleetEngine::seal() {
+  if (Sealed)
+    return Error::success();
+  Sum.Incomplete = 0;
+  for (const auto &JSp : Jobs)
+    if (JSp->Ph == JobState::Phase::Pending ||
+        JSp->Ph == JobState::Phase::Running)
+      ++Sum.Incomplete;
+  Sum.Drained = Draining || DrainWanted;
+  Sum.WallMs = monotonicMillis() - StartWallMs;
+  Error E = journalAppend(
+      {{"rec", "seal"}, {"reason", Sum.Drained ? "drain" : "complete"}});
+  Writer.close();
+  if (E)
+    return E;
+  Sealed = true;
+  return Error::success();
+}
 
 std::string FleetSummary::renderText() const {
   std::string Out = formatString(
@@ -481,6 +536,19 @@ std::string FleetSummary::renderJSON() const {
 
 Expected<FleetSummary> elfie::sched::runFleet(const CampaignPlan &Plan,
                                               const FleetOptions &Opts) {
-  FleetRun Run(Plan, Opts);
-  return Run.run();
+  FleetEngine Engine(Plan, Opts);
+  if (Error E = Engine.start())
+    return E;
+  while (!Engine.finished()) {
+    if (drainRequested())
+      Engine.requestDrain();
+    if (Error E = Engine.step(monotonicMillis()))
+      return E;
+    if (Engine.finished())
+      break;
+    ::usleep(static_cast<useconds_t>(Opts.PollMs * 1000));
+  }
+  if (Error E = Engine.seal())
+    return E;
+  return Engine.summary();
 }

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 
 using namespace elfie;
 using namespace elfie::sched;
@@ -211,6 +212,48 @@ private:
 };
 
 } // namespace
+
+/// Case-insensitive substring search (strerror spellings vary in case
+/// across libcs; the injected-fault messages are lower-case).
+static bool containsNoCase(const std::string &Hay, const char *Needle) {
+  size_t N = std::strlen(Needle);
+  if (N == 0 || Hay.size() < N)
+    return false;
+  for (size_t I = 0; I + N <= Hay.size(); ++I) {
+    size_t J = 0;
+    while (J < N && std::tolower(static_cast<unsigned char>(Hay[I + J])) ==
+                        std::tolower(static_cast<unsigned char>(Needle[J])))
+      ++J;
+    if (J == N)
+      return true;
+  }
+  return false;
+}
+
+Error JournalWriter::append(const JournalRecord &Rec) {
+  Error E = Log.append(renderJournalRecord(Rec));
+  if (!E)
+    return E;
+  // Keep disk pressure structured. AppendLog already classifies kernel
+  // errnos; injected faults (IOFaultHook) arrive as generic write/read
+  // failures whose message names the condition — re-code them so both
+  // paths surface identically.
+  std::string Code = E.code();
+  if (Code != "EFAULT.IO.ENOSPC" && Code != "EFAULT.IO.EIO") {
+    if (containsNoCase(E.message(), "no space left on device"))
+      Code = "EFAULT.IO.ENOSPC";
+    else if (containsNoCase(E.message(), "input/output error") ||
+             containsNoCase(E.message(), "i/o error"))
+      Code = "EFAULT.IO.EIO";
+  }
+  return Error::failure(Code, E.message())
+      .withContext("journal '" + Log.path() + "'");
+}
+
+bool elfie::sched::isDiskPressureError(const Error &E) {
+  return E.isError() &&
+         (E.code() == "EFAULT.IO.ENOSPC" || E.code() == "EFAULT.IO.EIO");
+}
 
 bool elfie::sched::parseJournalRecord(const std::string &Line,
                                       JournalRecord &Out) {

@@ -58,18 +58,27 @@ bool parseJournalRecord(const std::string &Line, JournalRecord &Out);
 /// Append-side handle. Records go through AppendLog (write + fsync per
 /// record, IOFaultHook consulted) so a record observed as written is
 /// durable, and the fault harness can kill the runner at an exact record.
+///
+/// Append failures are structured: ENOSPC/EIO — whether from the kernel or
+/// injected through the IOFaultHook — surface as EFAULT.IO.ENOSPC /
+/// EFAULT.IO.EIO with the journal path in context, so the campaign service
+/// can pause admission on disk pressure specifically instead of treating
+/// every append failure as a generic fatal error.
 class JournalWriter {
 public:
   Error open(const std::string &Path) { return Log.open(Path); }
-  Error append(const JournalRecord &Rec) {
-    return Log.append(renderJournalRecord(Rec));
-  }
+  Error append(const JournalRecord &Rec);
   void close() { Log.close(); }
   bool isOpen() const { return Log.isOpen(); }
+  const std::string &path() const { return Log.path(); }
 
 private:
   AppendLog Log;
 };
+
+/// True when \p E reports disk pressure (EFAULT.IO.ENOSPC / EFAULT.IO.EIO):
+/// the caller should pause admission and drain rather than abort.
+bool isDiskPressureError(const Error &E);
 
 /// What a journal scan recovers.
 struct JournalState {

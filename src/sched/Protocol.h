@@ -1,0 +1,117 @@
+//===- sched/Protocol.h - efleetd wire protocol ----------------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line-oriented request/reply grammar spoken over efleetd's Unix-domain
+/// socket (documented in DESIGN.md §14). Everything is one '\n'-terminated
+/// line of printable ASCII; submit is the only request followed by a body
+/// (its manifest lines, counted up front so the daemon knows when the
+/// request ends without sniffing content):
+///
+///   request := "ping"
+///            | "submit" SP ns SP campaign SP nlines
+///            | "status" [SP ns [SP campaign]]
+///            | "stream" SP ns SP campaign
+///            | "cancel" SP ns SP campaign
+///            | "shutdown"
+///
+///   reply   := "ok"    [SP text]          terminal, request succeeded
+///            | "err"   SP code [SP text]  terminal, request failed
+///            | "busy"  SP code [SP text]  terminal, backpressure: retry later
+///            | "event" SP json            streamed journal record (stream/
+///                                         submit), more lines follow
+///            | "end"   [SP text]          stream finished, campaign sealed
+///
+/// "busy" is deliberately distinct from "err": a busy campaign service is
+/// healthy and the client should back off and retry; an err reply means the
+/// request itself can never succeed as written. Reply codes are stable
+/// dotted identifiers (EFLEETD.*) mirroring the EFAULT.* convention.
+///
+/// Namespaces and campaign ids are [A-Za-z0-9._-]{1,64} — they become
+/// directory names under the daemon's state root, so the grammar forbids
+/// anything a path could misinterpret.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SCHED_PROTOCOL_H
+#define ELFIE_SCHED_PROTOCOL_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace elfie {
+namespace sched {
+namespace proto {
+
+/// Hard caps keeping one client from ballooning daemon memory. A request
+/// line (or manifest line) longer than MaxLineBytes is a protocol error;
+/// a connection whose pending output exceeds MaxSendBuffer (it stopped
+/// reading its event stream) is disconnected rather than allowed to stall
+/// the daemon or grow without bound.
+constexpr size_t MaxLineBytes = 4096;
+constexpr size_t MaxManifestLines = 1024;
+constexpr size_t MaxRecvBuffer = 64 * 1024;
+constexpr size_t MaxSendBuffer = 256 * 1024;
+
+// Stable reply codes (the daemon-side analogue of the EFAULT.* taxonomy).
+inline constexpr const char *CodeProtoCmd = "EFLEETD.PROTO.CMD";
+inline constexpr const char *CodeProtoArgs = "EFLEETD.PROTO.ARGS";
+inline constexpr const char *CodeProtoLine = "EFLEETD.PROTO.LINE";
+inline constexpr const char *CodeProtoNs = "EFLEETD.PROTO.NS";
+inline constexpr const char *CodeProtoManifest = "EFLEETD.PROTO.MANIFEST";
+inline constexpr const char *CodeBusyCampaigns = "EFLEETD.BUSY.CAMPAIGNS";
+inline constexpr const char *CodeBusyJobs = "EFLEETD.BUSY.JOBS";
+inline constexpr const char *CodeBusyDisk = "EFLEETD.BUSY.DISK";
+inline constexpr const char *CodeBusyDrain = "EFLEETD.BUSY.DRAIN";
+inline constexpr const char *CodeNotFound = "EFLEETD.NOTFOUND";
+inline constexpr const char *CodeDup = "EFLEETD.DUP";
+inline constexpr const char *CodeInternal = "EFLEETD.INTERNAL";
+
+enum class RequestKind { Ping, Submit, Status, Stream, Cancel, Shutdown };
+
+/// One parsed request line.
+struct Request {
+  RequestKind Kind = RequestKind::Ping;
+  std::string Ns;       ///< empty for ping/shutdown/bare status
+  std::string Campaign; ///< empty unless the form names one
+  uint64_t ManifestLines = 0; ///< submit only
+};
+
+/// True when \p S is a valid namespace / campaign id:
+/// [A-Za-z0-9._-]{1,64}, not "." or "..".
+bool isValidName(const std::string &S);
+
+/// Parses one request line. Failures carry EFLEETD.PROTO.* codes that map
+/// 1:1 onto the err reply the daemon sends back.
+Expected<Request> parseRequest(const std::string &Line);
+
+// Reply rendering ('\n' included — callers queue the result verbatim).
+std::string replyOk(const std::string &Text = "");
+std::string replyErr(const std::string &Code, const std::string &Text = "");
+std::string replyBusy(const std::string &Code, const std::string &Text = "");
+std::string replyEvent(const std::string &Json);
+std::string replyEnd(const std::string &Text = "");
+
+/// One parsed reply line (client side).
+struct Reply {
+  enum class Kind { Ok, Err, Busy, Event, End } K = Kind::Ok;
+  std::string Code; ///< err/busy only
+  std::string Text; ///< trailing text / event json
+};
+
+/// Parses one reply line. Unknown leading words fail with
+/// EFLEETD.PROTO.CMD (the daemon never sends them; a mismatched peer did).
+Expected<Reply> parseReply(const std::string &Line);
+
+} // namespace proto
+} // namespace sched
+} // namespace elfie
+
+#endif // ELFIE_SCHED_PROTOCOL_H

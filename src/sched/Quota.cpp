@@ -1,0 +1,51 @@
+//===- sched/Quota.cpp ----------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Quota.h"
+
+#include "sched/Protocol.h"
+
+using namespace elfie;
+using namespace elfie::sched;
+
+const char *QuotaLedger::check(const std::string &Ns, uint64_t Jobs) const {
+  auto It = PerNs.find(Ns);
+  Usage U = It == PerNs.end() ? Usage{} : It->second;
+  if (U.Campaigns >= Limits.MaxCampaigns)
+    return proto::CodeBusyCampaigns;
+  if (U.Jobs + Jobs > Limits.MaxJobs)
+    return proto::CodeBusyJobs;
+  return nullptr;
+}
+
+void QuotaLedger::admit(const std::string &Ns, uint64_t Jobs) {
+  Usage &U = PerNs[Ns];
+  ++U.Campaigns;
+  U.Jobs += Jobs;
+}
+
+void QuotaLedger::releaseJobs(const std::string &Ns, uint64_t N) {
+  auto It = PerNs.find(Ns);
+  if (It == PerNs.end())
+    return;
+  It->second.Jobs = It->second.Jobs >= N ? It->second.Jobs - N : 0;
+}
+
+void QuotaLedger::releaseCampaign(const std::string &Ns) {
+  auto It = PerNs.find(Ns);
+  if (It == PerNs.end())
+    return;
+  if (It->second.Campaigns)
+    --It->second.Campaigns;
+  if (It->second.Campaigns == 0 && It->second.Jobs == 0)
+    PerNs.erase(It); // keep the ledger from growing with dead namespaces
+}
+
+QuotaLedger::Usage QuotaLedger::usage(const std::string &Ns) const {
+  auto It = PerNs.find(Ns);
+  return It == PerNs.end() ? Usage{} : It->second;
+}

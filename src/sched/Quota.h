@@ -1,0 +1,77 @@
+//===- sched/Quota.h - Per-namespace admission quotas ----------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission ledger behind efleetd's backpressure policy. Every
+/// namespace gets bounded shares of the daemon: at most MaxCampaigns
+/// concurrently-active (unsealed) campaigns and at most MaxJobs
+/// non-terminal jobs across them. A submit that would exceed either bound
+/// is refused up front with a structured busy reply (EFLEETD.BUSY.*) —
+/// the daemon never queues unboundedly and never stalls a client waiting
+/// for room. Accounting is release-on-progress: jobs are released as they
+/// reach a terminal state, campaigns when they seal, so long-running
+/// campaigns shrink their footprint as they complete.
+///
+/// The ledger is pure bookkeeping (no I/O, no clock) so the chaos tests
+/// can drive it through millions of admit/release cycles directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SCHED_QUOTA_H
+#define ELFIE_SCHED_QUOTA_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace elfie {
+namespace sched {
+
+/// Bounds applied to every namespace uniformly.
+struct QuotaLimits {
+  uint32_t MaxCampaigns = 8;  ///< active (unsealed) campaigns per namespace
+  uint64_t MaxJobs = 4096;    ///< non-terminal jobs per namespace
+};
+
+class QuotaLedger {
+public:
+  QuotaLedger() = default;
+  explicit QuotaLedger(QuotaLimits L) : Limits(L) {}
+
+  /// Would admitting a campaign of \p Jobs jobs into \p Ns exceed a bound?
+  /// Returns nullptr when admissible, else the stable busy code
+  /// (EFLEETD.BUSY.CAMPAIGNS / EFLEETD.BUSY.JOBS). Does not admit.
+  const char *check(const std::string &Ns, uint64_t Jobs) const;
+
+  /// Records an admitted campaign (one campaign slot + \p Jobs job slots).
+  void admit(const std::string &Ns, uint64_t Jobs);
+
+  /// Releases \p N job slots as jobs reach terminal states.
+  void releaseJobs(const std::string &Ns, uint64_t N);
+
+  /// Releases the campaign slot. The caller releases any job slots the
+  /// campaign still held (drained/cancelled campaigns end with survivors)
+  /// before calling this.
+  void releaseCampaign(const std::string &Ns);
+
+  struct Usage {
+    uint32_t Campaigns = 0;
+    uint64_t Jobs = 0;
+  };
+  Usage usage(const std::string &Ns) const;
+
+  const QuotaLimits &limits() const { return Limits; }
+
+private:
+  QuotaLimits Limits;
+  std::map<std::string, Usage> PerNs;
+};
+
+} // namespace sched
+} // namespace elfie
+
+#endif // ELFIE_SCHED_QUOTA_H

@@ -1,0 +1,119 @@
+//===- sched/Session.cpp --------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Session.h"
+
+#include "support/SocketIO.h"
+
+#include <unistd.h>
+
+using namespace elfie;
+using namespace elfie::sched;
+
+bool LineBuffer::feed(const char *Data, size_t N) {
+  if (Overflow)
+    return false;
+  Buf.append(Data, N);
+  // Cap applies to unterminated pending data: complete-but-unpopped lines
+  // are bounded by the caller popping before the next feed.
+  if (Buf.find('\n', Consumed) == std::string::npos &&
+      Buf.size() - Consumed > Cap) {
+    Overflow = true;
+    return false;
+  }
+  return true;
+}
+
+void LineBuffer::compact() {
+  if (Consumed > 0 && Consumed >= Buf.size() / 2) {
+    Buf.erase(0, Consumed);
+    Consumed = 0;
+  }
+}
+
+bool LineBuffer::pop(std::string &Out) {
+  size_t NL = Buf.find('\n', Consumed);
+  if (NL == std::string::npos)
+    return false;
+  size_t Len = NL - Consumed;
+  if (Len && Buf[Consumed + Len - 1] == '\r')
+    --Len;
+  Out.assign(Buf, Consumed, Len);
+  Consumed = NL + 1;
+  compact();
+  return true;
+}
+
+Session::Session(int Fd, uint64_t Id, size_t RecvCap, size_t SendCap)
+    : Fd(Fd), Id(Id), In(RecvCap), SendCap(SendCap) {}
+
+Session::~Session() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void Session::onReadable() {
+  if (Dead)
+    return;
+  char Chunk[4096];
+  for (;;) {
+    auto R = readSocket(Fd, Chunk, sizeof(Chunk));
+    if (!R) {
+      Dead = true;
+      return;
+    }
+    if (R->Bytes) {
+      if (!In.feed(Chunk, R->Bytes)) {
+        Dead = true; // unterminated line past the recv cap
+        return;
+      }
+      continue;
+    }
+    if (R->Closed)
+      Dead = true;
+    return; // WouldBlock: drained the socket for now
+  }
+}
+
+void Session::flush() {
+  while (!OutBuf.empty()) {
+    auto W = writeSocket(Fd, OutBuf.data(), OutBuf.size());
+    if (!W) {
+      Dead = true;
+      return;
+    }
+    if (W->Closed) {
+      // Peer vanished mid-stream: swallow the remaining output. The
+      // campaign itself is unaffected — streaming is observation only.
+      Dead = true;
+      OutBuf.clear();
+      return;
+    }
+    if (W->Bytes == 0)
+      return; // WouldBlock: poll for POLLOUT
+    OutBuf.erase(0, W->Bytes);
+  }
+}
+
+void Session::onWritable() {
+  if (!Dead)
+    flush();
+}
+
+void Session::send(const std::string &Data) {
+  if (Dead)
+    return;
+  if (OutBuf.size() + Data.size() > SendCap) {
+    // Slow consumer: it stopped reading while subscribed to a firehose.
+    // Dropping the connection (not the campaign) is the documented policy.
+    Dead = true;
+    OutBuf.clear();
+    return;
+  }
+  OutBuf += Data;
+  flush();
+}

@@ -241,6 +241,17 @@ Error AppendLog::open(const std::string &Path) {
   return Error::success();
 }
 
+/// Disk-pressure errnos keep their identity instead of flattening into the
+/// generic write/fsync codes: the campaign service pauses admission on
+/// ENOSPC specifically, and operators grep for it.
+static const char *errnoIOCode(int E) {
+  if (E == ENOSPC || E == EDQUOT)
+    return "EFAULT.IO.ENOSPC";
+  if (E == EIO)
+    return "EFAULT.IO.EIO";
+  return nullptr;
+}
+
 Error AppendLog::append(const std::string &Line) {
   if (Fd < 0)
     return makeCodedError("EFAULT.IO.WRITE", "append to closed log '%s'",
@@ -259,15 +270,20 @@ Error AppendLog::append(const std::string &Line) {
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return makeCodedError("EFAULT.IO.WRITE", "write error on '%s': %s",
-                            LogPath.c_str(), std::strerror(errno));
+      const char *Code = errnoIOCode(errno);
+      return makeCodedError(Code ? Code : "EFAULT.IO.WRITE",
+                            "write error on '%s': %s", LogPath.c_str(),
+                            std::strerror(errno));
     }
     P += N;
     Left -= static_cast<size_t>(N);
   }
-  if (::fsync(Fd) != 0)
-    return makeCodedError("EFAULT.IO.FSYNC", "fsync failed on '%s': %s",
-                          LogPath.c_str(), std::strerror(errno));
+  if (::fsync(Fd) != 0) {
+    const char *Code = errnoIOCode(errno);
+    return makeCodedError(Code ? Code : "EFAULT.IO.FSYNC",
+                          "fsync failed on '%s': %s", LogPath.c_str(),
+                          std::strerror(errno));
+  }
   return Error::success();
 }
 

@@ -1,0 +1,188 @@
+//===- support/SocketIO.cpp -----------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SocketIO.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace elfie;
+
+void elfie::ignoreSigpipe() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &SA, nullptr);
+}
+
+static Error fillUnixAddr(const std::string &Path, struct sockaddr_un &Addr) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return makeCodedError("EFAULT.SOCK.PATH",
+                          "socket path '%s' empty or longer than %zu bytes",
+                          Path.c_str(), sizeof(Addr.sun_path) - 1);
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  return Error::success();
+}
+
+Expected<int> elfie::listenUnixSocket(const std::string &Path, int Backlog) {
+  struct sockaddr_un Addr;
+  if (Error E = fillUnixAddr(Path, Addr))
+    return E;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return makeCodedError("EFAULT.SOCK.OPEN", "socket() failed: %s",
+                          std::strerror(errno));
+  ::unlink(Path.c_str()); // stale socket from a killed daemon
+  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return makeCodedError("EFAULT.SOCK.BIND", "cannot bind '%s': %s",
+                          Path.c_str(), std::strerror(E));
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    int E = errno;
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return makeCodedError("EFAULT.SOCK.LISTEN", "cannot listen on '%s': %s",
+                          Path.c_str(), std::strerror(E));
+  }
+  return Fd;
+}
+
+Expected<int> elfie::connectUnixSocket(const std::string &Path) {
+  struct sockaddr_un Addr;
+  if (Error E = fillUnixAddr(Path, Addr))
+    return E;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return makeCodedError("EFAULT.SOCK.OPEN", "socket() failed: %s",
+                          std::strerror(errno));
+  for (;;) {
+    if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0)
+      return Fd;
+    if (errno == EINTR)
+      continue;
+    int E = errno;
+    ::close(Fd);
+    return makeCodedError("EFAULT.SOCK.CONNECT", "cannot connect '%s': %s",
+                          Path.c_str(), std::strerror(E));
+  }
+}
+
+Expected<int> elfie::acceptSocket(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0)
+      return Fd;
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return -1;
+    // Per-connection weather (aborted handshake, fd pressure): report it;
+    // the daemon logs and keeps serving.
+    return makeCodedError("EFAULT.SOCK.ACCEPT", "accept failed: %s",
+                          std::strerror(errno));
+  }
+}
+
+Error elfie::setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) != 0)
+    return makeCodedError("EFAULT.SOCK.FCNTL", "cannot set O_NONBLOCK: %s",
+                          std::strerror(errno));
+  return Error::success();
+}
+
+Expected<SocketIOResult> elfie::readSocket(int Fd, void *Buf, size_t Cap) {
+  SocketIOResult R;
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, Cap);
+    if (N > 0) {
+      R.Bytes = static_cast<size_t>(N);
+      return R;
+    }
+    if (N == 0) {
+      R.Closed = true;
+      return R;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      R.WouldBlock = true;
+      return R;
+    }
+    if (errno == ECONNRESET) {
+      R.Closed = true;
+      return R;
+    }
+    return makeCodedError("EFAULT.SOCK.READ", "socket read failed: %s",
+                          std::strerror(errno));
+  }
+}
+
+Expected<SocketIOResult> elfie::writeSocket(int Fd, const void *Buf,
+                                            size_t Len) {
+  SocketIOResult R;
+  for (;;) {
+    ssize_t N = ::send(Fd, Buf, Len, MSG_NOSIGNAL);
+    if (N >= 0) {
+      R.Bytes = static_cast<size_t>(N);
+      return R;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      R.WouldBlock = true;
+      return R;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      R.Closed = true;
+      return R;
+    }
+    return makeCodedError("EFAULT.SOCK.WRITE", "socket write failed: %s",
+                          std::strerror(errno));
+  }
+}
+
+int elfie::pollSockets(struct pollfd *Fds, size_t Count, int TimeoutMs) {
+  for (;;) {
+    int N = ::poll(Fds, static_cast<nfds_t>(Count), TimeoutMs);
+    if (N >= 0)
+      return N;
+    if (errno == EINTR)
+      return 0; // a signal is itself a wake-up; let the caller's loop turn
+    return 0;   // poll hard errors are unrecoverable here; treat as timeout
+  }
+}
+
+Error elfie::writeAllSocket(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    auto R = writeSocket(Fd, Data.data() + Off, Data.size() - Off);
+    if (!R)
+      return R.takeError();
+    if (R->Closed)
+      return makeCodedError("EFAULT.SOCK.CLOSED",
+                            "peer closed the connection mid-write");
+    if (R->WouldBlock) {
+      struct pollfd P = {Fd, POLLOUT, 0};
+      pollSockets(&P, 1, 100);
+      continue;
+    }
+    Off += R->Bytes;
+  }
+  return Error::success();
+}

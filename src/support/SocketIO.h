@@ -1,0 +1,79 @@
+//===- support/SocketIO.h - Unix-domain socket I/O helpers -----*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unix-domain stream-socket helpers for the campaign service (efleetd and
+/// its clients): listen/accept/connect, non-blocking mode, and EINTR-safe
+/// partial read/write primitives. Everything here retries on EINTR and
+/// never raises SIGPIPE (sends use MSG_NOSIGNAL; daemons additionally call
+/// ignoreSigpipe() so stray write(2)s on dead sockets cannot kill them
+/// either). No protocol knowledge lives here — line framing and the
+/// request grammar are sched/Protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_SOCKETIO_H
+#define ELFIE_SUPPORT_SOCKETIO_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <poll.h>
+#include <string>
+
+namespace elfie {
+
+/// Ignores SIGPIPE process-wide. A long-lived daemon must not die because a
+/// client vanished between poll() and write(); call this before serving.
+void ignoreSigpipe();
+
+/// Creates, binds, and listens on a Unix-domain stream socket at \p Path.
+/// A stale socket file at \p Path is unlinked first (the caller is expected
+/// to hold the daemon lock that makes this safe). The path must fit
+/// sockaddr_un (~107 bytes). Returns the listening descriptor.
+Expected<int> listenUnixSocket(const std::string &Path, int Backlog = 16);
+
+/// Connects to the Unix-domain socket at \p Path (blocking connect, EINTR
+/// retried). Returns the connected descriptor.
+Expected<int> connectUnixSocket(const std::string &Path);
+
+/// Accepts one pending connection; EINTR retried. Returns the connected
+/// descriptor, or -1 when the listener has nothing pending (EAGAIN).
+Expected<int> acceptSocket(int ListenFd);
+
+/// Switches \p Fd to non-blocking mode.
+Error setNonBlocking(int Fd);
+
+/// Outcome of one partial read/write. Exactly one of the flags is
+/// meaningful when Bytes == 0.
+struct SocketIOResult {
+  size_t Bytes = 0;       ///< bytes transferred this call
+  bool Closed = false;    ///< peer closed (EOF on read, EPIPE/reset on write)
+  bool WouldBlock = false; ///< non-blocking fd has no room/data right now
+};
+
+/// Reads up to \p Cap bytes. EINTR retried; EAGAIN reported as WouldBlock;
+/// EOF as Closed. Hard errors (EBADF, ...) come back as EFAULT.SOCK.READ.
+Expected<SocketIOResult> readSocket(int Fd, void *Buf, size_t Cap);
+
+/// Writes up to \p Len bytes (one send(2) with MSG_NOSIGNAL; a short write
+/// is a normal outcome on a non-blocking socket). A dead peer (EPIPE,
+/// ECONNRESET) is reported as Closed, never as a signal or an Error.
+Expected<SocketIOResult> writeSocket(int Fd, const void *Buf, size_t Len);
+
+/// poll(2) retrying EINTR: a signal delivery (SIGCHLD from a reaped worker,
+/// a drain request) must wake the caller's loop, not error it. Returns the
+/// number of ready descriptors (0 on timeout).
+int pollSockets(struct pollfd *Fds, size_t Count, int TimeoutMs);
+
+/// Blocking helper for clients: writes all of \p Data, retrying short
+/// writes. Fails with EFAULT.SOCK.CLOSED when the peer goes away.
+Error writeAllSocket(int Fd, const std::string &Data);
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_SOCKETIO_H

@@ -18,6 +18,17 @@
 
 using namespace elfie;
 
+/// open(2) retrying EINTR: the daemon's supervisor loop fields SIGCHLD-era
+/// signal traffic constantly, and an interrupted redirect open must not
+/// turn into a spurious spawn failure.
+static int openRetry(const char *Path, int Flags, mode_t Mode) {
+  for (;;) {
+    int Fd = ::open(Path, Flags, Mode);
+    if (Fd >= 0 || errno != EINTR)
+      return Fd;
+  }
+}
+
 Expected<pid_t> elfie::spawnProcess(const SpawnSpec &Spec) {
   if (Spec.Argv.empty())
     return makeCodedError("EFAULT.PROC.SPAWN", "empty argv");
@@ -32,15 +43,15 @@ Expected<pid_t> elfie::spawnProcess(const SpawnSpec &Spec) {
       ::close(ErrFd);
   };
   if (!Spec.StdoutPath.empty()) {
-    OutFd = ::open(Spec.StdoutPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
-                   0644);
+    OutFd = openRetry(Spec.StdoutPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                      0644);
     if (OutFd < 0)
       return makeCodedError("EFAULT.PROC.SPAWN", "cannot open '%s': %s",
                             Spec.StdoutPath.c_str(), std::strerror(errno));
   }
   if (!Spec.StderrPath.empty()) {
-    ErrFd = ::open(Spec.StderrPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
-                   0644);
+    ErrFd = openRetry(Spec.StderrPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                      0644);
     if (ErrFd < 0) {
       int E = errno;
       CloseFds();
@@ -106,7 +117,10 @@ static WaitResult decodeStatus(int Status) {
 
 Expected<WaitResult> elfie::pollProcess(pid_t Pid) {
   int Status = 0;
-  pid_t W = ::waitpid(Pid, &Status, WNOHANG);
+  pid_t W;
+  do {
+    W = ::waitpid(Pid, &Status, WNOHANG);
+  } while (W < 0 && errno == EINTR);
   if (W < 0)
     return makeCodedError("EFAULT.PROC.WAIT", "waitpid(%d) failed: %s",
                           static_cast<int>(Pid), std::strerror(errno));

@@ -16,7 +16,11 @@
 
 #include "fault/FaultPlan.h"
 #include "sched/Fleet.h"
+#include "sched/Protocol.h"
 #include "support/CommandLine.h"
+#include "support/FileIO.h"
+#include "support/Format.h"
+#include "support/SocketIO.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +32,11 @@
 
 using namespace elfie;
 using namespace elfie::sched;
+
+/// Client exit code for structured backpressure (busy replies): the request
+/// was well-formed but the daemon refused it for now — retry later.
+/// Documented alongside the 0/1/2/3 taxonomy in README.
+static constexpr int ExitBusy = 4;
 
 static void onDrainSignal(int) { requestDrain(); }
 
@@ -46,6 +55,147 @@ static std::string selfBinDir(const char *Argv0) {
   Copy[sizeof(Copy) - 1] = '\0';
   return ::dirname(Copy);
 }
+
+namespace {
+
+/// Blocking '\n'-framed reader over the client socket.
+class LineReader {
+public:
+  explicit LineReader(int Fd) : Fd(Fd) {}
+
+  /// Reads one line (without '\n'). False on EOF/error with nothing left.
+  bool next(std::string &Out) {
+    for (;;) {
+      size_t NL = Buf.find('\n');
+      if (NL != std::string::npos) {
+        Out = Buf.substr(0, NL);
+        Buf.erase(0, NL + 1);
+        return true;
+      }
+      char Chunk[4096];
+      auto R = readSocket(Fd, Chunk, sizeof(Chunk));
+      if (!R || R->Closed || R->Bytes == 0)
+        return false;
+      Buf.append(Chunk, R->Bytes);
+    }
+  }
+
+private:
+  int Fd;
+  std::string Buf;
+};
+
+/// Maps a terminal reply to the client exit code and prints it.
+int settleReply(const proto::Reply &R) {
+  switch (R.K) {
+  case proto::Reply::Kind::Ok:
+    std::fprintf(stderr, "efleet: ok %s\n", R.Text.c_str());
+    return ExitSuccess;
+  case proto::Reply::Kind::End:
+    std::fprintf(stderr, "efleet: end %s\n", R.Text.c_str());
+    return ExitSuccess;
+  case proto::Reply::Kind::Busy:
+    std::fprintf(stderr, "efleet: busy %s %s\n", R.Code.c_str(),
+                 R.Text.c_str());
+    return ExitBusy;
+  case proto::Reply::Kind::Err:
+    std::fprintf(stderr, "efleet: err %s %s\n", R.Code.c_str(),
+                 R.Text.c_str());
+    return ExitFailure;
+  case proto::Reply::Kind::Event:
+    break;
+  }
+  return ExitFailure;
+}
+
+/// Client mode: speaks the efleetd protocol (DESIGN.md §14).
+///   efleet -connect SOCK ping
+///   efleet -connect SOCK submit <ns> <campaign> <manifest-file>
+///   efleet -connect SOCK status [<ns> [<campaign>]]
+///   efleet -connect SOCK stream <ns> <campaign>
+///   efleet -connect SOCK cancel <ns> <campaign>
+///   efleet -connect SOCK shutdown
+int runClient(const std::string &Sock, const std::vector<std::string> &Args) {
+  if (Args.empty()) {
+    std::fprintf(stderr,
+                 "usage: efleet -connect SOCK "
+                 "ping|submit|status|stream|cancel|shutdown ...\n");
+    return ExitUsage;
+  }
+  const std::string &Verb = Args[0];
+
+  std::string Request;
+  std::string Body;
+  bool Streaming = Verb == "stream";
+  if (Verb == "submit") {
+    if (Args.size() != 4) {
+      std::fprintf(stderr,
+                   "usage: efleet -connect SOCK submit <ns> <campaign> "
+                   "<manifest-file>\n");
+      return ExitUsage;
+    }
+    std::string Text =
+        exitOnError(readFileText(Args[3]), "efleet");
+    std::vector<std::string> Lines64 = splitString(Text, '\n');
+    if (!Lines64.empty() && Lines64.back().empty())
+      Lines64.pop_back(); // trailing-newline artifact
+    uint64_t Lines = Lines64.size();
+    for (const std::string &L : Lines64) {
+      Body += L;
+      Body += '\n';
+    }
+    if (Lines == 0) {
+      std::fprintf(stderr, "efleet: empty manifest '%s'\n", Args[3].c_str());
+      return ExitFailure;
+    }
+    Request = formatString("submit %s %s %llu\n", Args[1].c_str(),
+                           Args[2].c_str(),
+                           static_cast<unsigned long long>(Lines));
+  } else {
+    for (const std::string &A : Args) {
+      Request += Request.empty() ? "" : " ";
+      Request += A;
+    }
+    Request += '\n';
+  }
+
+  int Fd = exitOnError(connectUnixSocket(Sock), "efleet");
+  if (Error E = writeAllSocket(Fd, Request + Body)) {
+    std::fprintf(stderr, "efleet: %s\n", E.str().c_str());
+    ::close(Fd);
+    return ExitFailure;
+  }
+
+  LineReader Rd(Fd);
+  int Code = ExitFailure;
+  std::string Line;
+  for (;;) {
+    if (!Rd.next(Line)) {
+      std::fprintf(stderr, "efleet: daemon closed the connection\n");
+      break;
+    }
+    auto R = proto::parseReply(Line);
+    if (!R) {
+      std::fprintf(stderr, "efleet: %s\n", R.takeError().str().c_str());
+      break;
+    }
+    if (R->K == proto::Reply::Kind::Event) {
+      // Journal records stream to stdout as-is (JSONL).
+      std::fprintf(stdout, "%s\n", R->Text.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    Code = settleReply(*R);
+    if (!Streaming || R->K == proto::Reply::Kind::End ||
+        R->K == proto::Reply::Kind::Err ||
+        R->K == proto::Reply::Kind::Busy)
+      break;
+  }
+  ::close(Fd);
+  return Code;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   CommandLine CL("efleet",
@@ -72,7 +222,12 @@ int main(int Argc, char **Argv) {
             "drain grace period in seconds before running jobs are killed");
   CL.addFlag("json", false, "print the summary as one JSON line on stdout");
   CL.addFlag("verbose", false, "narrate attempts, retries, and timeouts");
+  CL.addString("connect", "",
+               "client mode: talk to the efleetd at this socket "
+               "(ping|submit|status|stream|cancel|shutdown)");
   exitOnError(CL.parse(Argc, Argv));
+  if (!CL.getString("connect").empty())
+    return runClient(CL.getString("connect"), CL.positional());
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: efleet [options] manifest\n");
     return ExitUsage;

@@ -372,6 +372,112 @@ TEST_F(FleetE2E, SigtermDrainsGracefully) {
   EXPECT_NE(Err->find("drained"), std::string::npos) << *Err;
 }
 
+/// Drain edge: SIGTERM and SIGINT land together (and again mid-drain).
+/// Concurrent deliveries collapse into one idempotent drain — exactly one
+/// seal record, reason "drain", never a double-seal or an abort.
+TEST_F(FleetE2E, ConcurrentSignalsDuringDrainSealOnce) {
+  std::string Manifest = formatString("fast replay %s/r.pb\n"
+                                      "slow native /bin/sleep 30 "
+                                      "!timeout=60\n",
+                                      Root.c_str());
+  ASSERT_FALSE(writeFileText(Dir + "/manifest.txt", Manifest).isError());
+
+  SpawnSpec Spec;
+  Spec.Argv = {binPath("efleet"), "-bindir", ELFIE_BIN_DIR,
+               "-out",            Dir + "/out", "-grace", "1",
+               Dir + "/manifest.txt"};
+  Spec.StdoutPath = Dir + "/fleet.out";
+  Spec.StderrPath = Dir + "/fleet.err";
+  auto Pid = spawnProcess(Spec);
+  ASSERT_TRUE(Pid.hasValue()) << Pid.message();
+
+  bool SlowStarted = false;
+  for (int I = 0; I < 200 && !SlowStarted; ++I) {
+    ::usleep(50000);
+    for (JournalRecord &Rec : journalRecords())
+      if (Rec["rec"] == "start" && Rec["job"] == "slow")
+        SlowStarted = true;
+  }
+  ASSERT_TRUE(SlowStarted);
+
+  // Both drain signals back to back, then another one mid-drain.
+  ASSERT_EQ(::kill(*Pid, SIGTERM), 0);
+  ASSERT_EQ(::kill(*Pid, SIGINT), 0);
+  ::usleep(100000);
+  ASSERT_EQ(::kill(*Pid, SIGTERM), 0);
+
+  auto W = waitProcess(*Pid);
+  ASSERT_TRUE(W.hasValue());
+  ASSERT_TRUE(W->Exited) << "signal " << W->Signal;
+  EXPECT_EQ(W->ExitCode, 1);
+
+  int Seals = 0;
+  for (JournalRecord &Rec : journalRecords())
+    if (Rec["rec"] == "seal")
+      ++Seals;
+  EXPECT_EQ(Seals, 1);
+  auto St = scanJournal(Dir + "/out/journal.jsonl");
+  ASSERT_TRUE(St.hasValue());
+  EXPECT_TRUE(St->Sealed);
+  EXPECT_EQ(St->SealReason, "drain");
+  EXPECT_TRUE(St->Done.count("fast"));
+}
+
+/// Drain edge: the journal's seal record is torn mid-write (SIGKILL
+/// mid-append leaves a partial final line). Resume must treat the journal
+/// as unsealed, skip every journaled-terminal job, and re-seal complete —
+/// the torn line is tolerated, never fatal, never a re-run.
+TEST_F(FleetE2E, ResumeFromJournalTornMidSealRecord) {
+  std::string Manifest = formatString("a replay %s/r.pb\n"
+                                      "b native /bin/true\n",
+                                      Root.c_str());
+  ASSERT_FALSE(writeFileText(Dir + "/manifest.txt", Manifest).isError());
+  CmdResult First = runFleetCmd("", "", Dir + "/manifest.txt");
+  ASSERT_EQ(First.ExitCode, 0) << First.Output;
+
+  // Tear the seal line: keep everything up to a few bytes into it.
+  std::string JPath = Dir + "/out/journal.jsonl";
+  auto Text = readFileText(JPath);
+  ASSERT_TRUE(Text.hasValue()) << Text.message();
+  size_t SealAt = Text->rfind("{\"rec\":\"seal\"");
+  ASSERT_NE(SealAt, std::string::npos);
+  std::string Torn = Text->substr(0, SealAt + 9); // ends inside "seal"
+  ASSERT_FALSE(writeFileText(JPath, Torn).isError());
+  auto Before = scanJournal(JPath);
+  ASSERT_TRUE(Before.hasValue());
+  ASSERT_FALSE(Before->Sealed);
+  ASSERT_GE(Before->TornLines, 1u);
+  size_t StartsBefore = 0;
+  for (JournalRecord &Rec : journalRecords())
+    if (Rec["rec"] == "start")
+      ++StartsBefore;
+
+  CmdResult Second = runFleetCmd("", "", Dir + "/manifest.txt");
+  EXPECT_EQ(Second.ExitCode, 0) << Second.Output;
+  EXPECT_NE(Second.Output.find("2 skipped as already complete"),
+            std::string::npos)
+      << Second.Output;
+
+  // No job re-ran, and the journal is sealed complete again with exactly
+  // one terminal record per job.
+  size_t StartsAfter = 0;
+  std::map<std::string, int> TerminalCount;
+  for (JournalRecord &Rec : journalRecords()) {
+    if (Rec["rec"] == "start")
+      ++StartsAfter;
+    if (Rec["rec"] == "done" || Rec["rec"] == "quarantine")
+      ++TerminalCount[Rec["job"]];
+  }
+  EXPECT_EQ(StartsAfter, StartsBefore);
+  ASSERT_EQ(TerminalCount.size(), 2u);
+  for (const auto &[JobId, N] : TerminalCount)
+    EXPECT_EQ(N, 1) << JobId;
+  auto After = scanJournal(JPath);
+  ASSERT_TRUE(After.hasValue());
+  EXPECT_TRUE(After->Sealed);
+  EXPECT_EQ(After->SealReason, "complete");
+}
+
 /// Per-job budget timeouts kill and retry; retries exhausted quarantines.
 TEST_F(FleetE2E, TimeoutRetriesThenQuarantines) {
   std::string Manifest = "hang native /bin/sleep 30 !timeout=1 !retries=2\n";

@@ -11,6 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fault/FaultPlan.h"
 #include "sched/Backoff.h"
 #include "sched/Campaign.h"
 #include "sched/Classify.h"
@@ -336,6 +337,56 @@ TEST(Journal, ScanSeesSeal) {
   EXPECT_TRUE(St->Sealed);
   EXPECT_EQ(St->SealReason, "drain");
   removeFile(Path);
+}
+
+/// Disk pressure on an append — whether a kernel errno or an injected
+/// hook fault whose message names the condition — surfaces as the
+/// structured EFAULT.IO.ENOSPC / EFAULT.IO.EIO codes with the journal
+/// path in context, so the campaign service can pause admission on disk
+/// pressure specifically.
+TEST(Journal, AppendSurfacesDiskPressureStructured) {
+  struct Case {
+    fault::FaultSpec::Kind Kind;
+    const char *Code;
+  } Cases[] = {
+      {fault::FaultSpec::Kind::Enospc, "EFAULT.IO.ENOSPC"},
+      {fault::FaultSpec::Kind::Eio, "EFAULT.IO.EIO"},
+  };
+  for (const Case &C : Cases) {
+    std::string Path = tempPath("journal_pressure");
+    removeFile(Path);
+    JournalWriter W;
+    ASSERT_FALSE(W.open(Path).isError());
+
+    fault::FaultPlan Plan;
+    Plan.add({fault::FaultSpec::Op::Write, 1, C.Kind});
+    setIOFaultHook(&Plan);
+    Error E = W.append({{"rec", "plan"}, {"jobs", "1"}});
+    setIOFaultHook(nullptr);
+
+    ASSERT_TRUE(E.isError()) << C.Code;
+    EXPECT_EQ(E.code(), C.Code);
+    EXPECT_NE(E.message().find(Path), std::string::npos)
+        << "no path context: " << E.message();
+    EXPECT_TRUE(isDiskPressureError(E));
+
+    // The writer stays usable once the pressure lifts (one-shot fault
+    // spent): the next append lands durably.
+    ASSERT_FALSE(W.append({{"rec", "plan"}, {"jobs", "1"}}).isError());
+    W.close();
+    removeFile(Path);
+  }
+}
+
+TEST(Journal, DiskPressurePredicateMatchesOnlyPressureCodes) {
+  EXPECT_TRUE(isDiskPressureError(
+      makeCodedError("EFAULT.IO.ENOSPC", "no space")));
+  EXPECT_TRUE(isDiskPressureError(makeCodedError("EFAULT.IO.EIO", "eio")));
+  EXPECT_FALSE(isDiskPressureError(
+      makeCodedError("EFAULT.IO.WRITE", "generic write failure")));
+  EXPECT_FALSE(isDiskPressureError(
+      makeCodedError("EFAULT.FLEET.MANIFEST", "bad manifest")));
+  EXPECT_FALSE(isDiskPressureError(Error::success()));
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,175 @@
+//===- tests/support/SocketIOTest.cpp - Unix-socket helper tests ----------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// The transport primitives under efleetd: listen/connect/accept,
+/// non-blocking semantics (WouldBlock, accept with nothing pending), and
+/// the dead-peer contract — a vanished client surfaces as Closed, never as
+/// SIGPIPE or a hard Error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+#include "support/SocketIO.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unistd.h>
+
+using namespace elfie;
+
+namespace {
+
+std::string sockPath(const std::string &Name) {
+  return testing::TempDir() + "/elfie_sock_" + Name + "." +
+         std::to_string(getpid());
+}
+
+TEST(SocketIO, ListenConnectAcceptRoundTrip) {
+  std::string Path = sockPath("rt");
+  removeFile(Path);
+  auto L = listenUnixSocket(Path);
+  ASSERT_TRUE(L.hasValue()) << L.message();
+
+  auto C = connectUnixSocket(Path);
+  ASSERT_TRUE(C.hasValue()) << C.message();
+  auto A = acceptSocket(*L);
+  ASSERT_TRUE(A.hasValue()) << A.message();
+  ASSERT_GE(*A, 0);
+
+  // Client -> server.
+  std::string Msg = "ping\n";
+  auto W = writeSocket(*C, Msg.data(), Msg.size());
+  ASSERT_TRUE(W.hasValue()) << W.message();
+  EXPECT_EQ(W->Bytes, Msg.size());
+
+  char Buf[64];
+  auto R = readSocket(*A, Buf, sizeof(Buf));
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(std::string(Buf, R->Bytes), Msg);
+
+  // Server -> client, via the all-or-error helper.
+  ASSERT_FALSE(writeAllSocket(*A, "ok pong\n").isError());
+  R = readSocket(*C, Buf, sizeof(Buf));
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(std::string(Buf, R->Bytes), "ok pong\n");
+
+  ::close(*C);
+  // Peer close reads as EOF (Closed), not an error.
+  R = readSocket(*A, Buf, sizeof(Buf));
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_TRUE(R->Closed);
+  EXPECT_EQ(R->Bytes, 0u);
+
+  ::close(*A);
+  ::close(*L);
+  removeFile(Path);
+}
+
+TEST(SocketIO, ListenReplacesStaleSocketFile) {
+  std::string Path = sockPath("stale");
+  // A dead daemon's socket file must not block the next start (the caller
+  // holds the daemon lock that makes the unlink safe).
+  ASSERT_FALSE(writeFileText(Path, "not a socket").isError());
+  auto L = listenUnixSocket(Path);
+  ASSERT_TRUE(L.hasValue()) << L.message();
+  auto C = connectUnixSocket(Path);
+  ASSERT_TRUE(C.hasValue()) << C.message();
+  ::close(*C);
+  ::close(*L);
+  removeFile(Path);
+}
+
+TEST(SocketIO, OverlongPathIsAnErrorNotTruncation) {
+  std::string Path = sockPath("long") + std::string(200, 'x');
+  auto L = listenUnixSocket(Path);
+  EXPECT_FALSE(L.hasValue());
+}
+
+TEST(SocketIO, NonBlockingAcceptAndReadReportNothingPending) {
+  std::string Path = sockPath("nb");
+  removeFile(Path);
+  auto L = listenUnixSocket(Path);
+  ASSERT_TRUE(L.hasValue()) << L.message();
+  ASSERT_FALSE(setNonBlocking(*L).isError());
+
+  // Nothing queued: accept says "none" with -1, not an error.
+  auto A = acceptSocket(*L);
+  ASSERT_TRUE(A.hasValue()) << A.message();
+  EXPECT_EQ(*A, -1);
+
+  auto C = connectUnixSocket(Path);
+  ASSERT_TRUE(C.hasValue());
+  A = acceptSocket(*L);
+  ASSERT_TRUE(A.hasValue());
+  ASSERT_GE(*A, 0);
+  ASSERT_FALSE(setNonBlocking(*A).isError());
+
+  // No data yet: WouldBlock, zero bytes, no error.
+  char Buf[16];
+  auto R = readSocket(*A, Buf, sizeof(Buf));
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_TRUE(R->WouldBlock);
+  EXPECT_EQ(R->Bytes, 0u);
+
+  ::close(*C);
+  ::close(*A);
+  ::close(*L);
+  removeFile(Path);
+}
+
+TEST(SocketIO, WriteToDeadPeerIsClosedNotASignal) {
+  std::string Path = sockPath("dead");
+  removeFile(Path);
+  auto L = listenUnixSocket(Path);
+  ASSERT_TRUE(L.hasValue());
+  auto C = connectUnixSocket(Path);
+  ASSERT_TRUE(C.hasValue());
+  auto A = acceptSocket(*L);
+  ASSERT_TRUE(A.hasValue());
+  ::close(*A); // the peer vanishes
+
+  // Writing into the dead socket must never raise SIGPIPE (MSG_NOSIGNAL)
+  // — if it did, this test would die here. The first write may land in
+  // the now-orphaned buffer; keep writing until the EPIPE shows through.
+  bool SawClosed = false;
+  for (int I = 0; I < 8 && !SawClosed; ++I) {
+    auto W = writeSocket(*C, "x", 1);
+    ASSERT_TRUE(W.hasValue()) << W.message();
+    SawClosed = W->Closed;
+  }
+  EXPECT_TRUE(SawClosed);
+
+  // The blocking helper reports the same condition as a structured error.
+  Error E = writeAllSocket(*C, "more data");
+  ASSERT_TRUE(E.isError());
+  EXPECT_EQ(E.code(), "EFAULT.SOCK.CLOSED");
+
+  ::close(*C);
+  ::close(*L);
+  removeFile(Path);
+}
+
+TEST(SocketIO, PollSocketsTimesOutAndSignalsReadable) {
+  std::string Path = sockPath("poll");
+  removeFile(Path);
+  auto L = listenUnixSocket(Path);
+  ASSERT_TRUE(L.hasValue());
+  struct pollfd P = {*L, POLLIN, 0};
+  EXPECT_EQ(pollSockets(&P, 1, 10), 0); // timeout, no error
+
+  auto C = connectUnixSocket(Path);
+  ASSERT_TRUE(C.hasValue());
+  EXPECT_EQ(pollSockets(&P, 1, 1000), 1);
+  EXPECT_TRUE(P.revents & POLLIN);
+
+  ::close(*C);
+  ::close(*L);
+  removeFile(Path);
+}
+
+} // namespace
