@@ -74,6 +74,16 @@ ctest --test-dir "$ROOT/default" -L service --timeout 600 \
 ctest --test-dir "$ROOT/sanitize" -L service --timeout 900 \
   --output-on-failure
 
+# Artifact-store suite standalone (label `store`): the SHA-256 KATs, pool
+# semantics, kill-mid-GC recovery, and the efault chunk-corruption sweep,
+# in the default and sanitized trees. The sweeps drive real subprocesses,
+# hence the larger timeouts.
+echo "==== [store label] estore integrity + crash-recovery suite ===="
+ctest --test-dir "$ROOT/default" -L store --timeout 600 \
+  --output-on-failure
+ctest --test-dir "$ROOT/sanitize" -L store --timeout 900 \
+  --output-on-failure
+
 # Analysis suite standalone, mirroring the jit lane: the CFG/dataflow
 # subsystem carries the `analyze` label.
 echo "==== [analyze label] CFG recovery + dataflow suite ===="

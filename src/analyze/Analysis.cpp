@@ -161,4 +161,5 @@ void analyze::addStandardPasses(PassManager &PM) {
   PM.add(makeReachPass());
   PM.add(makeSysstatePass());
   PM.add(makeCodePass());
+  PM.add(makeStorePass());
 }

@@ -105,6 +105,13 @@ struct AnalysisInput {
   /// Whether the ELFie was emitted with ROI markers: 1 = yes (their
   /// absence is an error), 0 = no, -1 = unknown (skip the check).
   int ExpectMarkers = -1;
+  /// estore pool root for the STORE.* pass (empty = pass skipped).
+  std::string StoreRoot;
+  /// Pool artifact to verify; empty verifies every manifest in the pool.
+  std::string StoreName;
+  /// Path of the file being verified, for the byte-identity cross-check
+  /// against the pool artifact named by StoreName.
+  std::string ArtifactPath;
 
   static ElfKind classify(const elf::ELFReader &R);
 };

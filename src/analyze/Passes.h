@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Factories for the six standard verification passes; see DESIGN.md
+/// Factories for the standard verification passes; see DESIGN.md
 /// §"Static verification" for each pass's checks and finding codes.
 ///
 //===----------------------------------------------------------------------===//
@@ -48,7 +48,13 @@ std::unique_ptr<Pass> makeSysstatePass();
 /// memory footprint, SMC, JIT translatability); see DESIGN.md §13.
 std::unique_ptr<Pass> makeCodePass();
 
-/// Registers all seven passes in the canonical order.
+/// STORE.*: artifact-pool integrity — manifests parse and their seals
+/// hold, every referenced chunk re-hashes to its digest, artifacts
+/// reassemble to the recorded whole-artifact digest, and the verified
+/// file is byte-identical with its pool artifact (DESIGN.md §15).
+std::unique_ptr<Pass> makeStorePass();
+
+/// Registers all eight passes in the canonical order.
 void addStandardPasses(PassManager &PM);
 
 } // namespace analyze

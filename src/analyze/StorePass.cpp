@@ -1,0 +1,133 @@
+//===- analyze/StorePass.cpp - artifact store integrity -------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// STORE.*: integrity of the content-addressed artifact pool backing an
+/// ELFie (DESIGN.md §15). Checks, per artifact: the manifest parses with a
+/// valid seal, every referenced chunk is present and re-hashes to its
+/// digest, the chunks reassemble to the manifest's whole-artifact digest,
+/// and — when everify was pointed at a concrete file — that file is
+/// byte-identical with the pool's view of it. Corruption shows up as
+/// error findings carrying the same EFAULT.STORE.* taxonomy the runtime
+/// tools reject with, so a pool that everify passes is a pool every
+/// consumer will accept.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Passes.h"
+
+#include "store/Artifact.h"
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+using namespace elfie;
+using namespace elfie::analyze;
+
+namespace {
+
+class StorePass : public Pass {
+public:
+  const char *name() const override { return "store"; }
+  const char *description() const override {
+    return "artifact pool manifests parse, chunks verify, artifacts "
+           "reassemble to their recorded digests";
+  }
+
+  bool applicable(const AnalysisInput &In, std::string &WhyNot) const override {
+    if (In.StoreRoot.empty()) {
+      WhyNot = "no artifact pool given (-store)";
+      return false;
+    }
+    return true;
+  }
+
+  void run(const AnalysisInput &In, Report &Out) const override {
+    if (!store::isStoreRoot(In.StoreRoot)) {
+      Out.add(Severity::Error, "STORE.ROOT", 0,
+              formatString("'%s' is not an estore pool (no estore.meta)",
+                           In.StoreRoot.c_str()));
+      return;
+    }
+    auto Pool = store::ChunkStore::open(In.StoreRoot, /*Create=*/false);
+    if (!Pool) {
+      Out.add(Severity::Error, "STORE.ROOT", 0, Pool.message());
+      return;
+    }
+
+    std::vector<std::string> Names;
+    if (!In.StoreName.empty()) {
+      Names.push_back(In.StoreName);
+    } else {
+      auto All = Pool->listManifests();
+      if (!All) {
+        Out.add(Severity::Error, "STORE.ROOT", 0, All.message());
+        return;
+      }
+      Names = std::move(*All);
+    }
+
+    unsigned Checked = 0, Bad = 0;
+    for (const std::string &Name : Names) {
+      auto M = Pool->getManifest(Name);
+      if (!M) {
+        Out.add(Severity::Error, "STORE.MANIFEST", 0,
+                formatString("artifact '%s': %s", Name.c_str(),
+                             M.message().c_str()));
+        ++Bad;
+        continue;
+      }
+      ++Checked;
+      // Per-chunk presence and digest, then the end-to-end reassembly
+      // digest; loadArtifact performs all of it with the runtime's own
+      // verification path, so the pass cannot be more lenient than the
+      // consumers it vouches for.
+      auto Bytes = store::loadArtifact(*Pool, Name);
+      if (!Bytes) {
+        const std::string &Msg = Bytes.message();
+        const char *Code = "STORE.DIGEST";
+        if (Msg.find("EFAULT.STORE.MISSING") != std::string::npos)
+          Code = "STORE.MISSING";
+        else if (Msg.find("EFAULT.STORE.MANIFEST") != std::string::npos ||
+                 Msg.find("EFAULT.STORE.SEAL") != std::string::npos)
+          Code = "STORE.MANIFEST";
+        Out.add(Severity::Error, Code, 0,
+                formatString("artifact '%s': %s", Name.c_str(),
+                             Msg.c_str()));
+        ++Bad;
+        continue;
+      }
+      // Cross-check against the file actually being verified.
+      if (Name == In.StoreName && !In.ArtifactPath.empty()) {
+        auto OnDisk = readFileBytes(In.ArtifactPath);
+        if (!OnDisk) {
+          Out.add(Severity::Warning, "STORE.MISMATCH", 0,
+                  formatString("cannot read '%s' to cross-check: %s",
+                               In.ArtifactPath.c_str(),
+                               OnDisk.message().c_str()));
+        } else if (Sha256::digest(*OnDisk) != M->Total) {
+          Out.add(Severity::Error, "STORE.MISMATCH", 0,
+                  formatString("'%s' is not byte-identical with pool "
+                               "artifact '%s' (file %s, pool %s)",
+                               In.ArtifactPath.c_str(), Name.c_str(),
+                               sha256Hex(OnDisk->data(), OnDisk->size())
+                                   .c_str(),
+                               M->Total.hex().c_str()));
+          ++Bad;
+        }
+      }
+    }
+    Out.add(Severity::Note, "STORE.SUMMARY", 0,
+            formatString("%u artifacts verified end-to-end, %u bad, pool "
+                         "'%s'",
+                         Checked, Bad, In.StoreRoot.c_str()));
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> analyze::makeStorePass() {
+  return std::make_unique<StorePass>();
+}

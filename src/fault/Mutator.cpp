@@ -155,3 +155,51 @@ Expected<std::string> elfie::fault::mutateElfFile(const std::string &Path,
   return mutateFileInPlace(
       Path, static_cast<ByteMut>(Rand.nextBelow(NumByteMuts)), Rand);
 }
+
+Expected<std::string>
+elfie::fault::mutateStoreChunk(const std::string &Root, uint64_t Seed) {
+  RNG Rand(Seed);
+
+  // 1 seed in 5 corrupts a manifest instead of a chunk: the seal must
+  // catch it (EFAULT.STORE.SEAL) just as the chunk digest catches chunk
+  // flips (EFAULT.STORE.DIGEST).
+  if (Rand.nextBelow(5) == 0) {
+    auto Names = listDirectory(Root + "/manifests");
+    if (!Names)
+      return Names.takeError();
+    if (!Names->empty()) {
+      const std::string &Name = (*Names)[Rand.nextBelow(Names->size())];
+      auto What = mutateFileInPlace(Root + "/manifests/" + Name,
+                                    ByteMut::FlipBit, Rand);
+      if (!What)
+        return What.takeError();
+      return "manifest " + Name + ": " + *What;
+    }
+  }
+
+  // Enumerate the pool's chunk files (chunks/<aa>/<64-hex>).
+  std::vector<std::string> Chunks; // paths relative to chunks/
+  auto Fans = listDirectory(Root + "/chunks");
+  if (!Fans)
+    return Fans.takeError();
+  for (const std::string &Fan : *Fans) {
+    if (Fan.size() != 2)
+      continue;
+    auto Names = listDirectory(Root + "/chunks/" + Fan);
+    if (!Names)
+      return Names.takeError();
+    for (const std::string &Name : *Names)
+      if (Name.size() == 64)
+        Chunks.push_back(Fan + "/" + Name);
+  }
+  if (Chunks.empty())
+    return makeCodedError("EFAULT.MUTATE.EMPTY",
+                          "no chunks to mutate in '%s'", Root.c_str());
+
+  const std::string &Rel = Chunks[Rand.nextBelow(Chunks.size())];
+  auto What =
+      mutateFileInPlace(Root + "/chunks/" + Rel, ByteMut::FlipBit, Rand);
+  if (!What)
+    return What.takeError();
+  return "chunk " + Rel.substr(3) + ": " + *What;
+}

@@ -38,6 +38,16 @@ Expected<std::string> mutatePinballDir(const std::string &Dir,
 /// place. Returns a description of the mutation.
 Expected<std::string> mutateElfFile(const std::string &Path, uint64_t Seed);
 
+/// Applies the seed-determined mutation to the estore pool at \p Root:
+/// most seeds flip one bit of one chunk (media corruption inside the
+/// content-addressed pool; every consumer must reject the chunk with
+/// EFAULT.STORE.DIGEST, never serve the bytes), a minority flip a byte of
+/// a manifest (detected by the manifest seal as EFAULT.STORE.SEAL). The
+/// description names the mutated file, so tests can assert scrub
+/// quarantines exactly that chunk.
+Expected<std::string> mutateStoreChunk(const std::string &Root,
+                                       uint64_t Seed);
+
 } // namespace fault
 } // namespace elfie
 

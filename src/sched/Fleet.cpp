@@ -11,6 +11,7 @@
 #include "sched/Backoff.h"
 #include "sched/Classify.h"
 #include "sched/Quarantine.h"
+#include "store/Artifact.h"
 #include "support/FileIO.h"
 #include "support/Format.h"
 #include "support/Subprocess.h"
@@ -293,12 +294,48 @@ Error FleetEngine::finishAttempt(JobState &JS, const AttemptOutcome &O) {
   return Error::success();
 }
 
+Error FleetEngine::materializeStoreTargets() {
+  bool Any = false;
+  for (const Job &J : Plan.Jobs)
+    if (startsWith(J.Target, "estore://"))
+      Any = true;
+  if (!Any)
+    return Error::success();
+  if (Opts.StoreRoot.empty())
+    return makeCodedError("EFAULT.STORE.MISSING",
+                          "campaign has estore:// targets but no pool "
+                          "root was given (-store)");
+  auto Pool = store::ChunkStore::open(Opts.StoreRoot, /*Create=*/false);
+  if (!Pool)
+    return Pool.takeError();
+  for (Job &J : Plan.Jobs) {
+    if (!startsWith(J.Target, "estore://"))
+      continue;
+    std::string Name = J.Target.substr(9);
+    std::string Out = Opts.OutDir + "/artifacts/" + Name;
+    if (Error E = store::materializeArtifact(*Pool, Name, Out))
+      return E.withContext(formatString("materializing %s for job %s",
+                                        J.Target.c_str(), J.Id.c_str()));
+    verbose("materialized %s -> %s", J.Target.c_str(), Out.c_str());
+    J.Target = Out;
+  }
+  return Error::success();
+}
+
 Error FleetEngine::start() {
   StartWallMs = monotonicMillis();
   Sum.Total = Plan.Jobs.size();
   for (const char *Sub : {"", "/logs", "/quarantine", "/artifacts"})
     if (Error E = createDirectories(Opts.OutDir + Sub))
       return E;
+
+  // Store-backed targets: materialize every estore://<name> artifact out
+  // of the pool (digest-verified) before any worker launches, rewriting
+  // the target to the materialized path. Errors propagate as this start()
+  // failing — EFAULT.STORE.* for pool corruption, EFAULT.IO.ENOSPC when
+  // the materialization hits disk pressure (daemon answers `busy DISK`).
+  if (Error E = materializeStoreTargets())
+    return E;
 
   // Resume: journaled-terminal jobs are skipped; in-flight jobs re-run.
   std::string JournalPath = Opts.OutDir + "/journal.jsonl";

@@ -71,6 +71,12 @@ struct FleetOptions {
   /// Diagnostic prefix on stderr lines ("efleet", "efleetd[ns/id]").
   std::string Tag = "efleet";
   bool Verbose = false;
+  /// estore pool root backing `estore://<artifact>` job targets. start()
+  /// materializes each such artifact into OutDir/artifacts/ digest-
+  /// verified before any job runs; pool corruption surfaces as a typed
+  /// EFAULT.STORE.* start error, pool disk pressure as EFAULT.IO.ENOSPC
+  /// (which the daemon's admission control answers with `busy DISK`).
+  std::string StoreRoot;
 };
 
 /// End-of-run accounting (also derivable from the journal).
@@ -177,6 +183,7 @@ private:
   struct JobState;
 
   Error journalAppend(JournalRecord Rec);
+  Error materializeStoreTargets();
   std::vector<std::string> buildArgv(const JobState &JS) const;
   uint64_t jobTimeoutSecs(const Job &J) const;
   uint32_t jobRetries(const Job &J) const;

@@ -220,6 +220,7 @@ Expected<Service::Campaign *> Service::openCampaign(const std::string &Ns,
   FO.GraceSecs = Opts.GraceSecs;
   FO.Tag = "efleetd[" + C->Key + "]";
   FO.Verbose = Opts.Verbose;
+  FO.StoreRoot = Opts.StoreRoot;
 
   C->Engine = std::make_unique<FleetEngine>(std::move(Plan), std::move(FO));
   Campaign *Raw = C.get();

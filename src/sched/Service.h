@@ -83,6 +83,9 @@ struct ServiceOptions {
   /// Cadence of the disk-recovery probe while admission is paused.
   uint64_t DiskProbeMs = 500;
   bool Verbose = false;
+  /// estore pool root backing estore:// campaign targets (see
+  /// FleetOptions::StoreRoot). Empty disables store-backed targets.
+  std::string StoreRoot;
 };
 
 /// The daemon core. Lifecycle: construct, init() (lock + recover + listen),

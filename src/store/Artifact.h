@@ -1,0 +1,76 @@
+//===- store/Artifact.h - Whole-artifact ingest and reassembly -*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Artifact-level operations over the chunk pool: ingest a byte string
+/// (chunked, pinned, manifested), reassemble it verified, or materialize
+/// it back to a file byte-identical with the original.
+///
+/// Chunking is ELF-aware for cross-region dedup: emitted ELFies of the
+/// same binary share most of their loadable page payloads (code pages,
+/// read-only data) and differ mainly in the restoration tables. Splitting
+/// PROGBITS section contents at 4 KiB boundaries *relative to the section
+/// start* makes those shared page payloads hash to identical chunks no
+/// matter where the section landed in each file, so N region checkpoints
+/// of one workload cost roughly one copy of the shared pages plus the
+/// per-region deltas. Everything else (headers, gaps, tables) falls into
+/// fixed 4 KiB residue chunks. Non-ELF artifacts use fixed 4 KiB chunks
+/// throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_STORE_ARTIFACT_H
+#define ELFIE_STORE_ARTIFACT_H
+
+#include "store/ChunkStore.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace elfie {
+namespace store {
+
+/// The chunk granule. 4 KiB = the page size the ELFie loader maps at, so
+/// one chunk is one restorable page payload.
+constexpr uint64_t ChunkGranule = 4096;
+
+/// "elf" when \p Bytes carries the ELF magic and parses, else "raw".
+std::string classifyArtifact(std::span<const uint8_t> Bytes);
+
+/// Computes (offset, size) chunk boundaries tiling [0, Bytes.size())
+/// exactly, using the \p Kind strategy described in the file comment.
+std::vector<std::pair<uint64_t, uint64_t>>
+chunkBoundaries(std::span<const uint8_t> Bytes, const std::string &Kind);
+
+/// Ingests \p Bytes as artifact \p Name: pins each chunk (crash-safe GC
+/// root), puts it, publishes the sealed manifest, then retires the pins.
+/// A kill at any point leaves either no manifest (pins keep the chunks;
+/// re-running converges) or the complete published artifact.
+Expected<Manifest> putArtifact(ChunkStore &S, const std::string &Name,
+                               std::span<const uint8_t> Bytes,
+                               const std::string &Source = "");
+
+/// Reassembles artifact \p Name with end-to-end verification: every chunk
+/// is digest-checked on open and the concatenation is checked against the
+/// manifest's whole-artifact digest. Corruption anywhere is a typed
+/// EFAULT.STORE.* error, never silently wrong bytes.
+Expected<std::vector<uint8_t>> loadArtifact(const ChunkStore &S,
+                                            const std::string &Name);
+
+/// loadArtifact + atomic write to \p OutPath (marked executable for
+/// kind "elf"). The produced file is byte-identical with the ingested
+/// original.
+Error materializeArtifact(const ChunkStore &S, const std::string &Name,
+                          const std::string &OutPath);
+
+} // namespace store
+} // namespace elfie
+
+#endif // ELFIE_STORE_ARTIFACT_H

@@ -92,6 +92,44 @@ Error elfie::writeFileText(const std::string &Path, const std::string &Text) {
   return writeFile(Path, Text.data(), Text.size());
 }
 
+/// Disk-pressure errnos keep their identity instead of flattening into the
+/// generic write/fsync codes: the campaign service pauses admission on
+/// ENOSPC specifically, and operators grep for it.
+static const char *errnoIOCode(int E) {
+  if (E == ENOSPC || E == EDQUOT)
+    return "EFAULT.IO.ENOSPC";
+  if (E == EIO)
+    return "EFAULT.IO.EIO";
+  return nullptr;
+}
+
+/// Durability of the *directory entry*: rename(2) makes the new name
+/// visible, but only an fsync of the containing directory makes it
+/// permanent. Without this, a crash right after an atomic publish can lose
+/// the entry even though the file bytes themselves were fsync'd — the
+/// "old or new, never partial" contract would degrade to "old, new, or
+/// silently gone". Best effort on open failure (e.g. a search-only parent);
+/// a failed fsync(2) itself is reported.
+static Error fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.rfind('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return Error::success();
+  int R = ::fsync(Fd);
+  int FsyncErrno = errno;
+  ::close(Fd);
+  if (R != 0) {
+    const char *Code = errnoIOCode(FsyncErrno);
+    return makeCodedError(Code ? Code : "EFAULT.IO.FSYNC",
+                          "fsync failed on directory '%s': %s", Dir.c_str(),
+                          std::strerror(FsyncErrno));
+  }
+  return Error::success();
+}
+
 namespace {
 /// Owns the temp sibling of an atomic write: any return before release()
 /// (success) closes the descriptor and unlinks the file, so no error path
@@ -140,15 +178,20 @@ Error elfie::writeFileAtomic(const std::string &Path, const void *Data,
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return makeCodedError("EFAULT.IO.WRITE", "write error on '%s': %s",
-                            Tmp.c_str(), std::strerror(errno));
+      const char *Code = errnoIOCode(errno);
+      return makeCodedError(Code ? Code : "EFAULT.IO.WRITE",
+                            "write error on '%s': %s", Tmp.c_str(),
+                            std::strerror(errno));
     }
     P += N;
     Left -= static_cast<size_t>(N);
   }
-  if (::fsync(Guard.fd()) != 0)
-    return makeCodedError("EFAULT.IO.FSYNC", "fsync failed on '%s': %s",
-                          Tmp.c_str(), std::strerror(errno));
+  if (::fsync(Guard.fd()) != 0) {
+    const char *Code = errnoIOCode(errno);
+    return makeCodedError(Code ? Code : "EFAULT.IO.FSYNC",
+                          "fsync failed on '%s': %s", Tmp.c_str(),
+                          std::strerror(errno));
+  }
   if (Guard.closeFd() != 0)
     return makeCodedError("EFAULT.IO.WRITE", "close failed on '%s': %s",
                           Tmp.c_str(), std::strerror(errno));
@@ -157,7 +200,7 @@ Error elfie::writeFileAtomic(const std::string &Path, const void *Data,
                           "cannot rename '%s' to '%s': %s", Tmp.c_str(),
                           Path.c_str(), std::strerror(errno));
   Guard.release();
-  return Error::success();
+  return fsyncParentDir(Path);
 }
 
 Error elfie::renamePath(const std::string &From, const std::string &To) {
@@ -183,7 +226,7 @@ Error elfie::publishDirAtomic(const std::string &StageDir,
   }
   if (HadOld)
     removeTree(Old);
-  return Error::success();
+  return fsyncParentDir(FinalDir);
 }
 
 Error elfie::createDirectories(const std::string &Path) {
@@ -241,16 +284,6 @@ Error AppendLog::open(const std::string &Path) {
   return Error::success();
 }
 
-/// Disk-pressure errnos keep their identity instead of flattening into the
-/// generic write/fsync codes: the campaign service pauses admission on
-/// ENOSPC specifically, and operators grep for it.
-static const char *errnoIOCode(int E) {
-  if (E == ENOSPC || E == EDQUOT)
-    return "EFAULT.IO.ENOSPC";
-  if (E == EIO)
-    return "EFAULT.IO.EIO";
-  return nullptr;
-}
 
 Error AppendLog::append(const std::string &Line) {
   if (Fd < 0)

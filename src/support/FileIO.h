@@ -63,10 +63,13 @@ Error writeFile(const std::string &Path, const void *Data, size_t Size);
 /// Writes \p Text to \p Path, replacing any existing file.
 Error writeFileText(const std::string &Path, const std::string &Text);
 
-/// Crash-safe write: writes to a temporary sibling, fsyncs, then renames
-/// over \p Path, so a kill at any point leaves either the complete old file
-/// or the complete new file — never a partial one. \p Executable marks the
-/// temp file 0755 before the rename (for emitted ELFies).
+/// Crash-safe write: writes to a temporary sibling, fsyncs, renames over
+/// \p Path, then fsyncs the parent directory (making the rename's directory
+/// entry itself durable), so a kill at any point leaves either the complete
+/// old file or the complete new file — never a partial one, and never a
+/// published file whose directory entry evaporates on power loss.
+/// \p Executable marks the temp file 0755 before the rename (for emitted
+/// ELFies).
 Error writeFileAtomic(const std::string &Path, const void *Data, size_t Size,
                       bool Executable = false);
 
@@ -74,9 +77,10 @@ Error writeFileAtomic(const std::string &Path, const void *Data, size_t Size,
 Error renamePath(const std::string &From, const std::string &To);
 
 /// Atomic directory publication: renames staged directory \p StageDir over
-/// \p FinalDir. A previous FinalDir is moved aside and removed only after
-/// the rename succeeds, so consumers see the old complete tree or the new
-/// one, never a mix.
+/// \p FinalDir, then fsyncs the parent directory so the published entry
+/// survives a crash. A previous FinalDir is moved aside and removed only
+/// after the rename succeeds, so consumers see the old complete tree or the
+/// new one, never a mix.
 Error publishDirAtomic(const std::string &StageDir,
                        const std::string &FinalDir);
 

@@ -8,7 +8,14 @@
 /// \file
 /// FNV-1a hashing with a stable definition across platforms. Used for basic
 /// block vector dimension hashing (SimPoint random projection) and for
-/// checksumming pinball memory images in tests.
+/// seeding deterministic jitter (sched/Backoff).
+///
+/// FNV-1a is NON-CRYPTOGRAPHIC and collision-prone: a 64-bit multiply/xor
+/// mix that an adversary — or plain birthday statistics over a large pool —
+/// defeats trivially. Use it for *bucketing* only. Anywhere the intent is
+/// *integrity* (artifact checksums, content-addressed chunk identity,
+/// manifest seals), use the SHA-256 content hash in support/Sha256.h
+/// instead; the pinball image-checksum tests were migrated accordingly.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,94 @@
+//===- support/Sha256.h - Self-contained SHA-256 content hash --*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SHA-256 (FIPS 180-4), self-contained and allocation-free: the *content*
+/// hash of the artifact store. Where Hashing.h's FNV-1a buys speed for
+/// bucketing (BBV projections, backoff jitter), this buys collision
+/// resistance for integrity: chunk identity in the content-addressed pool,
+/// manifest seals, and end-to-end digest verification of store-backed
+/// artifacts. Verified against the FIPS known-answer vectors in
+/// tests/store (KAT suite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SUPPORT_SHA256_H
+#define ELFIE_SUPPORT_SHA256_H
+
+#include "support/Error.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+namespace elfie {
+
+/// A 256-bit content digest (the value type chunk identity is keyed on).
+struct Sha256Digest {
+  std::array<uint8_t, 32> Bytes{};
+
+  /// Lowercase 64-character hex spelling (the on-disk chunk file name).
+  std::string hex() const;
+
+  /// Parses a 64-character hex spelling; errors carry EFAULT.STORE.DIGEST.
+  static Expected<Sha256Digest> fromHex(const std::string &Hex);
+
+  friend bool operator==(const Sha256Digest &A, const Sha256Digest &B) {
+    return A.Bytes == B.Bytes;
+  }
+  friend bool operator!=(const Sha256Digest &A, const Sha256Digest &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Sha256Digest &A, const Sha256Digest &B) {
+    return A.Bytes < B.Bytes;
+  }
+};
+
+/// Incremental SHA-256 context, for hashing mapped files extent by extent
+/// without assembling them.
+class Sha256 {
+public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void *Data, size_t Size);
+  void update(std::span<const uint8_t> S) { update(S.data(), S.size()); }
+
+  /// Finalizes and returns the digest; the context must be reset() before
+  /// further use.
+  Sha256Digest final();
+
+  /// One-shot digest of a byte range.
+  static Sha256Digest digest(const void *Data, size_t Size) {
+    Sha256 H;
+    H.update(Data, Size);
+    return H.final();
+  }
+  static Sha256Digest digest(std::span<const uint8_t> S) {
+    return digest(S.data(), S.size());
+  }
+
+private:
+  void compress(const uint8_t *Block);
+
+  uint32_t State[8];
+  uint64_t TotalBytes;
+  uint8_t Buf[64];
+  size_t BufLen;
+};
+
+/// One-shot lowercase-hex digest of a byte range.
+inline std::string sha256Hex(const void *Data, size_t Size) {
+  return Sha256::digest(Data, Size).hex();
+}
+
+} // namespace elfie
+
+#endif // ELFIE_SUPPORT_SHA256_H

@@ -164,9 +164,9 @@ bool isDirectory(const std::string &Path) {
 
 int main(int Argc, char **Argv) {
   CommandLine CL("efault",
-                 "mutates a pinball or ELFie with seeded corruptions and "
-                 "asserts every consumer tool fails closed (no crash, no "
-                 "hang, stable diagnostic codes)");
+                 "mutates a pinball, ELFie, or estore pool with seeded "
+                 "corruptions and asserts every consumer tool fails "
+                 "closed (no crash, no hang, stable diagnostic codes)");
   CL.addInt("runs", 20, "number of seeded mutations to drive");
   CL.addInt("seed", 1, "first seed; run i uses seed+i");
   CL.addInt("timeout", 10, "per-consumer timeout in seconds");
@@ -180,8 +180,12 @@ int main(int Argc, char **Argv) {
   }
 
   const std::string Artifact = CL.positional()[0];
-  const bool IsPinball = isDirectory(Artifact);
-  if (!IsPinball && !fileExists(Artifact))
+  // A directory with estore.meta is a content-addressed pool; any other
+  // directory is a pinball.
+  const bool IsStore =
+      isDirectory(Artifact) && fileExists(Artifact + "/estore.meta");
+  const bool IsPinball = isDirectory(Artifact) && !IsStore;
+  if (!IsPinball && !IsStore && !fileExists(Artifact))
     exitOnError(makeCodedError("EFAULT.IO.OPEN", "no such artifact '%s'",
                                Artifact.c_str()));
   const std::string BinDir = selfBinDir();
@@ -195,6 +199,9 @@ int main(int Argc, char **Argv) {
   uint64_t Seed0 = static_cast<uint64_t>(CL.getInt("seed"));
   uint64_t Invocations = 0, Crashes = 0, Hangs = 0, Uncoded = 0,
            Rejections = 0, Benign = 0;
+  // Store-corruption rejection classes, broken out in the JSON summary.
+  uint64_t StoreDigest = 0, StoreSeal = 0, StoreMissing = 0,
+           StoreManifest = 0;
 
   for (uint64_t Run = 0; Run < Runs; ++Run) {
     uint64_t Seed = Seed0 + Run;
@@ -204,7 +211,11 @@ int main(int Argc, char **Argv) {
     // Stage a pristine copy, then apply this seed's mutation to it.
     std::string Mutated;
     std::string What;
-    if (IsPinball) {
+    if (IsStore) {
+      Mutated = Scratch + "/pool";
+      exitOnError(fault::copyTree(Artifact, Mutated));
+      What = exitOnError(fault::mutateStoreChunk(Mutated, Seed));
+    } else if (IsPinball) {
       Mutated = Scratch + "/pb";
       exitOnError(fault::copyTree(Artifact, Mutated));
       What = exitOnError(fault::mutatePinballDir(Mutated, Seed));
@@ -218,7 +229,31 @@ int main(int Argc, char **Argv) {
     }
 
     std::vector<std::vector<std::string>> Consumers;
-    if (IsPinball) {
+    if (IsStore) {
+      // Every consumer of the pool must fail closed on the corruption:
+      // scrub reports it (without quarantining, so the later consumers
+      // see the corrupt bytes too), each artifact get refuses to serve
+      // them, repair from the pristine pool heals, and a final get per
+      // artifact must then come back clean (benign).
+      Consumers.push_back(
+          {BinDir + "/estore", "scrub", Mutated, "-no-quarantine"});
+      auto Names = listDirectory(Mutated + "/manifests");
+      size_t Idx = 0;
+      if (Names)
+        for (const std::string &Name : *Names)
+          Consumers.push_back({BinDir + "/estore", "get", Mutated, Name,
+                               "-o",
+                               formatString("%s/out.%zu", Scratch.c_str(),
+                                            Idx++)});
+      Consumers.push_back(
+          {BinDir + "/estore", "repair", Mutated, "-from", Artifact});
+      if (Names)
+        for (const std::string &Name : *Names)
+          Consumers.push_back({BinDir + "/estore", "get", Mutated, Name,
+                               "-o",
+                               formatString("%s/out.%zu", Scratch.c_str(),
+                                            Idx++)});
+    } else if (IsPinball) {
       Consumers.push_back(
           {BinDir + "/ereplay", "-maxinsns", "500000", Mutated});
       Consumers.push_back({BinDir + "/pinball_sysstate", "-o",
@@ -263,6 +298,14 @@ int main(int Argc, char **Argv) {
       } else if (O.ExitCode != 0) {
         if (hasStableDiagnostic(O.Output)) {
           ++Rejections;
+          if (O.Output.find("EFAULT.STORE.DIGEST") != std::string::npos)
+            ++StoreDigest;
+          if (O.Output.find("EFAULT.STORE.SEAL") != std::string::npos)
+            ++StoreSeal;
+          if (O.Output.find("EFAULT.STORE.MISSING") != std::string::npos)
+            ++StoreMissing;
+          if (O.Output.find("EFAULT.STORE.MANIFEST") != std::string::npos)
+            ++StoreManifest;
         } else {
           ++Uncoded;
           std::fprintf(stderr,
@@ -283,8 +326,11 @@ int main(int Argc, char **Argv) {
     std::printf("{\"artifact\":\"%s\",\"kind\":\"%s\",\"runs\":%llu,"
                 "\"invocations\":%llu,\"crashes\":%llu,\"hangs\":%llu,"
                 "\"uncoded\":%llu,\"rejections\":%llu,\"benign\":%llu,"
+                "\"store\":{\"digest\":%llu,\"seal\":%llu,"
+                "\"missing\":%llu,\"manifest\":%llu},"
                 "\"failures\":%llu}\n",
-                Artifact.c_str(), IsPinball ? "pinball" : "elfie",
+                Artifact.c_str(),
+                IsStore ? "store" : (IsPinball ? "pinball" : "elfie"),
                 static_cast<unsigned long long>(Runs),
                 static_cast<unsigned long long>(Invocations),
                 static_cast<unsigned long long>(Crashes),
@@ -292,6 +338,10 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Uncoded),
                 static_cast<unsigned long long>(Rejections),
                 static_cast<unsigned long long>(Benign),
+                static_cast<unsigned long long>(StoreDigest),
+                static_cast<unsigned long long>(StoreSeal),
+                static_cast<unsigned long long>(StoreMissing),
+                static_cast<unsigned long long>(StoreManifest),
                 static_cast<unsigned long long>(Failures));
   } else {
     std::fprintf(stderr,
@@ -305,6 +355,14 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(Uncoded),
                  static_cast<unsigned long long>(Rejections),
                  static_cast<unsigned long long>(Benign));
+    if (StoreDigest + StoreSeal + StoreMissing + StoreManifest)
+      std::fprintf(stderr,
+                   "efault: store rejections: %llu digest, %llu seal, "
+                   "%llu missing, %llu manifest\n",
+                   static_cast<unsigned long long>(StoreDigest),
+                   static_cast<unsigned long long>(StoreSeal),
+                   static_cast<unsigned long long>(StoreMissing),
+                   static_cast<unsigned long long>(StoreManifest));
   }
   return Failures ? ExitFailure : ExitSuccess;
 }

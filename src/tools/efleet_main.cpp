@@ -225,6 +225,9 @@ int main(int Argc, char **Argv) {
   CL.addString("connect", "",
                "client mode: talk to the efleetd at this socket "
                "(ping|submit|status|stream|cancel|shutdown)");
+  CL.addString("store", "",
+               "estore pool root backing estore://<artifact> targets "
+               "(materialized digest-verified before jobs launch)");
   exitOnError(CL.parse(Argc, Argv));
   if (!CL.getString("connect").empty())
     return runClient(CL.getString("connect"), CL.positional());
@@ -253,6 +256,7 @@ int main(int Argc, char **Argv) {
   Opts.TimeoutSecs = static_cast<uint64_t>(CL.getInt("timeout"));
   Opts.GraceSecs = static_cast<uint64_t>(CL.getInt("grace"));
   Opts.Verbose = CL.getFlag("verbose");
+  Opts.StoreRoot = CL.getString("store");
   if (Opts.Workers == 0 || Opts.Retries == 0) {
     std::fprintf(stderr, "efleet: -workers and -retries must be >= 1\n");
     return ExitUsage;

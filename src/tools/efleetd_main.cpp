@@ -69,6 +69,9 @@ int main(int Argc, char **Argv) {
   CL.addInt("poll-ms", 20, "event-loop poll cadence in milliseconds");
   CL.addInt("probe-ms", 500,
             "disk-recovery probe cadence while admission is paused");
+  CL.addString("store", "",
+               "estore pool root backing estore://<artifact> campaign "
+               "targets (materialized digest-verified at campaign start)");
   CL.addFlag("verbose", false, "narrate engine activity");
   exitOnError(CL.parse(Argc, Argv));
   if (!CL.positional().empty()) {
@@ -98,6 +101,7 @@ int main(int Argc, char **Argv) {
   Opts.GraceSecs = static_cast<uint64_t>(CL.getInt("grace"));
   Opts.PollMs = static_cast<uint64_t>(CL.getInt("poll-ms"));
   Opts.DiskProbeMs = static_cast<uint64_t>(CL.getInt("probe-ms"));
+  Opts.StoreRoot = CL.getString("store");
   Opts.Verbose = CL.getFlag("verbose");
   if (Opts.Workers == 0 || Opts.Retries == 0) {
     std::fprintf(stderr, "efleetd: -workers and -retries must be >= 1\n");

@@ -30,6 +30,12 @@ int main(int Argc, char **Argv) {
   CL.addString("manifest", "",
                "append this verification as a job line to the given efleet "
                "manifest instead of verifying");
+  CL.addString("store", "",
+               "estore pool root; enables the STORE.* integrity pass "
+               "(manifest seals, chunk digests, reassembly)");
+  CL.addString("store-name", "",
+               "pool artifact to verify (cross-checked byte-identical "
+               "with the elfie argument); default: every manifest");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: everify [options] elfie\n");
@@ -58,6 +64,9 @@ int main(int Argc, char **Argv) {
   In.Kind = analyze::AnalysisInput::classify(Elf);
   In.SysstateDir = CL.getString("sysstate");
   In.ExpectMarkers = static_cast<int>(CL.getInt("markers"));
+  In.StoreRoot = CL.getString("store");
+  In.StoreName = CL.getString("store-name");
+  In.ArtifactPath = CL.positional()[0];
   if (!CL.getString("pinball").empty()) {
     PB = exitOnError(pinball::Pinball::load(CL.getString("pinball")));
     In.PB = &PB;

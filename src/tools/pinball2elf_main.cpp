@@ -9,6 +9,7 @@
 #include "core/Pinball2Elf.h"
 #include "elf/ELFReader.h"
 #include "fault/FaultPlan.h"
+#include "store/Artifact.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 
@@ -41,6 +42,13 @@ int main(int Argc, char **Argv) {
   CL.addFlag("verify", false,
              "run the everify static-analysis passes on the emitted file "
              "and fail on error-severity findings");
+  CL.addString("store", "",
+               "emit through the estore pool at this root: the image is "
+               "chunked and deduplicated into the pool, then the -o file "
+               "is reassembled from it digest-verified (byte-identical "
+               "with direct emission)");
+  CL.addString("store-name", "",
+               "artifact name in the pool (default: basename of -o)");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: pinball2elf [options] pinball-dir\n");
@@ -91,7 +99,33 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  exitOnError(core::pinballToElfFile(PB, Opts, CL.getString("o")));
+  if (!CL.getString("store").empty()) {
+    // Store-backed emission: the image goes through the content-addressed
+    // pool (dedup against earlier regions) and the -o file is reassembled
+    // from pool chunks, every byte digest-verified on the way out.
+    std::vector<uint8_t> Image =
+        exitOnError(core::pinballToElf(PB, Opts));
+    store::ChunkStore Pool =
+        exitOnError(store::ChunkStore::open(CL.getString("store")));
+    std::string Name = CL.getString("store-name");
+    if (Name.empty()) {
+      const std::string &Out = CL.getString("o");
+      size_t Slash = Out.rfind('/');
+      Name = Slash == std::string::npos ? Out : Out.substr(Slash + 1);
+    }
+    store::Manifest M = exitOnError(
+        store::putArtifact(Pool, Name, Image, CL.positional()[0]));
+    exitOnError(store::materializeArtifact(Pool, Name, CL.getString("o")));
+    std::fprintf(
+        stderr,
+        "pinball2elf: %s -> %s via estore %s (artifact '%s', %zu chunks, "
+        "sha256 %s)\n",
+        CL.positional()[0].c_str(), CL.getString("o").c_str(),
+        CL.getString("store").c_str(), Name.c_str(), M.Chunks.size(),
+        M.Total.hex().c_str());
+  } else {
+    exitOnError(core::pinballToElfFile(PB, Opts, CL.getString("o")));
+  }
   std::fprintf(stderr,
                "pinball2elf: %s -> %s (%s, %zu threads, region %llu)\n",
                CL.positional()[0].c_str(), CL.getString("o").c_str(),

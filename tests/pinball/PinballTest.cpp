@@ -9,7 +9,7 @@
 
 #include "../common/TestHelpers.h"
 #include "pinball/Logger.h"
-#include "support/Hashing.h"
+#include "support/Sha256.h"
 
 #include <gtest/gtest.h>
 
@@ -105,8 +105,10 @@ TEST(Logger, CapturedPagesHoldRegionStartContents) {
   for (const PageRecord &P : PB->Image) {
     const uint8_t *Page = Ref->mem().pageData(P.Addr);
     ASSERT_NE(Page, nullptr) << "page " << std::hex << P.Addr;
-    EXPECT_EQ(fnv1a(P.Bytes.data(), P.Bytes.size()),
-              fnv1a(Page, vm::GuestPageSize))
+    // Content comparison via the collision-resistant content hash; the
+    // old fnv1a comparison could in principle pass on differing pages.
+    EXPECT_EQ(sha256Hex(P.Bytes.data(), P.Bytes.size()),
+              sha256Hex(Page, vm::GuestPageSize))
         << "page contents differ at " << std::hex << P.Addr;
   }
   removeTree(Dir);

@@ -1,0 +1,597 @@
+//===- tests/store/StoreTest.cpp - estore unit tests ----------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// The in-process store suite: SHA-256 known-answer vectors (FIPS 180-4),
+/// manifest grammar and seal, chunk pool put/dedup/verify semantics, pins
+/// and mark-and-sweep GC, scrub/quarantine/repair, ELF-aware chunk
+/// boundaries, and the multi-process concurrent-put race. The crash (kill
+/// mid-GC) and tool-level sweeps live in StoreE2ETest.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "store/Artifact.h"
+#include "store/ChunkStore.h"
+#include "support/FileIO.h"
+#include "support/RNG.h"
+#include "support/Sha256.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace elfie;
+using namespace elfie::store;
+
+namespace {
+
+std::string tempDir(const std::string &Tag) {
+  std::string Dir = testing::TempDir() + "/elfie_store_" + Tag + "." +
+                    std::to_string(getpid());
+  removeTree(Dir);
+  EXPECT_FALSE(createDirectories(Dir).isError());
+  return Dir;
+}
+
+std::vector<uint8_t> randomBytes(uint64_t Seed, size_t N) {
+  RNG Rand(Seed);
+  std::vector<uint8_t> Out(N);
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = static_cast<uint8_t>(Rand.next());
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SHA-256 known-answer tests (FIPS 180-4 / NIST CAVP vectors)
+//===----------------------------------------------------------------------===//
+
+TEST(Sha256, KnownAnswerVectors) {
+  // Empty message.
+  EXPECT_EQ(sha256Hex(nullptr, 0),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b78"
+            "52b855");
+  // "abc" (FIPS 180-4 Appendix B.1).
+  EXPECT_EQ(sha256Hex("abc", 3),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f2"
+            "0015ad");
+  // 448-bit two-round message (Appendix B.2).
+  std::string M2 = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                   "nopq";
+  EXPECT_EQ(sha256Hex(M2.data(), M2.size()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419"
+            "db06c1");
+  // 896-bit message (NIST CAVP long-message vector).
+  std::string M3 = "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghij"
+                   "klmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrst"
+                   "nopqrstu";
+  EXPECT_EQ(sha256Hex(M3.data(), M3.size()),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037"
+            "afee9d1");
+  // One million 'a' (Appendix B.3) — exercises many compression rounds
+  // and the 64-bit length padding path.
+  std::string M4(1000000, 'a');
+  EXPECT_EQ(sha256Hex(M4.data(), M4.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7"
+            "112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> Data = randomBytes(42, 10000);
+  Sha256Digest OneShot = Sha256::digest(Data.data(), Data.size());
+  // Feed in awkward piece sizes crossing every block boundary alignment.
+  for (size_t Piece : {1u, 7u, 63u, 64u, 65u, 1000u}) {
+    Sha256 H;
+    for (size_t Off = 0; Off < Data.size(); Off += Piece)
+      H.update(Data.data() + Off, std::min(Piece, Data.size() - Off));
+    EXPECT_EQ(H.final().hex(), OneShot.hex()) << "piece " << Piece;
+  }
+}
+
+TEST(Sha256, HexRoundTripAndErrors) {
+  Sha256Digest D = Sha256::digest("abc", 3);
+  auto Parsed = Sha256Digest::fromHex(D.hex());
+  ASSERT_TRUE(Parsed.hasValue());
+  EXPECT_EQ(*Parsed, D);
+
+  EXPECT_FALSE(Sha256Digest::fromHex("abc").hasValue());
+  EXPECT_FALSE(Sha256Digest::fromHex(std::string(64, 'g')).hasValue());
+  auto Bad = Sha256Digest::fromHex(std::string(63, 'a'));
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.error().str().find("EFAULT.STORE.DIGEST"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Manifest sampleManifest(const std::vector<uint8_t> &Bytes) {
+  Manifest M;
+  M.Name = "sample.elfie";
+  M.Kind = "raw";
+  M.Source = "/some/dir/sample.elfie";
+  M.Size = Bytes.size();
+  M.Total = Sha256::digest(Bytes.data(), Bytes.size());
+  uint64_t Off = 0;
+  while (Off < Bytes.size()) {
+    uint64_t Len = std::min<uint64_t>(4096, Bytes.size() - Off);
+    M.Chunks.push_back(
+        {Off, Len, Sha256::digest(Bytes.data() + Off, Len)});
+    Off += Len;
+  }
+  return M;
+}
+
+} // namespace
+
+TEST(Manifest, RenderParseRoundTrip) {
+  auto Bytes = randomBytes(7, 10000);
+  Manifest M = sampleManifest(Bytes);
+  auto P = Manifest::parse(M.render());
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  EXPECT_EQ(P->Name, M.Name);
+  EXPECT_EQ(P->Kind, M.Kind);
+  EXPECT_EQ(P->Source, M.Source);
+  EXPECT_EQ(P->Size, M.Size);
+  EXPECT_EQ(P->Total, M.Total);
+  ASSERT_EQ(P->Chunks.size(), M.Chunks.size());
+  for (size_t I = 0; I < M.Chunks.size(); ++I) {
+    EXPECT_EQ(P->Chunks[I].Offset, M.Chunks[I].Offset);
+    EXPECT_EQ(P->Chunks[I].Size, M.Chunks[I].Size);
+    EXPECT_EQ(P->Chunks[I].Digest, M.Chunks[I].Digest);
+  }
+}
+
+TEST(Manifest, SealCatchesAnyBodyFlip) {
+  auto Bytes = randomBytes(8, 5000);
+  std::string Text = sampleManifest(Bytes).render();
+  // Flip one character in the body (not the seal line) — must be caught.
+  std::string Tampered = Text;
+  size_t At = Text.find("size 5000");
+  ASSERT_NE(At, std::string::npos);
+  Tampered[At + 5] = '9'; // size 5000 -> size 9000
+  auto P = Manifest::parse(Tampered);
+  ASSERT_FALSE(P.hasValue());
+  EXPECT_NE(P.error().str().find("EFAULT.STORE.SEAL"), std::string::npos);
+
+  // Truncation loses the seal line entirely.
+  auto T2 = Manifest::parse(Text.substr(0, Text.size() / 2));
+  ASSERT_FALSE(T2.hasValue());
+  EXPECT_NE(T2.error().str().find("EFAULT.STORE"), std::string::npos);
+}
+
+TEST(Manifest, TilingValidation) {
+  auto Bytes = randomBytes(9, 9000);
+  // A helper that re-seals after structural tampering, so the tiling
+  // checks (not the seal) do the rejecting.
+  auto Reseal = [](Manifest M) {
+    std::string T = M.render();
+    return Manifest::parse(T);
+  };
+
+  Manifest Gap = sampleManifest(Bytes);
+  Gap.Chunks.erase(Gap.Chunks.begin() + 1);
+  auto P = Reseal(Gap);
+  ASSERT_FALSE(P.hasValue());
+  EXPECT_NE(P.error().str().find("EFAULT.STORE.MANIFEST"), std::string::npos);
+
+  Manifest Overlap = sampleManifest(Bytes);
+  Overlap.Chunks[1].Offset = 100;
+  P = Reseal(Overlap);
+  ASSERT_FALSE(P.hasValue());
+
+  Manifest Short = sampleManifest(Bytes);
+  Short.Chunks.pop_back();
+  P = Reseal(Short);
+  ASSERT_FALSE(P.hasValue());
+
+  Manifest Overrun = sampleManifest(Bytes);
+  Overrun.Chunks.back().Size += 4096;
+  P = Reseal(Overrun);
+  ASSERT_FALSE(P.hasValue());
+}
+
+TEST(Manifest, NameValidation) {
+  EXPECT_TRUE(Manifest::validName("region-7.elfie"));
+  EXPECT_TRUE(Manifest::validName("a_b.c-d"));
+  EXPECT_FALSE(Manifest::validName(""));
+  EXPECT_FALSE(Manifest::validName(".hidden"));
+  EXPECT_FALSE(Manifest::validName("a/b"));
+  EXPECT_FALSE(Manifest::validName("a b"));
+  EXPECT_FALSE(Manifest::validName(std::string(256, 'a')));
+}
+
+//===----------------------------------------------------------------------===//
+// ChunkStore
+//===----------------------------------------------------------------------===//
+
+TEST(ChunkStore, PutDedupAndVerify) {
+  std::string Dir = tempDir("put");
+  auto S = ChunkStore::open(Dir + "/pool");
+  ASSERT_TRUE(S.hasValue()) << S.message();
+
+  auto Bytes = randomBytes(1, 4096);
+  bool WasNew = false;
+  auto D = S->put(Bytes, &WasNew);
+  ASSERT_TRUE(D.hasValue()) << D.message();
+  EXPECT_TRUE(WasNew);
+  EXPECT_TRUE(S->hasChunk(*D));
+
+  // Second put of identical bytes dedups.
+  auto D2 = S->put(Bytes, &WasNew);
+  ASSERT_TRUE(D2.hasValue());
+  EXPECT_EQ(*D, *D2);
+  EXPECT_FALSE(WasNew);
+
+  // Verified open returns the bytes.
+  auto V = S->openChunk(*D);
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  ASSERT_EQ(V->File.size(), Bytes.size());
+  EXPECT_EQ(0, std::memcmp(V->File.data(), Bytes.data(), Bytes.size()));
+
+  removeTree(Dir);
+}
+
+TEST(ChunkStore, OpenChunkFailsClosedOnCorruption) {
+  std::string Dir = tempDir("corrupt");
+  auto S = ChunkStore::open(Dir + "/pool");
+  ASSERT_TRUE(S.hasValue());
+  auto Bytes = randomBytes(2, 8192);
+  auto D = S->put(Bytes);
+  ASSERT_TRUE(D.hasValue());
+
+  // Flip one byte of the chunk file behind the pool's back.
+  auto OnDisk = readFileBytes(S->chunkPath(*D));
+  ASSERT_TRUE(OnDisk.hasValue());
+  (*OnDisk)[100] ^= 0x01;
+  ASSERT_FALSE(
+      writeFile(S->chunkPath(*D), OnDisk->data(), OnDisk->size())
+          .isError());
+
+  auto V = S->openChunk(*D);
+  ASSERT_FALSE(V.hasValue());
+  EXPECT_NE(V.error().str().find("EFAULT.STORE.DIGEST"), std::string::npos);
+
+  // Absent chunk: typed MISSING.
+  auto Other = Sha256::digest("nope", 4);
+  auto V2 = S->openChunk(Other);
+  ASSERT_FALSE(V2.hasValue());
+  EXPECT_NE(V2.error().str().find("EFAULT.STORE.MISSING"), std::string::npos);
+
+  removeTree(Dir);
+}
+
+TEST(ChunkStore, ManifestRefusesDanglingChunks) {
+  std::string Dir = tempDir("dangling");
+  auto S = ChunkStore::open(Dir + "/pool");
+  ASSERT_TRUE(S.hasValue());
+
+  auto Bytes = randomBytes(3, 4096);
+  Manifest M;
+  M.Name = "dangling";
+  M.Kind = "raw";
+  M.Size = Bytes.size();
+  M.Total = Sha256::digest(Bytes.data(), Bytes.size());
+  M.Chunks.push_back({0, Bytes.size(), M.Total});
+
+  Error E = S->putManifest(M); // chunk was never put
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.str().find("EFAULT.STORE.MISSING"), std::string::npos);
+
+  ASSERT_TRUE(S->put(Bytes).hasValue());
+  EXPECT_FALSE(S->putManifest(M).isError());
+  auto Back = S->getManifest("dangling");
+  ASSERT_TRUE(Back.hasValue()) << Back.message();
+  EXPECT_EQ(Back->Total, M.Total);
+
+  removeTree(Dir);
+}
+
+TEST(ChunkStore, GcSweepsGarbageKeepsReferencedAndPinned) {
+  std::string Dir = tempDir("gc");
+  auto S = ChunkStore::open(Dir + "/pool");
+  ASSERT_TRUE(S.hasValue());
+
+  // One manifested artifact, one pinned orphan chunk, one plain orphan.
+  auto A = randomBytes(10, 6000);
+  auto M = putArtifact(*S, "kept", A);
+  ASSERT_TRUE(M.hasValue()) << M.message();
+
+  auto Pinned = randomBytes(11, 4096);
+  auto PD = S->put(Pinned);
+  ASSERT_TRUE(PD.hasValue());
+  ASSERT_FALSE(S->pin("inflight", *PD).isError());
+
+  auto Orphan = randomBytes(12, 4096);
+  auto OD = S->put(Orphan);
+  ASSERT_TRUE(OD.hasValue());
+
+  auto G = S->gc();
+  ASSERT_TRUE(G.hasValue()) << G.message();
+  EXPECT_EQ(G->Swept, 1u); // only the unpinned orphan
+  EXPECT_TRUE(S->hasChunk(*PD));
+  EXPECT_FALSE(S->hasChunk(*OD));
+  auto Loaded = loadArtifact(*S, "kept");
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.message();
+  EXPECT_EQ(*Loaded, A);
+
+  // Sealing the pin releases the orphan to the next sweep.
+  ASSERT_FALSE(S->sealPins("inflight").isError());
+  G = S->gc();
+  ASSERT_TRUE(G.hasValue());
+  EXPECT_EQ(G->Swept, 1u);
+  EXPECT_FALSE(S->hasChunk(*PD));
+
+  // Removing the manifest releases the artifact's chunks.
+  ASSERT_FALSE(S->removeManifest("kept").isError());
+  G = S->gc();
+  ASSERT_TRUE(G.hasValue());
+  EXPECT_EQ(G->Swept, M->Chunks.size());
+  auto St = S->stats();
+  ASSERT_TRUE(St.hasValue());
+  EXPECT_EQ(St->Chunks, 0u);
+
+  removeTree(Dir);
+}
+
+TEST(ChunkStore, ScrubQuarantinesExactlyTheCorruptChunkWithEvidence) {
+  std::string Dir = tempDir("scrub");
+  auto S = ChunkStore::open(Dir + "/pool");
+  ASSERT_TRUE(S.hasValue());
+
+  auto A = randomBytes(20, 20000);
+  auto M = putArtifact(*S, "art", A);
+  ASSERT_TRUE(M.hasValue());
+  ASSERT_GE(M->Chunks.size(), 3u);
+
+  // Corrupt exactly one chunk.
+  Sha256Digest Bad = M->Chunks[1].Digest;
+  auto OnDisk = readFileBytes(S->chunkPath(Bad));
+  ASSERT_TRUE(OnDisk.hasValue());
+  (*OnDisk)[0] ^= 0x80;
+  ASSERT_FALSE(writeFile(S->chunkPath(Bad), OnDisk->data(),
+                         OnDisk->size())
+                   .isError());
+
+  auto R = S->scrub();
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  ASSERT_EQ(R->Corrupt.size(), 1u);
+  EXPECT_EQ(R->Corrupt[0].Expected, Bad);
+  EXPECT_TRUE(R->Corrupt[0].Quarantined);
+  ASSERT_EQ(R->Corrupt[0].ReferencingManifests.size(), 1u);
+  EXPECT_EQ(R->Corrupt[0].ReferencingManifests[0], "art");
+  ASSERT_EQ(R->MissingRefs.size(), 1u);
+  EXPECT_EQ(R->MissingRefs[0], Bad.hex());
+
+  // Quarantine holds the bytes + evidence; the pool no longer serves it.
+  EXPECT_FALSE(S->hasChunk(Bad));
+  EXPECT_TRUE(fileExists(Dir + "/pool/quarantine/" + Bad.hex()));
+  auto Evidence =
+      readFileText(Dir + "/pool/quarantine/" + Bad.hex() + ".evidence.txt");
+  ASSERT_TRUE(Evidence.hasValue());
+  EXPECT_NE(Evidence->find("expected " + Bad.hex()), std::string::npos);
+  EXPECT_NE(Evidence->find("art"), std::string::npos);
+
+  // loadArtifact fails closed with the typed code.
+  auto L = loadArtifact(*S, "art");
+  ASSERT_FALSE(L.hasValue());
+  EXPECT_NE(L.error().str().find("EFAULT.STORE.MISSING"), std::string::npos);
+
+  // A second scrub is clean apart from the still-missing reference.
+  auto R2 = S->scrub();
+  ASSERT_TRUE(R2.hasValue());
+  EXPECT_TRUE(R2->Corrupt.empty());
+  EXPECT_EQ(R2->MissingRefs.size(), 1u);
+
+  removeTree(Dir);
+}
+
+TEST(ChunkStore, RepairRestoresFromReplicaAndVerifies) {
+  std::string Dir = tempDir("repair");
+  auto S = ChunkStore::open(Dir + "/pool");
+  auto Replica = ChunkStore::open(Dir + "/replica");
+  ASSERT_TRUE(S.hasValue());
+  ASSERT_TRUE(Replica.hasValue());
+
+  auto A = randomBytes(30, 16000);
+  auto M = putArtifact(*S, "art", A);
+  ASSERT_TRUE(M.hasValue());
+  ASSERT_TRUE(putArtifact(*Replica, "art", A).hasValue());
+
+  // Corrupt one chunk in place (no scrub first: repair must also find
+  // present-but-corrupt chunks) and delete another outright.
+  Sha256Digest C0 = M->Chunks[0].Digest;
+  Sha256Digest C1 = M->Chunks[1].Digest;
+  auto OnDisk = readFileBytes(S->chunkPath(C0));
+  ASSERT_TRUE(OnDisk.hasValue());
+  (*OnDisk)[1] ^= 0x40;
+  ASSERT_FALSE(writeFile(S->chunkPath(C0), OnDisk->data(),
+                         OnDisk->size())
+                   .isError());
+  removeFile(S->chunkPath(C1));
+
+  auto R = S->repair({Dir + "/replica"});
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(R->Restored, 2u);
+  EXPECT_EQ(R->Unrepairable, 0u);
+
+  auto L = loadArtifact(*S, "art");
+  ASSERT_TRUE(L.hasValue()) << L.message();
+  EXPECT_EQ(*L, A);
+
+  // A corrupt replica can never propagate: poison the replica's copy of
+  // C0, corrupt ours again, and repair must report unrepairable rather
+  // than admit bad bytes.
+  auto RepBytes = readFileBytes(Replica->chunkPath(C0));
+  ASSERT_TRUE(RepBytes.hasValue());
+  (*RepBytes)[2] ^= 0x20;
+  ASSERT_FALSE(writeFile(Replica->chunkPath(C0), RepBytes->data(),
+                         RepBytes->size())
+                   .isError());
+  removeFile(S->chunkPath(C0));
+  removeFile(Dir + "/pool/quarantine/" + C0.hex());
+  removeFile(Dir + "/pool/quarantine/" + C0.hex() + ".evidence.txt");
+
+  R = S->repair({Dir + "/replica"});
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->Restored, 0u);
+  EXPECT_EQ(R->Unrepairable, 1u);
+  ASSERT_EQ(R->UnrepairableDigests.size(), 1u);
+  EXPECT_EQ(R->UnrepairableDigests[0], C0.hex());
+
+  removeTree(Dir);
+}
+
+TEST(ChunkStore, ConcurrentPutFromTwoProcessesRaceBenignly) {
+  // The satellite guarantee: two processes putting the same bytes at the
+  // same instant both succeed and leave exactly one chunk file. Forked
+  // children maximize overlap by spinning until a shared start file
+  // appears.
+  std::string Dir = tempDir("race");
+  std::string PoolDir = Dir + "/pool";
+  {
+    auto S = ChunkStore::open(PoolDir);
+    ASSERT_TRUE(S.hasValue());
+  }
+  auto Bytes = randomBytes(50, 64 * 1024);
+  std::string Go = Dir + "/go";
+
+  std::vector<pid_t> Kids;
+  for (int I = 0; I < 4; ++I) {
+    pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      while (!fileExists(Go))
+        ; // spin: all children start the put as close together as possible
+      auto S = ChunkStore::open(PoolDir, /*Create=*/false);
+      if (!S.hasValue())
+        _exit(2);
+      for (int Round = 0; Round < 20; ++Round) {
+        auto D = S->put(Bytes);
+        if (!D.hasValue())
+          _exit(3);
+        auto V = S->openChunk(*D);
+        if (!V.hasValue())
+          _exit(4);
+      }
+      _exit(0);
+    }
+    Kids.push_back(Pid);
+  }
+  ASSERT_FALSE(writeFileText(Go, "go").isError());
+  for (pid_t Pid : Kids) {
+    int Status = 0;
+    ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(Status));
+    EXPECT_EQ(WEXITSTATUS(Status), 0);
+  }
+
+  auto S = ChunkStore::open(PoolDir, /*Create=*/false);
+  ASSERT_TRUE(S.hasValue());
+  auto Chunks = S->listChunks();
+  ASSERT_TRUE(Chunks.hasValue());
+  EXPECT_EQ(Chunks->size(), 1u); // exactly one chunk file, no temp litter
+  auto V = S->openChunk(Sha256::digest(Bytes.data(), Bytes.size()));
+  EXPECT_TRUE(V.hasValue()) << V.message();
+
+  removeTree(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact chunking and reassembly
+//===----------------------------------------------------------------------===//
+
+TEST(Artifact, BoundariesTileExactly) {
+  for (size_t N : {0u, 1u, 4095u, 4096u, 4097u, 100000u}) {
+    auto Bytes = randomBytes(N + 1, N);
+    auto B = chunkBoundaries(Bytes, "raw");
+    uint64_t Next = 0;
+    for (auto [Off, Len] : B) {
+      EXPECT_EQ(Off, Next);
+      EXPECT_GT(Len, 0u);
+      Next = Off + Len;
+    }
+    EXPECT_EQ(Next, N);
+  }
+}
+
+TEST(Artifact, PutLoadRoundTripAndEmpty) {
+  std::string Dir = tempDir("artifact");
+  auto S = ChunkStore::open(Dir + "/pool");
+  ASSERT_TRUE(S.hasValue());
+
+  auto A = randomBytes(60, 33333);
+  auto M = putArtifact(*S, "a.bin", A, "/src/a.bin");
+  ASSERT_TRUE(M.hasValue()) << M.message();
+  EXPECT_EQ(M->Kind, "raw");
+  EXPECT_EQ(M->Source, "/src/a.bin");
+  auto L = loadArtifact(*S, "a.bin");
+  ASSERT_TRUE(L.hasValue());
+  EXPECT_EQ(*L, A);
+
+  // Ingestion pins are retired once the manifest is the GC root.
+  auto Pins = S->activePins();
+  ASSERT_TRUE(Pins.hasValue());
+  EXPECT_TRUE(Pins->empty());
+
+  // Zero-byte artifact round-trips (no chunks, manifest only).
+  std::vector<uint8_t> Empty;
+  auto ME = putArtifact(*S, "empty", Empty);
+  ASSERT_TRUE(ME.hasValue()) << ME.message();
+  auto LE = loadArtifact(*S, "empty");
+  ASSERT_TRUE(LE.hasValue()) << LE.message();
+  EXPECT_TRUE(LE->empty());
+
+  removeTree(Dir);
+}
+
+TEST(Artifact, MaterializeIsByteIdentical) {
+  std::string Dir = tempDir("materialize");
+  auto S = ChunkStore::open(Dir + "/pool");
+  ASSERT_TRUE(S.hasValue());
+  auto A = randomBytes(70, 12345);
+  ASSERT_TRUE(putArtifact(*S, "a", A).hasValue());
+  ASSERT_FALSE(materializeArtifact(*S, "a", Dir + "/out").isError());
+  auto Back = readFileBytes(Dir + "/out");
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, A);
+  removeTree(Dir);
+}
+
+TEST(Artifact, CrossArtifactDedupSharesIdenticalPages) {
+  std::string Dir = tempDir("dedup");
+  auto S = ChunkStore::open(Dir + "/pool");
+  ASSERT_TRUE(S.hasValue());
+
+  // Two artifacts sharing 12 of 16 pages (aligned), differing in the rest
+  // — the shape of two region ELFies of one workload.
+  auto Shared = randomBytes(80, 12 * 4096);
+  auto A = Shared, B = Shared;
+  auto TailA = randomBytes(81, 4 * 4096);
+  auto TailB = randomBytes(82, 4 * 4096);
+  A.insert(A.end(), TailA.begin(), TailA.end());
+  B.insert(B.end(), TailB.begin(), TailB.end());
+
+  ASSERT_TRUE(putArtifact(*S, "a", A).hasValue());
+  ASSERT_TRUE(putArtifact(*S, "b", B).hasValue());
+  auto St = S->stats();
+  ASSERT_TRUE(St.hasValue());
+  EXPECT_EQ(St->ArtifactBytes, A.size() + B.size());
+  // Pool carries one copy of the shared pages: 12 + 4 + 4 = 20 chunks,
+  // not 32.
+  EXPECT_EQ(St->ChunkBytes, (12 + 4 + 4) * 4096u);
+  EXPECT_GT(St->ArtifactBytes, St->ChunkBytes);
+
+  removeTree(Dir);
+}

@@ -59,6 +59,31 @@ TEST(FileIO, AtomicWriteLeavesNoTmpLitterOnRenameFailure) {
   removeTree(Dir);
 }
 
+TEST(FileIO, AtomicWriteReplacesWholeFileOrNothing) {
+  // writeFileAtomic's contract is tmp + fsync + rename + *parent-dir
+  // fsync*: the last step makes the rename's directory entry itself
+  // durable, so a power loss right after return cannot evaporate the
+  // published file (rename alone only orders data, not the dirent).
+  // publishDirAtomic gives directories the same guarantee. The fsync
+  // cannot be observed from a live process, so this test pins the
+  // observable half of the contract: the old content stays intact until
+  // the new file is complete, and no temp sibling outlives the call.
+  std::string Dir = tempPath("atomic_replace");
+  removeTree(Dir);
+  ASSERT_FALSE(createDirectories(Dir).isError());
+  std::string Target = Dir + "/target";
+  ASSERT_FALSE(writeFileAtomic(Target, "old-content", 11).isError());
+  ASSERT_FALSE(writeFileAtomic(Target, "new", 3).isError());
+  auto Text = readFileText(Target);
+  ASSERT_TRUE(Text.hasValue());
+  EXPECT_EQ(*Text, "new");
+  auto Entries = listDirectory(Dir);
+  ASSERT_TRUE(Entries.hasValue());
+  ASSERT_EQ(Entries->size(), 1u);
+  EXPECT_EQ((*Entries)[0], "target");
+  removeTree(Dir);
+}
+
 TEST(AppendLog, AppendsAreDurableAcrossReopen) {
   std::string Path = tempPath("appendlog");
   removeFile(Path);
