@@ -263,25 +263,22 @@ captureRegionPinballs(const std::string &ProgramPath,
   return captureSegments(ProgramPath, Segs);
 }
 
-/// Region CPI from simulation with warm-up subtraction (two pinball sims).
+/// Region CPI from one pinball simulation: the first \p WarmupLen
+/// instructions run in the functional-warming phase (training the model,
+/// counting nothing), so the stats cover exactly the post-warmup slice.
+/// This replaces the old two-run subtraction scheme, which re-simulated
+/// the warm-up in detail and diffed the counters — twice the work, and
+/// the subtrahend's cold-start cycles polluted the difference.
 inline bool simRegionCPI(const pinball::Pinball &PB, uint64_t WarmupLen,
                          const sim::MachineConfig &Machine, double &Out) {
-  sim::RunControls Full;
-  auto FullR = sim::simulatePinball(PB, Machine, /*Constrained=*/true, Full);
-  if (!FullR)
+  sim::RunControls Controls;
+  Controls.WarmupInstructions =
+      (WarmupLen > 0 && WarmupLen < PB.Meta.RegionLength) ? WarmupLen : 0;
+  auto R = sim::simulatePinball(PB, Machine, /*Constrained=*/true, Controls);
+  if (!R)
     return false;
-  double Cycles = FullR->Stats.totalCycles();
-  double Insts = static_cast<double>(FullR->Stats.totalInstructions());
-  if (WarmupLen > 0 && WarmupLen < PB.Meta.RegionLength) {
-    sim::RunControls Warm;
-    Warm.MaxInstructions = WarmupLen;
-    auto WarmR =
-        sim::simulatePinball(PB, Machine, /*Constrained=*/true, Warm);
-    if (!WarmR)
-      return false;
-    Cycles -= WarmR->Stats.totalCycles();
-    Insts -= static_cast<double>(WarmR->Stats.totalInstructions());
-  }
+  double Cycles = R->Stats.totalCycles();
+  double Insts = static_cast<double>(R->Stats.totalInstructions());
   if (Insts <= 0 || Cycles <= 0)
     return false;
   Out = Cycles / Insts;

@@ -84,6 +84,16 @@ ctest --test-dir "$ROOT/default" -L store --timeout 600 \
 ctest --test-dir "$ROOT/sanitize" -L store --timeout 900 \
   --output-on-failure
 
+# Warmup-checkpoint suite standalone (label `simstate`): SimComponent
+# round trips, the EFAULT.SIMSTATE.* fail-closed taxonomy, the
+# cold-vs-save-vs-resume bit-identity matrix, and the checkpoint-index
+# regression pin, in the default and sanitized trees.
+echo "==== [simstate label] warmup-checkpoint suite ===="
+ctest --test-dir "$ROOT/default" -L simstate --timeout 600 \
+  --output-on-failure
+ctest --test-dir "$ROOT/sanitize" -L simstate --timeout 900 \
+  --output-on-failure
+
 # Analysis suite standalone, mirroring the jit lane: the CFG/dataflow
 # subsystem carries the `analyze` label.
 echo "==== [analyze label] CFG recovery + dataflow suite ===="

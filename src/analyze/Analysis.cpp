@@ -162,4 +162,5 @@ void analyze::addStandardPasses(PassManager &PM) {
   PM.add(makeSysstatePass());
   PM.add(makeCodePass());
   PM.add(makeStorePass());
+  PM.add(makeSimStatePass());
 }

@@ -112,6 +112,9 @@ struct AnalysisInput {
   /// Path of the file being verified, for the byte-identity cross-check
   /// against the pool artifact named by StoreName.
   std::string ArtifactPath;
+  /// `.esimstate` warmup-checkpoint sidecar for the SIMSTATE.* pass
+  /// (empty = pass skipped).
+  std::string SimStatePath;
 
   static ElfKind classify(const elf::ELFReader &R);
 };

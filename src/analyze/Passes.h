@@ -54,7 +54,12 @@ std::unique_ptr<Pass> makeCodePass();
 /// file is byte-identical with its pool artifact (DESIGN.md §15).
 std::unique_ptr<Pass> makeStorePass();
 
-/// Registers all eight passes in the canonical order.
+/// SIMSTATE.*: warmup-checkpoint sidecar verification — container seal,
+/// config fingerprint, warming budget vs the region symbol, component
+/// table, input digest binding to the verified ELFie (DESIGN.md §16).
+std::unique_ptr<Pass> makeSimStatePass();
+
+/// Registers all nine passes in the canonical order.
 void addStandardPasses(PassManager &PM);
 
 } // namespace analyze

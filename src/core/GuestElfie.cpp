@@ -173,6 +173,9 @@ core::emitGuestElfie(const Pinball &PB, const Pinball2ElfOptions &Opts) {
   }
   W.addSymbol("elfie_region_length", PB.Meta.RegionLength, elf::SHN_ABS,
               elf::STB_GLOBAL);
+  if (Opts.WarmupLength)
+    W.addSymbol("elfie_warmup_length", Opts.WarmupLength, elf::SHN_ABS,
+                elf::STB_GLOBAL);
   (void)FirstPageSec;
   return W.finalize();
 }

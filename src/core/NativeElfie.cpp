@@ -1107,6 +1107,9 @@ Expected<std::vector<uint8_t>> NativeEmitter::emit() {
   }
   W.addSymbol("elfie_region_length", PB.Meta.RegionLength, elf::SHN_ABS,
               elf::STB_GLOBAL);
+  if (Opts.WarmupLength)
+    W.addSymbol("elfie_warmup_length", Opts.WarmupLength, elf::SHN_ABS,
+                elf::STB_GLOBAL);
   // Runtime tables, for everify and post-mortem inspection: the stash
   // table (8-byte guest address per stashed stack page) and the sysstate
   // preopen table ({fd, path address, open flags} triples, 24 bytes each).

@@ -105,6 +105,9 @@ core::emitElfieObject(const pinball::Pinball &PB,
   }
   W.addSymbol("elfie_region_length", PB.Meta.RegionLength, elf::SHN_ABS,
               elf::STB_GLOBAL);
+  if (Opts.WarmupLength)
+    W.addSymbol("elfie_warmup_length", Opts.WarmupLength, elf::SHN_ABS,
+                elf::STB_GLOBAL);
   return W.finalize();
 }
 

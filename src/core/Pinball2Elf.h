@@ -78,6 +78,13 @@ struct Pinball2ElfOptions {
   /// then run with the sysstate workdir as its current directory.
   bool EmbedSysstate = false;
 
+  /// Functional-warming length baked into the ELFie as the SHN_ABS
+  /// `elfie_warmup_length` symbol (0 = no symbol): simulators that honor
+  /// it warm caches/TLBs/predictors over the first N post-marker
+  /// instructions before detailed simulation (DESIGN.md §16). Part of the
+  /// region length, so it must stay below the pinball's region budget.
+  uint64_t WarmupLength = 0;
+
   /// Maximum threads the region may create dynamically via clone().
   unsigned MaxDynThreads = 56;
 

@@ -11,6 +11,7 @@
 #include "support/Format.h"
 #include "support/MappedFile.h"
 #include "support/RNG.h"
+#include "support/Sha256.h"
 
 #include <algorithm>
 #include <cstring>
@@ -154,6 +155,73 @@ Expected<std::string> elfie::fault::mutateElfFile(const std::string &Path,
   RNG Rand(Seed);
   return mutateFileInPlace(
       Path, static_cast<ByteMut>(Rand.nextBelow(NumByteMuts)), Rand);
+}
+
+Expected<std::string>
+elfie::fault::mutateSimStateFile(const std::string &Path, uint64_t Seed) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  std::vector<uint8_t> &B = *Bytes;
+  if (B.size() < 44) // magic + version + seal: nothing real to corrupt
+    return makeCodedError("EFAULT.MUTATE.EMPTY",
+                          "'%s' is too small to be a sidecar",
+                          Path.c_str());
+
+  RNG Rand(Seed);
+  std::string What;
+  switch (Rand.nextBelow(7)) {
+  case 0: { // interrupted copy: keep a strict prefix
+    size_t Keep = Rand.nextBelow(B.size());
+    What = formatString("truncate %zu -> %zu", B.size(), Keep);
+    B.resize(Keep);
+    break;
+  }
+  case 1: { // chopped tail: the seal (or part of it) is gone
+    size_t Drop = 1 + Rand.nextBelow(16);
+    What = formatString("chop %zu tail bytes", Drop);
+    B.resize(B.size() - std::min(Drop, B.size()));
+    break;
+  }
+  case 2: { // media corruption: one bit anywhere
+    size_t At = Rand.nextBelow(B.size());
+    uint8_t Bit = static_cast<uint8_t>(1u << Rand.nextBelow(8));
+    B[At] ^= Bit;
+    What = formatString("flip bit 0x%02x at offset %zu", Bit, At);
+    break;
+  }
+  case 3: { // scribbled magic
+    size_t At = Rand.nextBelow(8);
+    B[At] ^= static_cast<uint8_t>(1 + Rand.nextBelow(255));
+    What = formatString("scribble magic byte %zu", At);
+    break;
+  }
+  case 4: { // hostile producer: future format version, valid seal
+    uint32_t V = 2 + static_cast<uint32_t>(Rand.nextBelow(1000));
+    std::memcpy(B.data() + 8, &V, 4);
+    Sha256Digest Seal = Sha256::digest(B.data(), B.size() - 32);
+    std::memcpy(B.data() + B.size() - 32, Seal.Bytes.data(), 32);
+    What = formatString("format version %u, resealed", V);
+    break;
+  }
+  case 5: { // trailing garbage after the seal
+    size_t Extra = 1 + Rand.nextBelow(16);
+    for (size_t I = 0; I < Extra; ++I)
+      B.push_back(static_cast<uint8_t>(Rand.next()));
+    What = formatString("append %zu garbage bytes", Extra);
+    break;
+  }
+  default: { // torn write: a u64 in the middle replaced wholesale
+    size_t At = 8 + Rand.nextBelow((B.size() - 40) / 8) * 8;
+    uint64_t V = Rand.next() | 0x8000000000000000ull;
+    std::memcpy(B.data() + At, &V, 8);
+    What = formatString("scribble u64 at offset %zu", At);
+    break;
+  }
+  }
+  if (Error E = writeFileAtomic(Path, B.data(), B.size()))
+    return E;
+  return What;
 }
 
 Expected<std::string>

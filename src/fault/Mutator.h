@@ -38,6 +38,18 @@ Expected<std::string> mutatePinballDir(const std::string &Dir,
 /// place. Returns a description of the mutation.
 Expected<std::string> mutateElfFile(const std::string &Path, uint64_t Seed);
 
+/// Applies the seed-determined mutation to the `.esimstate` warmup-
+/// checkpoint sidecar at \p Path in place. Every kind is guaranteed to
+/// change the file, and every kind maps to a definite EFAULT.SIMSTATE.*
+/// rejection class: truncations and appended garbage (TRUNCATED), bit
+/// flips (SEAL, or MAGIC when they land in the magic), magic scribbles
+/// (MAGIC), and a hostile-producer kind that bumps the format version and
+/// re-seals — a well-formed file from the future (VERSION). A sweep over
+/// these seeds must therefore produce zero benign runs: a consumer that
+/// accepts any mutated sidecar is failing open.
+Expected<std::string> mutateSimStateFile(const std::string &Path,
+                                         uint64_t Seed);
+
 /// Applies the seed-determined mutation to the estore pool at \p Root:
 /// most seeds flip one bit of one chunk (media corruption inside the
 /// content-addressed pool; every consumer must reject the chunk with

@@ -124,6 +124,17 @@ Expected<CampaignPlan> CampaignPlan::parse(const std::string &Text) {
           return makeCodedError("EFAULT.FLEET.MANIFEST",
                                 "line %zu: bad '%s'", LineNo, Tok.c_str());
         J.Retries = static_cast<uint32_t>(N);
+      } else if (startsWith(Tok, "!warmup=")) {
+        uint64_t N = 0;
+        if (!parseUInt64(Tok.substr(8), N) || N == 0)
+          return makeCodedError("EFAULT.FLEET.MANIFEST",
+                                "line %zu: bad '%s'", LineNo, Tok.c_str());
+        if (J.A != Action::Sim)
+          return makeCodedError("EFAULT.FLEET.MANIFEST",
+                                "line %zu: !warmup= only applies to the "
+                                "sim action",
+                                LineNo);
+        J.WarmupInstructions = N;
       } else if (startsWith(Tok, "!env:")) {
         std::string KV = Tok.substr(5);
         size_t Eq = KV.find('=');
@@ -169,6 +180,9 @@ std::string elfie::sched::manifestLine(const Job &J) {
                          static_cast<unsigned long long>(J.TimeoutSecs));
   if (J.Retries)
     Line += formatString(" !retries=%u", J.Retries);
+  if (J.WarmupInstructions)
+    Line += formatString(" !warmup=%llu", static_cast<unsigned long long>(
+                                              J.WarmupInstructions));
   for (const auto &[K, V] : J.Env)
     Line += " !env:" + K + "=" + V;
   for (const std::string &A : J.ExtraArgs)

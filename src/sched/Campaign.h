@@ -11,7 +11,8 @@
 ///
 ///   # comment / blank lines ignored
 ///   <id> <action> <target> [!timeout=<secs>] [!retries=<n>]
-///                          [!env:<K>=<V>]... [extra tool args...]
+///                          [!warmup=<insns>] [!env:<K>=<V>]...
+///                          [extra tool args...]
 ///
 ///   id      unique per manifest, charset [A-Za-z0-9._-]
 ///   action  replay | emit | native | verify | sim
@@ -68,6 +69,13 @@ struct Job {
   uint64_t TimeoutSecs = 0;
   /// Per-job retry-budget override; 0 = campaign default.
   uint32_t Retries = 0;
+  /// `sim` only: warm the first N post-marker instructions and checkpoint
+  /// the boundary. The first attempt writes the job's `.esimstate`
+  /// sidecar (`esim -warmup-save`); any later attempt finds it and
+  /// resumes (`-warmup-load`), so a retried simulation skips re-warming.
+  /// A corrupt sidecar fails closed (EFAULT.SIMSTATE.*), which classifies
+  /// as deterministic: the job is quarantined, never blindly retried.
+  uint64_t WarmupInstructions = 0;
 };
 
 /// A parsed, validated manifest.

@@ -106,6 +106,22 @@ std::vector<std::string> FleetEngine::buildArgv(const JobState &JS) const {
     break;
   case Action::Sim:
     Argv = {Opts.BinDir + "/esim", "-config", "nehalem"};
+    if (J.WarmupInstructions) {
+      // Warmup checkpointing: the first attempt warms and writes the
+      // job's sidecar; later attempts find it and resume past the
+      // warming stretch. A corrupt sidecar rejects with
+      // EFAULT.SIMSTATE.* (deterministic -> quarantine), never a blind
+      // retry loop.
+      std::string StatePath =
+          Opts.OutDir + "/artifacts/" + J.Id + ".esimstate";
+      Argv.push_back("-warmup");
+      Argv.push_back(formatString(
+          "%llu", static_cast<unsigned long long>(J.WarmupInstructions)));
+      Argv.push_back(fileExists(StatePath) ? "-warmup-load"
+                                           : "-warmup-save");
+      Argv.push_back("-warmup-state");
+      Argv.push_back(StatePath);
+    }
     break;
   }
   for (const std::string &A : J.ExtraArgs)

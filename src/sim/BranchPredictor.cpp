@@ -29,6 +29,28 @@ bool GSharePredictor::predictAndUpdate(uint64_t PC, bool Taken) {
   return Prediction == Taken;
 }
 
+void GSharePredictor::saveState(StateWriter &W) const {
+  W.writeU32(TableBits);
+  W.writeU64(History);
+  W.writeU64(Lookups);
+  W.writeU64(Mispredicts);
+  W.writeBytes(Counters.data(), Counters.size());
+}
+
+Error GSharePredictor::loadState(StateReader &R) {
+  uint32_t SavedBits = R.readU32();
+  if (R.hadError() || SavedBits != TableBits)
+    return makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                          "gshare table mismatch: checkpoint has %u bits, "
+                          "this predictor has %u",
+                          SavedBits, TableBits);
+  History = R.readU64();
+  Lookups = R.readU64();
+  Mispredicts = R.readU64();
+  R.readBytes(Counters.data(), Counters.size());
+  return Error::success();
+}
+
 BTB::BTB(unsigned TableBits) : Entries(1u << TableBits) {}
 
 bool BTB::predictAndUpdate(uint64_t PC, uint64_t Target) {
@@ -42,4 +64,32 @@ bool BTB::predictAndUpdate(uint64_t PC, uint64_t Target) {
   E.Target = Target;
   E.Valid = true;
   return Correct;
+}
+
+void BTB::saveState(StateWriter &W) const {
+  W.writeU32(static_cast<uint32_t>(Entries.size()));
+  W.writeU64(Lookups);
+  W.writeU64(Mispredicts);
+  for (const Entry &E : Entries) {
+    W.writeU64(E.PC);
+    W.writeU64(E.Target);
+    W.writeBool(E.Valid);
+  }
+}
+
+Error BTB::loadState(StateReader &R) {
+  uint32_t SavedEntries = R.readU32();
+  if (R.hadError() || SavedEntries != Entries.size())
+    return makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                          "btb size mismatch: checkpoint has %u entries, "
+                          "this btb has %zu",
+                          SavedEntries, Entries.size());
+  Lookups = R.readU64();
+  Mispredicts = R.readU64();
+  for (Entry &E : Entries) {
+    E.PC = R.readU64();
+    E.Target = R.readU64();
+    E.Valid = R.readBool();
+  }
+  return Error::success();
 }

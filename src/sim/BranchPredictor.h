@@ -15,6 +15,8 @@
 #ifndef ELFIE_SIM_BRANCHPREDICTOR_H
 #define ELFIE_SIM_BRANCHPREDICTOR_H
 
+#include "sim/SimComponent.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -22,7 +24,7 @@ namespace elfie {
 namespace sim {
 
 /// gshare direction predictor.
-class GSharePredictor {
+class GSharePredictor : public SimComponent {
 public:
   explicit GSharePredictor(unsigned TableBits = 12);
 
@@ -31,6 +33,12 @@ public:
 
   uint64_t lookups() const { return Lookups; }
   uint64_t mispredicts() const { return Mispredicts; }
+  uint64_t history() const { return History; }
+
+  const char *stateId() const override { return "gshare"; }
+  uint32_t stateVersion() const override { return 1; }
+  void saveState(StateWriter &W) const override;
+  Error loadState(StateReader &R) override;
 
 private:
   unsigned TableBits;
@@ -40,7 +48,7 @@ private:
 };
 
 /// Direct-mapped branch target buffer for indirect jumps.
-class BTB {
+class BTB : public SimComponent {
 public:
   explicit BTB(unsigned TableBits = 10);
 
@@ -49,6 +57,11 @@ public:
 
   uint64_t lookups() const { return Lookups; }
   uint64_t mispredicts() const { return Mispredicts; }
+
+  const char *stateId() const override { return "btb"; }
+  uint32_t stateVersion() const override { return 1; }
+  void saveState(StateWriter &W) const override;
+  Error loadState(StateReader &R) override;
 
 private:
   struct Entry {

@@ -80,6 +80,45 @@ void Cache::invalidate(uint64_t Addr) {
       Base[W].Valid = false;
 }
 
+void Cache::saveState(StateWriter &W) const {
+  W.writeU32(LineSize);
+  W.writeU32(Assoc);
+  W.writeU32(NumSets);
+  W.writeU64(Clock);
+  W.writeU64(Hits);
+  W.writeU64(Misses);
+  W.writeU64(Evictions);
+  for (const Way &Wy : Ways) {
+    W.writeU64(Wy.Tag);
+    W.writeBool(Wy.Valid);
+    W.writeU64(Wy.LRUStamp);
+  }
+}
+
+Error Cache::loadState(StateReader &R) {
+  uint32_t SavedLine = R.readU32();
+  uint32_t SavedAssoc = R.readU32();
+  uint32_t SavedSets = R.readU32();
+  if (R.hadError() || SavedLine != LineSize || SavedAssoc != Assoc ||
+      SavedSets != NumSets)
+    return makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                          "cache geometry mismatch: checkpoint has "
+                          "%u sets x %u ways (%u-byte lines), this cache "
+                          "has %u x %u (%u)",
+                          SavedSets, SavedAssoc, SavedLine, NumSets, Assoc,
+                          LineSize);
+  Clock = R.readU64();
+  Hits = R.readU64();
+  Misses = R.readU64();
+  Evictions = R.readU64();
+  for (Way &Wy : Ways) {
+    Wy.Tag = R.readU64();
+    Wy.Valid = R.readBool();
+    Wy.LRUStamp = R.readU64();
+  }
+  return Error::success();
+}
+
 TLB::TLB(uint32_t Entries, uint32_t Assoc, uint64_t PageSize)
     : PageSize(PageSize),
       Impl(static_cast<uint64_t>(Entries) * CacheLineSize, Assoc) {}
@@ -87,4 +126,20 @@ TLB::TLB(uint32_t Entries, uint32_t Assoc, uint64_t PageSize)
 bool TLB::access(uint64_t Addr) {
   // Map page numbers onto the cache's line space.
   return Impl.access((Addr / PageSize) * CacheLineSize, false);
+}
+
+void TLB::saveState(StateWriter &W) const {
+  W.writeU64(PageSize);
+  Impl.saveState(W);
+}
+
+Error TLB::loadState(StateReader &R) {
+  uint64_t SavedPage = R.readU64();
+  if (R.hadError() || SavedPage != PageSize)
+    return makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                          "tlb page size mismatch: checkpoint has %llu, "
+                          "this tlb has %llu",
+                          static_cast<unsigned long long>(SavedPage),
+                          static_cast<unsigned long long>(PageSize));
+  return Impl.loadState(R);
 }

@@ -10,11 +10,15 @@
 /// every level of the esim hierarchy (L1I/L1D/L2 private, L3 shared), plus
 /// a small TLB built on the same structure. Timing is handled by the
 /// TimingModel; these classes only answer hit/miss and track contents.
+/// Both are SimComponents: the tag/LRU arrays and hit/miss counters
+/// serialize into warmup-checkpoint sidecars (DESIGN.md §16).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ELFIE_SIM_CACHE_H
 #define ELFIE_SIM_CACHE_H
+
+#include "sim/SimComponent.h"
 
 #include <cassert>
 #include <cstddef>
@@ -27,7 +31,7 @@ namespace sim {
 constexpr uint32_t CacheLineSize = 64;
 
 /// Set-associative LRU cache. Tags only (no data).
-class Cache {
+class Cache : public SimComponent {
 public:
   /// \p SizeBytes and \p Assoc must give a power-of-two set count.
   Cache(uint64_t SizeBytes, uint32_t Assoc, uint32_t LineSize = CacheLineSize);
@@ -46,6 +50,13 @@ public:
   uint64_t misses() const { return Misses; }
   uint64_t evictions() const { return Evictions; }
   uint32_t lineSize() const { return LineSize; }
+  uint32_t assoc() const { return Assoc; }
+  uint32_t numSets() const { return NumSets; }
+
+  const char *stateId() const override { return "cache"; }
+  uint32_t stateVersion() const override { return 1; }
+  void saveState(StateWriter &W) const override;
+  Error loadState(StateReader &R) override;
 
 private:
   struct Way {
@@ -64,7 +75,7 @@ private:
 };
 
 /// A TLB is a cache of page translations: same structure, page granularity.
-class TLB {
+class TLB : public SimComponent {
 public:
   TLB(uint32_t Entries, uint32_t Assoc = 4, uint64_t PageSize = 4096);
 
@@ -73,6 +84,11 @@ public:
 
   uint64_t hits() const { return Impl.hits(); }
   uint64_t misses() const { return Impl.misses(); }
+
+  const char *stateId() const override { return "tlb"; }
+  uint32_t stateVersion() const override { return 1; }
+  void saveState(StateWriter &W) const override;
+  Error loadState(StateReader &R) override;
 
 private:
   uint64_t PageSize;

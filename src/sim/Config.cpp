@@ -7,6 +7,8 @@
 
 #include "sim/Config.h"
 
+#include "support/FileIO.h"
+
 using namespace elfie;
 using namespace elfie::sim;
 
@@ -74,6 +76,43 @@ MachineConfig sim::makeSkylakeLike(bool FullSystem) {
   M.MemLatencyCycles = 180;
   M.Kernel.Enabled = FullSystem;
   return M;
+}
+
+Sha256Digest sim::configFingerprint(const MachineConfig &M) {
+  // Canonical field-by-field serialization; any new MachineConfig field
+  // must be appended here so checkpoints taken under a different geometry
+  // stop resuming.
+  BinaryWriter W;
+  W.writeString(M.Name);
+  W.writeU32(M.NumCores);
+  const CoreConfig &C = M.Core;
+  W.writeU32(C.DispatchWidth);
+  W.writeU32(C.ROBSize);
+  W.writeU32(C.MispredictPenalty);
+  for (const CacheConfig *CC : {&C.L1I, &C.L1D, &C.L2, &M.L3}) {
+    W.writeU64(CC->SizeBytes);
+    W.writeU32(CC->Assoc);
+    W.writeU32(CC->LatencyCycles);
+  }
+  W.writeU32(C.BPBits);
+  W.writeU32(C.BTBBits);
+  W.writeU32(C.DTLBEntries);
+  W.writeU32(C.ITLBEntries);
+  W.writeU32(C.PageWalkCycles);
+  W.writeU8(C.NextLinePrefetcher ? 1 : 0);
+  W.writeDouble(C.FreqGHz);
+  W.writeU32(M.MemLatencyCycles);
+  W.writeU32(M.CoherencePenaltyCycles);
+  const KernelConfig &K = M.Kernel;
+  W.writeU8(K.Enabled ? 1 : 0);
+  W.writeU32(K.SyscallHandlerInsts);
+  W.writeU64(K.TimerIntervalInsts);
+  W.writeU32(K.TimerHandlerInsts);
+  W.writeU64(K.KernelDataBase);
+  W.writeU64(K.KernelDataBytes);
+  W.writeU64(K.KernelTextBase);
+  W.writeU64(K.KernelTextBytes);
+  return Sha256::digest(W.bytes().data(), W.size());
 }
 
 bool sim::configByName(const std::string &Name, MachineConfig &Out) {

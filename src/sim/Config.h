@@ -17,6 +17,8 @@
 #ifndef ELFIE_SIM_CONFIG_H
 #define ELFIE_SIM_CONFIG_H
 
+#include "support/Sha256.h"
+
 #include <cstdint>
 #include <string>
 
@@ -87,6 +89,12 @@ MachineConfig makeSkylakeLike(bool FullSystem = false);
 /// Looks up a config by name ("gainestown8", "nehalem", "haswell",
 /// "skylake", "skylake-fs"); returns false when unknown.
 bool configByName(const std::string &Name, MachineConfig &Out);
+
+/// SHA-256 over a canonical serialization of every MachineConfig field.
+/// Recorded in warmup-checkpoint sidecars so a checkpoint can never
+/// resume under a different machine geometry (EFAULT.SIMSTATE.CONFIG),
+/// even when two configs share a name.
+Sha256Digest configFingerprint(const MachineConfig &M);
 
 } // namespace sim
 } // namespace elfie

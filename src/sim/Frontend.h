@@ -40,6 +40,8 @@ namespace sim {
 /// Simulation run controls.
 struct RunControls {
   /// ROI budget in retired ring-3 instructions (global across cores).
+  /// For ELFie inputs the auto-budget is elfie_region_length minus the
+  /// warming length.
   uint64_t MaxInstructions = UINT64_MAX;
   /// Start detailed simulation only after the first ROI marker retires
   /// (set automatically for ELFie inputs).
@@ -48,6 +50,20 @@ struct RunControls {
   /// StopPC has executed StopPCCount times globally (paper §IV-B).
   uint64_t StopPC = 0;
   uint64_t StopPCCount = 0;
+  /// Functional-warming length: the first N post-marker (post-entry when
+  /// no marker is awaited) instructions train caches/TLBs/predictors
+  /// through the model's warm entry points — no cycles, stats, or
+  /// footprint — before detailed simulation starts at the boundary.
+  /// UINT64_MAX means auto: the ELFie's embedded elfie_warmup_length
+  /// symbol when present, else 0.
+  uint64_t WarmupInstructions = UINT64_MAX;
+  /// When set, serialize the model into this .esimstate sidecar at the
+  /// warming -> detailed boundary (DESIGN.md §16).
+  std::string SaveStatePath;
+  /// When set, skip warming and restore the model from this sidecar at
+  /// the boundary instead; loads fail closed with EFAULT.SIMSTATE.*.
+  /// Mutually exclusive with SaveStatePath.
+  std::string LoadStatePath;
 };
 
 /// The outcome of a simulation.
@@ -70,6 +86,16 @@ struct SimResult {
   /// fast-forward (the detailed phase needs per-instruction callbacks and
   /// runs interpreted).
   vm::JitStats JitStats;
+  /// Instructions consumed by the warming phase (functionally skipped
+  /// instructions when resuming from a checkpoint).
+  uint64_t WarmupRetired = 0;
+  /// Global functional retired count at the warming -> detailed boundary;
+  /// 0 when no boundary was crossed. Identical between a cold/save run
+  /// and a -warmup-load resume of the same input (the identity pin).
+  uint64_t CheckpointRetired = 0;
+  /// A sidecar was written / restored at the boundary.
+  bool StateSaved = false;
+  bool StateLoaded = false;
 };
 
 /// Simulates a guest ELF image (program or guest-target ELFie). The image

@@ -1,0 +1,222 @@
+//===- sim/SimState.cpp ---------------------------------------------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimState.h"
+
+#include "support/FileIO.h"
+#include "support/Format.h"
+
+#include <cstring>
+
+using namespace elfie;
+using namespace elfie::sim;
+
+namespace {
+
+constexpr char SimStateMagic[8] = {'E', 'S', 'I', 'M', 'S', 'T', '0', '1'};
+constexpr uint32_t SimStatsPayloadVersion = 1;
+
+/// The parsed-but-not-applied form: header info plus a view of each
+/// component payload (borrowing the file bytes).
+struct ParsedSidecar {
+  SimStateInfo Info;
+  std::vector<std::span<const uint8_t>> Payloads;
+};
+
+/// Structural parse + seal verification. The reader is bounds-checked, so
+/// parsing untrusted bytes before the seal check is safe; checking the
+/// structure first yields a more precise taxonomy (TRUNCATED vs SEAL).
+Expected<ParsedSidecar> parseSidecar(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < sizeof(SimStateMagic) ||
+      std::memcmp(Bytes.data(), SimStateMagic, sizeof(SimStateMagic)) != 0)
+    return makeCodedError("EFAULT.SIMSTATE.MAGIC",
+                          "not a warmup-checkpoint sidecar (bad magic)");
+  BinaryReader R(Bytes.data(), Bytes.size());
+  R.skip(sizeof(SimStateMagic));
+
+  ParsedSidecar P;
+  P.Info.FormatVersion = R.readU32();
+  if (P.Info.FormatVersion != SimStateFormatVersion)
+    return makeCodedError("EFAULT.SIMSTATE.VERSION",
+                          "unsupported sidecar format version %u "
+                          "(this build reads version %u)",
+                          P.Info.FormatVersion, SimStateFormatVersion);
+
+  SimStateMeta &Meta = P.Info.Meta;
+  Meta.ConfigName = R.readString();
+  R.readRaw(Meta.ConfigFP.Bytes.data(), Meta.ConfigFP.Bytes.size());
+  R.readRaw(Meta.InputDigest.Bytes.data(), Meta.InputDigest.Bytes.size());
+  Meta.WarmupInstructions = R.readU64();
+  Meta.CheckpointRetired = R.readU64();
+  Meta.DetailedBudget = R.readU64();
+
+  uint32_t NumComponents = R.readU32();
+  for (uint32_t I = 0; !R.hadError() && I < NumComponents; ++I) {
+    SimStateComponentInfo CI;
+    CI.Id = R.readString();
+    CI.Version = R.readU32();
+    std::span<const uint8_t> Payload = R.readBlobView();
+    CI.PayloadBytes = Payload.size();
+    P.Info.Components.push_back(std::move(CI));
+    P.Payloads.push_back(Payload);
+  }
+  if (R.hadError() || R.remaining() != 32)
+    return makeCodedError("EFAULT.SIMSTATE.TRUNCATED",
+                          "sidecar structure is truncated or carries "
+                          "trailing bytes (%zu bytes after the component "
+                          "table, expected the 32-byte seal)",
+                          R.hadError() ? static_cast<size_t>(0)
+                                       : R.remaining());
+
+  Sha256Digest Seal = Sha256::digest(Bytes.data(), Bytes.size() - 32);
+  if (std::memcmp(Seal.Bytes.data(), Bytes.data() + Bytes.size() - 32, 32) !=
+      0)
+    return makeCodedError("EFAULT.SIMSTATE.SEAL",
+                          "sidecar seal mismatch (content digest %s)",
+                          Seal.hex().c_str());
+  return P;
+}
+
+} // namespace
+
+std::string sim::simStatePathFor(std::string InputPath) {
+  while (InputPath.size() > 1 && InputPath.back() == '/')
+    InputPath.pop_back();
+  return InputPath + ".esimstate";
+}
+
+Error sim::saveSimState(const std::string &Path, const SimStateMeta &Meta,
+                        const TimingModel &Model) {
+  BinaryWriter W;
+  W.writeRaw(SimStateMagic, sizeof(SimStateMagic));
+  W.writeU32(SimStateFormatVersion);
+  W.writeString(Meta.ConfigName);
+  W.writeRaw(Meta.ConfigFP.Bytes.data(), Meta.ConfigFP.Bytes.size());
+  W.writeRaw(Meta.InputDigest.Bytes.data(), Meta.InputDigest.Bytes.size());
+  W.writeU64(Meta.WarmupInstructions);
+  W.writeU64(Meta.CheckpointRetired);
+  W.writeU64(Meta.DetailedBudget);
+
+  auto WriteComponent = [&W](const std::string &Id, uint32_t Version,
+                             auto &&Save) {
+    BinaryWriter Payload;
+    StateWriter SW(Payload);
+    Save(SW);
+    W.writeString(Id);
+    W.writeU32(Version);
+    W.writeBlob(Payload.bytes().data(), Payload.size());
+  };
+
+  W.writeU32(Model.numCores() + 2);
+  WriteComponent("stats", SimStatsPayloadVersion,
+                 [&](StateWriter &SW) { Model.stats().save(SW); });
+  for (unsigned I = 0; I < Model.numCores(); ++I) {
+    const CoreState &C = Model.core(I);
+    WriteComponent(formatString("core%u", I), C.stateVersion(),
+                   [&](StateWriter &SW) { C.saveState(SW); });
+  }
+  WriteComponent("l3", Model.l3().stateVersion(),
+                 [&](StateWriter &SW) { Model.l3().saveState(SW); });
+
+  Sha256Digest Seal = Sha256::digest(W.bytes().data(), W.size());
+  W.writeRaw(Seal.Bytes.data(), Seal.Bytes.size());
+  return writeFileAtomic(Path, W.bytes().data(), W.size())
+      .withContext("writing warmup checkpoint '" + Path + "'");
+}
+
+Expected<SimStateInfo> sim::inspectSimState(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  auto P = parseSidecar(*Bytes);
+  if (!P)
+    return P.takeError().withContext("inspecting '" + Path + "'");
+  return std::move(P->Info);
+}
+
+Expected<SimStateMeta> sim::loadSimState(const std::string &Path,
+                                         const MachineConfig &Machine,
+                                         const Sha256Digest &InputDigest,
+                                         TimingModel &Model) {
+  auto Fail = [&Path](Error E) {
+    return E.withContext("loading warmup checkpoint '" + Path + "'");
+  };
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  auto P = parseSidecar(*Bytes);
+  if (!P)
+    return Fail(P.takeError());
+  const SimStateMeta &Meta = P->Info.Meta;
+
+  Sha256Digest WantFP = configFingerprint(Machine);
+  if (Meta.ConfigName != Machine.Name || Meta.ConfigFP != WantFP)
+    return Fail(makeCodedError(
+        "EFAULT.SIMSTATE.CONFIG",
+        "checkpoint was taken under config '%s' (fingerprint %.16s...), "
+        "refusing to resume under '%s' (%.16s...)",
+        Meta.ConfigName.c_str(), Meta.ConfigFP.hex().c_str(),
+        Machine.Name.c_str(), WantFP.hex().c_str()));
+  if (Meta.InputDigest != InputDigest)
+    return Fail(makeCodedError(
+        "EFAULT.SIMSTATE.INPUT",
+        "checkpoint belongs to a different input (sidecar digest %.16s..., "
+        "input digest %.16s...)",
+        Meta.InputDigest.hex().c_str(), InputDigest.hex().c_str()));
+
+  // The component table must be exactly what this machine enumerates, in
+  // order: "stats", one "core<i>" per core, "l3".
+  std::vector<std::pair<std::string, uint32_t>> Want;
+  Want.emplace_back("stats", SimStatsPayloadVersion);
+  for (unsigned I = 0; I < Model.numCores(); ++I)
+    Want.emplace_back(formatString("core%u", I),
+                      Model.core(I).stateVersion());
+  Want.emplace_back("l3", Model.l3().stateVersion());
+  if (P->Info.Components.size() != Want.size())
+    return Fail(makeCodedError(
+        "EFAULT.SIMSTATE.COMPONENT",
+        "component count mismatch: sidecar has %zu, machine expects %zu",
+        P->Info.Components.size(), Want.size()));
+  for (size_t I = 0; I < Want.size(); ++I) {
+    const SimStateComponentInfo &CI = P->Info.Components[I];
+    if (CI.Id != Want[I].first)
+      return Fail(makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                                 "component %zu is '%s', expected '%s'", I,
+                                 CI.Id.c_str(), Want[I].first.c_str()));
+    if (CI.Version != Want[I].second)
+      return Fail(makeCodedError(
+          "EFAULT.SIMSTATE.VERSION",
+          "component '%s' has payload version %u, this build reads %u",
+          CI.Id.c_str(), CI.Version, Want[I].second));
+  }
+
+  auto Apply = [&](size_t Index, auto &&Load) -> Error {
+    BinaryReader PR(P->Payloads[Index].data(), P->Payloads[Index].size());
+    StateReader SR(PR);
+    if (Error E = Load(SR))
+      return E;
+    if (PR.hadError() || !PR.atEnd())
+      return makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                            "component '%s' payload size mismatch",
+                            P->Info.Components[Index].Id.c_str());
+    return Error::success();
+  };
+  if (Error E = Apply(0, [&](StateReader &SR) {
+        return Model.stats().load(SR);
+      }))
+    return Fail(std::move(E));
+  for (unsigned I = 0; I < Model.numCores(); ++I)
+    if (Error E = Apply(1 + I, [&](StateReader &SR) {
+          return Model.core(I).loadState(SR);
+        }))
+      return Fail(std::move(E));
+  if (Error E = Apply(Want.size() - 1, [&](StateReader &SR) {
+        return Model.l3().loadState(SR);
+      }))
+    return Fail(std::move(E));
+  return Meta;
+}

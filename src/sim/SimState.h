@@ -1,0 +1,109 @@
+//===- sim/SimState.h - warmup-checkpoint sidecar format --------*- C++ -*-===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `.esimstate` warmup-checkpoint sidecar: a versioned, length-
+/// prefixed, SHA-256-sealed container for the simulator's SimComponent
+/// states, written by `esim -warmup-save` at the warming -> detailed phase
+/// boundary and consumed by `esim -warmup-load` (DESIGN.md §16).
+///
+/// Layout (little-endian):
+///
+///   magic "ESIMST01" (8)        format marker
+///   u32   format version        container layout version (currently 1)
+///   str   config name           sim::MachineConfig::Name
+///   32B   config fingerprint    sim::configFingerprint of that config
+///   32B   input digest          SHA-256 binding the sidecar to its input
+///   u64   warmup instructions   warming length the boundary sits after
+///   u64   checkpoint retired    global retired count at the boundary
+///   u64   detailed budget       ROI budget recorded at save (0 = none)
+///   u32   component count
+///   per component:
+///     str  component id         "stats", "core0".."coreN", "l3"
+///     u32  component version    SimComponent::stateVersion()
+///     blob payload              length-prefixed saveState() bytes
+///   32B   seal                  SHA-256 over every preceding byte
+///
+/// Loads fail closed with the EFAULT.SIMSTATE.* taxonomy: MAGIC, VERSION,
+/// TRUNCATED (structure overruns / trailing garbage), SEAL, CONFIG,
+/// INPUT, COMPONENT (geometry/id mismatches), BUDGET (warmup >= region).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ELFIE_SIM_SIMSTATE_H
+#define ELFIE_SIM_SIMSTATE_H
+
+#include "sim/Config.h"
+#include "sim/TimingModel.h"
+#include "support/Error.h"
+#include "support/Sha256.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elfie {
+namespace sim {
+
+/// Current container layout version.
+constexpr uint32_t SimStateFormatVersion = 1;
+
+/// Header metadata binding a sidecar to its input, config, and boundary.
+struct SimStateMeta {
+  std::string ConfigName;
+  Sha256Digest ConfigFP;
+  Sha256Digest InputDigest;
+  /// Warming instructions consumed before the boundary.
+  uint64_t WarmupInstructions = 0;
+  /// Global functional retired count at the boundary (ELFie startup +
+  /// marker + warming for ELFie inputs).
+  uint64_t CheckpointRetired = 0;
+  /// Detailed ROI budget in effect at save time; 0 when unbounded.
+  uint64_t DetailedBudget = 0;
+};
+
+/// Default sidecar path for an input: "<input>.esimstate", with a
+/// trailing '/' (pinball directories) stripped first.
+std::string simStatePathFor(std::string InputPath);
+
+/// Serializes \p Model's components under \p Meta and atomically writes
+/// the sealed sidecar to \p Path.
+Error saveSimState(const std::string &Path, const SimStateMeta &Meta,
+                   const TimingModel &Model);
+
+/// Validates \p Path against \p Machine and \p InputDigest and applies the
+/// component states to \p Model. Fails closed (EFAULT.SIMSTATE.*) without
+/// partially trusting the file: the seal and header are verified before
+/// any component is applied.
+Expected<SimStateMeta> loadSimState(const std::string &Path,
+                                    const MachineConfig &Machine,
+                                    const Sha256Digest &InputDigest,
+                                    TimingModel &Model);
+
+/// One component-table entry as recorded on disk.
+struct SimStateComponentInfo {
+  std::string Id;
+  uint32_t Version = 0;
+  uint64_t PayloadBytes = 0;
+};
+
+/// Structural view of a sidecar for static verification (everify).
+struct SimStateInfo {
+  uint32_t FormatVersion = 0;
+  SimStateMeta Meta;
+  std::vector<SimStateComponentInfo> Components;
+};
+
+/// Parses and integrity-checks a sidecar (magic, version, structure, seal)
+/// without a TimingModel: the static half of loadSimState, shared with the
+/// everify SIMSTATE pass.
+Expected<SimStateInfo> inspectSimState(const std::string &Path);
+
+} // namespace sim
+} // namespace elfie
+
+#endif // ELFIE_SIM_SIMSTATE_H

@@ -14,27 +14,31 @@
 using namespace elfie;
 using namespace elfie::sim;
 
-struct TimingModel::CoreState {
-  unsigned Index = 0;
-  GSharePredictor BP;
-  BTB Btb;
-  Cache L1I, L1D, L2;
-  TLB Dtlb, Itlb;
-  CoreStats *Stats = nullptr;
-  uint64_t LastFetchLine = UINT64_MAX;
-  /// Ring-3 instructions since the last timer interrupt.
-  uint64_t SinceTimer = 0;
-  /// Rotating base for the synthetic kernel handler's data walks.
-  uint64_t KernelCursor = 0;
-  bool InKernel = false;
+void CoreState::saveState(StateWriter &W) const {
+  BP.saveState(W);
+  Btb.saveState(W);
+  L1I.saveState(W);
+  L1D.saveState(W);
+  L2.saveState(W);
+  Dtlb.saveState(W);
+  Itlb.saveState(W);
+  W.writeU64(LastFetchLine);
+  W.writeU64(SinceTimer);
+  W.writeU64(KernelCursor);
+  W.writeBool(InKernel);
+}
 
-  CoreState(const CoreConfig &C)
-      : BP(C.BPBits), Btb(C.BTBBits),
-        L1I(C.L1I.SizeBytes, C.L1I.Assoc),
-        L1D(C.L1D.SizeBytes, C.L1D.Assoc),
-        L2(C.L2.SizeBytes, C.L2.Assoc), Dtlb(C.DTLBEntries),
-        Itlb(C.ITLBEntries) {}
-};
+Error CoreState::loadState(StateReader &R) {
+  SimComponent *Parts[] = {&BP, &Btb, &L1I, &L1D, &L2, &Dtlb, &Itlb};
+  for (SimComponent *P : Parts)
+    if (Error E = P->loadState(R))
+      return E;
+  LastFetchLine = R.readU64();
+  SinceTimer = R.readU64();
+  KernelCursor = R.readU64();
+  InKernel = R.readBool();
+  return Error::success();
+}
 
 TimingModel::TimingModel(const MachineConfig &Config) : Config(Config) {
   Stats.Cores.resize(Config.NumCores);
@@ -180,6 +184,66 @@ void TimingModel::controlTransfer(unsigned Core, uint64_t FromPC,
   }
 }
 
+void TimingModel::warmInstruction(unsigned Core, uint64_t PC) {
+  // fetchAccess minus the ITLB-miss counter; latencies are discarded.
+  CoreState &C = *Cores[Core];
+  uint64_t Line = PC / CacheLineSize;
+  if (Line == C.LastFetchLine)
+    return;
+  C.LastFetchLine = Line;
+  C.Itlb.access(PC);
+  if (C.L1I.access(PC, false))
+    return;
+  if (C.L2.access(PC, false))
+    return;
+  L3->access(PC, false);
+}
+
+void TimingModel::warmMemoryAccess(unsigned Core, uint64_t Addr,
+                                   uint32_t Size, bool IsWrite) {
+  (void)Size;
+  CoreState &C = *Cores[Core];
+  // Coherence invalidations change cache contents, so they must happen
+  // while warming too — without the cycle penalty.
+  if (IsWrite && Config.NumCores > 1) {
+    for (auto &Other : Cores) {
+      if (Other->Index == Core)
+        continue;
+      if (Other->L1D.contains(Addr) || Other->L2.contains(Addr)) {
+        Other->L1D.invalidate(Addr);
+        Other->L2.invalidate(Addr);
+      }
+    }
+  }
+  // dataAccess minus stats/footprint, same access and prefetch order so
+  // LRU stamps evolve identically to a detailed-phase access.
+  C.Dtlb.access(Addr);
+  if (C.L1D.access(Addr, IsWrite))
+    return;
+  if (C.L2.access(Addr, IsWrite)) {
+    C.L1D.access(Addr, IsWrite);
+    return;
+  }
+  if (Config.Core.NextLinePrefetcher) {
+    uint64_t Next = Addr + CacheLineSize;
+    if (!C.L2.contains(Next)) {
+      C.L2.access(Next, false);
+      L3->access(Next, false);
+    }
+  }
+  L3->access(Addr, IsWrite);
+}
+
+void TimingModel::warmControlTransfer(unsigned Core, uint64_t FromPC,
+                                      uint64_t ToPC, bool Taken,
+                                      bool IsIndirect) {
+  CoreState &C = *Cores[Core];
+  if (IsIndirect)
+    C.Btb.predictAndUpdate(FromPC, ToPC);
+  else
+    C.BP.predictAndUpdate(FromPC, Taken);
+}
+
 void TimingModel::runKernelHandler(CoreState &C, unsigned NumInsts,
                                    uint64_t Seed) {
   const KernelConfig &K = Config.Kernel;
@@ -233,6 +297,77 @@ void TimingModel::syscall(unsigned Core, uint64_t Nr) {
       Nr == static_cast<uint64_t>(isa::Sys::Yield))
     Insts /= 3; // fast paths
   runKernelHandler(C, Insts, Nr * 2654435761ull);
+}
+
+void SimStats::save(StateWriter &W) const {
+  W.writeU32(static_cast<uint32_t>(Cores.size()));
+  for (const CoreStats &C : Cores) {
+    W.writeU64(C.Instructions);
+    W.writeU64(C.Ring0Instructions);
+    W.writeDouble(C.Cycles);
+    W.writeDouble(C.Ring0Cycles);
+    W.writeU64(C.Branches);
+    W.writeU64(C.BranchMispredicts);
+    W.writeU64(C.L1DAccesses);
+    W.writeU64(C.L1DMisses);
+    W.writeU64(C.L2Misses);
+    W.writeU64(C.L3Misses);
+    W.writeU64(C.DTLBMisses);
+    W.writeU64(C.ITLBMisses);
+    W.writeU64(C.Prefetches);
+    W.writeU64(C.CoherenceInvalidations);
+    W.writeU64(C.Syscalls);
+  }
+  // std::set iteration is sorted, so the encoding is canonical.
+  W.writeU64(UserDataPages.size());
+  for (uint64_t P : UserDataPages)
+    W.writeU64(P);
+  W.writeU64(KernelDataPages.size());
+  for (uint64_t P : KernelDataPages)
+    W.writeU64(P);
+  W.writeDouble(FreqGHz);
+}
+
+Error SimStats::load(StateReader &R) {
+  uint32_t NumCores = R.readU32();
+  if (R.hadError() || NumCores != Cores.size())
+    return makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                          "stats core count mismatch: checkpoint has %u, "
+                          "this machine has %zu",
+                          NumCores, Cores.size());
+  for (CoreStats &C : Cores) {
+    C.Instructions = R.readU64();
+    C.Ring0Instructions = R.readU64();
+    C.Cycles = R.readDouble();
+    C.Ring0Cycles = R.readDouble();
+    C.Branches = R.readU64();
+    C.BranchMispredicts = R.readU64();
+    C.L1DAccesses = R.readU64();
+    C.L1DMisses = R.readU64();
+    C.L2Misses = R.readU64();
+    C.L3Misses = R.readU64();
+    C.DTLBMisses = R.readU64();
+    C.ITLBMisses = R.readU64();
+    C.Prefetches = R.readU64();
+    C.CoherenceInvalidations = R.readU64();
+    C.Syscalls = R.readU64();
+  }
+  UserDataPages.clear();
+  KernelDataPages.clear();
+  uint64_t NumUser = R.readU64();
+  if (NumUser > R.remaining() / 8)
+    return makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                          "stats page set overruns the payload");
+  for (uint64_t I = 0; I < NumUser; ++I)
+    UserDataPages.insert(R.readU64());
+  uint64_t NumKernel = R.readU64();
+  if (NumKernel > R.remaining() / 8)
+    return makeCodedError("EFAULT.SIMSTATE.COMPONENT",
+                          "stats page set overruns the payload");
+  for (uint64_t I = 0; I < NumKernel; ++I)
+    KernelDataPages.insert(R.readU64());
+  FreqGHz = R.readDouble();
+  return Error::success();
 }
 
 uint64_t SimStats::totalInstructions() const {

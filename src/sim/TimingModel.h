@@ -28,6 +28,7 @@
 #include "sim/BranchPredictor.h"
 #include "sim/Cache.h"
 #include "sim/Config.h"
+#include "sim/SimComponent.h"
 
 #include <memory>
 #include <set>
@@ -85,6 +86,43 @@ struct SimStats {
   }
   /// Formats a human-readable summary.
   std::string summary() const;
+
+  /// Sidecar serialization (the "stats" component of an .esimstate file).
+  /// A plain value type, so these are non-virtual; the container frames
+  /// and versions them like any SimComponent payload.
+  void save(StateWriter &W) const;
+  Error load(StateReader &R);
+};
+
+/// One core's complete microarchitectural state: predictors, private
+/// caches, TLBs, and the fetch/kernel bookkeeping the timing model keeps
+/// per core. Exposed at namespace scope (rather than hidden inside
+/// TimingModel) so checkpoint code and tests can enumerate it through the
+/// SimComponent interface without friend hacks.
+struct CoreState : public SimComponent {
+  unsigned Index = 0;
+  GSharePredictor BP;
+  BTB Btb;
+  Cache L1I, L1D, L2;
+  TLB Dtlb, Itlb;
+  /// Borrowed from SimStats (not serialized; re-wired on construction).
+  CoreStats *Stats = nullptr;
+  uint64_t LastFetchLine = UINT64_MAX;
+  /// Ring-3 instructions since the last timer interrupt.
+  uint64_t SinceTimer = 0;
+  /// Rotating base for the synthetic kernel handler's data walks.
+  uint64_t KernelCursor = 0;
+  bool InKernel = false;
+
+  explicit CoreState(const CoreConfig &C)
+      : BP(C.BPBits), Btb(C.BTBBits), L1I(C.L1I.SizeBytes, C.L1I.Assoc),
+        L1D(C.L1D.SizeBytes, C.L1D.Assoc), L2(C.L2.SizeBytes, C.L2.Assoc),
+        Dtlb(C.DTLBEntries), Itlb(C.ITLBEntries) {}
+
+  const char *stateId() const override { return "core"; }
+  uint32_t stateVersion() const override { return 1; }
+  void saveState(StateWriter &W) const override;
+  Error loadState(StateReader &R) override;
 };
 
 /// The timing model. Event-driven from a functional front-end: call
@@ -102,12 +140,30 @@ public:
                        bool Taken, bool IsIndirect);
   void syscall(unsigned Core, uint64_t Nr);
 
+  /// Warming entry points: mirror the detailed entry points' structure
+  /// updates (fills, LRU movement, prefetches, coherence invalidations,
+  /// predictor training) exactly, but charge no cycles and record no
+  /// SimStats counters or footprint pages. A warming phase leaves the
+  /// machine hot without perturbing the measured ROI; the synthetic
+  /// kernel is not modelled while warming (no timer/syscall handlers).
+  void warmInstruction(unsigned Core, uint64_t PC);
+  void warmMemoryAccess(unsigned Core, uint64_t Addr, uint32_t Size,
+                        bool IsWrite);
+  void warmControlTransfer(unsigned Core, uint64_t FromPC, uint64_t ToPC,
+                           bool Taken, bool IsIndirect);
+
   const MachineConfig &config() const { return Config; }
   SimStats &stats() { return Stats; }
   const SimStats &stats() const { return Stats; }
 
+  /// Checkpoint enumeration: per-core SimComponents plus the shared L3.
+  unsigned numCores() const { return Config.NumCores; }
+  CoreState &core(unsigned I) { return *Cores[I]; }
+  const CoreState &core(unsigned I) const { return *Cores[I]; }
+  Cache &l3() { return *L3; }
+  const Cache &l3() const { return *L3; }
+
 private:
-  struct CoreState;
   /// Data-side hierarchy lookup: returns the miss latency beyond L1 and
   /// updates all levels. \p Kernel routes footprint accounting.
   unsigned dataAccess(CoreState &C, uint64_t Addr, bool IsWrite,

@@ -27,6 +27,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -164,9 +165,10 @@ bool isDirectory(const std::string &Path) {
 
 int main(int Argc, char **Argv) {
   CommandLine CL("efault",
-                 "mutates a pinball, ELFie, or estore pool with seeded "
-                 "corruptions and asserts every consumer tool fails "
-                 "closed (no crash, no hang, stable diagnostic codes)");
+                 "mutates a pinball, ELFie, estore pool, or .esimstate "
+                 "warmup checkpoint with seeded corruptions and asserts "
+                 "every consumer tool fails closed (no crash, no hang, "
+                 "stable diagnostic codes)");
   CL.addInt("runs", 20, "number of seeded mutations to drive");
   CL.addInt("seed", 1, "first seed; run i uses seed+i");
   CL.addInt("timeout", 10, "per-consumer timeout in seconds");
@@ -175,19 +177,37 @@ int main(int Argc, char **Argv) {
   CL.addString("scratch", "", "scratch directory (default: /tmp/efault.<pid>)");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
-    std::fprintf(stderr, "usage: efault [options] pinball-dir|elfie\n");
+    std::fprintf(stderr,
+                 "usage: efault [options] pinball-dir|elfie|pool|"
+                 "file.esimstate\n");
     return ExitUsage;
   }
 
   const std::string Artifact = CL.positional()[0];
   // A directory with estore.meta is a content-addressed pool; any other
-  // directory is a pinball.
+  // directory is a pinball. A `.esimstate` file is a warmup-checkpoint
+  // sidecar, swept against the ELFie it sits next to.
   const bool IsStore =
       isDirectory(Artifact) && fileExists(Artifact + "/estore.meta");
   const bool IsPinball = isDirectory(Artifact) && !IsStore;
+  const std::string SimStateSuffix = ".esimstate";
+  const bool IsSimState =
+      !IsStore && !IsPinball && Artifact.size() > SimStateSuffix.size() &&
+      Artifact.compare(Artifact.size() - SimStateSuffix.size(),
+                       SimStateSuffix.size(), SimStateSuffix) == 0;
   if (!IsPinball && !IsStore && !fileExists(Artifact))
     exitOnError(makeCodedError("EFAULT.IO.OPEN", "no such artifact '%s'",
                                Artifact.c_str()));
+  // The sidecar binds to its ELFie by input digest; consumers need both.
+  std::string SimStateElfie;
+  if (IsSimState) {
+    SimStateElfie =
+        Artifact.substr(0, Artifact.size() - SimStateSuffix.size());
+    if (!fileExists(SimStateElfie))
+      exitOnError(makeCodedError(
+          "EFAULT.IO.OPEN", "no ELFie '%s' next to the sidecar '%s'",
+          SimStateElfie.c_str(), Artifact.c_str()));
+  }
   const std::string BinDir = selfBinDir();
   const unsigned TimeoutMs =
       static_cast<unsigned>(CL.getInt("timeout")) * 1000u;
@@ -202,6 +222,14 @@ int main(int Argc, char **Argv) {
   // Store-corruption rejection classes, broken out in the JSON summary.
   uint64_t StoreDigest = 0, StoreSeal = 0, StoreMissing = 0,
            StoreManifest = 0;
+  // Sidecar-corruption rejection classes (the EFAULT.SIMSTATE.* taxonomy;
+  // everify findings carry the same subcodes, so one counter serves both).
+  static const char *SimStateTags[] = {"MAGIC",  "VERSION", "TRUNCATED",
+                                       "SEAL",   "CONFIG",  "INPUT",
+                                       "COMPONENT", "BUDGET"};
+  constexpr size_t NumSimStateTags =
+      sizeof(SimStateTags) / sizeof(SimStateTags[0]);
+  uint64_t SimStateClass[NumSimStateTags] = {};
 
   for (uint64_t Run = 0; Run < Runs; ++Run) {
     uint64_t Seed = Seed0 + Run;
@@ -219,6 +247,17 @@ int main(int Argc, char **Argv) {
       Mutated = Scratch + "/pb";
       exitOnError(fault::copyTree(Artifact, Mutated));
       What = exitOnError(fault::mutatePinballDir(Mutated, Seed));
+    } else if (IsSimState) {
+      // Stage the ELFie pristine and mutate only its sidecar: the input
+      // digest must keep matching, so any rejection is attributable to
+      // the sidecar corruption alone.
+      std::string Elfie = Scratch + "/a.elfie";
+      auto ElfieBytes = exitOnError(MappedFile::open(SimStateElfie));
+      exitOnError(writeFile(Elfie, ElfieBytes.data(), ElfieBytes.size()));
+      Mutated = Elfie + SimStateSuffix;
+      auto SideBytes = exitOnError(MappedFile::open(Artifact));
+      exitOnError(writeFile(Mutated, SideBytes.data(), SideBytes.size()));
+      What = exitOnError(fault::mutateSimStateFile(Mutated, Seed));
     } else {
       Mutated = Scratch + "/a.elfie";
       // Stage via a read-only mapping: no heap copy of the (possibly
@@ -262,6 +301,16 @@ int main(int Argc, char **Argv) {
                            Scratch + "/x.elfie", Mutated});
       Consumers.push_back({BinDir + "/esim", "-config", "nehalem",
                            "-maxinsns", "500000", "-pinball", Mutated});
+    } else if (IsSimState) {
+      // Both consumers of a warmup checkpoint must reject the mutation:
+      // the simulator's resume path and the static verifier's SIMSTATE
+      // pass.
+      std::string Elfie = Scratch + "/a.elfie";
+      Consumers.push_back({BinDir + "/esim", "-config", "nehalem",
+                           "-warmup-load", "-warmup-state", Mutated,
+                           Elfie});
+      Consumers.push_back(
+          {BinDir + "/everify", "-simstate", Mutated, Elfie});
     } else {
       Consumers.push_back({BinDir + "/everify", Mutated});
       Consumers.push_back(
@@ -306,6 +355,10 @@ int main(int Argc, char **Argv) {
             ++StoreMissing;
           if (O.Output.find("EFAULT.STORE.MANIFEST") != std::string::npos)
             ++StoreManifest;
+          for (size_t T = 0; T < NumSimStateTags; ++T)
+            if (O.Output.find(std::string("SIMSTATE.") + SimStateTags[T]) !=
+                std::string::npos)
+              ++SimStateClass[T];
         } else {
           ++Uncoded;
           std::fprintf(stderr,
@@ -323,14 +376,26 @@ int main(int Argc, char **Argv) {
 
   uint64_t Failures = Crashes + Hangs + Uncoded;
   if (CL.getFlag("json")) {
+    std::string SimStateJSON;
+    for (size_t T = 0; T < NumSimStateTags; ++T) {
+      std::string Key = SimStateTags[T];
+      for (char &C : Key)
+        C = static_cast<char>(std::tolower(C));
+      SimStateJSON += formatString(
+          "%s\"%s\":%llu", T ? "," : "", Key.c_str(),
+          static_cast<unsigned long long>(SimStateClass[T]));
+    }
     std::printf("{\"artifact\":\"%s\",\"kind\":\"%s\",\"runs\":%llu,"
                 "\"invocations\":%llu,\"crashes\":%llu,\"hangs\":%llu,"
                 "\"uncoded\":%llu,\"rejections\":%llu,\"benign\":%llu,"
                 "\"store\":{\"digest\":%llu,\"seal\":%llu,"
                 "\"missing\":%llu,\"manifest\":%llu},"
+                "\"simstate\":{%s},"
                 "\"failures\":%llu}\n",
                 Artifact.c_str(),
-                IsStore ? "store" : (IsPinball ? "pinball" : "elfie"),
+                IsStore ? "store"
+                        : (IsPinball ? "pinball"
+                                     : (IsSimState ? "simstate" : "elfie")),
                 static_cast<unsigned long long>(Runs),
                 static_cast<unsigned long long>(Invocations),
                 static_cast<unsigned long long>(Crashes),
@@ -342,6 +407,7 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(StoreSeal),
                 static_cast<unsigned long long>(StoreMissing),
                 static_cast<unsigned long long>(StoreManifest),
+                SimStateJSON.c_str(),
                 static_cast<unsigned long long>(Failures));
   } else {
     std::fprintf(stderr,
@@ -363,6 +429,19 @@ int main(int Argc, char **Argv) {
                    static_cast<unsigned long long>(StoreSeal),
                    static_cast<unsigned long long>(StoreMissing),
                    static_cast<unsigned long long>(StoreManifest));
+    uint64_t SimStateTotal = 0;
+    for (size_t T = 0; T < NumSimStateTags; ++T)
+      SimStateTotal += SimStateClass[T];
+    if (SimStateTotal) {
+      std::string Line = "efault: simstate rejections:";
+      for (size_t T = 0; T < NumSimStateTags; ++T)
+        if (SimStateClass[T])
+          Line += formatString(
+              " %llu %s",
+              static_cast<unsigned long long>(SimStateClass[T]),
+              SimStateTags[T]);
+      std::fprintf(stderr, "%s\n", Line.c_str());
+    }
   }
   return Failures ? ExitFailure : ExitSuccess;
 }

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Frontend.h"
+#include "sim/SimState.h"
 #include "support/CommandLine.h"
 
 #include <cstdio>
@@ -29,10 +30,26 @@ int main(int Argc, char **Argv) {
              "pre-ROI fast-forward of ELFie inputs");
   CL.addFlag("vm:stats", false,
              "print the functional VM's decoded-block cache statistics");
+  CL.addInt("warmup", -1,
+            "functional-warming length before detailed simulation "
+            "(default: the ELFie's embedded elfie_warmup_length, else 0)");
+  CL.addFlag("warmup-save", false,
+             "serialize the simulator at the warming -> detailed boundary "
+             "into the .esimstate sidecar (DESIGN.md §16)");
+  CL.addFlag("warmup-load", false,
+             "resume from the .esimstate sidecar instead of re-warming");
+  CL.addString("warmup-state", "",
+               "sidecar path (default: <input>.esimstate)");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().empty()) {
     std::fprintf(stderr, "usage: esim [options] binary|pinball-dir "
                          "[args...]\n");
+    return ExitUsage;
+  }
+  if (CL.getFlag("warmup-save") && CL.getFlag("warmup-load")) {
+    std::fprintf(stderr,
+                 "esim: -warmup-save and -warmup-load are mutually "
+                 "exclusive\n");
     return ExitUsage;
   }
 
@@ -44,6 +61,15 @@ int main(int Argc, char **Argv) {
   sim::RunControls Controls;
   if (CL.getInt("maxinsns") >= 0)
     Controls.MaxInstructions = static_cast<uint64_t>(CL.getInt("maxinsns"));
+  if (CL.getInt("warmup") >= 0)
+    Controls.WarmupInstructions = static_cast<uint64_t>(CL.getInt("warmup"));
+  std::string StatePath = CL.getString("warmup-state");
+  if (StatePath.empty())
+    StatePath = sim::simStatePathFor(CL.positional()[0]);
+  if (CL.getFlag("warmup-save"))
+    Controls.SaveStatePath = StatePath;
+  else if (CL.getFlag("warmup-load"))
+    Controls.LoadStatePath = StatePath;
 
   Expected<sim::SimResult> R = makeError("unreachable");
   vm::VMConfig VMC;
@@ -65,6 +91,15 @@ int main(int Argc, char **Argv) {
   if (Result.WasElfie)
     std::printf("input recognized as an ELFie (ROI from marker, budget "
                 "from elfie_region_length)\n");
+  if (Result.WarmupRetired || Result.StateSaved || Result.StateLoaded)
+    std::printf("warmup: %llu instructions, boundary at global retired "
+                "%llu\n",
+                static_cast<unsigned long long>(Result.WarmupRetired),
+                static_cast<unsigned long long>(Result.CheckpointRetired));
+  if (Result.StateSaved)
+    std::printf("warmup checkpoint saved to %s\n", StatePath.c_str());
+  if (Result.StateLoaded)
+    std::printf("warmup checkpoint loaded from %s\n", StatePath.c_str());
   std::fputs(Result.Stats.summary().c_str(), stdout);
   if (CL.getFlag("vm:stats")) {
     std::printf("decode cache: %llu hits, %llu misses, %llu invalidations\n",

@@ -36,6 +36,10 @@ int main(int Argc, char **Argv) {
   CL.addString("store-name", "",
                "pool artifact to verify (cross-checked byte-identical "
                "with the elfie argument); default: every manifest");
+  CL.addString("simstate", "",
+               ".esimstate warmup-checkpoint sidecar; enables the "
+               "SIMSTATE.* pass (seal, config fingerprint, warming "
+               "budget, input digest vs the elfie argument)");
   exitOnError(CL.parse(Argc, Argv));
   if (CL.positional().size() != 1) {
     std::fprintf(stderr, "usage: everify [options] elfie\n");
@@ -67,6 +71,7 @@ int main(int Argc, char **Argv) {
   In.StoreRoot = CL.getString("store");
   In.StoreName = CL.getString("store-name");
   In.ArtifactPath = CL.positional()[0];
+  In.SimStatePath = CL.getString("simstate");
   if (!CL.getString("pinball").empty()) {
     PB = exitOnError(pinball::Pinball::load(CL.getString("pinball")));
     In.PB = &PB;

@@ -39,6 +39,10 @@ int main(int Argc, char **Argv) {
   CL.addInt("watchdog", 0,
             "native ELFie alarm(2) watchdog seconds (0 scales from the "
             "region budget)");
+  CL.addInt("warmup", 0,
+            "embed an elfie_warmup_length symbol: simulators warm over "
+            "the first N post-marker instructions (must be below the "
+            "region budget)");
   CL.addFlag("verify", false,
              "run the everify static-analysis passes on the emitted file "
              "and fail on error-severity findings");
@@ -72,6 +76,15 @@ int main(int Argc, char **Argv) {
   Opts.EmbedSysstate = CL.getFlag("sysstate");
   if (CL.getInt("watchdog") > 0)
     Opts.WatchdogSecs = static_cast<uint64_t>(CL.getInt("watchdog"));
+  if (CL.getInt("warmup") > 0) {
+    Opts.WarmupLength = static_cast<uint64_t>(CL.getInt("warmup"));
+    if (Opts.WarmupLength >= PB.Meta.RegionLength)
+      exitOnError(makeCodedError(
+          "EFAULT.SIMSTATE.BUDGET",
+          "-warmup %llu must be smaller than the region length %llu",
+          static_cast<unsigned long long>(Opts.WarmupLength),
+          static_cast<unsigned long long>(PB.Meta.RegionLength)));
+  }
 
   std::string Roi = CL.getString("roi-start");
   if (Roi == "none") {

@@ -114,6 +114,12 @@ loop:
                                 binPath("pinball2elf").c_str(), Root.c_str(),
                                 Root.c_str()));
     ASSERT_EQ(R.ExitCode, 0) << R.Output;
+    // A guest ELFie for the sim-action warmup campaign (esim simulates
+    // EG64 guest code, not the native x86 ELFie above).
+    R = runCmd("", formatString("%s -target guest -o %s/g.elfie %s/r.pb",
+                                binPath("pinball2elf").c_str(), Root.c_str(),
+                                Root.c_str()));
+    ASSERT_EQ(R.ExitCode, 0) << R.Output;
 
     // A divergent pinball: same region, but the first sel.log record's Tid
     // byte is corrupted, so constrained replay hits a syscall-order
@@ -490,6 +496,58 @@ TEST_F(FleetE2E, TimeoutRetriesThenQuarantines) {
   EXPECT_NE(Cause->find("reason: retries-exhausted"), std::string::npos)
       << *Cause;
   EXPECT_NE(Cause->find("attempts: 2"), std::string::npos) << *Cause;
+}
+
+/// The !warmup= attribute: the first campaign warms and writes the job's
+/// checkpoint sidecar, a re-run of the same campaign finds it and
+/// resumes, and a corrupted sidecar is quarantined as deterministic (one
+/// attempt, no blind retries).
+TEST_F(FleetE2E, WarmupCheckpointSaveResumeAndQuarantine) {
+  std::string Manifest = formatString("wsim sim %s/g.elfie !warmup=20000\n",
+                                      Root.c_str());
+  ASSERT_FALSE(writeFileText(Dir + "/manifest.txt", Manifest).isError());
+  std::string Sidecar = Dir + "/out/artifacts/wsim.esimstate";
+
+  // First campaign: no sidecar yet -> the job runs esim -warmup-save.
+  CmdResult R = runFleetCmd("", "", Dir + "/manifest.txt");
+  auto JobErr = readFileText(Dir + "/out/logs/wsim.a1.err");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output
+                           << (JobErr ? *JobErr : JobErr.message());
+  ASSERT_TRUE(fileExists(Sidecar));
+  auto Log = readFileText(Dir + "/out/logs/wsim.a1.out");
+  ASSERT_TRUE(Log.hasValue()) << Log.message();
+  EXPECT_NE(Log->find("warmup checkpoint saved to"), std::string::npos)
+      << *Log;
+
+  // Same campaign re-run fresh (journal cleared, artifacts kept): the
+  // sidecar is found and the job resumes instead of re-warming.
+  removeFile(Dir + "/out/journal.jsonl");
+  R = runFleetCmd("", "", Dir + "/manifest.txt");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  Log = readFileText(Dir + "/out/logs/wsim.a1.out");
+  ASSERT_TRUE(Log.hasValue()) << Log.message();
+  EXPECT_NE(Log->find("warmup checkpoint loaded from"), std::string::npos)
+      << *Log;
+
+  // Corrupt one payload byte: the resume must fail closed and classify
+  // as deterministic — quarantined after exactly one attempt, with the
+  // EFAULT.SIMSTATE code in the evidence.
+  auto Bytes = readFileBytes(Sidecar);
+  ASSERT_TRUE(Bytes.hasValue()) << Bytes.message();
+  (*Bytes)[Bytes->size() / 2] ^= 0x01;
+  ASSERT_FALSE(
+      writeFile(Sidecar, Bytes->data(), Bytes->size()).isError());
+  removeFile(Dir + "/out/journal.jsonl");
+  R = runFleetCmd("", "", Dir + "/manifest.txt");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  auto Cause = readFileText(Dir + "/out/quarantine/wsim/cause.txt");
+  ASSERT_TRUE(Cause.hasValue()) << Cause.message();
+  EXPECT_NE(Cause->find("reason: rejected"), std::string::npos) << *Cause;
+  EXPECT_NE(Cause->find("attempts: 1"), std::string::npos)
+      << "a corrupt checkpoint must never be retried: " << *Cause;
+  auto Stderr = readFileText(Dir + "/out/quarantine/wsim/stderr.txt");
+  ASSERT_TRUE(Stderr.hasValue()) << Stderr.message();
+  EXPECT_NE(Stderr->find("EFAULT.SIMSTATE."), std::string::npos) << *Stderr;
 }
 
 /// Manifest and usage errors surface as the documented exit codes.

@@ -45,9 +45,10 @@ TEST(Campaign, ParsesJobsAttributesAndExtras) {
       "e1 emit pb/a !timeout=30 !retries=2 !env:ELFIE_FAULT_SPEC="
       "write:{attempt}:enospc\n"
       "n1 native /bin/true\n"
-      "s1 sim pb/a\n");
+      "s1 sim pb/a\n"
+      "s2 sim out/a.elfie !warmup=100000\n");
   ASSERT_TRUE(Plan.hasValue()) << Plan.message();
-  ASSERT_EQ(Plan->Jobs.size(), 5u);
+  ASSERT_EQ(Plan->Jobs.size(), 6u);
 
   const Job *V = Plan->find("v1");
   ASSERT_NE(V, nullptr);
@@ -63,6 +64,13 @@ TEST(Campaign, ParsesJobsAttributesAndExtras) {
   ASSERT_EQ(E->Env.size(), 1u);
   EXPECT_EQ(E->Env[0].first, "ELFIE_FAULT_SPEC");
   EXPECT_EQ(E->Env[0].second, "write:{attempt}:enospc");
+
+  const Job *S1 = Plan->find("s1");
+  ASSERT_NE(S1, nullptr);
+  EXPECT_EQ(S1->WarmupInstructions, 0u) << "warmup defaults to off";
+  const Job *S2 = Plan->find("s2");
+  ASSERT_NE(S2, nullptr);
+  EXPECT_EQ(S2->WarmupInstructions, 100000u);
 }
 
 TEST(Campaign, RejectsMalformedManifests) {
@@ -79,6 +87,8 @@ TEST(Campaign, RejectsMalformedManifests) {
       {"a replay pb !retries=1001\n", "bad '!retries=1001'"},
       {"a replay pb !env:NOEQUALS\n", "want !env:K=V"},
       {"a replay pb !frob=1\n", "unknown attribute"},
+      {"a sim pb !warmup=0\n", "bad '!warmup=0'"},
+      {"a replay pb !warmup=1000\n", "only applies to the sim action"},
   };
   for (const auto &C : Cases) {
     auto Plan = CampaignPlan::parse(C.Text);
@@ -94,10 +104,11 @@ TEST(Campaign, RejectsMalformedManifests) {
 TEST(Campaign, ManifestLineRoundTrips) {
   Job J;
   J.Id = "e1";
-  J.A = Action::Emit;
+  J.A = Action::Sim;
   J.Target = "pb/a";
   J.TimeoutSecs = 30;
   J.Retries = 2;
+  J.WarmupInstructions = 50000;
   J.Env.emplace_back("K", "V");
   J.ExtraArgs = {"-x", "1"};
   auto Plan = CampaignPlan::parse(manifestLine(J) + "\n");
@@ -109,6 +120,7 @@ TEST(Campaign, ManifestLineRoundTrips) {
   EXPECT_EQ(R.Target, J.Target);
   EXPECT_EQ(R.TimeoutSecs, J.TimeoutSecs);
   EXPECT_EQ(R.Retries, J.Retries);
+  EXPECT_EQ(R.WarmupInstructions, J.WarmupInstructions);
   EXPECT_EQ(R.Env, J.Env);
   EXPECT_EQ(R.ExtraArgs, J.ExtraArgs);
 }

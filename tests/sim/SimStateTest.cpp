@@ -1,0 +1,652 @@
+//===- tests/sim/SimStateTest.cpp - warmup-checkpoint suite ---------------===//
+//
+// Part of the ELFies reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The warmup-checkpoint acceptance suite (ctest label `simstate`):
+///
+///  * per-component save/load round trips through the SimComponent
+///    interface (LRU order, gshare history, BTB entries, nested CoreState)
+///  * the EFAULT.SIMSTATE.* fail-closed taxonomy on corrupted sidecars
+///  * cold-vs-save-vs-resume SimStats **bit-identity** on every example
+///    pipeline (single-thread ELFie, interp + JIT, clock syscalls, MT
+///    ELFie, constrained + unconstrained pinball replay)
+///  * the checkpoint-index regression pin: the boundary lands on the same
+///    global retired index across the interpreted save, JIT save, and
+///    resume paths (the PR-6 fast-forward off-by-one class).
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimState.h"
+
+#include "../common/TestHelpers.h"
+#include "core/Pinball2Elf.h"
+#include "sim/BranchPredictor.h"
+#include "sim/Cache.h"
+#include "sim/Frontend.h"
+#include "support/Sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+using namespace elfie;
+using namespace elfie::sim;
+
+namespace {
+
+std::string tempDir(const std::string &Name) {
+  std::string D = testing::TempDir() + "/elfie_simstate_" + Name;
+  removeTree(D);
+  createDirectories(D);
+  return D;
+}
+
+std::vector<uint8_t> componentBytes(const SimComponent &C) {
+  BinaryWriter W;
+  StateWriter SW(W);
+  C.saveState(SW);
+  return W.bytes();
+}
+
+Error componentLoad(SimComponent &C, const std::vector<uint8_t> &Bytes) {
+  BinaryReader R(Bytes.data(), Bytes.size());
+  StateReader SR(R);
+  if (Error E = C.loadState(SR))
+    return E;
+  if (R.hadError() || !R.atEnd())
+    return makeError("payload size mismatch");
+  return Error::success();
+}
+
+/// Canonical byte form of a SimStats value: the bit-identity comparator
+/// for the cold-vs-resume suite.
+std::vector<uint8_t> statsBytes(const SimStats &S) {
+  BinaryWriter W;
+  StateWriter SW(W);
+  S.save(SW);
+  return W.bytes();
+}
+
+// ---- Per-component round trips ----
+
+TEST(SimComponentRoundTrip, CachePreservesLRUOrder) {
+  // 2-way, 2 sets: lines 0/128/256 all map to set 0.
+  Cache A(256, 2);
+  A.access(0, false);
+  A.access(128, false);
+  A.access(0, false); // refresh 0: LRU victim is now 128
+
+  Cache B(256, 2);
+  ASSERT_FALSE(componentLoad(B, componentBytes(A)).isError());
+  EXPECT_EQ(B.hits(), A.hits());
+  EXPECT_EQ(B.misses(), A.misses());
+  EXPECT_TRUE(B.contains(0));
+  EXPECT_TRUE(B.contains(128));
+
+  // The restored cache must evict the same victim the original would.
+  A.access(256, false);
+  B.access(256, false);
+  EXPECT_TRUE(B.contains(0));
+  EXPECT_FALSE(B.contains(128)) << "LRU order lost in the round trip";
+  EXPECT_TRUE(B.contains(256));
+  EXPECT_EQ(componentBytes(B), componentBytes(A))
+      << "restored cache must re-serialize bit-identically";
+}
+
+TEST(SimComponentRoundTrip, CacheGeometryMismatchFailsClosed) {
+  Cache A(256, 2);
+  A.access(0, false);
+  Cache Bigger(512, 2);
+  Error E = componentLoad(Bigger, componentBytes(A));
+  ASSERT_TRUE(E.isError());
+  EXPECT_EQ(E.code(), "EFAULT.SIMSTATE.COMPONENT") << E.str();
+  Cache WrongAssoc(256, 4);
+  EXPECT_EQ(componentLoad(WrongAssoc, componentBytes(A)).code(),
+            "EFAULT.SIMSTATE.COMPONENT");
+}
+
+TEST(SimComponentRoundTrip, TLBRoundTripAndPageMismatch) {
+  TLB A(16);
+  A.access(0x1000);
+  A.access(0x2000);
+  A.access(0x1fff);
+  TLB B(16);
+  ASSERT_FALSE(componentLoad(B, componentBytes(A)).isError());
+  EXPECT_EQ(B.hits(), A.hits());
+  EXPECT_EQ(B.misses(), A.misses());
+  EXPECT_TRUE(B.access(0x1000)) << "restored translation must hit";
+
+  TLB HugePages(16, 4, 2 * 1024 * 1024);
+  EXPECT_EQ(componentLoad(HugePages, componentBytes(A)).code(),
+            "EFAULT.SIMSTATE.COMPONENT");
+}
+
+TEST(SimComponentRoundTrip, GShareHistoryAndCounters) {
+  GSharePredictor A(10);
+  // Alternating pattern builds non-trivial history + counter state.
+  for (int I = 0; I < 200; ++I)
+    A.predictAndUpdate(0x1000 + 8 * (I % 7), (I & 1) != 0);
+
+  GSharePredictor B(10);
+  ASSERT_FALSE(componentLoad(B, componentBytes(A)).isError());
+  EXPECT_EQ(B.history(), A.history());
+  EXPECT_EQ(B.lookups(), A.lookups());
+  EXPECT_EQ(B.mispredicts(), A.mispredicts());
+  // Both must predict identically from here on.
+  for (int I = 0; I < 100; ++I) {
+    bool Taken = (I % 3) == 0;
+    EXPECT_EQ(B.predictAndUpdate(0x2000, Taken),
+              A.predictAndUpdate(0x2000, Taken))
+        << "divergence at post-restore branch " << I;
+  }
+
+  GSharePredictor WrongBits(11);
+  EXPECT_EQ(componentLoad(WrongBits, componentBytes(A)).code(),
+            "EFAULT.SIMSTATE.COMPONENT");
+}
+
+TEST(SimComponentRoundTrip, BTBEntries) {
+  BTB A(8);
+  A.predictAndUpdate(0x100, 0x500);
+  A.predictAndUpdate(0x108, 0x900);
+  BTB B(8);
+  ASSERT_FALSE(componentLoad(B, componentBytes(A)).isError());
+  EXPECT_TRUE(B.predictAndUpdate(0x100, 0x500));
+  EXPECT_TRUE(B.predictAndUpdate(0x108, 0x900));
+  EXPECT_EQ(B.lookups(), A.lookups() + 2);
+
+  BTB WrongBits(9);
+  EXPECT_EQ(componentLoad(WrongBits, componentBytes(A)).code(),
+            "EFAULT.SIMSTATE.COMPONENT");
+}
+
+TEST(SimComponentRoundTrip, CoreStateNestsAllParts) {
+  CoreConfig Cfg;
+  CoreState A(Cfg);
+  // Touch every nested component plus the scalar bookkeeping.
+  A.BP.predictAndUpdate(0x40, true);
+  A.Btb.predictAndUpdate(0x48, 0x1000);
+  A.L1I.access(0x2000, false);
+  A.L1D.access(0x3000, true);
+  A.L2.access(0x3000, true);
+  A.Dtlb.access(0x3000);
+  A.Itlb.access(0x2000);
+  A.LastFetchLine = 0x2000 / CacheLineSize;
+  A.SinceTimer = 123;
+  A.KernelCursor = 456;
+  A.InKernel = false;
+
+  CoreState B(Cfg);
+  ASSERT_FALSE(componentLoad(B, componentBytes(A)).isError());
+  EXPECT_EQ(B.LastFetchLine, A.LastFetchLine);
+  EXPECT_EQ(B.SinceTimer, A.SinceTimer);
+  EXPECT_EQ(B.KernelCursor, A.KernelCursor);
+  EXPECT_EQ(componentBytes(B), componentBytes(A));
+}
+
+TEST(SimComponentRoundTrip, SimStatsValueType) {
+  SimStats A;
+  A.Cores.resize(2);
+  A.Cores[0].Instructions = 1000;
+  A.Cores[0].Cycles = 1234.5;
+  A.Cores[1].BranchMispredicts = 7;
+  A.Cores[1].Ring0Cycles = 0.25;
+  A.UserDataPages = {0x1000, 0x5000, 0x9000};
+  A.KernelDataPages = {0xffff0000};
+  A.FreqGHz = 2.66;
+
+  SimStats B;
+  B.Cores.resize(2);
+  BinaryWriter W;
+  StateWriter SW(W);
+  A.save(SW);
+  BinaryReader R(W.bytes().data(), W.size());
+  StateReader SR(R);
+  ASSERT_FALSE(B.load(SR).isError());
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(statsBytes(B), statsBytes(A));
+
+  SimStats OneCore;
+  OneCore.Cores.resize(1);
+  BinaryReader R2(W.bytes().data(), W.size());
+  StateReader SR2(R2);
+  EXPECT_EQ(OneCore.load(SR2).code(), "EFAULT.SIMSTATE.COMPONENT");
+}
+
+// ---- Sidecar format: fail-closed taxonomy ----
+
+/// Puts a little state into every component, for container tests.
+/// (TimingModel is non-movable, so the caller owns the instance.)
+void trainModel(TimingModel &Model) {
+  isa::Inst Add;
+  Add.Op = isa::Opcode::Add;
+  for (uint64_t I = 0; I < 64; ++I) {
+    Model.instruction(0, 0x1000 + 8 * I, Add);
+    Model.memoryAccess(0, 0x8000 + 64 * I, 8, (I & 1) != 0);
+    Model.controlTransfer(0, 0x1000 + 8 * I, 0x1000, (I & 3) != 0, false);
+  }
+}
+
+SimStateMeta testMeta(const MachineConfig &M) {
+  SimStateMeta Meta;
+  Meta.ConfigName = M.Name;
+  Meta.ConfigFP = configFingerprint(M);
+  Meta.InputDigest = Sha256::digest("input", 5);
+  Meta.WarmupInstructions = 64;
+  Meta.CheckpointRetired = 164;
+  Meta.DetailedBudget = 1000;
+  return Meta;
+}
+
+/// Applies \p Fn to the sidecar bytes and writes them back.
+void mutateFile(const std::string &Path,
+                const std::function<void(std::vector<uint8_t> &)> &Fn) {
+  auto Bytes = readFileBytes(Path);
+  ASSERT_TRUE(Bytes.hasValue()) << Bytes.message();
+  Fn(*Bytes);
+  ASSERT_FALSE(
+      writeFileAtomic(Path, Bytes->data(), Bytes->size()).isError());
+}
+
+/// Recomputes the trailing seal after an intentional header mutation, so
+/// the test reaches the check *behind* the seal.
+void reseal(std::vector<uint8_t> &Bytes) {
+  ASSERT_GE(Bytes.size(), 32u);
+  Sha256Digest Seal = Sha256::digest(Bytes.data(), Bytes.size() - 32);
+  std::copy(Seal.Bytes.begin(), Seal.Bytes.end(), Bytes.end() - 32);
+}
+
+struct SidecarFixture {
+  std::string Dir, Path;
+  MachineConfig Machine = makeNehalemLike();
+  SimStateMeta Meta;
+
+  explicit SidecarFixture(const std::string &Name) {
+    Dir = tempDir(Name);
+    Path = Dir + "/region.elfie.esimstate";
+    Meta = testMeta(Machine);
+    TimingModel Model(Machine);
+    trainModel(Model);
+    Error E = saveSimState(Path, Meta, Model);
+    EXPECT_FALSE(E.isError()) << E.str();
+  }
+
+  std::string loadCode(const MachineConfig &M, const Sha256Digest &Digest) {
+    TimingModel Fresh(M);
+    auto R = loadSimState(Path, M, Digest, Fresh);
+    return R.hasValue() ? std::string() : R.takeError().code();
+  }
+  std::string loadCode() { return loadCode(Machine, Meta.InputDigest); }
+};
+
+TEST(SimStateFile, RoundTripRestoresEveryComponent) {
+  SidecarFixture F("roundtrip");
+  TimingModel Restored(F.Machine);
+  auto Meta =
+      loadSimState(F.Path, F.Machine, F.Meta.InputDigest, Restored);
+  ASSERT_TRUE(Meta.hasValue()) << Meta.message();
+  EXPECT_EQ(Meta->WarmupInstructions, 64u);
+  EXPECT_EQ(Meta->CheckpointRetired, 164u);
+  EXPECT_EQ(Meta->DetailedBudget, 1000u);
+
+  // Re-serializing the restored model under the same meta must reproduce
+  // the sidecar byte for byte.
+  std::string Path2 = F.Dir + "/resaved.esimstate";
+  ASSERT_FALSE(saveSimState(Path2, *Meta, Restored).isError());
+  auto A = readFileBytes(F.Path);
+  auto B = readFileBytes(Path2);
+  ASSERT_TRUE(A.hasValue() && B.hasValue());
+  EXPECT_EQ(*A, *B);
+}
+
+TEST(SimStateFile, InspectReportsComponentTable) {
+  SidecarFixture F("inspect");
+  auto Info = inspectSimState(F.Path);
+  ASSERT_TRUE(Info.hasValue()) << Info.message();
+  EXPECT_EQ(Info->FormatVersion, SimStateFormatVersion);
+  EXPECT_EQ(Info->Meta.ConfigName, "nehalem");
+  ASSERT_EQ(Info->Components.size(), 3u) << "stats + core0 + l3";
+  EXPECT_EQ(Info->Components[0].Id, "stats");
+  EXPECT_EQ(Info->Components[1].Id, "core0");
+  EXPECT_EQ(Info->Components[2].Id, "l3");
+  for (const auto &C : Info->Components)
+    EXPECT_GT(C.PayloadBytes, 0u);
+}
+
+TEST(SimStateFile, BadMagicRejected) {
+  SidecarFixture F("magic");
+  mutateFile(F.Path, [](std::vector<uint8_t> &B) { B[0] ^= 0xFF; });
+  EXPECT_EQ(F.loadCode(), "EFAULT.SIMSTATE.MAGIC");
+}
+
+TEST(SimStateFile, UnsupportedVersionRejected) {
+  SidecarFixture F("version");
+  mutateFile(F.Path, [](std::vector<uint8_t> &B) {
+    B[8] = 99; // u32 format version sits right after the 8-byte magic
+    reseal(B);
+  });
+  EXPECT_EQ(F.loadCode(), "EFAULT.SIMSTATE.VERSION");
+}
+
+TEST(SimStateFile, TruncationRejected) {
+  SidecarFixture F("trunc");
+  mutateFile(F.Path, [](std::vector<uint8_t> &B) { B.pop_back(); });
+  EXPECT_EQ(F.loadCode(), "EFAULT.SIMSTATE.TRUNCATED");
+
+  SidecarFixture F2("trunchalf");
+  mutateFile(F2.Path,
+             [](std::vector<uint8_t> &B) { B.resize(B.size() / 2); });
+  EXPECT_EQ(F2.loadCode(), "EFAULT.SIMSTATE.TRUNCATED");
+}
+
+TEST(SimStateFile, TrailingGarbageRejected) {
+  SidecarFixture F("trailing");
+  mutateFile(F.Path, [](std::vector<uint8_t> &B) { B.push_back(0xAB); });
+  EXPECT_EQ(F.loadCode(), "EFAULT.SIMSTATE.TRUNCATED");
+}
+
+TEST(SimStateFile, SealMismatchRejected) {
+  SidecarFixture F("seal");
+  mutateFile(F.Path, [](std::vector<uint8_t> &B) {
+    B[B.size() / 2] ^= 0x01; // single bit flip in a component payload
+  });
+  EXPECT_EQ(F.loadCode(), "EFAULT.SIMSTATE.SEAL");
+}
+
+TEST(SimStateFile, ConfigMismatchRejected) {
+  SidecarFixture F("config");
+  EXPECT_EQ(F.loadCode(makeHaswellLike(), F.Meta.InputDigest),
+            "EFAULT.SIMSTATE.CONFIG");
+}
+
+TEST(SimStateFile, InputDigestMismatchRejected) {
+  SidecarFixture F("input");
+  EXPECT_EQ(F.loadCode(F.Machine, Sha256::digest("other", 5)),
+            "EFAULT.SIMSTATE.INPUT");
+}
+
+TEST(SimStateFile, ComponentIdMismatchRejected) {
+  SidecarFixture F("component");
+  mutateFile(F.Path, [](std::vector<uint8_t> &B) {
+    // Corrupt the "stats" component id in place, then reseal so the load
+    // reaches the component-table check.
+    const char Needle[] = "stats";
+    auto It = std::search(B.begin(), B.end(), Needle, Needle + 5);
+    ASSERT_NE(It, B.end());
+    *It = 'x';
+    reseal(B);
+  });
+  EXPECT_EQ(F.loadCode(), "EFAULT.SIMSTATE.COMPONENT");
+}
+
+TEST(SimStateFile, PathHelperStripsTrailingSlash) {
+  EXPECT_EQ(simStatePathFor("region.elfie"), "region.elfie.esimstate");
+  EXPECT_EQ(simStatePathFor("pb/"), "pb.esimstate");
+}
+
+// ---- End to end: cold vs save vs resume identity ----
+
+struct ElfiePipeline {
+  std::string Dir;
+  std::vector<uint8_t> Image;
+  uint64_t Region = 0;
+};
+
+/// Captures \p Src over [Start, Start+Len) and emits a guest ELFie, with
+/// an embedded elfie_warmup_length when \p WarmupSym is non-zero.
+ElfiePipeline makeElfie(const std::string &Name, const std::string &Src,
+                        uint64_t Start, uint64_t Len,
+                        uint64_t WarmupSym = 0) {
+  ElfiePipeline P;
+  P.Dir = tempDir(Name);
+  P.Region = Len;
+  auto PB = test::capture(P.Dir, Src, Start, Len,
+                          pinball::LoggerOptions::fat());
+  EXPECT_TRUE(PB.hasValue()) << PB.message();
+  if (!PB)
+    return P;
+  core::Pinball2ElfOptions Opts;
+  Opts.TargetKind = core::Pinball2ElfOptions::Target::Guest;
+  Opts.WarmupLength = WarmupSym;
+  auto Image = core::pinballToElf(*PB, Opts);
+  EXPECT_TRUE(Image.hasValue()) << Image.message();
+  if (Image)
+    P.Image = std::move(*Image);
+  return P;
+}
+
+/// Runs the cold / save / resume triple over \p Image and asserts
+/// bit-identical SimStats plus matching checkpoint indices.
+void expectColdSaveResumeIdentity(const std::vector<uint8_t> &Image,
+                                  const MachineConfig &Machine,
+                                  RunControls Controls,
+                                  const std::string &StatePath,
+                                  vm::VMConfig SaveCfg = {},
+                                  vm::VMConfig LoadCfg = {}) {
+  auto Cold = simulateBinaryImage(Image, Machine, Controls, SaveCfg);
+  ASSERT_TRUE(Cold.hasValue()) << Cold.message();
+
+  RunControls SaveCtl = Controls;
+  SaveCtl.SaveStatePath = StatePath;
+  auto Save = simulateBinaryImage(Image, Machine, SaveCtl, SaveCfg);
+  ASSERT_TRUE(Save.hasValue()) << Save.message();
+  EXPECT_TRUE(Save->StateSaved);
+  EXPECT_EQ(statsBytes(Save->Stats), statsBytes(Cold->Stats))
+      << "writing the checkpoint must not perturb the simulation";
+
+  RunControls LoadCtl = Controls;
+  LoadCtl.LoadStatePath = StatePath;
+  auto Load = simulateBinaryImage(Image, Machine, LoadCtl, LoadCfg);
+  ASSERT_TRUE(Load.hasValue()) << Load.message();
+  EXPECT_TRUE(Load->StateLoaded);
+  EXPECT_EQ(statsBytes(Load->Stats), statsBytes(Cold->Stats))
+      << "resume must be bit-identical to the cold run";
+  EXPECT_EQ(Load->RoiRetired, Cold->RoiRetired);
+  EXPECT_EQ(Load->CheckpointRetired, Save->CheckpointRetired)
+      << "resume landed on a different boundary instruction";
+}
+
+TEST(CheckpointIdentity, ComputeElfieWithEmbeddedWarmup) {
+  ElfiePipeline P = makeElfie("compute", test::computeProgram(), 5000,
+                              8000, /*WarmupSym=*/1000);
+  ASSERT_FALSE(P.Image.empty());
+  RunControls Controls; // warmup auto-detected from elfie_warmup_length
+  expectColdSaveResumeIdentity(P.Image, makeNehalemLike(), Controls,
+                               P.Dir + "/region.esimstate");
+
+  // The warming split is exact: W warmed + (region - W) detailed.
+  auto R = simulateBinaryImage(P.Image, makeNehalemLike());
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(R->WarmupRetired, 1000u);
+  EXPECT_EQ(R->RoiRetired, 7000u);
+  EXPECT_EQ(R->Stats.totalInstructions(), 7000u);
+}
+
+TEST(CheckpointIdentity, JitResumeMatchesInterpretedCold) {
+  ElfiePipeline P =
+      makeElfie("jit", test::computeProgram(), 5000, 8000);
+  ASSERT_FALSE(P.Image.empty());
+  RunControls Controls;
+  Controls.WarmupInstructions = 1500;
+  vm::VMConfig Jit;
+  Jit.EnableJit = true;
+  Jit.JitThreshold = 1;
+  // Save interpreted, resume with the JIT fast-forwarding the warming
+  // stretch: the detailed phase must still be bit-identical.
+  expectColdSaveResumeIdentity(P.Image, makeNehalemLike(), Controls,
+                               P.Dir + "/region.esimstate",
+                               /*SaveCfg=*/{}, /*LoadCfg=*/Jit);
+}
+
+TEST(CheckpointIdentity, ClockSyscallElfie) {
+  ElfiePipeline P =
+      makeElfie("clock", test::clockProgram(), 2000, 8000);
+  ASSERT_FALSE(P.Image.empty());
+  RunControls Controls;
+  Controls.WarmupInstructions = 2000;
+  expectColdSaveResumeIdentity(P.Image, makeSkylakeLike(false), Controls,
+                               P.Dir + "/region.esimstate");
+}
+
+TEST(CheckpointIdentity, MultiThreadElfieOnGainestown) {
+  std::string Dir = tempDir("mtelfie");
+  auto PB = test::capture(Dir, test::multiThreadProgram(8, 4, 2000), 40000,
+                          24000, pinball::LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  core::Pinball2ElfOptions Opts;
+  Opts.TargetKind = core::Pinball2ElfOptions::Target::Guest;
+  auto Image = core::pinballToElf(*PB, Opts);
+  ASSERT_TRUE(Image.hasValue()) << Image.message();
+
+  // Multicore: no single-core fast path; the resume flows through the
+  // observer's Skipping phase.
+  RunControls Controls;
+  Controls.WarmupInstructions = 2000;
+  Controls.MaxInstructions = 20000;
+  expectColdSaveResumeIdentity(*Image, makeGainestown8(), Controls,
+                               Dir + "/region.esimstate");
+}
+
+void expectPinballIdentity(const pinball::Pinball &PB,
+                           const MachineConfig &Machine, bool Constrained,
+                           RunControls Controls,
+                           const std::string &StatePath) {
+  auto Cold = simulatePinball(PB, Machine, Constrained, Controls);
+  ASSERT_TRUE(Cold.hasValue()) << Cold.message();
+
+  RunControls SaveCtl = Controls;
+  SaveCtl.SaveStatePath = StatePath;
+  auto Save = simulatePinball(PB, Machine, Constrained, SaveCtl);
+  ASSERT_TRUE(Save.hasValue()) << Save.message();
+  EXPECT_TRUE(Save->StateSaved);
+  EXPECT_EQ(statsBytes(Save->Stats), statsBytes(Cold->Stats));
+
+  RunControls LoadCtl = Controls;
+  LoadCtl.LoadStatePath = StatePath;
+  auto Load = simulatePinball(PB, Machine, Constrained, LoadCtl);
+  ASSERT_TRUE(Load.hasValue()) << Load.message();
+  EXPECT_TRUE(Load->StateLoaded);
+  EXPECT_EQ(statsBytes(Load->Stats), statsBytes(Cold->Stats));
+  EXPECT_EQ(Load->CheckpointRetired, Save->CheckpointRetired);
+}
+
+TEST(CheckpointIdentity, PinballConstrainedMT) {
+  std::string Dir = tempDir("pbcon");
+  auto PB = test::capture(Dir, test::multiThreadProgram(8, 4, 2000), 40000,
+                          24000, pinball::LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  RunControls Controls;
+  Controls.WarmupInstructions = 4000;
+  expectPinballIdentity(*PB, makeGainestown8(), /*Constrained=*/true,
+                        Controls, Dir + "/pb.esimstate");
+}
+
+TEST(CheckpointIdentity, PinballUnconstrainedMT) {
+  std::string Dir = tempDir("pbfree");
+  auto PB = test::capture(Dir, test::multiThreadProgram(8, 4, 2000), 40000,
+                          24000, pinball::LoggerOptions::fat());
+  ASSERT_TRUE(PB.hasValue()) << PB.message();
+  RunControls Controls;
+  Controls.WarmupInstructions = 4000;
+  expectPinballIdentity(*PB, makeGainestown8(), /*Constrained=*/false,
+                        Controls, Dir + "/pb.esimstate");
+}
+
+TEST(CheckpointIdentity, ResumeRejectsDifferentInput) {
+  ElfiePipeline P =
+      makeElfie("crossinput", test::computeProgram(), 5000, 8000);
+  ElfiePipeline Q =
+      makeElfie("crossinput2", test::clockProgram(), 2000, 8000);
+  ASSERT_FALSE(P.Image.empty());
+  ASSERT_FALSE(Q.Image.empty());
+  std::string StatePath = P.Dir + "/region.esimstate";
+  RunControls SaveCtl;
+  SaveCtl.WarmupInstructions = 1000;
+  SaveCtl.SaveStatePath = StatePath;
+  auto Save = simulateBinaryImage(P.Image, makeNehalemLike(), SaveCtl);
+  ASSERT_TRUE(Save.hasValue()) << Save.message();
+
+  RunControls LoadCtl;
+  LoadCtl.WarmupInstructions = 1000;
+  LoadCtl.LoadStatePath = StatePath;
+  auto Load = simulateBinaryImage(Q.Image, makeNehalemLike(), LoadCtl);
+  ASSERT_FALSE(Load.hasValue());
+  EXPECT_EQ(Load.takeError().code(), "EFAULT.SIMSTATE.INPUT");
+
+  // ...and a different machine config.
+  auto Wrong = simulateBinaryImage(P.Image, makeHaswellLike(), LoadCtl);
+  ASSERT_FALSE(Wrong.hasValue());
+  EXPECT_EQ(Wrong.takeError().code(), "EFAULT.SIMSTATE.CONFIG");
+}
+
+TEST(CheckpointIdentity, WarmupBudgetMustFitRegion) {
+  ElfiePipeline P =
+      makeElfie("budget", test::computeProgram(), 5000, 8000);
+  ASSERT_FALSE(P.Image.empty());
+  RunControls Controls;
+  Controls.WarmupInstructions = 8000; // == region: nothing left to measure
+  auto R = simulateBinaryImage(P.Image, makeNehalemLike(), Controls);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_EQ(R.takeError().code(), "EFAULT.SIMSTATE.BUDGET");
+}
+
+// ---- The checkpoint-index regression pin (PR-6 interaction audit) ----
+//
+// The boundary must land on the same global retired index no matter how
+// the pre-boundary stretch was executed: interpreted fast-forward,
+// JIT-compiled fast-forward, or the -warmup-load resume path. A W=0
+// checkpoint pins the marker itself; W>0 must sit exactly W past it.
+
+TEST(CheckpointIndex, SameBoundaryAcrossAllPaths) {
+  ElfiePipeline P =
+      makeElfie("index", test::computeProgram(), 5000, 8000);
+  ASSERT_FALSE(P.Image.empty());
+  MachineConfig Machine = makeNehalemLike();
+  vm::VMConfig Jit;
+  Jit.EnableJit = true;
+  Jit.JitThreshold = 1;
+
+  auto boundary = [&](uint64_t W, bool Save, bool UseJit) -> uint64_t {
+    RunControls C;
+    C.WarmupInstructions = W;
+    std::string Path = P.Dir + "/pin.esimstate";
+    if (Save)
+      C.SaveStatePath = Path;
+    else
+      C.LoadStatePath = Path;
+    auto R = simulateBinaryImage(P.Image, Machine, C,
+                                 UseJit ? Jit : vm::VMConfig{});
+    EXPECT_TRUE(R.hasValue()) << R.message();
+    return R ? R->CheckpointRetired : 0;
+  };
+
+  // W=0: the boundary is the first post-marker instruction, so the global
+  // retired count equals the ELFie startup length including the marker.
+  uint64_t Startup = boundary(0, /*Save=*/true, /*UseJit=*/false);
+  EXPECT_GT(Startup, 0u);
+  EXPECT_LT(Startup, 500u) << "startup stub is ~100 instructions";
+  EXPECT_EQ(boundary(0, /*Save=*/true, /*UseJit=*/true), Startup)
+      << "JIT fast-forward shifted the W=0 boundary";
+  EXPECT_EQ(boundary(0, /*Save=*/false, /*UseJit=*/false), Startup)
+      << "resume shifted the W=0 boundary";
+
+  // W=1000: exactly 1000 past the marker on every path.
+  EXPECT_EQ(boundary(1000, /*Save=*/true, /*UseJit=*/false),
+            Startup + 1000)
+      << "interpreted warming is off by one at the ROI marker";
+  EXPECT_EQ(boundary(1000, /*Save=*/true, /*UseJit=*/true), Startup + 1000)
+      << "JIT fast-forward warming is off by one at the ROI marker";
+  EXPECT_EQ(boundary(1000, /*Save=*/false, /*UseJit=*/true),
+            Startup + 1000)
+      << "JIT resume is off by one at the ROI marker";
+  EXPECT_EQ(boundary(1000, /*Save=*/false, /*UseJit=*/false),
+            Startup + 1000)
+      << "interpreted resume is off by one at the ROI marker";
+}
+
+} // namespace

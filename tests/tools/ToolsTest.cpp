@@ -20,6 +20,7 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <cstring>
 
 using namespace elfie;
 
@@ -322,6 +323,173 @@ loop:
   EXPECT_EQ(R.ExitCode, 0) << R.Output;
   EXPECT_NE(R.Output.find("\"failures\":0"), std::string::npos)
       << R.Output;
+}
+
+/// Extracts the line of \p Out containing \p Key ("" when absent).
+static std::string lineWith(const std::string &Out, const std::string &Key) {
+  size_t P = Out.find(Key);
+  if (P == std::string::npos)
+    return std::string();
+  size_t B = Out.rfind('\n', P);
+  B = (B == std::string::npos) ? 0 : B + 1;
+  size_t E = Out.find('\n', P);
+  return Out.substr(B, E == std::string::npos ? Out.size() - B : E - B);
+}
+
+TEST_F(ToolPipeline, WarmupCheckpointCliFlow) {
+  // Stage a guest ELFie through the normal pipeline.
+  std::string Src = R"(
+_start:
+  ldi r9, 0
+loop:
+  muli r2, r2, 13
+  addi r2, r2, 7
+  addi r9, r9, 1
+  slti r3, r9, 60000
+  bnez r3, loop
+  ldi r7, 1
+  ldi r1, 0
+  syscall
+)";
+  ASSERT_FALSE(writeFileText(Dir + "/p.s", Src).isError());
+  auto R = runTool(formatString("easm -o %s/p.elf %s/p.s", Dir.c_str(),
+                                Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString("elogger -region:start 50000 -region:length "
+                           "100000 -log:fat 1 -o %s/r.pb %s/p.elf",
+                           Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString(
+      "pinball2elf -target guest -o %s/r.gelfie %s/r.pb", Dir.c_str(),
+      Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+
+  // -warmup-save and -warmup-load are mutually exclusive: usage error.
+  R = runTool(formatString(
+      "esim -config nehalem -warmup 20000 -warmup-save -warmup-load "
+      "%s/r.gelfie",
+      Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+
+  // Cold reference run (no checkpoint involved).
+  R = runTool(formatString("esim -config nehalem -warmup 20000 %s/r.gelfie",
+                           Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  std::string ColdIpc = lineWith(R.Output, "IPC");
+  ASSERT_FALSE(ColdIpc.empty()) << R.Output;
+
+  // Save: warms, writes the sidecar at the default <input>.esimstate
+  // path, and finishes the detailed phase as usual.
+  R = runTool(formatString(
+      "esim -config nehalem -warmup 20000 -warmup-save %s/r.gelfie",
+      Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("warmup checkpoint saved to"), std::string::npos)
+      << R.Output;
+  ASSERT_TRUE(fileExists(Dir + "/r.gelfie.esimstate"));
+  EXPECT_EQ(lineWith(R.Output, "IPC"), ColdIpc) << R.Output;
+
+  // Load: skips re-warming and reproduces the cold run's stats exactly.
+  R = runTool(formatString(
+      "esim -config nehalem -warmup-load %s/r.gelfie", Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("warmup checkpoint loaded from"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_EQ(lineWith(R.Output, "IPC"), ColdIpc) << R.Output;
+
+  // An explicit -warmup that disagrees with the sidecar fails closed.
+  R = runTool(formatString(
+      "esim -config nehalem -warmup 12345 -warmup-load %s/r.gelfie",
+      Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("EFAULT.SIMSTATE.BUDGET"), std::string::npos)
+      << R.Output;
+
+  // A flipped byte anywhere in the sidecar fails closed with a coded
+  // SIMSTATE rejection, never a silent wrong-stats resume.
+  auto Bytes = readFileBytes(Dir + "/r.gelfie.esimstate");
+  ASSERT_TRUE(static_cast<bool>(Bytes));
+  (*Bytes)[Bytes->size() / 2] ^= 0x01;
+  ASSERT_FALSE(writeFileAtomic(Dir + "/r.gelfie.esimstate", Bytes->data(),
+                               Bytes->size())
+                   .isError());
+  R = runTool(formatString(
+      "esim -config nehalem -warmup-load %s/r.gelfie", Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("EFAULT.SIMSTATE."), std::string::npos)
+      << R.Output;
+}
+
+TEST_F(ToolPipeline, SimStateFaultSweep) {
+  // Stage an ELFie + saved warmup sidecar, then let efault mutate the
+  // sidecar under both consumers (esim -warmup-load, everify -simstate).
+  std::string Src = R"(
+_start:
+  ldi r9, 0
+loop:
+  addi r9, r9, 1
+  slti r3, r9, 60000
+  bnez r3, loop
+  ldi r7, 1
+  ldi r1, 0
+  syscall
+)";
+  ASSERT_FALSE(writeFileText(Dir + "/p.s", Src).isError());
+  auto R = runTool(formatString("easm -o %s/p.elf %s/p.s", Dir.c_str(),
+                                Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString("elogger -region:start 30000 -region:length "
+                           "60000 -log:fat 1 -o %s/r.pb %s/p.elf",
+                           Dir.c_str(), Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString(
+      "pinball2elf -target guest -o %s/g.elfie %s/r.pb", Dir.c_str(),
+      Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  R = runTool(formatString(
+      "esim -config nehalem -warmup 15000 -warmup-save %s/g.elfie",
+      Dir.c_str()));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  ASSERT_TRUE(fileExists(Dir + "/g.elfie.esimstate"));
+
+#ifdef ELFIE_SLOW_TESTS
+  const int Runs = 200;
+#else
+  const int Runs = 20;
+#endif
+  // Every mutation must be rejected with a coded EFAULT.SIMSTATE.* error:
+  // zero benign acceptances (a corrupt checkpoint silently resuming would
+  // poison downstream stats), zero crashes/hangs, and the rejection
+  // taxonomy populated across more than one class.
+  R = runTool(formatString("efault -runs %d -seed 7 -json -scratch "
+                           "%s/scratch %s/g.elfie.esimstate",
+                           Runs, Dir.c_str(), Dir.c_str()));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"kind\":\"simstate\""), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"crashes\":0"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"hangs\":0"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"failures\":0"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"benign\":0"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"simstate\":{"), std::string::npos)
+      << R.Output;
+  // With two consumers per run, every mutation is rejected twice.
+  EXPECT_NE(R.Output.find(formatString("\"rejections\":%d", Runs * 2)),
+            std::string::npos)
+      << R.Output;
+  // More than one taxonomy class fires under the seeded mutation mix.
+  int Classes = 0;
+  for (const char *Tag :
+       {"\"magic\":", "\"version\":", "\"truncated\":", "\"seal\":",
+        "\"config\":", "\"input\":", "\"component\":", "\"budget\":"}) {
+    std::string L = lineWith(R.Output, "\"simstate\":{");
+    size_t P = L.find(Tag);
+    if (P != std::string::npos && L[P + std::strlen(Tag)] != '0')
+      ++Classes;
+  }
+  EXPECT_GE(Classes, 2) << R.Output;
 }
 
 } // namespace
